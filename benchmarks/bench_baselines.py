@@ -1,0 +1,133 @@
+"""Ablation A: the virtual tick against the Section 2 baselines.
+
+Compares, on the same workload:
+
+* **untimed** functional co-simulation (fast, no timing at all);
+* **lockstep** (virtual tick at T_sync = 1: cycle-accurate reference);
+* **virtual tick** at a practical T_sync;
+* **annotated-ISS** software timing (single-engine, no RTOS effects);
+* **optimistic rollback** (engine-level; quantifies the wasted work
+  that makes it unusable against a physical board).
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.cosim import CosimConfig
+from repro.cosim.baselines import (
+    OptimisticCosim,
+    build_annotated_router,
+    run_lockstep,
+    run_untimed,
+)
+from repro.router.testbench import RouterWorkload, build_router_cosim
+
+
+def make_workload():
+    return RouterWorkload(packets_per_producer=10, interval_cycles=500,
+                          payload_size=32, corrupt_rate=0.1, seed=17)
+
+
+def test_untimed_baseline(macro_benchmark, benchmark):
+    result = macro_benchmark(run_untimed, make_workload())
+    emit(f"\nuntimed: {result.stats.summary()} "
+         f"(wall {result.wall_seconds:.3f}s)")
+    benchmark.extra_info["forwarded"] = result.stats.forwarded
+    assert result.stats.handled_fraction() == 1.0
+
+
+def test_lockstep_reference(macro_benchmark, benchmark):
+    metrics, stats = macro_benchmark(run_lockstep, make_workload())
+    emit(f"\nlockstep: {stats.summary()}")
+    emit(f"          {metrics.summary()}")
+    assert stats.handled_fraction() == 1.0
+    assert metrics.sync_exchanges == metrics.master_cycles
+
+
+def test_virtual_tick_practical(macro_benchmark, benchmark):
+    def run():
+        cosim = build_router_cosim(CosimConfig(t_sync=1000),
+                                   make_workload())
+        metrics = cosim.run()
+        return cosim, metrics
+
+    cosim, metrics = macro_benchmark(run)
+    emit(f"\nvirtual tick (T=1000): {cosim.stats.summary()}")
+    emit(f"          {metrics.summary()}")
+    assert cosim.stats.handled_fraction() == 1.0
+    # Orders of magnitude fewer exchanges than lockstep.
+    assert metrics.sync_exchanges < metrics.master_cycles / 100
+
+
+def test_annotated_iss_baseline(macro_benchmark, benchmark):
+    def run():
+        annotated = build_annotated_router(make_workload())
+        stats = annotated.run()
+        return annotated, stats
+
+    annotated, stats = macro_benchmark(run)
+    emit(f"\nannotated ISS: {stats.summary()} "
+         f"(annotated cycles {annotated.software.annotated_cycles_total})")
+    # Functionally equivalent, but structurally blind to the RTOS:
+    # there is no board, no scheduler and no OS overhead at all.
+    assert stats.forwarded > 0
+    assert annotated.software.packets_checked == stats.generated
+
+
+def test_iss_executed_vs_modeled_software_timing(macro_benchmark,
+                                                 benchmark):
+    """The third software-timing fidelity level: execute the checksum
+    routine on the ISS inside the board thread, versus charging the
+    coarse work-model cost.  Functional results agree; the cycle
+    accounting differs by whatever the model's coefficients miss."""
+
+    def run():
+        workload = make_workload()
+        model = build_router_cosim(CosimConfig(t_sync=500), workload)
+        model.run()
+        iss = build_router_cosim(CosimConfig(t_sync=500), workload,
+                                 iss_timing=True)
+        iss.run()
+        model_cycles = model.app.kernel.threads[0].cycles_consumed
+        iss_cycles = iss.app.kernel.threads[0].cycles_consumed
+        return model, iss, model_cycles, iss_cycles
+
+    model, iss, model_cycles, iss_cycles = macro_benchmark(run)
+    ratio = model_cycles / max(1, iss_cycles)
+    emit("\n== software timing: coarse model vs ISS execution ==")
+    emit(format_table(
+        ["timing source", "app CPU cycles", "forwarded", "bad checksum"],
+        [
+            ["WorkModel (8 cyc/byte)", model_cycles,
+             model.stats.forwarded, model.stats.dropped_checksum],
+            ["ISS execution", iss_cycles,
+             iss.stats.forwarded, iss.stats.dropped_checksum],
+        ],
+    ))
+    emit(f"model/ISS cycle ratio: {ratio:.2f}")
+    benchmark.extra_info["model_over_iss"] = round(ratio, 2)
+    assert model.stats.forwarded == iss.stats.forwarded
+    assert model.stats.dropped_checksum == iss.stats.dropped_checksum
+    # The coarse model is calibrated to the same routine: within 2x.
+    assert 0.5 < ratio < 2.0
+
+
+def test_optimistic_rollback_overhead(macro_benchmark, benchmark):
+    def run():
+        rows = []
+        for lookahead in (0, 200, 1000, 5000):
+            stats = OptimisticCosim(packet_count=300, lookahead=lookahead,
+                                    checkpoint_interval=100,
+                                    mean_interarrival=100).run()
+            rows.append([lookahead, stats.rollbacks, stats.wasted_units,
+                         f"{100 * stats.efficiency:.0f}%"])
+        return rows
+
+    rows = macro_benchmark(run)
+    emit("\n== optimistic rollback: waste vs optimism window ==")
+    emit(format_table(["lookahead", "rollbacks", "wasted units",
+                       "efficiency"], rows))
+    # Efficiency strictly degrades with optimism.
+    efficiencies = [float(r[3].rstrip("%")) for r in rows]
+    assert efficiencies == sorted(efficiencies, reverse=True)
+    assert OptimisticCosim.requires_state_restore()

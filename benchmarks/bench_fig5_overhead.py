@@ -1,0 +1,57 @@
+"""Figure 5: co-simulation time vs. number of exchanged packets N.
+
+Paper's observations reproduced here:
+
+1. time grows linearly with N for every ``T_sync``;
+2. the time ratio between ``T_sync`` values approaches the inverse
+   ``T_sync`` ratio (241 s / 32 s ≈ 8 for 1000 vs 10000 at N = 100).
+
+Uses deterministic in-process sessions with the calibrated wall-cost
+model (the paper's testbed constants); the threaded/TCP variant of the
+same curve is exercised by ``bench_ablation_sensitivity``.
+"""
+
+from conftest import emit
+
+from repro.analysis import figure5_time_vs_packets, format_table
+from repro.router.testbench import RouterWorkload
+
+T_SYNC_VALUES = (1000, 2000, 5000, 10000)
+PACKET_COUNTS = (20, 40, 60, 80, 100)
+
+
+def run_figure5():
+    workload = RouterWorkload(interval_cycles=1000, payload_size=32,
+                              corrupt_rate=0.0, buffer_capacity=20)
+    return figure5_time_vs_packets(T_SYNC_VALUES, PACKET_COUNTS,
+                                   workload=workload)
+
+
+def test_fig5_time_vs_packets(macro_benchmark, benchmark):
+    result = macro_benchmark(run_figure5)
+
+    rows = []
+    for n in PACKET_COUNTS:
+        rows.append([n] + [f"{result.seconds[t][n]:.3f}"
+                           for t in T_SYNC_VALUES])
+    emit("\n== Figure 5: co-simulation time [s] vs packets N ==")
+    emit(format_table(["N"] + [f"T={t}" for t in T_SYNC_VALUES], rows))
+
+    ratio = result.time_ratio(1000, 10000, packets=100)
+    emit(f"\ntime(T=1000)/time(T=10000) at N=100: {ratio:.2f} "
+         "(paper: 241/32 ~= 8)")
+    for t in T_SYNC_VALUES:
+        emit(f"linearity R^2 for T_sync={t}: {result.linearity_r2(t):.4f}")
+
+    benchmark.extra_info["ratio_1000_vs_10000"] = round(ratio, 2)
+
+    # Shape assertions.  The coarsest T_sync has only a handful of
+    # windows per run, so window quantization leaves a little noise.
+    for t in T_SYNC_VALUES:
+        threshold = 0.99 if t <= 5000 else 0.94
+        assert result.linearity_r2(t) > threshold, "time(N) must be linear"
+    assert 3.0 < ratio < 12.0, "T_sync ratio anchor out of range"
+    # Every series is monotonically increasing in N.
+    for t in T_SYNC_VALUES:
+        series = [result.seconds[t][n] for n in PACKET_COUNTS]
+        assert series == sorted(series)

@@ -1,0 +1,57 @@
+"""Figure 7: simulation accuracy vs. T_sync.
+
+Paper's observations reproduced here:
+
+1. accuracy (fraction of packets the system handles) is 100% for tight
+   coupling and degrades monotonically as ``T_sync`` grows;
+2. full accuracy is maintained up to ``T_sync`` around 5000 for the
+   default workload (buffer 20, one packet per 1000 cycles per port);
+3. N = 1000 is only marginally worse than N = 100.
+"""
+
+from conftest import emit
+
+from repro.analysis import expected_knee, figure7_accuracy, format_table
+from repro.router.testbench import RouterWorkload
+
+T_SYNC_VALUES = (100, 1000, 2000, 5000, 8000, 12000, 20000)
+PACKET_COUNTS = (100, 1000)
+
+
+def make_workload():
+    return RouterWorkload(interval_cycles=1000, payload_size=32,
+                          corrupt_rate=0.0, buffer_capacity=20)
+
+
+def run_figure7():
+    return figure7_accuracy(T_SYNC_VALUES, PACKET_COUNTS,
+                            workload=make_workload())
+
+
+def test_fig7_accuracy_vs_t_sync(macro_benchmark, benchmark):
+    result = macro_benchmark(run_figure7)
+
+    rows = []
+    for t in T_SYNC_VALUES:
+        rows.append([t] + [f"{100 * result.accuracy[n][t]:.1f}%"
+                           for n in PACKET_COUNTS])
+    emit("\n== Figure 7: accuracy vs T_sync ==")
+    emit(format_table(["T_sync"] + [f"N={n}" for n in PACKET_COUNTS], rows))
+
+    knee_prediction = expected_knee(make_workload())
+    knee_measured = result.knee(100)
+    emit(f"\nfull-accuracy knee: measured T_sync={knee_measured}, "
+         f"first-order prediction {knee_prediction:.0f} (paper: ~5000)")
+    benchmark.extra_info["knee"] = knee_measured
+
+    # Shape assertions.
+    for n in PACKET_COUNTS:
+        assert result.monotonically_nonincreasing(n)
+        assert result.accuracy[n][100] == 1.0
+        assert result.accuracy[n][20000] < 0.8
+    # 100% maintained through T_sync = 5000, as in the paper.
+    assert result.accuracy[100][5000] == 1.0
+    assert knee_measured == 5000
+    # N = 1000 at most marginally worse than N = 100.
+    for t in T_SYNC_VALUES:
+        assert result.accuracy[1000][t] <= result.accuracy[100][t] + 0.02

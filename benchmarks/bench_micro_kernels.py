@@ -1,0 +1,154 @@
+"""Micro-benchmarks of the substrate engines.
+
+Not a paper figure: throughput numbers for the discrete-event kernel,
+the RTOS, the ISS and the wire codec, to track performance regressions
+of the substrates every macro experiment sits on.
+"""
+
+from repro.iss import IssCpu, assemble, checksum_program
+from repro.board.memory import Memory
+from repro.router import Packet, checksum16
+from repro.rtos import CpuWork, RtosConfig, RtosKernel, YieldCpu
+from repro.simkernel import Clock, Module, Signal, Simulator, ns
+from repro.transport import ClockGrant, DataWrite, decode, encode
+
+
+def test_simkernel_clocked_methods(benchmark):
+    """Events per second through a 4-module clocked design."""
+
+    def run():
+        sim = Simulator()
+        clock = Clock(sim, "clk", period=ns(10))
+        signals = [Signal(sim, f"s{i}", init=0) for i in range(4)]
+
+        class Stage(Module):
+            def __init__(self, sim, name, sig):
+                super().__init__(sim, name)
+                self.sig = sig
+                self.count = 0
+                self.method(self._tick, sensitive=[clock.signal],
+                            edge="pos", dont_initialize=True)
+
+            def _tick(self):
+                self.count += 1
+                self.sig.write(self.count)
+
+        stages = [Stage(sim, f"m{i}", s) for i, s in enumerate(signals)]
+        sim.run(ns(10) * 2000)
+        return stages[0].count
+
+    count = benchmark(run)
+    assert count == 2001  # edges at t = 0, 10 ns, ..., 20 us inclusive
+
+
+def test_simkernel_thread_pingpong(benchmark):
+    """Thread-process wakeups through event ping-pong."""
+
+    def run():
+        sim = Simulator()
+        from repro.simkernel import Event
+        ping, pong = Event(sim, "ping"), Event(sim, "pong")
+        state = {"count": 0}
+
+        class Ping(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                for _ in range(2000):
+                    ping.notify(ns(1))
+                    yield pong
+
+        class Pong(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                while True:
+                    yield ping
+                    state["count"] += 1
+                    pong.notify()
+
+        Ping(sim, "ping_m")
+        Pong(sim, "pong_m")
+        sim.run(ns(1) * 4000)
+        return state["count"]
+
+    count = benchmark(run)
+    assert count == 2000
+
+
+def test_rtos_context_switching(benchmark):
+    """RTOS round-robin context switches."""
+
+    def run():
+        kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
+
+        def spinner():
+            while True:
+                yield CpuWork(50)
+                yield YieldCpu()
+
+        for i in range(4):
+            kernel.create_thread(f"t{i}", spinner, priority=10)
+        kernel.run_ticks(50)
+        return kernel.context_switches
+
+    switches = benchmark(run)
+    assert switches > 100
+
+
+def test_iss_instruction_throughput(benchmark):
+    """ISS instructions per second on the checksum inner loop."""
+    data = bytes(range(256)) * 4
+
+    def run():
+        memory = Memory(0x1000)
+        memory.store_bytes(0x100, data)
+        cpu = IssCpu(checksum_program(), memory)
+        cpu.write_reg(1, 0x100)
+        cpu.write_reg(2, len(data))
+        cpu.run()
+        return cpu.instructions_retired
+
+    retired = benchmark(run)
+    assert retired > 1000
+
+
+def test_checksum_throughput(benchmark):
+    data = bytes(range(256)) * 16
+
+    def run():
+        return checksum16(data)
+
+    value = benchmark(run)
+    assert 0 <= value <= 0xFFFF
+
+
+def test_codec_roundtrip_throughput(benchmark):
+    packet = Packet.build(1, 2, 3, bytes(64))
+    message = DataWrite(seq=9, address=1, value=packet.to_bytes())
+
+    def run():
+        for _ in range(100):
+            frame = encode(message)
+            decode(frame[4:])
+        return frame
+
+    frame = benchmark(run)
+    assert decode(frame[4:]) == message
+
+
+def test_packet_build_parse_throughput(benchmark):
+    payload = bytes(range(64))
+
+    def run():
+        for i in range(100):
+            packet = Packet.build(1, 2, i, payload)
+            Packet.from_bytes(packet.to_bytes())
+        return packet
+
+    packet = benchmark(run)
+    assert packet.is_valid()

@@ -1,0 +1,47 @@
+"""Section 6's closing remark: the optimal T_sync.
+
+"because of the opposite dependencies of the overhead and of the
+accuracy on T_synch, there is a value of T_synch which maximizes the
+product (accuracy x overhead)".  The sweep below shows the trade-off
+and verifies the optimum is interior (neither the tightest nor the
+loosest setting) for the default workload.
+"""
+
+from conftest import emit
+
+from repro.analysis import find_optimal_t_sync, format_percent, format_table
+from repro.router.testbench import RouterWorkload
+
+T_SYNC_VALUES = (100, 500, 1000, 2000, 5000, 8000, 12000, 20000, 40000)
+
+
+def run_sweep():
+    workload = RouterWorkload(packets_per_producer=25,
+                              interval_cycles=1000, corrupt_rate=0.0,
+                              buffer_capacity=20)
+    return find_optimal_t_sync(T_SYNC_VALUES, workload=workload)
+
+
+def test_optimal_t_sync(macro_benchmark, benchmark):
+    result = macro_benchmark(run_sweep)
+
+    rows = [
+        [p.t_sync, format_percent(p.accuracy), f"{p.wall_seconds:.3f}",
+         f"{p.speedup:.1f}", f"{p.merit:.2f}",
+         "<-- optimum" if p is result.best else ""]
+        for p in result.points
+    ]
+    emit("\n== Optimal T_sync (accuracy x speedup) ==")
+    emit(format_table(
+        ["T_sync", "accuracy", "wall [s]", "speedup", "merit", ""], rows,
+    ))
+    benchmark.extra_info["optimal_t_sync"] = result.best.t_sync
+
+    # The optimum is interior: the trade-off is real.
+    assert result.best.t_sync not in (T_SYNC_VALUES[0], T_SYNC_VALUES[-1])
+    # Accuracy at the optimum is still useful (> 50%).
+    assert result.best.accuracy > 0.5
+    # A designer-constrained range yields a (possibly different) optimum.
+    constrained = result.best_in_range(100, 5000)
+    assert constrained is not None
+    assert constrained.accuracy == 1.0

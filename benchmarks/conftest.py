@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*`` module reproduces one figure of the paper's
+evaluation: it runs the experiment once under pytest-benchmark (macro
+experiments are timed with a single round) and prints the same
+rows/series the paper plots.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print experiment output past pytest's capture (visible with -s,
+    and always present in the captured section on failure)."""
+    print(text)
+    sys.stdout.flush()
+
+
+@pytest.fixture
+def macro_benchmark(benchmark):
+    """Run a macro experiment exactly once under the benchmark clock."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Adaptive synchronization on bursty traffic (framework extension).
+
+The paper's closing remark picks one optimal T_sync per workload.  For
+bursty traffic no static value is good everywhere: tight sync wastes
+exchanges in the gaps, loose sync drops packets in the bursts.  The
+adaptive session ends windows early at the first interrupt edge and
+resets the window to its minimum while the device is active, growing it
+geometrically when quiet.
+
+Run:  python examples/adaptive_sync.py
+"""
+
+from repro.analysis import format_percent, format_table
+from repro.cosim import AdaptivePolicy, CosimConfig
+from repro.router.testbench import RouterWorkload, build_router_cosim
+
+
+def main():
+    workload = RouterWorkload(
+        packets_per_producer=20,
+        interval_cycles=200,       # dense arrivals inside a burst ...
+        burst_size=5,
+        burst_gap_cycles=20_000,   # ... with long silences between
+        corrupt_rate=0.0,
+        buffer_capacity=10,
+    )
+    policy = AdaptivePolicy(min_t_sync=200, max_t_sync=16_000,
+                            initial_t_sync=1000)
+
+    rows = []
+    for label, t_sync, adaptive in (
+        ("static T=200 (tight)", 200, None),
+        ("static T=2000", 2000, None),
+        ("static T=8000 (loose)", 8000, None),
+        ("adaptive", 1000, policy),
+    ):
+        cosim = build_router_cosim(CosimConfig(t_sync=t_sync), workload,
+                                   adaptive=adaptive)
+        metrics = cosim.run()
+        note = ""
+        if adaptive is not None:
+            controller = cosim.session.controller
+            note = (f"windows {min(controller.trace)}..."
+                    f"{max(controller.trace)}, "
+                    f"mean {controller.mean_window:.0f}")
+        rows.append([label, format_percent(cosim.accuracy()),
+                     metrics.sync_exchanges,
+                     f"{metrics.modeled_wall_seconds:.2f}", note])
+
+    print("== bursty workload: 4 producers x 4 bursts of 5 packets ==")
+    print(format_table(
+        ["configuration", "accuracy", "exchanges", "modeled wall [s]",
+         "window sizes"],
+        rows,
+    ))
+    print("\nadaptive matches tight-sync accuracy at a fraction of the "
+          "synchronization cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Design exploration: choosing T_sync before committing to hardware.
+
+The paper's intended use of the framework (Section 6, final remark):
+sweep the synchronization interval, observe the opposite trends of
+overhead and accuracy, and pick the value that maximizes
+accuracy x speed-up — "if the optimal value falls in the allowed range,
+the designer may then use it as the synchronization interval".
+
+Run:  python examples/design_exploration.py
+"""
+
+from repro.analysis import (
+    expected_knee,
+    find_optimal_t_sync,
+    format_percent,
+    format_table,
+)
+from repro.router.testbench import RouterWorkload
+
+
+def main():
+    workload = RouterWorkload(packets_per_producer=25, interval_cycles=1000,
+                              corrupt_rate=0.0, buffer_capacity=20)
+    sweep = (500, 1000, 2000, 4000, 6000, 10000, 16000, 26000)
+    result = find_optimal_t_sync(sweep, workload)
+
+    rows = [
+        [p.t_sync,
+         format_percent(p.accuracy),
+         f"{p.wall_seconds:.3f}",
+         f"{p.speedup:.1f}x",
+         f"{p.merit:.2f}",
+         "<-- best" if p.t_sync == result.best.t_sync else ""]
+        for p in result.points
+    ]
+    print("== T_sync design exploration (router workload) ==")
+    print(format_table(
+        ["T_sync", "accuracy", "wall [s]", "speedup", "acc*speedup", ""],
+        rows,
+    ))
+    print(f"\nfirst-order accuracy-knee prediction: "
+          f"T_sync* ~= {expected_knee(workload):.0f} "
+          "(buffer_capacity * interval / num_ports)")
+    print(f"unconstrained optimum: T_sync = {result.best.t_sync}")
+
+    constrained = result.best_in_range(500, 4000)
+    if constrained is not None:
+        print(f"optimum when the device limits T_sync to [500, 4000]: "
+              f"T_sync = {constrained.t_sync} "
+              f"(accuracy {format_percent(constrained.accuracy)})")
+
+
+if __name__ == "__main__":
+    main()

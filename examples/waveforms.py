@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Dump a VCD waveform of a co-simulated run.
+
+Traces the router's interrupt line, status register and buffer-level
+byte during a short co-simulation and writes a GTKWave-compatible VCD
+file — the debugging view a designer of the paper's era would expect
+from the hardware side of the prototype.
+
+Run:  python examples/waveforms.py [OUTPUT.vcd]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.cosim import CosimConfig
+from repro.router.testbench import RouterWorkload, build_router_cosim
+from repro.simkernel import VcdTracer
+
+
+def main():
+    output = (sys.argv[1] if len(sys.argv) > 1
+              else os.path.join(tempfile.gettempdir(), "router_cosim.vcd"))
+    workload = RouterWorkload(packets_per_producer=5, interval_cycles=300,
+                              corrupt_rate=0.2)
+    cosim = build_router_cosim(CosimConfig(t_sync=100), workload)
+
+    tracer = VcdTracer(cosim.master.sim, output, timescale_ps=1000)
+    tracer.trace(cosim.master.clock.signal, "clk")
+    tracer.trace(cosim.router.irq, "router_irq")
+    tracer.trace(cosim.router.reg_status.signal, "status", width=16)
+    tracer.trace(cosim.router.reg_verdict.signal, "verdict", width=2)
+
+    metrics = cosim.run()
+    tracer.close()
+
+    print(f"co-simulated {metrics.master_cycles} cycles "
+          f"({metrics.windows} windows); {cosim.stats.summary()}")
+    with open(output, "r", encoding="ascii") as handle:
+        lines = handle.readlines()
+    changes = sum(1 for line in lines if line.startswith("#"))
+    print(f"wrote {output}: {len(lines)} lines, "
+          f"{changes} timestamped change records")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works on environments without the ``wheel``
+package (legacy editable installs); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

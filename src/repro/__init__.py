@@ -1,0 +1,25 @@
+"""repro — reproduction of "Virtual Hardware Prototyping through Timed
+Hardware-Software Co-simulation" (Fummi et al., DATE 2005).
+
+The package is organised as a stack:
+
+* :mod:`repro.simkernel` — a SystemC-like discrete-event simulation
+  kernel (signals, ports, modules, delta cycles, clocks) extended with
+  the paper's ``driver_in``/``driver_out``/``driver_process`` classes.
+* :mod:`repro.rtos` — an eCos-like priority-preemptive RTOS with the
+  paper's NORMAL/IDLE co-simulation extension.
+* :mod:`repro.board` — a cycle-accounted embedded board model (CPU,
+  memory, bus, hardware timer).
+* :mod:`repro.transport` — the three-port (DATA/INT/CLOCK) remote IPC
+  layer, with both real TCP and deterministic in-process channels.
+* :mod:`repro.cosim` — the paper's contribution: the virtual-tick timed
+  co-simulation protocol, sessions, metrics and baselines.
+* :mod:`repro.iss` — a small RISC instruction-set simulator used by the
+  annotated-timing baseline.
+* :mod:`repro.router` — the Section 6 case study (4-port packet router).
+* :mod:`repro.analysis` — experiment harnesses for the paper's figures.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

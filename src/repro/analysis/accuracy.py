@@ -1,0 +1,73 @@
+"""Figure 7: co-simulation accuracy versus ``T_sync``.
+
+"The accuracy is expressed in terms of the percentage of packets that
+can be handled by the system.  This number is 100% when the systems are
+very tightly coupled ... and it [is] expected to progressively decrease
+as the synchronization becomes more loosely coupled."  The paper's
+curves stay at 100% up to ``T_sync ≈ 5000`` and then fall; the N = 100
+and N = 1000 curves nearly coincide, with N = 1000 marginally worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.analysis.sweep import run_point
+from repro.cosim.config import CosimConfig
+from repro.router.testbench import INPROC, RouterWorkload
+
+
+@dataclass
+class Figure7Result:
+    """accuracy(T_sync) series per packet count."""
+
+    t_sync_values: Tuple[int, ...]
+    packet_counts: Tuple[int, ...]
+    #: accuracy[packet_count][t_sync] in [0, 1].
+    accuracy: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    def knee(self, packets: int, threshold: float = 0.999) -> int:
+        """Largest swept ``T_sync`` still at full accuracy."""
+        best = 0
+        for t_sync in sorted(self.t_sync_values):
+            if self.accuracy[packets][t_sync] >= threshold:
+                best = t_sync
+        return best
+
+    def monotonically_nonincreasing(self, packets: int) -> bool:
+        series = [self.accuracy[packets][t]
+                  for t in sorted(self.t_sync_values)]
+        return all(a >= b - 1e-9 for a, b in zip(series, series[1:]))
+
+
+def figure7_accuracy(
+    t_sync_values: Iterable[int] = (100, 1000, 2000, 5000, 8000, 12000,
+                                    20000),
+    packet_counts: Iterable[int] = (100, 1000),
+    workload: Optional[RouterWorkload] = None,
+    config: Optional[CosimConfig] = None,
+    mode: str = INPROC,
+) -> Figure7Result:
+    """Reproduce Figure 7 (deterministic in-process sessions)."""
+    base = workload or RouterWorkload(corrupt_rate=0.0)
+    result = Figure7Result(tuple(t_sync_values), tuple(packet_counts))
+    for packets in result.packet_counts:
+        per_producer = max(1, packets // base.num_ports)
+        wl = replace(base, packets_per_producer=per_producer)
+        result.accuracy[packets] = {}
+        for t_sync in result.t_sync_values:
+            point = run_point(t_sync, wl, config, mode)
+            result.accuracy[packets][t_sync] = point.accuracy
+    return result
+
+
+def expected_knee(workload: RouterWorkload) -> float:
+    """First-order prediction of the accuracy knee.
+
+    Packets arrive at ``num_ports / interval_cycles`` per cycle and are
+    drained once per window; overflow starts when one window's arrivals
+    exceed the buffer: ``T_sync* ≈ capacity * interval / num_ports``.
+    """
+    return (workload.buffer_capacity * workload.interval_cycles
+            / workload.num_ports)

@@ -1,0 +1,77 @@
+"""Packet-latency analysis.
+
+Accuracy (Figure 7) counts *lost* packets; latency is the complementary
+fidelity axis the paper implies but does not plot: with loose coupling
+a packet can sit in the router for most of a window before the software
+sees it, so latency percentiles inflate with ``T_sync`` long before
+packets start dropping.  The ablation benchmark uses this module to
+show that the designer's ``T_sync`` choice also bounds the *observable
+timing fidelity* of the prototype.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cosim.config import CosimConfig
+from repro.router.testbench import INPROC, RouterWorkload, build_router_cosim
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (fraction in [0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("percentile fraction must be within [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+@dataclass
+class LatencyPoint:
+    """Latency distribution of one run, in master clock cycles."""
+
+    t_sync: int
+    samples: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+    accuracy: float
+
+    @classmethod
+    def from_samples(cls, t_sync: int, latencies: Sequence[int],
+                     accuracy: float) -> "LatencyPoint":
+        if not latencies:
+            return cls(t_sync, 0, 0.0, 0.0, 0.0, 0.0, accuracy)
+        return cls(
+            t_sync=t_sync,
+            samples=len(latencies),
+            mean=sum(latencies) / len(latencies),
+            p50=percentile(latencies, 0.50),
+            p95=percentile(latencies, 0.95),
+            maximum=float(max(latencies)),
+            accuracy=accuracy,
+        )
+
+
+def latency_vs_t_sync(
+    t_sync_values: Iterable[int],
+    workload: Optional[RouterWorkload] = None,
+    config: Optional[CosimConfig] = None,
+    mode: str = INPROC,
+) -> List[LatencyPoint]:
+    """One deterministic run per ``T_sync``; returns latency points."""
+    base_config = config or CosimConfig()
+    points = []
+    for t_sync in t_sync_values:
+        cosim = build_router_cosim(replace(base_config, t_sync=t_sync),
+                                   workload, mode=mode)
+        cosim.run()
+        points.append(LatencyPoint.from_samples(
+            t_sync, cosim.stats.latencies, cosim.accuracy()
+        ))
+    return points

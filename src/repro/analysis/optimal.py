@@ -1,0 +1,70 @@
+"""The paper's closing remark: choosing an optimal ``T_sync``.
+
+"because of the opposite dependencies of the overhead and of the
+accuracy on T_synch, there is a value of T_synch which maximizes the
+product (accuracy x overhead)" — read as accuracy times *speed-up*
+(inverse overhead), since both should be large.  This module sweeps
+``T_sync``, computes the figure of merit, and returns the optimum,
+optionally restricted to a designer-imposed range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.sweep import SweepPoint, sweep_t_sync
+from repro.cosim.config import CosimConfig
+from repro.router.testbench import INPROC, RouterWorkload
+
+
+@dataclass
+class MeritPoint:
+    t_sync: int
+    accuracy: float
+    wall_seconds: float
+    overhead_ratio: float
+    speedup: float
+    merit: float
+
+
+@dataclass
+class OptimalResult:
+    points: List[MeritPoint]
+    best: MeritPoint
+
+    def best_in_range(self, lo: int, hi: int) -> Optional[MeritPoint]:
+        """The optimum when the device constrains ``T_sync`` to [lo, hi]."""
+        candidates = [p for p in self.points if lo <= p.t_sync <= hi]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: p.merit)
+
+
+def find_optimal_t_sync(
+    t_sync_values: Iterable[int] = (100, 500, 1000, 2000, 5000, 8000,
+                                    12000, 20000),
+    workload: Optional[RouterWorkload] = None,
+    config: Optional[CosimConfig] = None,
+    mode: str = INPROC,
+) -> OptimalResult:
+    """Sweep, score ``accuracy × speedup`` and pick the maximum."""
+    values = sorted(set(t_sync_values))
+    points = sweep_t_sync(values, workload, config, mode)
+    slowest = max(p.effective_wall_seconds for p in points)
+    fastest = min(p.effective_wall_seconds for p in points)
+    merit_points = []
+    for point in points:
+        wall = point.effective_wall_seconds
+        overhead = wall / fastest
+        speedup = slowest / wall
+        merit_points.append(MeritPoint(
+            t_sync=point.t_sync,
+            accuracy=point.accuracy,
+            wall_seconds=wall,
+            overhead_ratio=overhead,
+            speedup=speedup,
+            merit=point.accuracy * speedup,
+        ))
+    best = max(merit_points, key=lambda p: p.merit)
+    return OptimalResult(merit_points, best)

@@ -1,0 +1,147 @@
+"""Figures 5 and 6: co-simulation overhead.
+
+* :func:`figure5_time_vs_packets` — overall time as a function of the
+  number of exchanged packets N, one series per ``T_sync``.  The
+  paper's observations to reproduce: time grows *linearly* with N, and
+  the time ratio between two ``T_sync`` values is roughly their inverse
+  ratio (241 s / 32 s ≈ 8 for 1000 vs 10000 at N = 100).
+* :func:`figure6_overhead_ratio` — the ratio of timed to untimed
+  simulation time as a function of ``T_sync`` (log Y in the paper),
+  for two packet counts; the curves nearly coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.sweep import SweepPoint, run_point
+from repro.cosim.config import CosimConfig
+from repro.router.testbench import INPROC, RouterWorkload
+
+
+def _workload_for_packets(base: RouterWorkload, packets: int) -> RouterWorkload:
+    per_producer = max(1, packets // base.num_ports)
+    return replace(base, packets_per_producer=per_producer)
+
+
+@dataclass
+class Figure5Result:
+    """time(N) series per T_sync."""
+
+    t_sync_values: Tuple[int, ...]
+    packet_counts: Tuple[int, ...]
+    #: seconds[t_sync][packet_count]
+    seconds: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def linearity_r2(self, t_sync: int) -> float:
+        """R^2 of a least-squares line through time(N) for one series."""
+        xs = list(self.packet_counts)
+        ys = [self.seconds[t_sync][n] for n in xs]
+        n = len(xs)
+        if n < 2:
+            return 1.0
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        syy = sum((y - mean_y) ** 2 for y in ys)
+        if sxx == 0 or syy == 0:
+            return 1.0
+        return (sxy * sxy) / (sxx * syy)
+
+    def time_ratio(self, t_small: int, t_large: int,
+                   packets: int) -> float:
+        """e.g. time(T=1000)/time(T=10000) at N=100 — the paper's ≈8."""
+        return self.seconds[t_small][packets] / self.seconds[t_large][packets]
+
+
+def figure5_time_vs_packets(
+    t_sync_values: Iterable[int] = (1000, 2000, 5000, 10000),
+    packet_counts: Iterable[int] = (20, 40, 60, 80, 100),
+    workload: Optional[RouterWorkload] = None,
+    config: Optional[CosimConfig] = None,
+    mode: str = INPROC,
+) -> Figure5Result:
+    """Reproduce Figure 5."""
+    base = workload or RouterWorkload(corrupt_rate=0.0)
+    result = Figure5Result(tuple(t_sync_values), tuple(packet_counts))
+    for t_sync in result.t_sync_values:
+        result.seconds[t_sync] = {}
+        for packets in result.packet_counts:
+            point = run_point(t_sync, _workload_for_packets(base, packets),
+                              config, mode)
+            result.points.append(point)
+            result.seconds[t_sync][packets] = point.effective_wall_seconds
+    return result
+
+
+@dataclass
+class Figure6Result:
+    """overhead(T_sync) series per packet count."""
+
+    t_sync_values: Tuple[int, ...]
+    packet_counts: Tuple[int, ...]
+    #: ratio[packet_count][t_sync]
+    ratios: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    seconds: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    #: untimed-baseline seconds per packet count.
+    baseline_seconds: Dict[int, float] = field(default_factory=dict)
+
+    def monotonically_decreasing(self, packets: int) -> bool:
+        series = [self.ratios[packets][t] for t in sorted(self.t_sync_values)]
+        return all(a >= b for a, b in zip(series, series[1:]))
+
+
+def _untimed_seconds(point: SweepPoint, config: CosimConfig) -> float:
+    """What the same run would cost with no synchronization at all.
+
+    The paper's denominator is "the time spent by a simulation without
+    synchronization (T_synch = infinity)": the pure engine cost, with
+    every protocol term (sync exchanges, messages, state switches)
+    removed.
+    """
+    model = config.wall_cost
+    # Board ticks equal master cycles by the alignment invariant.
+    return (model.per_master_cycle * point.master_cycles
+            + model.per_board_tick * point.master_cycles)
+
+
+def figure6_overhead_ratio(
+    t_sync_values: Iterable[int] = (10, 36, 100, 360, 1000, 3600, 10000),
+    packet_counts: Iterable[int] = (100, 1000),
+    workload: Optional[RouterWorkload] = None,
+    config: Optional[CosimConfig] = None,
+    mode: str = INPROC,
+) -> Figure6Result:
+    """Reproduce Figure 6.
+
+    Each point's overhead is its wall time over the untimed cost of the
+    same simulated work (:func:`_untimed_seconds`).
+    """
+    base = workload or RouterWorkload(corrupt_rate=0.0)
+    cfg = config or CosimConfig()
+    ts = tuple(t_sync_values)
+    result = Figure6Result(ts, tuple(packet_counts))
+    for packets in result.packet_counts:
+        wl = _workload_for_packets(base, packets)
+        result.ratios[packets] = {}
+        result.seconds[packets] = {}
+        measured_baseline: Optional[float] = None
+        if mode != INPROC:
+            # Measured runs need a measured denominator: the functional
+            # (untimed) baseline on the same workload.
+            from repro.cosim.baselines.untimed import run_untimed
+
+            measured_baseline = run_untimed(wl, cfg).wall_seconds
+        for t_sync in ts:
+            point = run_point(t_sync, wl, cfg, mode)
+            baseline = (measured_baseline if measured_baseline is not None
+                        else _untimed_seconds(point, cfg))
+            result.baseline_seconds[packets] = baseline
+            result.seconds[packets][t_sync] = point.effective_wall_seconds
+            result.ratios[packets][t_sync] = (
+                point.effective_wall_seconds / baseline
+            )
+    return result

@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in materialized
+    ]
+    return "\n".join([line, rule] + body)
+
+
+def format_series(title: str, xs: Sequence[float],
+                  ys: Sequence[float], x_label: str = "x",
+                  y_label: str = "y", width: int = 50) -> str:
+    """A crude log-friendly ASCII plot of one series."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    lines = [title, f"{x_label:>12} | {y_label}"]
+    if not ys:
+        return "\n".join(lines)
+    peak = max(ys) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, round(width * y / peak)) if y > 0 else ""
+        lines.append(f"{x:>12g} | {y:<12g} {bar}")
+    return "\n".join(lines)
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Fixed-point rendering with *digits* decimals."""
+    return f"{value:.{digits}f}"
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render a [0, 1] fraction as a percentage string."""
+    return f"{100.0 * fraction:.{digits}f}%"

@@ -1,0 +1,79 @@
+"""Parameter sweeps over the router co-simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional
+
+from repro.cosim.config import CosimConfig
+from repro.router.testbench import (
+    INPROC,
+    RouterWorkload,
+    build_router_cosim,
+)
+
+
+@dataclass
+class SweepPoint:
+    """One (T_sync, workload) measurement."""
+
+    t_sync: int
+    total_packets: int
+    windows: int
+    sync_exchanges: int
+    master_cycles: int
+    int_packets: int
+    data_messages: int
+    bytes_total: int
+    state_switches: int
+    wall_seconds: Optional[float]
+    modeled_wall_seconds: float
+    accuracy: float
+    forwarded: int
+    dropped_overflow: int
+    dropped_checksum: int
+    mean_latency_cycles: float
+
+    @property
+    def effective_wall_seconds(self) -> float:
+        if self.wall_seconds is not None:
+            return self.wall_seconds
+        return self.modeled_wall_seconds
+
+
+def run_point(t_sync: int,
+              workload: Optional[RouterWorkload] = None,
+              config: Optional[CosimConfig] = None,
+              mode: str = INPROC) -> SweepPoint:
+    """Run the case study once at *t_sync* and collect a sweep point."""
+    base = config or CosimConfig()
+    cosim = build_router_cosim(replace(base, t_sync=t_sync), workload,
+                               mode=mode)
+    metrics = cosim.run()
+    stats = cosim.stats
+    return SweepPoint(
+        t_sync=t_sync,
+        total_packets=stats.generated,
+        windows=metrics.windows,
+        sync_exchanges=metrics.sync_exchanges,
+        master_cycles=metrics.master_cycles,
+        int_packets=metrics.int_packets,
+        data_messages=metrics.data_messages,
+        bytes_total=metrics.bytes_total,
+        state_switches=metrics.state_switches,
+        wall_seconds=metrics.wall_seconds,
+        modeled_wall_seconds=metrics.modeled_wall_seconds,
+        accuracy=stats.handled_fraction(),
+        forwarded=stats.forwarded,
+        dropped_overflow=stats.dropped_overflow,
+        dropped_checksum=stats.dropped_checksum,
+        mean_latency_cycles=stats.mean_latency(),
+    )
+
+
+def sweep_t_sync(t_sync_values: Iterable[int],
+                 workload: Optional[RouterWorkload] = None,
+                 config: Optional[CosimConfig] = None,
+                 mode: str = INPROC) -> List[SweepPoint]:
+    """One :func:`run_point` per ``T_sync`` value."""
+    return [run_point(t, workload, config, mode) for t in t_sync_values]

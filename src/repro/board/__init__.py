@@ -1,0 +1,37 @@
+"""The embedded board model (SCM2x0 substitute)."""
+
+from repro.board.board import (
+    Board,
+    BoardConfig,
+    DEVICE_WINDOW_BASE,
+    DEVICE_WINDOW_SIZE,
+    RAM_BASE,
+    RAM_SIZE,
+    REMOTE_DEVICE_VECTOR,
+    TIMER_BASE,
+    TIMER_VECTOR,
+)
+from repro.board.bus import Bus, BusError, BusRegion
+from repro.board.cpu import CpuModel, WorkModel
+from repro.board.memory import Memory, MemoryError_
+from repro.board.timer import HardwareTimer
+
+__all__ = [
+    "Board",
+    "BoardConfig",
+    "Bus",
+    "BusError",
+    "BusRegion",
+    "CpuModel",
+    "DEVICE_WINDOW_BASE",
+    "DEVICE_WINDOW_SIZE",
+    "HardwareTimer",
+    "Memory",
+    "MemoryError_",
+    "RAM_BASE",
+    "RAM_SIZE",
+    "REMOTE_DEVICE_VECTOR",
+    "TIMER_BASE",
+    "TIMER_VECTOR",
+    "WorkModel",
+]

@@ -1,0 +1,70 @@
+"""The embedded board: CPU + RTOS + memory + bus + timer.
+
+Substitute for the Ultimodule SCM2x0 used in the paper: "a RISC system
+based on an user configurable FPGA system on chip and hosting a RTOS".
+The co-simulation protocol observes the board only through ticks,
+interrupts and driver I/O, all of which this model provides with
+explicit cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.board.bus import Bus
+from repro.board.cpu import CpuModel, WorkModel
+from repro.board.memory import Memory
+from repro.board.timer import REGISTER_WINDOW_SIZE, HardwareTimer
+from repro.rtos.config import RtosConfig
+from repro.rtos.kernel import RtosKernel
+
+#: Default memory map (SCM2x0-flavoured).
+RAM_BASE = 0x0000_0000
+RAM_SIZE = 256 * 1024
+TIMER_BASE = 0x8000_0000
+DEVICE_WINDOW_BASE = 0x9000_0000
+DEVICE_WINDOW_SIZE = 0x1000
+
+#: Interrupt vector assignments.
+TIMER_VECTOR = 0
+REMOTE_DEVICE_VECTOR = 1
+
+
+@dataclass
+class BoardConfig:
+    """Everything needed to assemble a :class:`Board`."""
+
+    rtos: RtosConfig = field(default_factory=RtosConfig)
+    cpu: CpuModel = field(default_factory=CpuModel)
+    work: WorkModel = field(default_factory=WorkModel)
+    ram_size: int = RAM_SIZE
+
+
+class Board:
+    """A fully assembled virtual board."""
+
+    def __init__(self, config: Optional[BoardConfig] = None,
+                 name: str = "board") -> None:
+        self.config = config or BoardConfig()
+        self.name = name
+        self.kernel = RtosKernel(self.config.rtos, name=f"{name}.rtos")
+        self.memory = Memory(self.config.ram_size, base=RAM_BASE)
+        self.bus = Bus()
+        self.timer = HardwareTimer(self.kernel, base=TIMER_BASE)
+        self.bus.map_region("ram", RAM_BASE, self.config.ram_size, self.memory)
+        self.bus.map_region("timer", TIMER_BASE, REGISTER_WINDOW_SIZE,
+                            self.timer)
+
+    # Convenience passthroughs ------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.kernel.cycles
+
+    @property
+    def sw_ticks(self) -> int:
+        return self.kernel.sw_ticks
+
+    def uptime_seconds(self) -> float:
+        """Virtual wall-clock since boot, at the CPU's frequency."""
+        return self.config.cpu.cycles_to_seconds(self.kernel.cycles)

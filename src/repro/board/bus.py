@@ -1,0 +1,73 @@
+"""Board system bus with address decoding.
+
+Regions map address ranges to handlers — RAM, the hardware timer, or
+memory-mapped device windows (the remote virtual-device window used by
+the ISS-backed examples).  Handlers implement ``load``/``store``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class BusError(ReproError):
+    """Unmapped or overlapping bus access."""
+
+
+class BusRegion:
+    """One decoded address range."""
+
+    def __init__(self, name: str, base: int, size: int, handler) -> None:
+        if size <= 0:
+            raise BusError(f"region {name}: size must be positive")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.handler = handler
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class Bus:
+    """Address decoder."""
+
+    def __init__(self) -> None:
+        self._regions: List[BusRegion] = []
+        self.accesses = 0
+
+    def map_region(self, name: str, base: int, size: int, handler) -> BusRegion:
+        region = BusRegion(name, base, size, handler)
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise BusError(
+                    f"region {name} [{base:#x},{base + size:#x}) overlaps "
+                    f"{existing.name}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def region_for(self, address: int) -> BusRegion:
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        raise BusError(f"bus access to unmapped address {address:#x}")
+
+    def load(self, address: int, width: int = 4) -> int:
+        self.accesses += 1
+        return self.region_for(address).handler.load(address, width)
+
+    def store(self, address: int, value: int, width: int = 4) -> None:
+        self.accesses += 1
+        self.region_for(address).handler.store(address, value, width)
+
+    @property
+    def regions(self) -> Tuple[BusRegion, ...]:
+        return tuple(self._regions)

@@ -1,0 +1,55 @@
+"""CPU speed model and software work estimation.
+
+The board's CPU is cycle-accounted by the RTOS kernel; this module
+relates cycles to physical time and estimates the cycle cost of the
+software routines the case study runs (the checksum application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass
+class CpuModel:
+    """Clock frequency and derived conversions."""
+
+    #: CPU frequency in Hz (SCM2x0-class RISC SoC: tens of MHz).
+    frequency_hz: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ReproError("CPU frequency must be positive")
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> int:
+        return round(seconds * self.frequency_hz)
+
+
+@dataclass
+class WorkModel:
+    """Cycle-cost coefficients for the case-study software."""
+
+    #: Cycles to checksum one payload byte in C on the board.
+    checksum_cycles_per_byte: int = 8
+    #: Fixed cycles per driver transaction (register access setup).
+    driver_setup_cycles: int = 40
+    #: Cycles per byte copied between driver buffers and the app.
+    copy_cycles_per_byte: int = 2
+
+    def __post_init__(self) -> None:
+        for field in ("checksum_cycles_per_byte", "driver_setup_cycles",
+                      "copy_cycles_per_byte"):
+            if getattr(self, field) < 0:
+                raise ReproError(f"{field} cannot be negative")
+
+    def checksum_cost(self, nbytes: int) -> int:
+        """Cycle cost of checksumming *nbytes* of payload."""
+        return self.driver_setup_cycles + nbytes * self.checksum_cycles_per_byte
+
+    def copy_cost(self, nbytes: int) -> int:
+        return nbytes * self.copy_cycles_per_byte

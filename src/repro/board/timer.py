@@ -1,0 +1,53 @@
+"""The board's hardware timer.
+
+"A hardware timer produces the signal that increments the clock counter
+used by SW and HW functions to synchronize their execution" (Section 3).
+The periodic pulse itself is modelled inside
+:class:`~repro.rtos.kernel.RtosKernel` (``_on_hw_tick``); this module
+exposes the timer's memory-mapped register face so software — including
+ISS programs — can read the free-running counter and the tick counts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.board.bus import BusError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+#: Register offsets (word addressed).
+REG_COUNTER_LO = 0x0
+REG_COUNTER_HI = 0x4
+REG_HW_TICKS = 0x8
+REG_SW_TICKS = 0xC
+REG_PERIOD = 0x10
+
+REGISTER_WINDOW_SIZE = 0x14
+
+
+class HardwareTimer:
+    """Read-only MMIO view of the kernel's timer state."""
+
+    def __init__(self, kernel: "RtosKernel", base: int = 0) -> None:
+        self.kernel = kernel
+        self.base = base
+
+    def load(self, address: int, width: int = 4) -> int:
+        offset = address - self.base
+        mask = (1 << (8 * width)) - 1
+        if offset == REG_COUNTER_LO:
+            return self.kernel.cycles & mask
+        if offset == REG_COUNTER_HI:
+            return (self.kernel.cycles >> 32) & mask
+        if offset == REG_HW_TICKS:
+            return self.kernel.hw_ticks & mask
+        if offset == REG_SW_TICKS:
+            return self.kernel.sw_ticks & mask
+        if offset == REG_PERIOD:
+            return self.kernel.config.cycles_per_hw_tick & mask
+        raise BusError(f"timer: no register at offset {offset:#x}")
+
+    def store(self, address: int, value: int, width: int = 4) -> None:
+        raise BusError("the hardware timer registers are read-only")

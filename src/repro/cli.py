@@ -1,0 +1,208 @@
+"""Command-line interface.
+
+::
+
+    repro run [--t-sync N] [--packets N] [--mode inproc|queue|tcp]
+              [--adaptive]          # run the router case study
+    repro explore [--t-sync-values ...]   # overhead/accuracy trade-off
+    repro figures [--fast]                # regenerate Figs. 5-7 tables
+    repro iss FILE.asm [--reg N=V ...]    # assemble + run + cycle stats
+
+(Installed as the ``repro`` console script; also usable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis import format_percent, format_table
+    from repro.cosim import AdaptivePolicy, CosimConfig, ProtocolTrace
+    from repro.router.testbench import RouterWorkload, build_router_cosim
+
+    workload = RouterWorkload(
+        packets_per_producer=max(1, args.packets // 4),
+        interval_cycles=args.interval,
+        corrupt_rate=args.corrupt_rate,
+        buffer_capacity=args.buffer,
+    )
+    adaptive = None
+    if args.adaptive:
+        adaptive = AdaptivePolicy(
+            min_t_sync=max(1, args.t_sync // 8),
+            max_t_sync=args.t_sync * 8,
+            initial_t_sync=args.t_sync,
+        )
+    cosim = build_router_cosim(CosimConfig(t_sync=args.t_sync), workload,
+                               mode=args.mode, adaptive=adaptive)
+    trace = None
+    if args.trace:
+        if args.mode != "inproc":
+            print("--trace requires --mode inproc", file=sys.stderr)
+            return 2
+        trace = ProtocolTrace()
+        cosim.session.attach_trace(trace)
+    metrics = cosim.run()
+    if trace is not None:
+        trace.to_csv(args.trace)
+        print(f"wrote {len(trace)} window records to {args.trace}")
+    stats = cosim.stats
+    print(metrics.summary())
+    print(format_table(
+        ["counter", "value"],
+        [
+            ["generated", stats.generated],
+            ["forwarded", stats.forwarded],
+            ["dropped (overflow)", stats.dropped_overflow],
+            ["dropped (checksum)", stats.dropped_checksum],
+            ["accuracy", format_percent(stats.handled_fraction())],
+            ["mean latency [cycles]", f"{stats.mean_latency():.1f}"],
+        ],
+    ))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.analysis import find_optimal_t_sync, format_percent, format_table
+    from repro.router.testbench import RouterWorkload
+
+    workload = RouterWorkload(
+        packets_per_producer=max(1, args.packets // 4),
+        interval_cycles=args.interval,
+        corrupt_rate=0.0,
+        buffer_capacity=args.buffer,
+    )
+    result = find_optimal_t_sync(args.t_sync_values, workload=workload)
+    print(format_table(
+        ["T_sync", "accuracy", "wall [s]", "speedup", "merit", ""],
+        [[p.t_sync, format_percent(p.accuracy), f"{p.wall_seconds:.3f}",
+          f"{p.speedup:.1f}", f"{p.merit:.2f}",
+          "<-- optimum" if p is result.best else ""]
+         for p in result.points],
+    ))
+    print(f"optimal T_sync: {result.best.t_sync}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        figure6_overhead_ratio,
+        figure7_accuracy,
+        format_table,
+    )
+    from repro.router.testbench import RouterWorkload
+
+    if args.fast:
+        workload = RouterWorkload(packets_per_producer=10,
+                                  interval_cycles=400, corrupt_rate=0.0,
+                                  buffer_capacity=8)
+        fig6_ts, fig7_ts = (50, 200, 1000), (200, 800, 3200)
+        counts = (40,)
+    else:
+        workload = RouterWorkload(corrupt_rate=0.0)
+        fig6_ts = (10, 100, 360, 1000, 10000)
+        fig7_ts = (100, 1000, 5000, 8000, 20000)
+        counts = (100,)
+
+    fig6 = figure6_overhead_ratio(fig6_ts, counts, workload=workload)
+    print("== Figure 6: overhead ratio vs T_sync ==")
+    print(format_table(
+        ["T_sync"] + [f"N={n}" for n in counts],
+        [[t] + [f"{fig6.ratios[n][t]:.1f}x" for n in counts]
+         for t in fig6_ts],
+    ))
+    fig7 = figure7_accuracy(fig7_ts, counts, workload=workload)
+    print("\n== Figure 7: accuracy vs T_sync ==")
+    print(format_table(
+        ["T_sync"] + [f"N={n}" for n in counts],
+        [[t] + [f"{100 * fig7.accuracy[n][t]:.1f}%" for n in counts]
+         for t in fig7_ts],
+    ))
+    return 0
+
+
+def _cmd_iss(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.board.memory import Memory
+    from repro.iss import IssCpu, assemble
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = assemble(source)
+    cpu = IssCpu(program, Memory(args.memory))
+    for assignment in args.reg:
+        name, _, value = assignment.partition("=")
+        cpu.write_reg(int(name.lstrip("rR")), int(value, 0))
+    cpu.run(max_instructions=args.max_instructions)
+    print(f"halted after {cpu.instructions_retired} instructions, "
+          f"{cpu.cycles} cycles "
+          f"(CPI {cpu.cycles / max(1, cpu.instructions_retired):.2f})")
+    registers = [[f"r{i}", f"0x{cpu.read_reg(i):08x}"]
+                 for i in range(16) if cpu.read_reg(i)]
+    if registers:
+        print(format_table(["reg", "value"], registers))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timed HW/SW co-simulation framework (DATE'05 "
+                    "reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the router case study")
+    run.add_argument("--t-sync", type=int, default=1000)
+    run.add_argument("--packets", type=int, default=100)
+    run.add_argument("--interval", type=int, default=1000)
+    run.add_argument("--buffer", type=int, default=20)
+    run.add_argument("--corrupt-rate", type=float, default=0.05)
+    run.add_argument("--mode", choices=["inproc", "queue", "tcp"],
+                     default="inproc")
+    run.add_argument("--adaptive", action="store_true",
+                     help="use the adaptive synchronization controller")
+    run.add_argument("--trace", metavar="FILE.csv",
+                     help="record one CSV row per synchronization window")
+    run.set_defaults(fn=_cmd_run)
+
+    explore = sub.add_parser("explore",
+                             help="sweep T_sync and pick the optimum")
+    explore.add_argument("--t-sync-values", type=int, nargs="+",
+                         default=[500, 1000, 2000, 5000, 10000, 20000])
+    explore.add_argument("--packets", type=int, default=100)
+    explore.add_argument("--interval", type=int, default=1000)
+    explore.add_argument("--buffer", type=int, default=20)
+    explore.set_defaults(fn=_cmd_explore)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate the paper's figure tables")
+    figures.add_argument("--fast", action="store_true",
+                         help="small workloads (seconds instead of minutes)")
+    figures.set_defaults(fn=_cmd_figures)
+
+    iss = sub.add_parser("iss", help="assemble and run a program on the ISS")
+    iss.add_argument("file")
+    iss.add_argument("--reg", action="append", default=[],
+                     metavar="N=VALUE", help="preset register, e.g. r1=0x10")
+    iss.add_argument("--memory", type=int, default=64 * 1024)
+    iss.add_argument("--max-instructions", type=int, default=10_000_000)
+    iss.set_defaults(fn=_cmd_iss)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The timed co-simulation framework (the paper's contribution)."""
+
+from repro.cosim.adaptive import (
+    AdaptiveController,
+    AdaptiveInprocSession,
+    AdaptivePolicy,
+)
+from repro.cosim.board_runtime import CosimBoardRuntime
+from repro.cosim.config import CosimConfig
+from repro.cosim.master import CosimMaster, build_driver_sim
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.multiboard import BoardSlot, MultiBoardInprocSession
+from repro.cosim.protocol import (
+    BoardProtocol,
+    MasterProtocol,
+    SHUTDOWN_TICKS,
+    is_shutdown,
+    make_shutdown,
+)
+from repro.cosim.session import InprocSession, ThreadedSession
+from repro.cosim.trace import ProtocolTrace, WindowRecord, rows_to_csv
+
+__all__ = [
+    "AdaptiveController",
+    "AdaptiveInprocSession",
+    "AdaptivePolicy",
+    "BoardProtocol",
+    "BoardSlot",
+    "CosimBoardRuntime",
+    "CosimConfig",
+    "CosimMaster",
+    "CosimMetrics",
+    "InprocSession",
+    "MasterProtocol",
+    "MultiBoardInprocSession",
+    "ProtocolTrace",
+    "SHUTDOWN_TICKS",
+    "ThreadedSession",
+    "WindowRecord",
+    "build_driver_sim",
+    "is_shutdown",
+    "make_shutdown",
+    "rows_to_csv",
+]

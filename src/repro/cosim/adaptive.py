@@ -1,0 +1,138 @@
+"""Adaptive synchronization interval (an extension of the paper).
+
+The paper closes by observing that overhead and accuracy pull
+``T_sync`` in opposite directions and that a designer should pick the
+product-maximizing value.  A *static* optimum only exists for steady
+traffic; for bursty workloads the best interval changes over time.
+This module closes the loop online: the master observes each window's
+activity (interrupt packets and DATA traffic) and
+
+* **shrinks** the next window after an active one — tight coupling
+  exactly while the device is talking to the software;
+* **grows** the window again after ``patience`` consecutive quiet
+  windows — paying almost nothing while the system is idle.
+
+The controller never violates the protocol: every window is still a
+legal grant/report exchange, just with a varying tick count, so all
+alignment invariants keep holding (and keep being checked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.session import DoneFn, InprocSession
+from repro.errors import ProtocolError
+
+
+@dataclass
+class AdaptivePolicy:
+    """Controller parameters."""
+
+    min_t_sync: int = 50
+    max_t_sync: int = 20_000
+    initial_t_sync: int = 1000
+    #: Divide the window by this after an active window.
+    shrink_divisor: int = 4
+    #: Multiply the window by this after `patience` quiet windows.
+    grow_factor: int = 2
+    #: Quiet windows required before growing.
+    patience: int = 2
+    #: Jump straight to ``min_t_sync`` on activity (multiplicative
+    #: increase, reset decrease — the aggressive default; bursts are
+    #: faster than geometric shrinking).
+    reset_on_activity: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_t_sync <= self.initial_t_sync <= self.max_t_sync:
+            raise ProtocolError(
+                "need 0 < min_t_sync <= initial_t_sync <= max_t_sync"
+            )
+        if self.shrink_divisor < 2 or self.grow_factor < 2:
+            raise ProtocolError("shrink/grow factors must be at least 2")
+        if self.patience < 1:
+            raise ProtocolError("patience must be positive")
+
+
+class AdaptiveController:
+    """Window-size feedback controller."""
+
+    def __init__(self, policy: AdaptivePolicy) -> None:
+        self.policy = policy
+        self.t_sync = policy.initial_t_sync
+        self._quiet_streak = 0
+        #: (window index, chosen t_sync) trace for diagnostics.
+        self.trace: List[int] = []
+        self.shrinks = 0
+        self.grows = 0
+
+    def next_window(self) -> int:
+        self.trace.append(self.t_sync)
+        return self.t_sync
+
+    def feedback(self, active: bool) -> None:
+        policy = self.policy
+        if active:
+            self._quiet_streak = 0
+            if policy.reset_on_activity:
+                shrunk = policy.min_t_sync
+            else:
+                shrunk = max(policy.min_t_sync,
+                             self.t_sync // policy.shrink_divisor)
+            if shrunk < self.t_sync:
+                self.shrinks += 1
+            self.t_sync = shrunk
+        else:
+            self._quiet_streak += 1
+            if self._quiet_streak >= policy.patience:
+                grown = min(policy.max_t_sync,
+                            self.t_sync * policy.grow_factor)
+                if grown > self.t_sync:
+                    self.grows += 1
+                self.t_sync = grown
+                self._quiet_streak = 0
+
+    @property
+    def mean_window(self) -> float:
+        if not self.trace:
+            return float(self.policy.initial_t_sync)
+        return sum(self.trace) / len(self.trace)
+
+
+class AdaptiveInprocSession(InprocSession):
+    """Deterministic session with a feedback-controlled window size."""
+
+    def __init__(self, master, runtime, link_stats, config,
+                 policy: Optional[AdaptivePolicy] = None) -> None:
+        super().__init__(master, runtime, link_stats, config)
+        self.controller = AdaptiveController(policy or AdaptivePolicy())
+
+    def run(self, max_cycles: Optional[int] = None,
+            done: Optional[DoneFn] = None) -> CosimMetrics:
+        if max_cycles is None and done is None:
+            raise ProtocolError("need max_cycles and/or a done() condition")
+        metrics = self._new_metrics()
+        metrics.t_sync = 0  # varies; see controller.trace
+        while self._should_continue(metrics.windows, done, max_cycles):
+            max_ticks = self.controller.next_window()
+            if max_cycles is not None:
+                max_ticks = min(max_ticks,
+                                max_cycles - self.master.clock.cycles)
+            ints_before = self.master.interrupts_sent
+            data_before = self.link_stats.data_messages
+            # Reactive window: ends early at the first interrupt edge.
+            actual_ticks = self.master.run_window_inproc_reactive(max_ticks)
+            self.runtime.serve_window()
+            report = self.master.endpoint.recv_report()
+            if report is None:
+                raise ProtocolError("board produced no time report")
+            self.master.finish_window_inproc(report)
+            metrics.windows += 1
+            metrics.sync_exchanges += 1
+            self._record_window(actual_ticks, ints_before, data_before)
+            active = (self.master.interrupts_sent > ints_before
+                      or self.link_stats.data_messages > data_before)
+            self.controller.feedback(active)
+        return self._finalize(metrics)

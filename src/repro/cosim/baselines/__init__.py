@@ -1,0 +1,37 @@
+"""Baseline co-simulation approaches from the paper's Section 2.
+
+* :mod:`untimed` — classical *functional* co-simulation: software
+  reacts in zero time, no timing synchronization at all.  Its runtime
+  is the denominator of Figure 6's overhead ratio.
+* :mod:`lockstep` — the virtual-tick protocol at ``T_sync = 1``:
+  cycle-accurate, maximally synchronized; the accuracy reference.
+* :mod:`annotated_iss` — the timing-annotation class [14, 15]: software
+  timing comes from per-instruction ISS annotations and is replayed as
+  delays inside the *single* hardware simulator.
+* :mod:`optimistic` — the distributed optimistic class [9]: local
+  times, checkpoints and rollback.  Included to demonstrate the
+  overhead structure and why rollback cannot drive a physical board.
+"""
+
+from repro.cosim.baselines.annotated_iss import (
+    AnnotatedSoftwareModel,
+    build_annotated_router,
+)
+from repro.cosim.baselines.lockstep import run_lockstep
+from repro.cosim.baselines.optimistic import (
+    Checkpoint,
+    OptimisticCosim,
+    OptimisticStats,
+)
+from repro.cosim.baselines.untimed import UntimedRouterCosim, run_untimed
+
+__all__ = [
+    "AnnotatedSoftwareModel",
+    "Checkpoint",
+    "OptimisticCosim",
+    "OptimisticStats",
+    "UntimedRouterCosim",
+    "build_annotated_router",
+    "run_lockstep",
+    "run_untimed",
+]

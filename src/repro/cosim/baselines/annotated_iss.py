@@ -1,0 +1,154 @@
+"""Timing-annotation baseline (the class of [14, 15] in Section 2).
+
+"Another class of solutions is based on the construction of a timing
+model for software ... Timing synchronization between software and
+hardware is then achieved using the accumulated delays for the software,
+and the cycle information provided by a HDL simulator for the hardware."
+
+Here the checksum application does not run on a board at all: it is a
+module *inside* the hardware simulator whose response delay is the
+cycle count measured by running the real checksum routine on the
+bundled ISS (plus a fixed driver overhead).  This is fast and reasonably
+accurate for pure computation — and structurally unable to capture RTOS
+effects (scheduler state, timeslices, ISR/DSR latency, competing
+threads), which is precisely the paper's argument for co-simulating
+against the real software stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cosim.config import CosimConfig
+from repro.cosim.master import build_driver_sim
+from repro.iss.programs import run_checksum
+from repro.iss.timing import TimingModel
+from repro.router.app import ChecksumApp
+from repro.router.consumer import Consumer
+from repro.router.producer import Producer
+from repro.router.router import REG_PACKET, REG_STATUS, REG_VERDICT, Router
+from repro.router.routing_table import RoutingTable
+from repro.router.stats import WorkloadStats
+from repro.router.testbench import RouterWorkload
+from repro.simkernel.module import Module
+
+
+class AnnotatedSoftwareModel(Module):
+    """The checksum software as an annotated-delay module.
+
+    Lives in the master simulation; reacts to the router's interrupt,
+    waits the ISS-measured cycle count, then writes the verdict.
+    """
+
+    def __init__(self, sim, name: str, router: Router, clock,
+                 cycles_per_tick: int,
+                 driver_overhead_cycles: int = 300,
+                 timing: Optional[TimingModel] = None) -> None:
+        super().__init__(sim, name)
+        self.router = router
+        self.clock = clock
+        self.cycles_per_tick = cycles_per_tick
+        self.driver_overhead_cycles = driver_overhead_cycles
+        self.timing = timing
+        self.packets_checked = 0
+        self.annotated_cycles_total = 0
+        #: payload length -> ISS cycles (checksum cost depends only on
+        #: length for this routine).
+        self._cycle_cache: Dict[int, int] = {}
+        self.thread(self._run, name="sw")
+
+    def _annotation_for(self, raw: bytes) -> int:
+        key = len(raw)
+        if key not in self._cycle_cache:
+            _, cycles = run_checksum(raw[:-2], self.timing)
+            self._cycle_cache[key] = cycles
+        return self._cycle_cache[key] + self.driver_overhead_cycles
+
+    def _run(self):
+        while True:
+            if not (self.router.reg_status.read() & 1):
+                yield self.router.irq.posedge
+                continue
+            raw = bytes(self.router.reg_packet.read())
+            board_cycles = self._annotation_for(raw)
+            self.annotated_cycles_total += board_cycles
+            delay_ticks = max(1, math.ceil(board_cycles / self.cycles_per_tick))
+            yield delay_ticks * self.clock.period
+            self.packets_checked += 1
+            verdict = ChecksumApp._verdict_for(raw)
+            self.router.reg_verdict.external_write(verdict)
+            # Two delta cycles: one for the verdict commit + driver
+            # process, one for the chained status/packet registers to
+            # commit, before re-reading the status register.
+            yield 0
+            yield 0
+
+
+@dataclass
+class AnnotatedRouterCosim:
+    """Bundle returned by :func:`build_annotated_router`."""
+
+    sim: object
+    clock: object
+    router: Router
+    software: AnnotatedSoftwareModel
+    producers: list
+    consumers: list
+    stats: WorkloadStats
+    workload: RouterWorkload
+
+    def drained(self) -> bool:
+        if not all(p.done for p in self.producers):
+            return False
+        terminal = (self.stats.forwarded + self.stats.dropped_overflow
+                    + self.stats.dropped_checksum
+                    + self.stats.dropped_unroutable)
+        return terminal >= self.stats.generated
+
+    def run(self, max_cycles: Optional[int] = None) -> WorkloadStats:
+        bound = max_cycles or (4 * self.workload.estimated_cycles())
+        period = self.clock.period
+        step = 64 * period
+        while self.clock.cycles < bound and not self.drained():
+            self.sim.run_until(self.sim.now + step)
+        return self.stats
+
+
+def build_annotated_router(
+    workload: Optional[RouterWorkload] = None,
+    config: Optional[CosimConfig] = None,
+    cycles_per_tick: int = 1000,
+    timing: Optional[TimingModel] = None,
+) -> AnnotatedRouterCosim:
+    """Assemble the router with annotated-ISS software timing."""
+    workload = workload or RouterWorkload()
+    config = config or CosimConfig()
+    sim, clock = build_driver_sim("annotated_hw", config=config)
+    stats = WorkloadStats()
+    table = RoutingTable.uniform(workload.num_ports,
+                                 addresses_per_port=256 // workload.num_ports)
+    router = Router(sim, "router", clock, table, stats,
+                    buffer_capacity=workload.buffer_capacity,
+                    num_ports=workload.num_ports)
+    sim.map_port(REG_STATUS, router.reg_status)
+    sim.map_port(REG_PACKET, router.reg_packet)
+    sim.map_port(REG_VERDICT, router.reg_verdict)
+    software = AnnotatedSoftwareModel(sim, "annotated_sw", router, clock,
+                                      cycles_per_tick, timing=timing)
+    producers = [
+        Producer(sim, f"producer{i}", router, i, clock, stats,
+                 count=workload.packets_per_producer,
+                 interval_cycles=workload.interval_cycles,
+                 payload_size=workload.payload_size,
+                 corrupt_rate=workload.corrupt_rate,
+                 seed=workload.seed)
+        for i in range(workload.num_ports)
+    ]
+    consumers = [
+        Consumer(sim, f"consumer{i}", router, i, clock, stats)
+        for i in range(workload.num_ports)
+    ]
+    return AnnotatedRouterCosim(sim, clock, router, software, producers,
+                                consumers, stats, workload)

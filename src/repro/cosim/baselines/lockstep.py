@@ -1,0 +1,29 @@
+"""Cycle-lockstep co-simulation: the virtual tick at ``T_sync = 1``.
+
+"This number is 100% when the systems are very tightly coupled (a
+synchronization event for each simulated cycle)" (Section 6.2).  This
+baseline is simply the paper's own protocol at its tightest setting; it
+serves as the accuracy golden reference in the benchmark harness and in
+the property tests (invariant 4 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.cosim.config import CosimConfig
+from repro.cosim.metrics import CosimMetrics
+from repro.router.stats import WorkloadStats
+from repro.router.testbench import INPROC, RouterWorkload, build_router_cosim
+
+
+def run_lockstep(workload: Optional[RouterWorkload] = None,
+                 config: Optional[CosimConfig] = None,
+                 mode: str = INPROC) -> Tuple[CosimMetrics, WorkloadStats]:
+    """Run the router case study with per-cycle synchronization."""
+    base = config or CosimConfig()
+    lockstep_config = replace(base, t_sync=1)
+    cosim = build_router_cosim(lockstep_config, workload, mode=mode)
+    metrics = cosim.run()
+    return metrics, cosim.stats

@@ -1,0 +1,131 @@
+"""The board-side co-simulation runtime.
+
+Implements the OS half of the protocol (Sections 4 and 5.3): the board
+freezes in the IDLE state between windows, wakes on a clock grant, runs
+exactly the granted number of software ticks — with interrupts flowing
+in through the channel-thread machinery — then re-freezes and reports
+its time.
+
+Two operating modes:
+
+* :meth:`serve_window` — deterministic: the session calls it once per
+  window after the master has simulated its half; interrupts collected
+  from the INT port are scheduled at their exact cycle offsets inside
+  the window.
+* :meth:`serve_forever` — threaded: a blocking loop driven by the CLOCK
+  port, suitable for running in its own OS thread against a queue or
+  TCP link; the kernel's ``irq_pump`` drains the INT port while the
+  window is running.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.board.board import Board
+from repro.cosim.config import CosimConfig
+from repro.cosim.protocol import BoardProtocol, is_shutdown
+from repro.errors import ProtocolError
+from repro.transport.channel import BoardEndpoint
+from repro.transport.messages import ClockGrant, Interrupt
+
+
+class CosimBoardRuntime:
+    """Drives a :class:`~repro.board.board.Board` as the protocol slave."""
+
+    def __init__(self, board: Board, endpoint: BoardEndpoint,
+                 config: CosimConfig) -> None:
+        self.board = board
+        self.endpoint = endpoint
+        self.config = config
+        self.protocol = BoardProtocol()
+        self.windows_served = 0
+        self.interrupts_received = 0
+        # Boot directly into the frozen state: nothing runs before the
+        # first clock grant ("the co-simulation is driven by the
+        # simulated time").
+        board.kernel.enter_idle_state()
+
+    # ------------------------------------------------------------------
+    # Interrupt plumbing
+    # ------------------------------------------------------------------
+    def _schedule_window_interrupts(self, window_start_master: int) -> int:
+        """Schedule queued INT packets at exact in-window offsets."""
+        kernel = self.board.kernel
+        cycles_per_tick = kernel.config.cycles_per_sw_tick
+        window_start_cycle = kernel.cycles
+        scheduled = 0
+        while True:
+            irq = self.endpoint.poll_interrupt()
+            if irq is None:
+                return scheduled
+            self.interrupts_received += 1
+            offset_ticks = max(0, irq.master_cycle - window_start_master - 1)
+            deliver_at = (window_start_cycle
+                          + offset_ticks * cycles_per_tick
+                          + self.config.latency.interrupt_cycles)
+            kernel.interrupts.schedule_at_cycle(deliver_at, irq.vector)
+            scheduled += 1
+
+    def _pump_interrupts(self) -> List[int]:
+        """irq_pump callback for threaded windows."""
+        vectors = []
+        while True:
+            irq = self.endpoint.poll_interrupt()
+            if irq is None:
+                return vectors
+            self.interrupts_received += 1
+            vectors.append(irq.vector)
+
+    # ------------------------------------------------------------------
+    # Deterministic (in-process) mode
+    # ------------------------------------------------------------------
+    def serve_window(self) -> None:
+        """Serve exactly one window: grant -> run -> freeze -> report."""
+        grant = self.endpoint.recv_grant()
+        if grant is None:
+            raise ProtocolError("no clock grant pending for the board")
+        ticks = self.protocol.accept_grant(grant)
+        kernel = self.board.kernel
+        window_start_master = self.protocol.ticks_run - ticks
+        kernel.exit_idle_state()
+        self._schedule_window_interrupts(window_start_master)
+        kernel.run_ticks(ticks)
+        kernel.enter_idle_state()
+        self.windows_served += 1
+        self.endpoint.send_report(self.protocol.make_report(kernel.sw_ticks))
+
+    # ------------------------------------------------------------------
+    # Threaded mode
+    # ------------------------------------------------------------------
+    def serve_forever(self, grant_timeout_s: float = 60.0) -> None:
+        """Blocking serve loop; returns on a shutdown grant."""
+        kernel = self.board.kernel
+        kernel.irq_pump = self._pump_interrupts
+        try:
+            while True:
+                grant = self.endpoint.recv_grant(timeout=grant_timeout_s)
+                if grant is None:
+                    raise ProtocolError(
+                        f"no clock grant within {grant_timeout_s}s"
+                    )
+                if is_shutdown(grant):
+                    return
+                ticks = self.protocol.accept_grant(grant)
+                # Interrupts that arrived while frozen were taken by the
+                # channel thread, which "cannot be halted when the OS is
+                # in the idle state, otherwise some events can be lost".
+                for vector in self._pump_interrupts():
+                    kernel.deliver_interrupt_in_idle(vector)
+                kernel.exit_idle_state()
+                kernel.run_ticks(ticks)
+                kernel.enter_idle_state()
+                self.windows_served += 1
+                if self.config.emulated_network_delay_s > 0:
+                    time.sleep(self.config.emulated_network_delay_s)
+                self.endpoint.send_report(
+                    self.protocol.make_report(kernel.sw_ticks)
+                )
+        finally:
+            kernel.irq_pump = None

@@ -1,0 +1,202 @@
+"""The SystemC-side co-simulation master.
+
+Wraps a :class:`~repro.simkernel.driver_ext.DriverSimulator` and a
+master link endpoint, implementing the simulator half of the virtual
+tick protocol:
+
+* every ``T_sync`` clock cycles it emits a clock grant and, once its
+  own window is simulated, waits for the board's time report ("it waits
+  an answer from the board");
+* rising edges of the model's interrupt signal are forwarded on the INT
+  port, stamped with the clock cycle at which they occurred;
+* DATA requests from the board are serviced against the settled model
+  state at any time — during the window and while waiting for the
+  report — exactly as ``driver_simulate`` checks the DATA port on every
+  loop iteration.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.cosim.config import CosimConfig
+from repro.cosim.protocol import MasterProtocol
+from repro.errors import ProtocolError, SimulationError
+from repro.simkernel.clock import Clock
+from repro.simkernel.driver_ext import DriverSimulator
+from repro.simkernel.signals import Signal
+from repro.transport.channel import MasterEndpoint
+from repro.transport.messages import DataRead, DataWrite, Interrupt, TimeReport
+
+
+class CosimMaster:
+    """Drives the hardware simulation as the master of co-simulated time."""
+
+    def __init__(
+        self,
+        sim: DriverSimulator,
+        clock: Clock,
+        endpoint: MasterEndpoint,
+        config: CosimConfig,
+        interrupt_signal: Optional[Signal] = None,
+    ) -> None:
+        self.sim = sim
+        self.clock = clock
+        self.endpoint = endpoint
+        self.config = config
+        self.protocol = MasterProtocol()
+        self.interrupts_sent = 0
+        self.data_reads_served = 0
+        self.data_writes_served = 0
+        self._bound_vectors = set()
+        #: When set, an interrupt edge stops the running window early
+        #: (used by reactive/adaptive sessions).
+        self._stop_on_activity = False
+        if interrupt_signal is not None:
+            self.bind_interrupt(config.remote_vector, interrupt_signal)
+
+    # ------------------------------------------------------------------
+    # Interrupt forwarding
+    # ------------------------------------------------------------------
+    def bind_interrupt(self, vector: int, signal: Signal,
+                       endpoint: Optional[MasterEndpoint] = None) -> None:
+        """Forward rising edges of *signal* as INT packets for *vector*.
+
+        Multiple devices may each bind their own request line; the
+        board dispatches on the vector carried by the packet.  In
+        multi-board sessions pass the *endpoint* of the board that owns
+        the device (defaults to the master's primary endpoint).
+        """
+        if vector in self._bound_vectors:
+            raise ProtocolError(f"interrupt vector {vector} already bound")
+        self._bound_vectors.add(vector)
+        self.sim.bind_interrupt_vector(vector, signal)
+        if vector == self.config.remote_vector:
+            # Keep the kernel-level single-signal view working too.
+            self.sim.bind_interrupt(signal)
+        target = endpoint or self.endpoint
+
+        def on_commit(sig, old, new, vector=vector, target=target):
+            if new and not old:
+                self.interrupts_sent += 1
+                target.send_interrupt(
+                    Interrupt(vector=vector,
+                              master_cycle=self.clock.cycles)
+                )
+                if self._stop_on_activity:
+                    self.sim.stop()
+
+        signal.observe(on_commit)
+
+    # ------------------------------------------------------------------
+    # DATA servicing
+    # ------------------------------------------------------------------
+    def serve_data(self, op: str, address: int, value=None):
+        """Synchronous DATA server (installed on in-process links)."""
+        if op == "read":
+            self.data_reads_served += 1
+            return self.sim.external_read(address)
+        if op == "write":
+            self.data_writes_served += 1
+            self.sim.external_write(address, value)
+            return None
+        raise SimulationError(f"bad DATA operation {op!r}")
+
+    def _serve_pending_data(self) -> int:
+        """Drain queued DATA requests (threaded sessions); returns count."""
+        served = 0
+        while True:
+            request = self.endpoint.poll_data()
+            if request is None:
+                return served
+            served += 1
+            if isinstance(request, DataRead):
+                self.data_reads_served += 1
+                value = self.sim.external_read(request.address)
+                self.endpoint.send_reply(request.seq, value)
+            elif isinstance(request, DataWrite):
+                self.data_writes_served += 1
+                self.sim.external_write(request.address, request.value)
+            else:  # pragma: no cover - endpoint type-checks already
+                raise ProtocolError(f"bad DATA request {request!r}")
+
+    # ------------------------------------------------------------------
+    # Window execution
+    # ------------------------------------------------------------------
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the hardware simulation by *cycles* clock cycles."""
+        self.sim.run_until(self.sim.now + cycles * self.clock.period)
+
+    def run_window_inproc(self, ticks: int) -> None:
+        """Deterministic sessions: grant, then simulate the window.
+
+        The caller (the session) afterwards steps the board and collects
+        the time report through :meth:`finish_window_inproc`.
+        """
+        grant = self.protocol.make_grant(ticks)
+        self.endpoint.send_grant(grant)
+        self.run_cycles(ticks)
+
+    def finish_window_inproc(self, report: TimeReport) -> None:
+        self.protocol.check_report(report, self.clock.cycles)
+
+    def run_window_inproc_reactive(self, max_ticks: int) -> int:
+        """Simulate up to *max_ticks* cycles, stopping at the first
+        interrupt edge, then grant exactly the cycles simulated.
+
+        In-process sessions simulate the master's half of a window
+        before the board consumes it, so the grant can legally be sized
+        *after* the fact.  Ending the window at the first sign of
+        device activity lets the board react within one cycle of the
+        event while quiet stretches still cost a single exchange — the
+        mechanism behind :class:`repro.cosim.adaptive`.
+        """
+        start = self.clock.cycles
+        period = self.clock.period
+        self._stop_on_activity = True
+        try:
+            self.sim.run_until(self.sim.now + max_ticks * period)
+        finally:
+            self._stop_on_activity = False
+        ticks = self.clock.cycles - start
+        if ticks == 0:
+            # An event fired in the settle phase before any clock edge;
+            # the minimum legal grant is one tick.
+            self.sim.run_until(self.sim.now + period)
+            ticks = self.clock.cycles - start
+        self.endpoint.send_grant(self.protocol.make_grant(ticks))
+        return ticks
+
+    def run_window_threaded(self, ticks: int) -> None:
+        """Threaded sessions: grant, simulate cycle by cycle while
+        servicing the DATA port, then block for the time report."""
+        grant = self.protocol.make_grant(ticks)
+        self.endpoint.send_grant(grant)
+        period = self.clock.period
+        for _ in range(ticks):
+            self._serve_pending_data()
+            self.sim.run_until(self.sim.now + period)
+        deadline = time.monotonic() + self.config.report_timeout_s
+        while True:
+            self._serve_pending_data()
+            report = self.endpoint.recv_report(timeout=0.0005)
+            if report is not None:
+                break
+            if time.monotonic() > deadline:
+                raise ProtocolError(
+                    f"no time report for grant seq {grant.seq} within "
+                    f"{self.config.report_timeout_s}s"
+                )
+        self.protocol.check_report(report, self.clock.cycles)
+
+
+def build_driver_sim(name: str = "cosim_hw",
+                     clock_period_ps: Optional[int] = None,
+                     config: Optional[CosimConfig] = None):
+    """Convenience: a fresh DriverSimulator plus its tick-rate clock."""
+    cfg = config or CosimConfig()
+    period = clock_period_ps or cfg.clock_period_ps
+    sim = DriverSimulator(name)
+    clock = Clock(sim, f"{name}.clk", period=period, start_time=period)
+    return sim, clock

@@ -1,0 +1,142 @@
+"""Co-simulating several boards against one hardware model.
+
+The paper targets one board, but its own lineage ([19, 20]: co-simulation
+and emulation of multi-processor SoCs) begs the generalization: one
+simulator masters the time of *N* embedded boards, each with its own
+RTOS, driver stack and three-port link.  The virtual tick extends
+naturally — every window, the master grants the same tick budget to all
+boards and waits for all time reports, so
+
+    master cycles == board_i ticks        for every i, at every exchange
+
+which :class:`MultiBoardInprocSession` asserts.  Boards interact with
+the shared hardware through their own DATA ports (e.g. one board runs
+the checksum application while another monitors the router's counters).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cosim.board_runtime import CosimBoardRuntime
+from repro.cosim.config import CosimConfig
+from repro.cosim.master import CosimMaster
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.session import DoneFn
+from repro.errors import ProtocolError
+from repro.transport.channel import LinkStats
+from repro.transport.inproc import InprocLink
+
+
+class BoardSlot:
+    """One board's attachment to a multi-board session."""
+
+    def __init__(self, name: str, link: InprocLink,
+                 runtime: CosimBoardRuntime) -> None:
+        self.name = name
+        self.link = link
+        self.runtime = runtime
+
+
+class MultiBoardInprocSession:
+    """Deterministic session over one master and N boards.
+
+    The master needs one *link endpoint per board* for grants and
+    interrupts.  Construct with the shared master plus a list of
+    :class:`BoardSlot`; the master's protocol object tracks the grant
+    history once, and each board's protocol tracks its own sequence.
+
+    Interrupt routing: the master binds each device's interrupt signal
+    to a vector as usual, but sends the packet on *every* board's INT
+    port; each board attaches ISRs only for the vectors it owns, and
+    :meth:`CosimBoardRuntime.serve_window` schedules (and its kernel
+    then ignores) only attached vectors — so give each board's devices
+    distinct vectors.
+    """
+
+    def __init__(self, master: CosimMaster, slots: Sequence[BoardSlot],
+                 config: CosimConfig) -> None:
+        if not slots:
+            raise ProtocolError("a multi-board session needs boards")
+        names = [slot.name for slot in slots]
+        if len(set(names)) != len(names):
+            raise ProtocolError(f"duplicate board names: {names}")
+        self.master = master
+        self.slots = list(slots)
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _grant_all(self, ticks: int) -> None:
+        grant = self.master.protocol.make_grant(ticks)
+        for slot in self.slots:
+            slot.link.master.send_grant(grant)
+
+    def _serve_all(self) -> None:
+        for slot in self.slots:
+            slot.runtime.serve_window()
+
+    def _collect_reports(self) -> None:
+        exchanges_before = self.master.protocol.exchanges
+        for slot in self.slots:
+            report = slot.link.master.recv_report()
+            if report is None:
+                raise ProtocolError(f"board {slot.name}: no time report")
+            self.master.protocol.check_report(
+                report, self.master.clock.cycles
+            )
+        # One logical exchange per window, however many boards answered.
+        self.master.protocol.exchanges = exchanges_before + 1
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None,
+            done: Optional[DoneFn] = None) -> CosimMetrics:
+        if max_cycles is None and done is None:
+            raise ProtocolError("need max_cycles and/or a done() condition")
+        metrics = CosimMetrics(t_sync=self.config.t_sync)
+        while True:
+            if metrics.windows >= self.config.max_windows:
+                raise ProtocolError(
+                    f"exceeded max_windows={self.config.max_windows}"
+                )
+            if done is not None and done():
+                break
+            cycles = self.master.clock.cycles
+            if max_cycles is not None and cycles >= max_cycles:
+                break
+            ticks = self.config.t_sync
+            if max_cycles is not None:
+                ticks = min(ticks, max_cycles - cycles)
+            self._grant_all(ticks)
+            self.master.run_cycles(ticks)
+            self._serve_all()
+            self._collect_reports()
+            metrics.windows += 1
+            metrics.sync_exchanges += len(self.slots)
+        return self._finalize(metrics)
+
+    def _finalize(self, metrics: CosimMetrics) -> CosimMetrics:
+        metrics.master_cycles = self.master.clock.cycles
+        metrics.board_ticks = self.slots[0].runtime.board.kernel.sw_ticks
+        metrics.board_cycles = sum(
+            slot.runtime.board.kernel.cycles for slot in self.slots
+        )
+        metrics.state_switches = sum(
+            slot.runtime.board.kernel.state_switches for slot in self.slots
+        )
+        combined = LinkStats()
+        for slot in self.slots:
+            stats = slot.link.stats
+            combined.messages_sent += stats.messages_sent
+            combined.bytes_sent += stats.bytes_sent
+            combined.clock_messages += stats.clock_messages
+            combined.int_messages += stats.int_messages
+            combined.data_messages += stats.data_messages
+        metrics.absorb_link_stats(combined)
+        metrics.finish_modeled(self.config.wall_cost)
+        return metrics
+
+    def aligned(self) -> bool:
+        """Every board's tick counter equals the master's cycle count."""
+        cycles = self.master.clock.cycles
+        return all(slot.runtime.board.kernel.sw_ticks == cycles
+                   for slot in self.slots)

@@ -1,0 +1,99 @@
+"""Virtual-tick protocol bookkeeping and invariants.
+
+The protocol (Section 4) is simple by design; what makes it *timed* is
+the pair of invariants this module enforces on every exchange:
+
+1. **Alignment** — "when a time packet is exchanged between the two
+   actors, they are fully synchronized": the board's reported SW tick
+   count must equal the total ticks granted, which must equal the
+   master's elapsed clock cycles.
+2. **Monotonic sequence** — grants and reports carry a sequence number;
+   a reordered or duplicated exchange is a protocol error (rollback is
+   explicitly impossible with a real board, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ProtocolError
+from repro.transport.messages import ClockGrant, TimeReport
+
+
+@dataclass
+class MasterProtocol:
+    """Master-side sequence/alignment tracking."""
+
+    seq: int = 0
+    ticks_granted: int = 0
+    exchanges: int = 0
+    history: List[int] = field(default_factory=list)
+
+    def make_grant(self, ticks: int) -> ClockGrant:
+        if ticks <= 0:
+            raise ProtocolError(f"cannot grant {ticks} ticks")
+        self.seq += 1
+        self.ticks_granted += ticks
+        self.history.append(ticks)
+        return ClockGrant(seq=self.seq, ticks=ticks)
+
+    def check_report(self, report: TimeReport, master_cycles: int) -> None:
+        if report.seq != self.seq:
+            raise ProtocolError(
+                f"time report out of order: seq {report.seq}, "
+                f"expected {self.seq}"
+            )
+        if report.board_ticks != self.ticks_granted:
+            raise ProtocolError(
+                f"board/master divergence: board at tick "
+                f"{report.board_ticks}, granted {self.ticks_granted}"
+            )
+        if master_cycles != self.ticks_granted:
+            raise ProtocolError(
+                f"master clock divergence: {master_cycles} cycles vs "
+                f"{self.ticks_granted} ticks granted"
+            )
+        self.exchanges += 1
+
+
+@dataclass
+class BoardProtocol:
+    """Board-side sequence tracking."""
+
+    last_seq: int = 0
+    ticks_run: int = 0
+
+    def accept_grant(self, grant: ClockGrant) -> int:
+        if grant.seq != self.last_seq + 1:
+            raise ProtocolError(
+                f"clock grant out of order: seq {grant.seq}, "
+                f"expected {self.last_seq + 1}"
+            )
+        if grant.ticks <= 0:
+            raise ProtocolError(f"grant of {grant.ticks} ticks")
+        self.last_seq = grant.seq
+        self.ticks_run += grant.ticks
+        return grant.ticks
+
+    def make_report(self, board_sw_ticks: int) -> TimeReport:
+        if board_sw_ticks != self.ticks_run:
+            raise ProtocolError(
+                f"board ran {board_sw_ticks} ticks but was granted "
+                f"{self.ticks_run}"
+            )
+        return TimeReport(seq=self.last_seq, board_ticks=board_sw_ticks)
+
+
+#: Sentinel tick count used by threaded sessions to stop the board loop.
+SHUTDOWN_TICKS = 0
+
+
+def make_shutdown(seq: int) -> ClockGrant:
+    """A poison-pill grant that stops the board runtime's serve loop."""
+    return ClockGrant(seq=seq, ticks=SHUTDOWN_TICKS)
+
+
+def is_shutdown(grant: ClockGrant) -> bool:
+    """True if *grant* is the shutdown sentinel."""
+    return grant.ticks == SHUTDOWN_TICKS

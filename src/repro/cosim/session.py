@@ -1,0 +1,151 @@
+"""Co-simulation sessions: the top-level run loops.
+
+* :class:`InprocSession` — master and board interleaved window by
+  window in one thread.  Bit-for-bit deterministic; wall-clock cost is
+  *modeled* (calibrated cost model), simulated-time behaviour — and
+  therefore the accuracy results of Figure 7 — is exact.
+* :class:`ThreadedSession` — the board runtime runs in its own OS
+  thread behind a queue or TCP link, as in the paper's physical setup.
+  Wall-clock cost is *measured* (Figures 5 and 6); interleaving is
+  real and slightly nondeterministic.
+
+Window ordering in :class:`InprocSession`: the master simulates its
+half of the window first, then the board consumes the same window with
+interrupts delivered at their recorded in-window offsets.  This is the
+serialization of the paper's concurrent execution in which the board
+observes hardware state loosely — the decoupling that *is* the source
+of the accuracy loss the paper measures for large ``T_sync``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.cosim.board_runtime import CosimBoardRuntime
+from repro.cosim.config import CosimConfig
+from repro.cosim.master import CosimMaster
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.protocol import make_shutdown
+from repro.errors import ProtocolError
+from repro.transport.channel import LinkStats
+
+DoneFn = Callable[[], bool]
+
+
+class _SessionBase:
+    def __init__(self, master: CosimMaster, runtime: CosimBoardRuntime,
+                 link_stats: LinkStats, config: CosimConfig) -> None:
+        self.master = master
+        self.runtime = runtime
+        self.link_stats = link_stats
+        self.config = config
+        #: Optional per-window recorder (see repro.cosim.trace).
+        self.trace = None
+
+    def attach_trace(self, trace) -> None:
+        """Record every window into *trace* (a ProtocolTrace)."""
+        self.trace = trace
+
+    def _record_window(self, ticks: int, ints_before: int,
+                       data_before: int) -> None:
+        if self.trace is None:
+            return
+        self.trace.record(
+            ticks=ticks,
+            master_cycles=self.master.clock.cycles,
+            board_ticks=self.runtime.board.kernel.sw_ticks,
+            interrupts=self.master.interrupts_sent - ints_before,
+            data_messages=self.link_stats.data_messages - data_before,
+        )
+
+    def _new_metrics(self) -> CosimMetrics:
+        return CosimMetrics(t_sync=self.config.t_sync)
+
+    def _finalize(self, metrics: CosimMetrics) -> CosimMetrics:
+        metrics.master_cycles = self.master.clock.cycles
+        board_kernel = self.runtime.board.kernel
+        metrics.board_ticks = board_kernel.sw_ticks
+        metrics.board_cycles = board_kernel.cycles
+        metrics.state_switches = board_kernel.state_switches
+        metrics.absorb_link_stats(self.link_stats)
+        metrics.finish_modeled(self.config.wall_cost)
+        return metrics
+
+    def _window_ticks(self, max_cycles: Optional[int]) -> int:
+        ticks = self.config.t_sync
+        if max_cycles is not None:
+            remaining = max_cycles - self.master.clock.cycles
+            ticks = min(ticks, remaining)
+        return ticks
+
+    def _should_continue(self, windows: int, done: Optional[DoneFn],
+                         max_cycles: Optional[int]) -> bool:
+        if windows >= self.config.max_windows:
+            raise ProtocolError(
+                f"exceeded max_windows={self.config.max_windows}; "
+                "is the workload's done() condition reachable?"
+            )
+        if done is not None and done():
+            return False
+        if max_cycles is not None and self.master.clock.cycles >= max_cycles:
+            return False
+        return True
+
+
+class InprocSession(_SessionBase):
+    """Deterministic, single-thread co-simulation."""
+
+    def run(self, max_cycles: Optional[int] = None,
+            done: Optional[DoneFn] = None) -> CosimMetrics:
+        if max_cycles is None and done is None:
+            raise ProtocolError("need max_cycles and/or a done() condition")
+        metrics = self._new_metrics()
+        while self._should_continue(metrics.windows, done, max_cycles):
+            ticks = self._window_ticks(max_cycles)
+            ints_before = self.master.interrupts_sent
+            data_before = self.link_stats.data_messages
+            self.master.run_window_inproc(ticks)
+            self.runtime.serve_window()
+            report = self.master.endpoint.recv_report()
+            if report is None:
+                raise ProtocolError("board produced no time report")
+            self.master.finish_window_inproc(report)
+            metrics.windows += 1
+            metrics.sync_exchanges += 1
+            self._record_window(ticks, ints_before, data_before)
+        return self._finalize(metrics)
+
+
+class ThreadedSession(_SessionBase):
+    """Two-thread co-simulation with measured wall-clock time."""
+
+    def run(self, max_cycles: Optional[int] = None,
+            done: Optional[DoneFn] = None) -> CosimMetrics:
+        if max_cycles is None and done is None:
+            raise ProtocolError("need max_cycles and/or a done() condition")
+        metrics = self._new_metrics()
+        board_thread = threading.Thread(
+            target=self.runtime.serve_forever,
+            kwargs={"grant_timeout_s": self.config.report_timeout_s},
+            name="cosim-board",
+            daemon=True,
+        )
+        board_thread.start()
+        start = time.perf_counter()
+        try:
+            while self._should_continue(metrics.windows, done, max_cycles):
+                ticks = self._window_ticks(max_cycles)
+                self.master.run_window_threaded(ticks)
+                metrics.windows += 1
+                metrics.sync_exchanges += 1
+        finally:
+            self.master.endpoint.send_grant(
+                make_shutdown(self.master.protocol.seq + 1)
+            )
+            board_thread.join(timeout=self.config.report_timeout_s)
+        metrics.wall_seconds = time.perf_counter() - start
+        if board_thread.is_alive():
+            raise ProtocolError("board runtime failed to shut down")
+        return self._finalize(metrics)

@@ -1,0 +1,28 @@
+"""Reusable virtual peripherals.
+
+Each peripheral comes as a pair:
+
+* a hardware model (:class:`~repro.simkernel.module.Module` with
+  :class:`~repro.simkernel.driver_ext.DriverIn` /
+  :class:`~repro.simkernel.driver_ext.DriverOut` registers and an
+  interrupt line) to instantiate in the master simulation, and
+* an RTOS device driver to install on the board.
+
+These are the "hardware extensions to existing systems" of the paper's
+introduction: candidate FPGA devices prototyped virtually before any
+RTL exists.  The register map of every peripheral is relocatable — pass
+``base`` to place it in the driver address space.
+"""
+
+from repro.devices.accelerator import AcceleratorDriver, ChecksumAccelerator
+from repro.devices.gpio import GpioBank, GpioDriver
+from repro.devices.uart import UartDevice, UartDriver
+
+__all__ = [
+    "AcceleratorDriver",
+    "ChecksumAccelerator",
+    "GpioBank",
+    "GpioDriver",
+    "UartDevice",
+    "UartDriver",
+]

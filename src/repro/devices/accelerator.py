@@ -1,0 +1,147 @@
+"""A streaming checksum accelerator.
+
+The motivating extension scenario of ``examples/custom_peripheral.py``
+as a reusable library peripheral: software streams payload chunks into
+the DATA register, latches with FINISH, and reads the 16-bit checksum
+back — optionally sleeping on the completion interrupt instead of
+polling.
+
+Register map (offsets from ``base``):
+
+======  =======  ====================================================
++0      DATA     DriverIn: append a ``bytes`` chunk to the stream
++1      FINISH   DriverIn: latch the checksum of the streamed bytes
++2      CSUM     DriverOut: the latched checksum
++3      COUNT    DriverOut: number of checksums computed so far
+======  =======  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.router.checksum import IncrementalChecksum
+from repro.rtos.devices import Device
+from repro.rtos.interrupts import ISR_CALL_DSR
+from repro.rtos.sync import Semaphore
+from repro.rtos.syscalls import CpuWork
+from repro.simkernel.clock import Clock
+from repro.simkernel.driver_ext import DriverIn, DriverOut, driver_process
+from repro.simkernel.module import Module
+from repro.simkernel.signals import Signal
+from repro.transport.channel import BoardEndpoint
+from repro.transport.latency import CycleLatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+REG_DATA = 0x0
+REG_FINISH = 0x1
+REG_CSUM = 0x2
+REG_COUNT = 0x3
+
+NUM_REGISTERS = 4
+
+
+class ChecksumAccelerator(Module):
+    """The hardware model."""
+
+    def __init__(self, sim, name: str, clock: Clock) -> None:
+        super().__init__(sim, name)
+        self.data_in = DriverIn(self, "data", init=b"")
+        self.finish = DriverIn(self, "finish", init=0)
+        self.csum_out = DriverOut(self, "csum", init=0)
+        self.count_out = DriverOut(self, "count", init=0)
+        self.done_irq = Signal(sim, f"{name}.done_irq", init=False)
+        self._stream = IncrementalChecksum()
+        self.checksums_computed = 0
+        driver_process(self, self._on_data, self.data_in)
+        driver_process(self, self._on_finish, self.finish)
+        self.method(self._end_pulse, sensitive=[clock.signal], edge="pos",
+                    dont_initialize=True)
+
+    def map_registers(self, sim, base: int) -> None:
+        """Expose the register file at driver address *base*."""
+        sim.map_port(base + REG_DATA, self.data_in)
+        sim.map_port(base + REG_FINISH, self.finish)
+        sim.map_port(base + REG_CSUM, self.csum_out)
+        sim.map_port(base + REG_COUNT, self.count_out)
+
+    def _on_data(self) -> None:
+        self._stream.update(bytes(self.data_in.read()))
+
+    def _on_finish(self) -> None:
+        self.csum_out.write(self._stream.value)
+        self.checksums_computed += 1
+        self.count_out.write(self.checksums_computed)
+        self._stream = IncrementalChecksum()
+        self.done_irq.write(True)
+
+    def _end_pulse(self) -> None:
+        if self.done_irq.read():
+            self.done_irq.write(False)
+
+
+class AcceleratorDriver(Device):
+    """The board-side driver."""
+
+    def __init__(
+        self,
+        kernel: "RtosKernel",
+        endpoint: BoardEndpoint,
+        latency: CycleLatencyModel,
+        vector: int,
+        base: int = 0x10,
+        name: str = "/dev/csum",
+    ) -> None:
+        super().__init__(kernel, name)
+        self.endpoint = endpoint
+        self.latency = latency
+        self.vector = vector
+        self.base = base
+        self.done_sem = Semaphore(kernel, f"{name}.done", initial=0)
+        kernel.interrupts.attach(vector, self._isr, self._dsr,
+                                 name=f"{name}-irq")
+        kernel.devices.register(self)
+
+    def _isr(self, vector: int) -> int:
+        return ISR_CALL_DSR
+
+    def _dsr(self, vector: int, count: int) -> None:
+        for _ in range(count):
+            self.done_sem.post()
+
+    def _cost(self):
+        return CpuWork(self.latency.data_access_cycles)
+
+    def write(self, chunk: bytes):
+        """Stream one payload chunk into the accelerator."""
+        yield self._cost()
+        self.endpoint.data_write(self.base + REG_DATA, bytes(chunk))
+
+    def checksum(self, chunks, wait_irq: bool = True):
+        """Checksum *chunks*; returns the 16-bit value.
+
+        With ``wait_irq`` the thread sleeps on the completion interrupt
+        (the realistic driver path); otherwise the result register is
+        read back immediately after FINISH.
+        """
+        for chunk in chunks:
+            yield from self.write(chunk)
+        yield self._cost()
+        self.endpoint.data_write(self.base + REG_FINISH, 1)
+        if wait_irq:
+            yield self.done_sem.wait()
+        yield self._cost()
+        return self.endpoint.data_read(self.base + REG_CSUM)
+
+    def read(self):
+        """Device read: the latched checksum register."""
+        yield self._cost()
+        return self.endpoint.data_read(self.base + REG_CSUM)
+
+    def ioctl(self, request: str, *args, **kwargs):
+        if request == "count":
+            yield self._cost()
+            return self.endpoint.data_read(self.base + REG_COUNT)
+        return (yield from super().ioctl(request, *args, **kwargs))

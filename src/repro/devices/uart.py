@@ -1,0 +1,213 @@
+"""A virtual UART.
+
+Models the serial console every SCM2x0-class board carries: a TX path
+(software writes bytes; the hardware shifts them out at a configurable
+character rate) and an RX path (the environment injects bytes; an
+interrupt wakes the driver).  Exercises *timed* behaviour: TX is not
+instantaneous — the FIFO drains one character per ``cycles_per_char``
+clock cycles, so a co-simulation with too-loose synchronization will
+observe TX-FIFO overruns exactly like real firmware would.
+
+Register map (offsets from ``base``):
+
+======  ========  ===================================================
++0      TXDATA    DriverIn: append ``bytes`` to the TX FIFO
++1      RXDATA    DriverOut: next received byte frame (``bytes``)
++2      STATUS    DriverOut: bit0 rx-ready, bit1 tx-full;
+                  bits 8+ tx FIFO free space
++3      RXACK     DriverIn: consume the current RX byte
+======  ========  ===================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List
+
+from repro.rtos.devices import Device
+from repro.rtos.interrupts import ISR_CALL_DSR
+from repro.rtos.sync import Semaphore
+from repro.rtos.syscalls import CpuWork
+from repro.simkernel.clock import Clock
+from repro.simkernel.driver_ext import DriverIn, DriverOut, driver_process
+from repro.simkernel.module import Module
+from repro.simkernel.signals import Signal
+from repro.transport.channel import BoardEndpoint
+from repro.transport.latency import CycleLatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+REG_TXDATA = 0x0
+REG_RXDATA = 0x1
+REG_STATUS = 0x2
+REG_RXACK = 0x3
+
+NUM_REGISTERS = 4
+
+STATUS_RX_READY = 0x1
+STATUS_TX_FULL = 0x2
+
+
+class UartDevice(Module):
+    """The hardware model."""
+
+    def __init__(self, sim, name: str, clock: Clock,
+                 tx_fifo_depth: int = 16,
+                 cycles_per_char: int = 10) -> None:
+        super().__init__(sim, name)
+        if tx_fifo_depth <= 0 or cycles_per_char <= 0:
+            raise ValueError("UART parameters must be positive")
+        self.clock = clock
+        self.tx_fifo_depth = tx_fifo_depth
+        self.cycles_per_char = cycles_per_char
+
+        self.txdata = DriverIn(self, "txdata", init=b"")
+        self.rxdata = DriverOut(self, "rxdata", init=b"")
+        self.status = DriverOut(self, "status", init=tx_fifo_depth << 8)
+        self.rxack = DriverIn(self, "rxack", init=0)
+        self.rx_irq = Signal(sim, f"{name}.rx_irq", init=False)
+
+        self._tx_fifo: Deque[int] = deque()
+        self._rx_fifo: Deque[int] = deque()
+        self._tx_countdown = 0
+        #: Bytes actually shifted out (the "wire").
+        self.transmitted: List[int] = []
+        #: TX bytes refused because the FIFO was full.
+        self.tx_overruns = 0
+
+        driver_process(self, self._on_tx, self.txdata)
+        driver_process(self, self._on_rxack, self.rxack)
+        self.method(self._shift, sensitive=[clock.signal], edge="pos",
+                    dont_initialize=True)
+
+    def map_registers(self, sim, base: int) -> None:
+        sim.map_port(base + REG_TXDATA, self.txdata)
+        sim.map_port(base + REG_RXDATA, self.rxdata)
+        sim.map_port(base + REG_STATUS, self.status)
+        sim.map_port(base + REG_RXACK, self.rxack)
+
+    # ------------------------------------------------------------------
+    # Environment side (testbench API)
+    # ------------------------------------------------------------------
+    def receive_bytes(self, data: bytes) -> None:
+        """Inject characters arriving from the outside world."""
+        was_empty = not self._rx_fifo
+        self._rx_fifo.extend(data)
+        self._present_rx()
+        if was_empty and self._rx_fifo:
+            self.rx_irq.write(True)
+
+    @property
+    def transmitted_bytes(self) -> bytes:
+        return bytes(self.transmitted)
+
+    # ------------------------------------------------------------------
+    # Register behaviour
+    # ------------------------------------------------------------------
+    def _on_tx(self) -> None:
+        for byte in bytes(self.txdata.read()):
+            if len(self._tx_fifo) >= self.tx_fifo_depth:
+                self.tx_overruns += 1
+            else:
+                self._tx_fifo.append(byte)
+        self._write_status()
+
+    def _on_rxack(self) -> None:
+        if self._rx_fifo:
+            self._rx_fifo.popleft()
+        self._present_rx()
+
+    def _present_rx(self) -> None:
+        head = bytes([self._rx_fifo[0]]) if self._rx_fifo else b""
+        self.rxdata.write(head)
+        self._write_status()
+
+    def _write_status(self) -> None:
+        value = (self.tx_fifo_depth - len(self._tx_fifo)) << 8
+        if self._rx_fifo:
+            value |= STATUS_RX_READY
+        if len(self._tx_fifo) >= self.tx_fifo_depth:
+            value |= STATUS_TX_FULL
+        self.status.write(value)
+
+    def _shift(self) -> None:
+        if self.rx_irq.read():
+            self.rx_irq.write(False)
+        if self._tx_countdown > 0:
+            self._tx_countdown -= 1
+            return
+        if self._tx_fifo:
+            self.transmitted.append(self._tx_fifo.popleft())
+            self._tx_countdown = self.cycles_per_char - 1
+            self._write_status()
+
+
+class UartDriver(Device):
+    """The board-side driver."""
+
+    def __init__(
+        self,
+        kernel: "RtosKernel",
+        endpoint: BoardEndpoint,
+        latency: CycleLatencyModel,
+        vector: int,
+        base: int = 0x20,
+        name: str = "/dev/ttyV0",
+    ) -> None:
+        super().__init__(kernel, name)
+        self.endpoint = endpoint
+        self.latency = latency
+        self.vector = vector
+        self.base = base
+        self.rx_sem = Semaphore(kernel, f"{name}.rx", initial=0)
+        kernel.interrupts.attach(vector, self._isr, self._dsr,
+                                 name=f"{name}-irq")
+        kernel.devices.register(self)
+
+    def _isr(self, vector: int) -> int:
+        return ISR_CALL_DSR
+
+    def _dsr(self, vector: int, count: int) -> None:
+        for _ in range(count):
+            self.rx_sem.post()
+
+    def _cost(self):
+        return CpuWork(self.latency.data_access_cycles)
+
+    def read_status(self):
+        yield self._cost()
+        return self.endpoint.data_read(self.base + REG_STATUS)
+
+    def write(self, data: bytes, chunk_size: int = 8):
+        """Transmit *data*, respecting TX FIFO back-pressure."""
+        sent = 0
+        data = bytes(data)
+        while sent < len(data):
+            status = yield from self.read_status()
+            free = status >> 8
+            if free == 0:
+                yield CpuWork(self.latency.data_access_cycles)
+                continue  # busy-wait until the shifter drains
+            take = min(free, chunk_size, len(data) - sent)
+            yield self._cost()
+            self.endpoint.data_write(self.base + REG_TXDATA,
+                                     data[sent:sent + take])
+            sent += take
+        return sent
+
+    def read(self, count: int = 1):
+        """Blocking read of *count* received bytes."""
+        received = bytearray()
+        while len(received) < count:
+            status = yield from self.read_status()
+            if not status & STATUS_RX_READY:
+                yield self.rx_sem.wait()
+                continue
+            yield self._cost()
+            frame = self.endpoint.data_read(self.base + REG_RXDATA)
+            if frame:
+                received.extend(frame)
+                yield self._cost()
+                self.endpoint.data_write(self.base + REG_RXACK, 1)
+        return bytes(received)

@@ -1,0 +1,37 @@
+"""Common exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """An error detected by the discrete-event simulation kernel."""
+
+
+class ElaborationError(SimulationError):
+    """Design could not be elaborated (e.g. unbound port)."""
+
+
+class DeltaOverflowError(SimulationError):
+    """Too many delta cycles at one time point (combinational loop)."""
+
+
+class RtosError(ReproError):
+    """An error detected by the RTOS kernel."""
+
+
+class TransportError(ReproError):
+    """An error in the remote IPC layer."""
+
+
+class ProtocolError(ReproError):
+    """A violation of the virtual-tick co-simulation protocol."""
+
+
+class IssError(ReproError):
+    """An error raised by the instruction-set simulator."""
+
+
+class AssemblerError(IssError):
+    """An error raised while assembling a program."""

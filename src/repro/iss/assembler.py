@@ -1,0 +1,227 @@
+"""Two-pass assembler for the bundled RISC ISA.
+
+Syntax::
+
+    ; comments with ';' or '#'
+    loop:                   ; labels end with ':'
+        ldi   r1, 0x100     ; decimal, hex, or 'label' immediates
+        ld    r2, 4(r1)     ; offset(base) addressing
+        addi  r1, r1, 4
+        bne   r2, r0, loop
+        halt
+
+    .word 1, 2, 3           ; data directives assemble into the
+    .byte 0xde, 0xad        ; data image at the current .org
+    .org  0x200
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.iss.isa import (
+    ALU2I,
+    ALU3,
+    BRANCHES,
+    Instruction,
+    LOADS,
+    Program,
+    STORES,
+)
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_RE = re.compile(r"^(-?\w+)\((r\d+)\)$")
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+class Assembler:
+    """Assembles source text into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._labels: Dict[str, int] = {}
+        self._data_labels: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> Program:
+        lines = self._clean(source)
+        self._first_pass(lines)
+        return self._second_pass(lines)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clean(source: str) -> List[Tuple[int, str]]:
+        cleaned = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+            if line:
+                cleaned.append((number, line))
+        return cleaned
+
+    def _first_pass(self, lines: List[Tuple[int, str]]) -> None:
+        self._labels = {}
+        self._data_labels = {}
+        pc = 0
+        data_at = 0
+        pending: List[str] = []
+        for number, line in lines:
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not _LABEL_RE.match(label):
+                    raise AssemblerError(f"line {number}: bad label {label!r}")
+                if (label in self._labels or label in self._data_labels
+                        or label in pending):
+                    raise AssemblerError(
+                        f"line {number}: duplicate label {label!r}"
+                    )
+                pending.append(label)
+                line = rest.strip()
+            if not line:
+                continue
+            if line.startswith((".word", ".byte", ".space", ".org")):
+                for label in pending:
+                    self._data_labels[label] = data_at
+                pending = []
+                if line.startswith(".org"):
+                    data_at = self._parse_imm(line.split(None, 1)[1], number)
+                elif line.startswith(".word"):
+                    data_at += 4 * len(_split_operands(line[5:]))
+                elif line.startswith(".byte"):
+                    data_at += len(_split_operands(line[5:]))
+                else:
+                    data_at += self._parse_imm(line.split(None, 1)[1], number)
+            else:
+                for label in pending:
+                    self._labels[label] = pc
+                pending = []
+                pc += 1
+        for label in pending:
+            # Trailing labels point one past the last instruction.
+            self._labels[label] = pc
+
+    def _second_pass(self, lines: List[Tuple[int, str]]) -> Program:
+        instructions: List[Instruction] = []
+        data: List[Tuple[int, bytes]] = []
+        data_at = 0
+        for number, line in lines:
+            while ":" in line:
+                line = line.partition(":")[2].strip()
+            if not line:
+                continue
+            if line.startswith(".org"):
+                data_at = self._parse_imm(line.split(None, 1)[1], number)
+            elif line.startswith(".word"):
+                words = [self._parse_imm(w, number)
+                         for w in _split_operands(line[5:])]
+                blob = b"".join(
+                    (w & 0xFFFFFFFF).to_bytes(4, "little") for w in words
+                )
+                data.append((data_at, blob))
+                data_at += len(blob)
+            elif line.startswith(".byte"):
+                values = [self._parse_imm(b, number)
+                          for b in _split_operands(line[5:])]
+                blob = bytes(v & 0xFF for v in values)
+                data.append((data_at, blob))
+                data_at += len(blob)
+            elif line.startswith(".space"):
+                data_at += self._parse_imm(line.split(None, 1)[1], number)
+            else:
+                instructions.append(self._parse_instruction(line, number))
+        return Program(tuple(instructions), tuple(data), dict(self._labels))
+
+    # ------------------------------------------------------------------
+    def _parse_imm(self, text: str, line: int) -> int:
+        text = text.strip()
+        if text in self._labels:
+            return self._labels[text]
+        if text in self._data_labels:
+            return self._data_labels[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError(
+                f"line {line}: bad immediate or unknown label {text!r}"
+            ) from None
+
+    @staticmethod
+    def _parse_reg(text: str, line: int) -> int:
+        text = text.strip().lower()
+        if not text.startswith("r"):
+            raise AssemblerError(f"line {line}: expected register, got {text!r}")
+        try:
+            index = int(text[1:])
+        except ValueError:
+            raise AssemblerError(f"line {line}: bad register {text!r}") from None
+        if not 0 <= index < 16:
+            raise AssemblerError(f"line {line}: register {text} out of range")
+        return index
+
+    def _parse_mem(self, text: str, line: int) -> Tuple[int, int]:
+        """Parse ``offset(base)``; returns (offset, base_reg)."""
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise AssemblerError(
+                f"line {line}: expected offset(base), got {text!r}"
+            )
+        offset = self._parse_imm(match.group(1), line)
+        base = self._parse_reg(match.group(2), line)
+        return offset, base
+
+    def _parse_instruction(self, line: str, number: int) -> Instruction:
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        reg = lambda i: self._parse_reg(operands[i], number)  # noqa: E731
+        imm = lambda i: self._parse_imm(operands[i], number)  # noqa: E731
+
+        def expect(count: int) -> None:
+            if len(operands) != count:
+                raise AssemblerError(
+                    f"line {number}: {op} expects {count} operands, "
+                    f"got {len(operands)}"
+                )
+
+        if op in ALU3:
+            expect(3)
+            return Instruction(op, rd=reg(0), ra=reg(1), rb=reg(2), line=number)
+        if op in ALU2I:
+            expect(3)
+            return Instruction(op, rd=reg(0), ra=reg(1), imm=imm(2), line=number)
+        if op in LOADS:
+            expect(2)
+            offset, base = self._parse_mem(operands[1], number)
+            return Instruction(op, rd=reg(0), ra=base, imm=offset, line=number)
+        if op in STORES:
+            expect(2)
+            offset, base = self._parse_mem(operands[1], number)
+            return Instruction(op, ra=reg(0), rb=base, imm=offset, line=number)
+        if op in BRANCHES:
+            expect(3)
+            return Instruction(op, ra=reg(0), rb=reg(1), imm=imm(2), line=number)
+        if op == "jal":
+            expect(2)
+            return Instruction(op, rd=reg(0), imm=imm(1), line=number)
+        if op == "jr":
+            expect(1)
+            return Instruction(op, ra=reg(0), line=number)
+        if op == "ldi":
+            expect(2)
+            return Instruction(op, rd=reg(0), imm=imm(1), line=number)
+        if op == "mov":
+            expect(2)
+            return Instruction(op, rd=reg(0), ra=reg(1), line=number)
+        if op in ("nop", "halt"):
+            expect(0)
+            return Instruction(op, line=number)
+        raise AssemblerError(f"line {number}: unknown opcode {op!r}")
+
+
+def assemble(source: str) -> Program:
+    """Module-level convenience wrapper."""
+    return Assembler().assemble(source)

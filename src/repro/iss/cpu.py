@@ -1,0 +1,172 @@
+"""The instruction-set simulator core."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import IssError
+from repro.iss.isa import ACCESS_WIDTH, BRANCHES, Instruction, NUM_REGS, Program
+from repro.iss.timing import TimingModel
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value >> 31 else value
+
+
+class IssCpu:
+    """Interprets a :class:`~repro.iss.isa.Program` with cycle accounting.
+
+    Memory is any object with ``load(addr, width)`` and
+    ``store(addr, value, width)`` — a :class:`repro.board.memory.Memory`
+    or a :class:`repro.board.bus.Bus` with MMIO regions.
+    """
+
+    def __init__(self, program: Program, memory,
+                 timing: Optional[TimingModel] = None) -> None:
+        self.program = program
+        self.memory = memory
+        self.timing = timing or TimingModel()
+        self.regs: List[int] = [0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.instructions_retired = 0
+        self.cycles = 0
+        #: op -> retired count (profiling / annotation extraction).
+        self.op_histogram: Dict[str, int] = {}
+        self._load_data()
+
+    def _load_data(self) -> None:
+        for address, blob in self.program.data:
+            self.memory.store_bytes(address, blob) if hasattr(
+                self.memory, "store_bytes"
+            ) else self._store_blob(address, blob)
+
+    def _store_blob(self, address: int, blob: bytes) -> None:
+        for offset, byte in enumerate(blob):
+            self.memory.store(address + offset, byte, 1)
+
+    # ------------------------------------------------------------------
+    # Register access (r0 hardwired to zero)
+    # ------------------------------------------------------------------
+    def read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & _MASK32
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> Instruction:
+        """Execute one instruction; returns it."""
+        if self.halted:
+            raise IssError("stepping a halted CPU")
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise IssError(f"pc {self.pc} outside the program")
+        instr = self.program.instructions[self.pc]
+        taken = self._execute(instr)
+        self.instructions_retired += 1
+        self.cycles += self.timing.cost(instr.op, taken)
+        self.op_histogram[instr.op] = self.op_histogram.get(instr.op, 0) + 1
+        return instr
+
+    def run(self, max_instructions: int = 10_000_000) -> Tuple[int, int]:
+        """Run until ``halt``; returns ``(instructions, cycles)``."""
+        remaining = max_instructions
+        while not self.halted:
+            if remaining <= 0:
+                raise IssError(
+                    f"program did not halt within {max_instructions} "
+                    "instructions"
+                )
+            self.step()
+            remaining -= 1
+        return self.instructions_retired, self.cycles
+
+    # ------------------------------------------------------------------
+    def _execute(self, instr: Instruction) -> bool:
+        """Returns True when a branch was taken."""
+        op = instr.op
+        ra = self.read_reg(instr.ra)
+        rb = self.read_reg(instr.rb)
+        next_pc = self.pc + 1
+        taken = False
+
+        if op == "add":
+            self.write_reg(instr.rd, ra + rb)
+        elif op == "sub":
+            self.write_reg(instr.rd, ra - rb)
+        elif op == "and":
+            self.write_reg(instr.rd, ra & rb)
+        elif op == "or":
+            self.write_reg(instr.rd, ra | rb)
+        elif op == "xor":
+            self.write_reg(instr.rd, ra ^ rb)
+        elif op == "sltu":
+            self.write_reg(instr.rd, 1 if ra < rb else 0)
+        elif op == "slt":
+            self.write_reg(instr.rd, 1 if _signed(ra) < _signed(rb) else 0)
+        elif op == "addi":
+            self.write_reg(instr.rd, ra + instr.imm)
+        elif op == "andi":
+            self.write_reg(instr.rd, ra & instr.imm)
+        elif op == "ori":
+            self.write_reg(instr.rd, ra | instr.imm)
+        elif op == "xori":
+            self.write_reg(instr.rd, ra ^ instr.imm)
+        elif op == "shl":
+            self.write_reg(instr.rd, ra << (instr.imm & 31))
+        elif op == "shr":
+            self.write_reg(instr.rd, (ra & _MASK32) >> (instr.imm & 31))
+        elif op == "sar":
+            self.write_reg(instr.rd, _signed(ra) >> (instr.imm & 31))
+        elif op in ("ld", "ldh", "ldb"):
+            width = ACCESS_WIDTH[op]
+            self.write_reg(instr.rd, self.memory.load(ra + instr.imm, width))
+        elif op in ("st", "sth", "stb"):
+            width = ACCESS_WIDTH[op]
+            self.memory.store(rb + instr.imm, ra, width)
+        elif op in BRANCHES:
+            taken = self._branch_taken(op, ra, rb)
+            if taken:
+                next_pc = instr.imm
+        elif op == "jal":
+            self.write_reg(instr.rd, self.pc + 1)
+            next_pc = instr.imm
+            taken = True
+        elif op == "jr":
+            next_pc = ra
+            taken = True
+        elif op == "ldi":
+            self.write_reg(instr.rd, instr.imm)
+        elif op == "mov":
+            self.write_reg(instr.rd, ra)
+        elif op == "nop":
+            pass
+        elif op == "halt":
+            self.halted = True
+        else:  # pragma: no cover - isa validation makes this unreachable
+            raise IssError(f"unimplemented opcode {op!r}")
+
+        self.pc = next_pc
+        return taken
+
+    @staticmethod
+    def _branch_taken(op: str, ra: int, rb: int) -> bool:
+        if op == "beq":
+            return ra == rb
+        if op == "bne":
+            return ra != rb
+        if op == "bltu":
+            return ra < rb
+        if op == "blt":
+            return _signed(ra) < _signed(rb)
+        if op == "bgeu":
+            return ra >= rb
+        if op == "bge":
+            return _signed(ra) >= _signed(rb)
+        raise IssError(f"not a branch: {op}")  # pragma: no cover

@@ -1,0 +1,86 @@
+"""Instruction set of the bundled RISC ISS.
+
+A small load/store ISA, close in spirit to the RISC core of the SCM2x0:
+16 registers (``r0`` hardwired to zero), 32-bit data paths, little-
+endian byte-addressed memory.  Instructions are kept as decoded Python
+objects (the ISS is an interpreter, not a binary emulator — its job in
+this reproduction is *timing annotation*, Section 2's second class of
+related work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import IssError
+
+NUM_REGS = 16
+
+#: Opcode mnemonics grouped by format.
+ALU3 = ("add", "sub", "and", "or", "xor", "sltu", "slt")
+ALU2I = ("addi", "andi", "ori", "xori", "shl", "shr", "sar")
+LOADS = ("ld", "ldh", "ldb")
+STORES = ("st", "sth", "stb")
+BRANCHES = ("beq", "bne", "blt", "bltu", "bge", "bgeu")
+JUMPS = ("jal", "jr")
+MISC = ("ldi", "mov", "nop", "halt")
+
+ALL_OPCODES = ALU3 + ALU2I + LOADS + STORES + BRANCHES + JUMPS + MISC
+
+#: Memory access width per load/store opcode.
+ACCESS_WIDTH = {"ld": 4, "st": 4, "ldh": 2, "sth": 2, "ldb": 1, "stb": 1}
+
+
+def check_reg(index: int) -> int:
+    if not 0 <= index < NUM_REGS:
+        raise IssError(f"register r{index} does not exist")
+    return index
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Field usage by format:
+
+    * ALU3: ``rd, ra, rb``
+    * ALU2I: ``rd, ra, imm``
+    * loads: ``rd, ra (base), imm (offset)``
+    * stores: ``ra (src), rb (base), imm (offset)``
+    * branches: ``ra, rb, imm (target pc)``
+    * ``jal``: ``rd, imm (target)``; ``jr``: ``ra``
+    * ``ldi``: ``rd, imm``; ``mov``: ``rd, ra``
+    """
+
+    op: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    #: Source line (assembler diagnostics).
+    line: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPCODES:
+            raise IssError(f"unknown opcode {self.op!r}")
+        check_reg(self.rd)
+        check_reg(self.ra)
+        check_reg(self.rb)
+
+    def __str__(self) -> str:
+        return f"{self.op} rd=r{self.rd} ra=r{self.ra} rb=r{self.rb} imm={self.imm}"
+
+
+@dataclass
+class Program:
+    """Assembled program: instructions plus an initial data image."""
+
+    instructions: Tuple[Instruction, ...]
+    #: (address, bytes) pairs to preload into memory.
+    data: Tuple[Tuple[int, bytes], ...] = ()
+    #: label -> instruction index (for entry points and tests).
+    labels: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)

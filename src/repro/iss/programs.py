@@ -1,0 +1,143 @@
+"""Reference assembly programs for the bundled ISS.
+
+The centrepiece is the 16-bit checksum — the very routine the paper's
+board application computes — written for the bundled RISC ISA.  Running
+it on the ISS yields *measured* cycle counts, which the annotated-timing
+baseline uses and which calibrate the coarse
+:class:`~repro.board.cpu.WorkModel` coefficients.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from repro.board.memory import Memory
+from repro.iss.assembler import assemble
+from repro.iss.cpu import IssCpu
+from repro.iss.isa import Program
+from repro.iss.timing import TimingModel
+
+#: Calling convention: r1 = buffer address, r2 = length; result in r1.
+CHECKSUM_ASM = """
+; 16-bit ones'-complement checksum (RFC 1071 flavour).
+checksum:
+    ldi   r3, 0             ; running total
+    mov   r4, r1            ; cursor
+    add   r5, r1, r2        ; end = addr + len
+    addi  r6, r0, 1
+    and   r6, r2, r6        ; odd = len & 1
+    sub   r5, r5, r6        ; even_end
+loop:
+    beq   r4, r5, tail
+    ldb   r7, 0(r4)
+    shl   r7, r7, 8
+    ldb   r8, 1(r4)
+    or    r7, r7, r8
+    add   r3, r3, r7
+    addi  r4, r4, 2
+    jal   r0, loop
+tail:
+    beq   r6, r0, fold
+    ldb   r7, 0(r4)
+    shl   r7, r7, 8
+    add   r3, r3, r7
+fold:
+    ldi   r9, 0xffff
+fold_loop:
+    shr   r7, r3, 16
+    beq   r7, r0, done
+    and   r3, r3, r9
+    add   r3, r3, r7
+    jal   r0, fold_loop
+done:
+    xor   r1, r3, r9        ; ones' complement of the folded sum
+    halt
+"""
+
+#: r1 = dst, r2 = src, r3 = byte count.
+MEMCPY_ASM = """
+memcpy:
+    beq   r3, r0, done
+loop:
+    ldb   r4, 0(r2)
+    stb   r4, 0(r1)
+    addi  r1, r1, 1
+    addi  r2, r2, 1
+    addi  r3, r3, -1
+    bne   r3, r0, loop
+done:
+    halt
+"""
+
+#: r1 = n; result (fib(n)) in r1.  Iterative.
+FIBONACCI_ASM = """
+fib:
+    ldi   r2, 0             ; a
+    ldi   r3, 1             ; b
+    beq   r1, r0, return_a
+loop:
+    add   r4, r2, r3
+    mov   r2, r3
+    mov   r3, r4
+    addi  r1, r1, -1
+    bne   r1, r0, loop
+return_a:
+    mov   r1, r2
+    halt
+"""
+
+
+@lru_cache(maxsize=None)
+def checksum_program() -> Program:
+    return assemble(CHECKSUM_ASM)
+
+
+@lru_cache(maxsize=None)
+def memcpy_program() -> Program:
+    return assemble(MEMCPY_ASM)
+
+
+@lru_cache(maxsize=None)
+def fibonacci_program() -> Program:
+    return assemble(FIBONACCI_ASM)
+
+
+DATA_BASE = 0x100
+
+
+def run_checksum(data: bytes,
+                 timing: Optional[TimingModel] = None) -> Tuple[int, int]:
+    """Checksum *data* on the ISS; returns ``(checksum, cycles)``."""
+    memory = Memory(DATA_BASE + max(len(data), 1) + 16)
+    memory.store_bytes(DATA_BASE, data)
+    cpu = IssCpu(checksum_program(), memory, timing)
+    cpu.write_reg(1, DATA_BASE)
+    cpu.write_reg(2, len(data))
+    cpu.run()
+    return cpu.read_reg(1), cpu.cycles
+
+
+def run_fibonacci(n: int,
+                  timing: Optional[TimingModel] = None) -> Tuple[int, int]:
+    """fib(n) on the ISS; returns ``(value, cycles)``."""
+    memory = Memory(64)
+    cpu = IssCpu(fibonacci_program(), memory, timing)
+    cpu.write_reg(1, n)
+    cpu.run()
+    return cpu.read_reg(1), cpu.cycles
+
+
+def run_memcpy(src_data: bytes,
+               timing: Optional[TimingModel] = None) -> Tuple[bytes, int]:
+    """Copy *src_data* on the ISS; returns ``(copied_bytes, cycles)``."""
+    src = 0x400
+    dst = 0x100
+    memory = Memory(src + len(src_data) + 16)
+    memory.store_bytes(src, src_data)
+    cpu = IssCpu(memcpy_program(), memory, timing)
+    cpu.write_reg(1, dst)
+    cpu.write_reg(2, src)
+    cpu.write_reg(3, len(src_data))
+    cpu.run()
+    return memory.load_bytes(dst, len(src_data)), cpu.cycles

@@ -1,0 +1,52 @@
+"""Per-instruction timing annotations.
+
+"Another class of solutions is based on the construction of a timing
+model for software, obtained by attaching timing annotations to the ISS
+(for instance, an execution time in cycles for each executed
+instruction)" — Section 2.  This is that table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import IssError
+from repro.iss.isa import ALL_OPCODES
+
+#: Default cycle costs for a small in-order RISC pipeline.
+DEFAULT_CYCLES: Dict[str, int] = {
+    "add": 1, "sub": 1, "and": 1, "or": 1, "xor": 1, "sltu": 1, "slt": 1,
+    "addi": 1, "andi": 1, "ori": 1, "xori": 1, "shl": 1, "shr": 1, "sar": 1,
+    "ld": 2, "ldh": 2, "ldb": 2,
+    "st": 2, "sth": 2, "stb": 2,
+    "beq": 1, "bne": 1, "blt": 1, "bltu": 1, "bge": 1, "bgeu": 1,
+    "jal": 2, "jr": 2,
+    "ldi": 1, "mov": 1, "nop": 1, "halt": 1,
+}
+
+#: Extra cycles when a branch is taken (pipeline refill).
+DEFAULT_BRANCH_TAKEN_PENALTY = 1
+
+
+@dataclass
+class TimingModel:
+    """Cycle annotations; override entries to model other cores."""
+
+    cycles: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_CYCLES))
+    branch_taken_penalty: int = DEFAULT_BRANCH_TAKEN_PENALTY
+
+    def __post_init__(self) -> None:
+        for op in ALL_OPCODES:
+            if op not in self.cycles:
+                raise IssError(f"timing model missing opcode {op!r}")
+            if self.cycles[op] <= 0:
+                raise IssError(f"cycle cost for {op!r} must be positive")
+        if self.branch_taken_penalty < 0:
+            raise IssError("branch penalty cannot be negative")
+
+    def cost(self, op: str, taken: bool = False) -> int:
+        base = self.cycles[op]
+        if taken:
+            base += self.branch_taken_penalty
+        return base

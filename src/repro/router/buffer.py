@@ -1,0 +1,57 @@
+"""The router's internal packet buffer.
+
+"Whenever a new packet arrives on one of the input ports, it is stored
+into an internal buffer.  If the buffer is full, the packet is dropped."
+(Section 6)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import ReproError
+from repro.router.packet import Packet
+
+
+class PacketBuffer:
+    """A bounded FIFO with drop-on-full semantics."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ReproError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._packets: Deque[Packet] = deque()
+        #: Packets refused because the buffer was full.
+        self.dropped = 0
+        #: High-water mark (diagnostics).
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._packets) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._packets
+
+    def offer(self, packet: Packet) -> bool:
+        """Store *packet*, or drop it (returning False) when full."""
+        if self.is_full:
+            self.dropped += 1
+            return False
+        self._packets.append(packet)
+        if len(self._packets) > self.max_occupancy:
+            self.max_occupancy = len(self._packets)
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        if not self._packets:
+            return None
+        return self._packets.popleft()
+
+    def peek(self) -> Optional[Packet]:
+        return self._packets[0] if self._packets else None

@@ -1,0 +1,61 @@
+"""Packet consumers (the paper's packet-destination models).
+
+"model of the packet destination (consumer), which is attached to an
+output port of the router, and analyzes the integrity of the received
+packet" (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.router.packet import Packet
+from repro.router.router import Router
+from repro.router.stats import WorkloadStats
+from repro.simkernel.clock import Clock
+from repro.simkernel.module import Module
+
+
+class Consumer(Module):
+    """Drains one output port, verifying packet integrity."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        router: Router,
+        port_index: int,
+        clock: Clock,
+        stats: WorkloadStats,
+        keep_packets: bool = False,
+    ) -> None:
+        super().__init__(sim, name)
+        self.router = router
+        self.port_index = port_index
+        self.clock = clock
+        self.stats = stats
+        self.keep_packets = keep_packets
+        self.received: List[Packet] = []
+        self.received_count = 0
+        self.invalid_count = 0
+        self.misrouted_count = 0
+        self.thread(self._run, name="sink")
+
+    def _run(self):
+        fifo = self.router.output_fifos[self.port_index]
+        period = self.clock.period
+        while True:
+            packet = fifo.try_get()
+            if packet is None:
+                yield fifo.data_written
+                continue
+            self.received_count += 1
+            valid = packet.is_valid()
+            if not valid:
+                self.invalid_count += 1
+            if self.router.table.lookup(packet.dst) != self.port_index:
+                self.misrouted_count += 1
+            cycle = self.sim.now // period
+            self.stats.record_delivery(packet.pkt_id, cycle, valid)
+            if self.keep_packets:
+                self.received.append(packet)

@@ -1,0 +1,107 @@
+"""Network packets for the router case study.
+
+"The packets consist of the following fields: Source address ...
+Destination address ... Packet identifier: an integer value used for
+debugging purposes only ... Data field ... Checksum: a 16 bit field used
+for error detection." (Section 6)
+
+Wire layout (big endian)::
+
+    src(1) dst(1) id(4) len(2) payload(len) checksum(2)
+
+The checksum covers every byte before it (header + payload).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.errors import ReproError
+from repro.router.checksum import checksum16
+
+_HEADER = struct.Struct(">BBIH")
+HEADER_SIZE = _HEADER.size
+CHECKSUM_SIZE = 2
+MAX_PAYLOAD = 0xFFFF
+
+
+class PacketError(ReproError):
+    """Malformed packet bytes."""
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable packet."""
+
+    src: int
+    dst: int
+    pkt_id: int
+    payload: bytes
+    checksum: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src <= 0xFF:
+            raise PacketError(f"src address out of range: {self.src}")
+        if not 0 <= self.dst <= 0xFF:
+            raise PacketError(f"dst address out of range: {self.dst}")
+        if not 0 <= self.pkt_id <= 0xFFFF_FFFF:
+            raise PacketError(f"packet id out of range: {self.pkt_id}")
+        if len(self.payload) > MAX_PAYLOAD:
+            raise PacketError(f"payload too large: {len(self.payload)}")
+        if not 0 <= self.checksum <= 0xFFFF:
+            raise PacketError(f"checksum out of range: {self.checksum}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, src: int, dst: int, pkt_id: int, payload: bytes) -> "Packet":
+        """Build a packet with a correct checksum."""
+        header = _HEADER.pack(src, dst, pkt_id, len(payload))
+        return cls(src, dst, pkt_id, bytes(payload),
+                   checksum16(header + bytes(payload)))
+
+    def corrupted(self, bit: int = 0) -> "Packet":
+        """A copy with one payload (or checksum) bit flipped."""
+        if self.payload:
+            index, offset = divmod(bit % (len(self.payload) * 8), 8)
+            flipped = bytearray(self.payload)
+            flipped[index] ^= 1 << offset
+            return replace(self, payload=bytes(flipped))
+        return replace(self, checksum=self.checksum ^ 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def header_bytes(self) -> bytes:
+        return _HEADER.pack(self.src, self.dst, self.pkt_id, len(self.payload))
+
+    def is_valid(self) -> bool:
+        """Does the stored checksum match the contents?"""
+        return checksum16(self.header_bytes + self.payload) == self.checksum
+
+    def wire_size(self) -> int:
+        return HEADER_SIZE + len(self.payload) + CHECKSUM_SIZE
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        return (self.header_bytes + self.payload
+                + self.checksum.to_bytes(2, "big"))
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Packet":
+        if len(raw) < HEADER_SIZE + CHECKSUM_SIZE:
+            raise PacketError(f"short packet: {len(raw)} bytes")
+        src, dst, pkt_id, length = _HEADER.unpack_from(raw, 0)
+        expected = HEADER_SIZE + length + CHECKSUM_SIZE
+        if len(raw) != expected:
+            raise PacketError(
+                f"length mismatch: header says {expected}, got {len(raw)}"
+            )
+        payload = raw[HEADER_SIZE:HEADER_SIZE + length]
+        checksum = int.from_bytes(raw[-2:], "big")
+        return cls(src, dst, pkt_id, payload, checksum)

@@ -1,0 +1,108 @@
+"""Packet producers (the paper's packet-generator models).
+
+"model of the packet generator (producer), which is attached to an input
+port of the router, and generates packets with a random destination
+address" (Section 6).  Producers are hardware models in the master
+simulation; generation is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.router.packet import Packet
+from repro.router.router import Router
+from repro.router.stats import WorkloadStats
+from repro.simkernel.clock import Clock
+from repro.simkernel.module import Module
+
+
+class Producer(Module):
+    """Generates *count* packets at a fixed cycle interval."""
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        router: Router,
+        port_index: int,
+        clock: Clock,
+        stats: WorkloadStats,
+        count: int = 100,
+        interval_cycles: int = 1000,
+        payload_size: int = 32,
+        corrupt_rate: float = 0.0,
+        seed: int = 0,
+        src_address: Optional[int] = None,
+        dst_addresses: Optional[range] = None,
+        burst_size: int = 1,
+        burst_gap_cycles: int = 0,
+    ) -> None:
+        """With ``burst_size > 1`` the producer emits packets in bursts:
+        ``burst_size`` packets spaced ``interval_cycles`` apart, then a
+        pause of ``burst_gap_cycles`` before the next burst — the bursty
+        traffic profile that motivates adaptive synchronization."""
+        super().__init__(sim, name)
+        if interval_cycles <= 0:
+            raise ValueError("interval_cycles must be positive")
+        if not 0.0 <= corrupt_rate <= 1.0:
+            raise ValueError("corrupt_rate must be within [0,1]")
+        if burst_size < 1 or burst_gap_cycles < 0:
+            raise ValueError("invalid burst configuration")
+        self.router = router
+        self.port_index = port_index
+        self.clock = clock
+        self.stats = stats
+        self.count = count
+        self.interval_cycles = interval_cycles
+        self.payload_size = payload_size
+        self.corrupt_rate = corrupt_rate
+        self.src_address = src_address if src_address is not None else port_index
+        self.dst_addresses = dst_addresses or range(0, 256)
+        self.burst_size = burst_size
+        self.burst_gap_cycles = burst_gap_cycles
+        self._rng = random.Random(seed ^ (port_index * 0x9E3779B9))
+        #: Packets generated so far.
+        self.sent = 0
+        #: Packets refused at the input FIFO (also overflow drops).
+        self.input_drops = 0
+        self.done = False
+        self.thread(self._run, name="gen")
+
+    def _next_packet_id(self) -> int:
+        # Globally unique across producers: port index in the high bits.
+        return (self.port_index << 24) | self.sent
+
+    def _run(self):
+        period = self.clock.period
+        fifo = self.router.input_fifos[self.port_index]
+        # Stagger producers so arrivals are not perfectly aligned.
+        yield self.clock.posedge
+        offset = (self.port_index * self.interval_cycles) // max(
+            1, self.router.num_ports
+        )
+        if offset:
+            yield offset * period
+        while self.sent < self.count:
+            pkt_id = self._next_packet_id()
+            dst = self._rng.choice(self.dst_addresses)
+            payload = bytes(
+                self._rng.getrandbits(8) for _ in range(self.payload_size)
+            )
+            packet = Packet.build(self.src_address, dst, pkt_id, payload)
+            corrupt = self._rng.random() < self.corrupt_rate
+            if corrupt:
+                packet = packet.corrupted(self._rng.getrandbits(8))
+            cycle = self.sim.now // period
+            self.stats.record_generated(pkt_id, cycle, corrupt)
+            if not fifo.try_put(packet):
+                self.input_drops += 1
+                self.stats.dropped_overflow += 1
+            self.sent += 1
+            if (self.burst_gap_cycles
+                    and self.sent % self.burst_size == 0):
+                yield self.burst_gap_cycles * period
+            else:
+                yield self.interval_cycles * period
+        self.done = True

@@ -1,0 +1,57 @@
+"""The router's embedded routing table.
+
+"the destination address stored in the packet is used to find the right
+output port using the routing table" (Section 6).  Entries map address
+ranges to output ports; a packet whose destination matches no entry is
+dropped (counted separately from checksum drops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class RoutingError(ReproError):
+    """Invalid routing-table configuration."""
+
+
+class RoutingTable:
+    """Longest-match-free range table: first matching entry wins."""
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports <= 0:
+            raise RoutingError("router needs at least one output port")
+        self.num_ports = num_ports
+        self._entries: List[Tuple[int, int, int]] = []  # (lo, hi, port)
+
+    def add_route(self, lo: int, hi: int, port: int) -> None:
+        """Route destination addresses in ``[lo, hi]`` to *port*."""
+        if lo > hi:
+            raise RoutingError(f"empty address range [{lo},{hi}]")
+        if not 0 <= port < self.num_ports:
+            raise RoutingError(
+                f"port {port} out of range [0,{self.num_ports})"
+            )
+        self._entries.append((lo, hi, port))
+
+    def lookup(self, dst: int) -> Optional[int]:
+        """Output port for *dst*, or None (drop)."""
+        for lo, hi, port in self._entries:
+            if lo <= dst <= hi:
+                return port
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def uniform(cls, num_ports: int, addresses_per_port: int = 64) -> "RoutingTable":
+        """Evenly partition the 8-bit address space over the ports."""
+        table = cls(num_ports)
+        for port in range(num_ports):
+            lo = port * addresses_per_port
+            hi = lo + addresses_per_port - 1
+            table.add_route(lo, min(hi, 0xFF), port)
+        return table

@@ -1,0 +1,90 @@
+"""Workload statistics shared by producers, router, consumers and app.
+
+The accuracy metric of Figure 7 — "the percentage of packets that can be
+handled by the system" — is :meth:`WorkloadStats.handled_fraction`:
+packets not lost to buffer overflow (forwarded packets plus packets
+correctly rejected by the checksum application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class WorkloadStats:
+    """Counters and per-packet timing for one co-simulation run."""
+
+    generated: int = 0
+    generated_corrupt: int = 0
+    dropped_overflow: int = 0
+    dropped_checksum: int = 0
+    dropped_unroutable: int = 0
+    forwarded: int = 0
+    received: int = 0
+    received_valid: int = 0
+    checked_by_sw: int = 0
+
+    #: pkt_id -> master cycle at generation.
+    generation_cycle: Dict[int, int] = field(default_factory=dict)
+    #: Per-delivered-packet latency in master cycles.
+    latencies: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_generated(self, pkt_id: int, cycle: int,
+                         corrupt: bool) -> None:
+        self.generated += 1
+        if corrupt:
+            self.generated_corrupt += 1
+        self.generation_cycle[pkt_id] = cycle
+
+    def record_delivery(self, pkt_id: int, cycle: int, valid: bool) -> None:
+        self.received += 1
+        if valid:
+            self.received_valid += 1
+        born = self.generation_cycle.get(pkt_id)
+        if born is not None:
+            self.latencies.append(cycle - born)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def handled(self) -> int:
+        """Packets the system processed (Figure 7's numerator)."""
+        return self.generated - self.dropped_overflow
+
+    def handled_fraction(self) -> float:
+        if self.generated == 0:
+            return 1.0
+        return self.handled / self.generated
+
+    def forwarded_fraction(self) -> float:
+        if self.generated == 0:
+            return 1.0
+        return self.forwarded / self.generated
+
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def consistent(self) -> bool:
+        """Conservation law: every generated packet is accounted for
+        exactly once among the terminal outcomes or is still in flight.
+        """
+        terminal = (self.dropped_overflow + self.dropped_checksum
+                    + self.dropped_unroutable + self.forwarded)
+        return terminal <= self.generated
+
+    def summary(self) -> str:
+        return (
+            f"generated={self.generated} forwarded={self.forwarded} "
+            f"overflow={self.dropped_overflow} "
+            f"bad_checksum={self.dropped_checksum} "
+            f"unroutable={self.dropped_unroutable} "
+            f"handled={100.0 * self.handled_fraction():.1f}%"
+        )

@@ -1,0 +1,237 @@
+"""The full Section 6 HW/SW configuration, assembled.
+
+"The overall HW/SW configuration consists of the following entities:
+model of the router; model of the packet generator (producer) ...;
+model of the packet destination (consumer) ...; C application computing
+the checksum, executing on a SCM220 Ultimodule board running the eCos
+operating system."
+
+:func:`build_router_cosim` wires all of it to a chosen transport and
+returns a :class:`RouterCosim` handle with ``run()`` and the paper's
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.board.board import Board, BoardConfig
+from repro.cosim.board_runtime import CosimBoardRuntime
+from repro.cosim.config import CosimConfig
+from repro.cosim.master import CosimMaster, build_driver_sim
+from repro.cosim.metrics import CosimMetrics
+from repro.cosim.session import InprocSession, ThreadedSession
+from repro.errors import ProtocolError
+from repro.router.app import ChecksumApp, install_checksum_app
+from repro.router.consumer import Consumer
+from repro.router.driver import RouterDriver
+from repro.router.producer import Producer
+from repro.router.router import (
+    REG_PACKET,
+    REG_STATS,
+    REG_STATUS,
+    REG_VERDICT,
+    Router,
+)
+from repro.router.routing_table import RoutingTable
+from repro.router.stats import WorkloadStats
+from repro.transport.inproc import InprocLink
+from repro.transport.queues import QueueLink
+from repro.transport.tcp import TcpLinkServer, connect_board
+
+INPROC = "inproc"
+QUEUE = "queue"
+TCP = "tcp"
+
+
+@dataclass
+class RouterWorkload:
+    """Workload knobs for the router case study.
+
+    Defaults reproduce the regime of the paper's plots: four producers
+    injecting one packet per ``interval_cycles`` each, a 20-packet
+    internal buffer — which puts the Figure 7 accuracy knee near
+    ``T_sync = buffer_capacity * interval_cycles / num_ports = 5000``.
+    """
+
+    packets_per_producer: int = 25
+    interval_cycles: int = 1000
+    payload_size: int = 32
+    corrupt_rate: float = 0.05
+    buffer_capacity: int = 20
+    num_ports: int = 4
+    seed: int = 2005
+    #: Bursty traffic: packets per burst and idle gap between bursts.
+    burst_size: int = 1
+    burst_gap_cycles: int = 0
+
+    @property
+    def total_packets(self) -> int:
+        return self.packets_per_producer * self.num_ports
+
+    def estimated_cycles(self) -> int:
+        """Generous master-cycle bound for the whole run."""
+        generation = self.packets_per_producer * self.interval_cycles
+        if self.burst_gap_cycles:
+            bursts = -(-self.packets_per_producer // self.burst_size)
+            generation += bursts * self.burst_gap_cycles
+        return generation + 20 * self.interval_cycles + 10_000
+
+
+class RouterCosim:
+    """One fully wired co-simulation of the router case study."""
+
+    def __init__(self, session, master: CosimMaster,
+                 runtime: CosimBoardRuntime, router: Router,
+                 producers: List[Producer], consumers: List[Consumer],
+                 app: ChecksumApp, driver: RouterDriver,
+                 stats: WorkloadStats, workload: RouterWorkload,
+                 cleanup=None) -> None:
+        self.session = session
+        self.master = master
+        self.runtime = runtime
+        self.router = router
+        self.producers = producers
+        self.consumers = consumers
+        self.app = app
+        self.driver = driver
+        self.stats = stats
+        self.workload = workload
+        self._cleanup = cleanup
+
+    def drained(self) -> bool:
+        """All packets generated and accounted for (terminal outcomes)."""
+        if not all(p.done for p in self.producers):
+            return False
+        terminal = (self.stats.forwarded + self.stats.dropped_overflow
+                    + self.stats.dropped_checksum
+                    + self.stats.dropped_unroutable)
+        return terminal >= self.stats.generated
+
+    def run(self, max_cycles: Optional[int] = None) -> CosimMetrics:
+        """Run to completion; returns the co-simulation metrics."""
+        bound = max_cycles or (4 * self.workload.estimated_cycles())
+        try:
+            return self.session.run(max_cycles=bound, done=self.drained)
+        finally:
+            if self._cleanup is not None:
+                self._cleanup()
+
+    def accuracy(self) -> float:
+        """Figure 7's metric: fraction of packets handled."""
+        return self.stats.handled_fraction()
+
+
+def build_router_cosim(
+    config: Optional[CosimConfig] = None,
+    workload: Optional[RouterWorkload] = None,
+    board_config: Optional[BoardConfig] = None,
+    mode: str = INPROC,
+    adaptive=None,
+    iss_timing: bool = False,
+) -> RouterCosim:
+    """Assemble the complete case study on the chosen transport.
+
+    Pass an :class:`repro.cosim.adaptive.AdaptivePolicy` as *adaptive*
+    (in-process mode only) to run with the feedback-controlled window
+    size instead of a fixed ``T_sync``.  With ``iss_timing`` the
+    checksum application *executes* its routine on the bundled ISS
+    instead of charging the coarse work-model cost.
+    """
+    config = config or CosimConfig()
+    workload = workload or RouterWorkload()
+    board_config = board_config or BoardConfig()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    cleanup = None
+    if mode == INPROC:
+        link = InprocLink()
+        master_ep, board_ep, stats_src = link.master, link.board, link.stats
+    elif mode == QUEUE:
+        link = QueueLink()
+        master_ep, board_ep, stats_src = link.master, link.board, link.stats
+    elif mode == TCP:
+        server = TcpLinkServer()
+        board_ep = connect_board(server.addresses, stats=server.stats)
+        master_ep = server.accept()
+        stats_src = server.stats
+
+        def cleanup() -> None:
+            master_ep.close()
+            board_ep.close()
+    else:
+        raise ProtocolError(f"unknown transport mode {mode!r}")
+
+    # ------------------------------------------------------------------
+    # Hardware side (the master simulation)
+    # ------------------------------------------------------------------
+    sim, clock = build_driver_sim("router_hw", config=config)
+    stats = WorkloadStats()
+    table = RoutingTable.uniform(workload.num_ports,
+                                 addresses_per_port=256 // workload.num_ports)
+    router = Router(sim, "router", clock, table, stats,
+                    buffer_capacity=workload.buffer_capacity,
+                    num_ports=workload.num_ports)
+    sim.map_port(REG_STATUS, router.reg_status)
+    sim.map_port(REG_PACKET, router.reg_packet)
+    sim.map_port(REG_VERDICT, router.reg_verdict)
+    sim.map_port(REG_STATS, router.reg_stats)
+
+    producers = [
+        Producer(sim, f"producer{i}", router, i, clock, stats,
+                 count=workload.packets_per_producer,
+                 interval_cycles=workload.interval_cycles,
+                 payload_size=workload.payload_size,
+                 corrupt_rate=workload.corrupt_rate,
+                 seed=workload.seed,
+                 burst_size=workload.burst_size,
+                 burst_gap_cycles=workload.burst_gap_cycles)
+        for i in range(workload.num_ports)
+    ]
+    consumers = [
+        Consumer(sim, f"consumer{i}", router, i, clock, stats)
+        for i in range(workload.num_ports)
+    ]
+    master = CosimMaster(sim, clock, master_ep, config,
+                         interrupt_signal=router.irq)
+
+    # ------------------------------------------------------------------
+    # Software side (the board)
+    # ------------------------------------------------------------------
+    board = Board(board_config)
+    driver = RouterDriver(board.kernel, board_ep, config.latency,
+                          vector=config.remote_vector)
+    verifier = None
+    if iss_timing:
+        from repro.iss.rtos_bridge import IssChecksumVerifier
+
+        verifier = IssChecksumVerifier()
+    app = install_checksum_app(board.kernel, driver, board_config.work,
+                               verifier=verifier)
+    runtime = CosimBoardRuntime(board, board_ep, config)
+
+    # ------------------------------------------------------------------
+    # Session
+    # ------------------------------------------------------------------
+    if mode == INPROC:
+        link.install_data_server(master.serve_data)
+        if adaptive is not None:
+            from repro.cosim.adaptive import AdaptiveInprocSession
+
+            session = AdaptiveInprocSession(master, runtime, stats_src,
+                                            config, policy=adaptive)
+        else:
+            session = InprocSession(master, runtime, stats_src, config)
+    else:
+        if adaptive is not None:
+            raise ProtocolError(
+                "adaptive synchronization is only supported in-process"
+            )
+        session = ThreadedSession(master, runtime, stats_src, config)
+
+    return RouterCosim(session, master, runtime, router, producers,
+                       consumers, app, driver, stats, workload,
+                       cleanup=cleanup)

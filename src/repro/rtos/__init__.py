@@ -1,0 +1,66 @@
+"""An eCos-like real-time operating system on a virtual CPU.
+
+Public surface::
+
+    from repro.rtos import (
+        RtosKernel, RtosConfig, Thread, Alarm,
+        Semaphore, Mutex, Flag, Mailbox,
+        Device, DeviceTable, immediate,
+        CpuWork, Sleep, SleepUntil, YieldCpu, Suspend, ExitThread,
+        SetPriority, GetTime,
+        ISR_HANDLED, ISR_CALL_DSR, NORMAL, IDLE,
+    )
+"""
+
+from repro.rtos.alarm import Alarm, AlarmQueue
+from repro.rtos.config import RtosConfig
+from repro.rtos.devices import Device, DeviceTable, immediate
+from repro.rtos.interrupts import ISR_CALL_DSR, ISR_HANDLED, InterruptController
+from repro.rtos.kernel import IDLE, NORMAL, RtosKernel
+from repro.rtos.scheduler import MlqScheduler
+from repro.rtos.sync import Flag, Mailbox, Mutex, Semaphore, Waitable
+from repro.rtos.syscalls import (
+    CpuWork,
+    ExitThread,
+    GetTime,
+    Join,
+    SetPriority,
+    Sleep,
+    SleepUntil,
+    Suspend,
+    Syscall,
+    YieldCpu,
+)
+from repro.rtos.thread import Thread
+
+__all__ = [
+    "Alarm",
+    "AlarmQueue",
+    "CpuWork",
+    "Device",
+    "DeviceTable",
+    "ExitThread",
+    "Flag",
+    "GetTime",
+    "IDLE",
+    "ISR_CALL_DSR",
+    "ISR_HANDLED",
+    "InterruptController",
+    "Join",
+    "Mailbox",
+    "MlqScheduler",
+    "Mutex",
+    "NORMAL",
+    "RtosConfig",
+    "RtosKernel",
+    "Semaphore",
+    "SetPriority",
+    "Sleep",
+    "SleepUntil",
+    "Suspend",
+    "Syscall",
+    "Thread",
+    "Waitable",
+    "YieldCpu",
+    "immediate",
+]

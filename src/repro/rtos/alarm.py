@@ -1,0 +1,98 @@
+"""Tick-driven alarms (eCos counter/alarm analogue).
+
+Alarms fire during software-tick processing in the timer DSR path.  They
+back :class:`~repro.rtos.syscalls.Sleep` and the timeout variants of the
+synchronization primitives, and are directly usable by applications for
+periodic work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+from repro.errors import RtosError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+
+class Alarm:
+    """A one-shot or periodic alarm keyed to the SW tick counter."""
+
+    def __init__(
+        self,
+        kernel: "RtosKernel",
+        callback: Callable[["Alarm", Any], None],
+        data: Any = None,
+        name: str = "",
+    ) -> None:
+        self.kernel = kernel
+        self.callback = callback
+        self.data = data
+        self.name = name or f"alarm_{id(self):x}"
+        self.enabled = False
+        self.trigger_tick: Optional[int] = None
+        self.interval: int = 0
+        #: Number of times this alarm has fired.
+        self.fire_count = 0
+
+    def initialize(self, trigger_tick: int, interval: int = 0) -> None:
+        """Arm the alarm: fire at absolute *trigger_tick*, then every
+        *interval* ticks (0 = one-shot)."""
+        if interval < 0:
+            raise RtosError("alarm interval cannot be negative")
+        self.trigger_tick = trigger_tick
+        self.interval = interval
+        self.enabled = True
+        self.kernel._alarm_queue.push(self)
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def _fire(self) -> None:
+        self.fire_count += 1
+        fired_at = self.trigger_tick
+        self.callback(self, self.data)
+        if self.trigger_tick != fired_at or not self.enabled:
+            return  # the callback re-armed or disabled the alarm
+        if self.interval > 0:
+            assert self.trigger_tick is not None
+            self.trigger_tick += self.interval
+            self.kernel._alarm_queue.push(self)
+        else:
+            self.enabled = False
+
+
+class AlarmQueue:
+    """Min-heap of armed alarms, keyed by trigger tick."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Alarm]] = []
+        self._seq = 0
+
+    def push(self, alarm: Alarm) -> None:
+        assert alarm.trigger_tick is not None
+        self._seq += 1
+        heapq.heappush(self._heap, (alarm.trigger_tick, self._seq, alarm))
+
+    def due(self, tick: int) -> List[Alarm]:
+        """Pop every enabled alarm with trigger_tick <= *tick*."""
+        fired = []
+        while self._heap and self._heap[0][0] <= tick:
+            trigger, _, alarm = heapq.heappop(self._heap)
+            if alarm.enabled and alarm.trigger_tick == trigger:
+                fired.append(alarm)
+        return fired
+
+    def next_tick(self) -> Optional[int]:
+        """Trigger tick of the earliest live alarm, or None."""
+        while self._heap:
+            trigger, _, alarm = self._heap[0]
+            if alarm.enabled and alarm.trigger_tick == trigger:
+                return trigger
+            heapq.heappop(self._heap)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,63 @@
+"""RTOS kernel configuration.
+
+All timing costs are expressed in board CPU *cycles*.  The defaults are
+loosely modelled on a small RISC SoC of the SCM2x0 class (tens of cycles
+for kernel entry paths, a 1000-cycle hardware-timer period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RtosError
+
+
+@dataclass
+class RtosConfig:
+    """Static parameters of an :class:`~repro.rtos.kernel.RtosKernel`."""
+
+    #: CPU cycles between two hardware-timer pulses (HW ticks).
+    cycles_per_hw_tick: int = 1000
+    #: HW ticks per software tick (the timer ISR divides the HW tick
+    #: down to the scheduler's SW tick, as in Section 4.1 of the paper).
+    hw_ticks_per_sw_tick: int = 1
+    #: Round-robin timeslice, in SW ticks (eCos default is 5).
+    timeslice_ticks: int = 5
+    #: Cost of the timer interrupt service routine, per HW tick.
+    timer_isr_cycles: int = 20
+    #: Cost of a thread context switch.
+    context_switch_cycles: int = 10
+    #: Cost of entering an ISR for a device interrupt.
+    isr_entry_cycles: int = 15
+    #: Cost of running a deferred service routine (DSR).
+    dsr_cycles: int = 25
+    #: Fixed cost charged to every kernel call a thread makes (0 = free).
+    syscall_cycles: int = 0
+    #: Number of scheduler priority levels (0 is highest, as in eCos).
+    priority_levels: int = 32
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_hw_tick <= 0:
+            raise RtosError("cycles_per_hw_tick must be positive")
+        if self.hw_ticks_per_sw_tick <= 0:
+            raise RtosError("hw_ticks_per_sw_tick must be positive")
+        if self.timeslice_ticks <= 0:
+            raise RtosError("timeslice_ticks must be positive")
+        if self.priority_levels <= 1:
+            raise RtosError("need at least two priority levels")
+        for field in ("timer_isr_cycles", "context_switch_cycles",
+                      "isr_entry_cycles", "dsr_cycles", "syscall_cycles"):
+            if getattr(self, field) < 0:
+                raise RtosError(f"{field} cannot be negative")
+        if self.timer_isr_cycles >= self.cycles_per_hw_tick:
+            raise RtosError(
+                "timer ISR cost must be smaller than the HW tick period"
+            )
+
+    @property
+    def cycles_per_sw_tick(self) -> int:
+        return self.cycles_per_hw_tick * self.hw_ticks_per_sw_tick
+
+    @property
+    def lowest_priority(self) -> int:
+        return self.priority_levels - 1

@@ -1,0 +1,88 @@
+"""Device-driver table (eCos ``devtab`` analogue).
+
+A :class:`Device` exposes ``read``/``write``/``ioctl`` as *generator*
+methods so drivers can block on kernel primitives; application threads
+call them with ``yield from``::
+
+    dev = kernel.devices.lookup("/dev/router")
+    packet = yield from dev.read()
+
+Drivers that complete immediately simply ``return`` without yielding
+(the bodies still need one unreachable ``yield`` or use
+:func:`immediate`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+from repro.errors import RtosError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+
+def immediate(value: Any = None):
+    """Generator returning *value* without blocking (``yield from``-able).
+
+    Handy for implementing non-blocking driver entry points that must
+    still be ``yield from``-compatible.
+    """
+    return value
+    yield  # pragma: no cover - makes this a generator function
+
+
+class Device:
+    """Base class for RTOS devices."""
+
+    def __init__(self, kernel: "RtosKernel", name: str) -> None:
+        if not name.startswith("/dev/"):
+            raise RtosError(f"device name must start with /dev/: {name!r}")
+        self.kernel = kernel
+        self.name = name
+        self.open_count = 0
+
+    def open(self) -> None:
+        """Called once per lookup; override for per-open setup."""
+        self.open_count += 1
+
+    # Generator entry points -------------------------------------------
+    def read(self, *args, **kwargs):
+        raise RtosError(f"device {self.name} does not support read")
+        yield  # pragma: no cover
+
+    def write(self, *args, **kwargs):
+        raise RtosError(f"device {self.name} does not support write")
+        yield  # pragma: no cover
+
+    def ioctl(self, request: str, *args, **kwargs):
+        raise RtosError(
+            f"device {self.name} does not support ioctl {request!r}"
+        )
+        yield  # pragma: no cover
+
+
+class DeviceTable:
+    """Name-to-device registry."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, Device] = {}
+
+    def register(self, device: Device) -> None:
+        if device.name in self._devices:
+            raise RtosError(f"device {device.name} already registered")
+        self._devices[device.name] = device
+
+    def lookup(self, name: str) -> Device:
+        try:
+            device = self._devices[name]
+        except KeyError:
+            raise RtosError(f"no such device: {name}") from None
+        device.open()
+        return device
+
+    def names(self) -> List[str]:
+        return sorted(self._devices)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices

@@ -1,0 +1,139 @@
+"""Interrupt controller with the eCos ISR/DSR split.
+
+Devices (or the co-simulation channel) raise a *vector*; the attached
+ISR runs promptly with a small fixed cost and may request its DSR, which
+runs afterwards (with the scheduler conceptually locked) and typically
+wakes a driver thread through a semaphore.
+
+Two injection styles are supported:
+
+* :meth:`InterruptController.raise_now` — asynchronous, serviced at the
+  kernel's next service point (used by the threaded/TCP session, where a
+  receiver thread injects interrupts in real time);
+* :meth:`InterruptController.schedule_at_cycle` — deterministic, fires
+  when the board's cycle counter reaches an absolute cycle (used by the
+  in-process session to deliver interrupts at exact offsets inside a
+  synchronization window).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import RtosError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+#: ISR return flags (modelled on CYG_ISR_HANDLED / CYG_ISR_CALL_DSR).
+ISR_HANDLED = 1
+ISR_CALL_DSR = 2
+
+IsrFn = Callable[[int], int]
+DsrFn = Callable[[int, int], None]
+
+
+class _Vector:
+    def __init__(self, number: int, name: str,
+                 isr: Optional[IsrFn], dsr: Optional[DsrFn]) -> None:
+        self.number = number
+        self.name = name
+        self.isr = isr
+        self.dsr = dsr
+        self.masked = False
+        self.isr_count = 0
+        self.dsr_count = 0
+        #: DSR invocations pending (eCos counts coalesced requests).
+        self.dsr_pending = 0
+
+
+class InterruptController:
+    """Vector table plus pending/deferred queues."""
+
+    def __init__(self, kernel: "RtosKernel") -> None:
+        self.kernel = kernel
+        self._vectors: Dict[int, _Vector] = {}
+        self._pending: Deque[int] = deque()
+        self._scheduled: List[Tuple[int, int, int]] = []  # (cycle, seq, vec)
+        self._dsr_queue: Deque[_Vector] = deque()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def attach(self, vector: int, isr: Optional[IsrFn] = None,
+               dsr: Optional[DsrFn] = None, name: str = "") -> None:
+        if vector in self._vectors:
+            raise RtosError(f"interrupt vector {vector} already attached")
+        self._vectors[vector] = _Vector(vector, name or f"irq{vector}", isr, dsr)
+
+    def detach(self, vector: int) -> None:
+        self._vectors.pop(vector, None)
+
+    def mask(self, vector: int) -> None:
+        self._vector(vector).masked = True
+
+    def unmask(self, vector: int) -> None:
+        self._vector(vector).masked = False
+
+    def _vector(self, vector: int) -> _Vector:
+        try:
+            return self._vectors[vector]
+        except KeyError:
+            raise RtosError(f"no handler attached to vector {vector}") from None
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def raise_now(self, vector: int) -> None:
+        """Mark *vector* pending; serviced at the next service point."""
+        self._pending.append(vector)
+
+    def schedule_at_cycle(self, cycle: int, vector: int) -> None:
+        """Deliver *vector* when the board cycle counter reaches *cycle*."""
+        self._seq += 1
+        heapq.heappush(self._scheduled, (cycle, self._seq, vector))
+
+    def next_scheduled_cycle(self) -> Optional[int]:
+        return self._scheduled[0][0] if self._scheduled else None
+
+    # ------------------------------------------------------------------
+    # Servicing (called from the kernel loop)
+    # ------------------------------------------------------------------
+    def has_work(self, now_cycle: int) -> bool:
+        if self._pending or self._dsr_queue:
+            return True
+        return bool(self._scheduled) and self._scheduled[0][0] <= now_cycle
+
+    def service(self) -> int:
+        """Run due ISRs then queued DSRs; returns cycles charged."""
+        kernel = self.kernel
+        charged = 0
+        # Collect scheduled vectors that have come due.
+        while self._scheduled and self._scheduled[0][0] <= kernel.cycles:
+            _, _, vector = heapq.heappop(self._scheduled)
+            self._pending.append(vector)
+        # ISRs.
+        while self._pending:
+            vector = self._pending.popleft()
+            record = self._vector(vector)
+            if record.masked:
+                continue
+            record.isr_count += 1
+            charged += kernel.config.isr_entry_cycles
+            result = record.isr(vector) if record.isr else ISR_CALL_DSR
+            if result & ISR_CALL_DSR and record.dsr is not None:
+                record.dsr_pending += 1
+                if record not in self._dsr_queue:
+                    self._dsr_queue.append(record)
+        # DSRs (run once ISRs are done, as in eCos).
+        while self._dsr_queue:
+            record = self._dsr_queue.popleft()
+            count, record.dsr_pending = record.dsr_pending, 0
+            record.dsr_count += count
+            charged += kernel.config.dsr_cycles
+            assert record.dsr is not None
+            record.dsr(record.number, count)
+        return charged

@@ -1,0 +1,150 @@
+"""Syscall objects yielded by RTOS threads.
+
+RTOS threads are generator functions.  Everything a thread asks of the
+kernel is expressed by yielding a :class:`Syscall`; the value of the
+``yield`` expression is the syscall's result::
+
+    def worker():
+        yield CpuWork(500)            # compute for 500 CPU cycles
+        got = yield sem.wait(timeout=10)   # may time out -> False
+        item = yield mbox.get()
+
+Each syscall implements :meth:`Syscall.apply`, returning either
+``(DONE, value)`` — the thread continues immediately with *value* — or
+``(BLOCKED, None)`` — the thread is suspended until some primitive calls
+``kernel._ready(thread, value)``.  :class:`CpuWork` is special-cased by
+the kernel's cycle accounting loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+from repro.errors import RtosError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+    from repro.rtos.thread import Thread
+
+DONE = "done"
+BLOCKED = "blocked"
+WORK = "work"
+
+
+class Syscall:
+    """Base class for kernel requests."""
+
+    def apply(self, kernel: "RtosKernel", thread: "Thread") -> Tuple[str, Any]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class CpuWork(Syscall):
+    """Consume *cycles* of CPU time (preemptible)."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise RtosError(f"negative CpuWork: {cycles}")
+        self.cycles = int(cycles)
+
+    def apply(self, kernel, thread):
+        return (WORK, self.cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CpuWork({self.cycles})"
+
+
+class Sleep(Syscall):
+    """Block for *ticks* software ticks."""
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, ticks: int) -> None:
+        if ticks <= 0:
+            raise RtosError(f"Sleep needs a positive tick count: {ticks}")
+        self.ticks = int(ticks)
+
+    def apply(self, kernel, thread):
+        kernel._sleep_thread(thread, self.ticks)
+        return (BLOCKED, None)
+
+
+class SleepUntil(Syscall):
+    """Block until the SW tick counter reaches *tick* (absolute)."""
+
+    __slots__ = ("tick",)
+
+    def __init__(self, tick: int) -> None:
+        self.tick = int(tick)
+
+    def apply(self, kernel, thread):
+        if self.tick <= kernel.sw_ticks:
+            return (DONE, None)
+        kernel._sleep_thread_until(thread, self.tick)
+        return (BLOCKED, None)
+
+
+class YieldCpu(Syscall):
+    """Relinquish the CPU to a same-priority peer (round robin)."""
+
+    def apply(self, kernel, thread):
+        if kernel._yield_cpu(thread):
+            return (BLOCKED, None)  # requeued; redispatched later
+        return (DONE, None)  # no eligible peer: keep running
+
+
+class Suspend(Syscall):
+    """Suspend the calling thread until another thread resumes it."""
+
+    def apply(self, kernel, thread):
+        kernel._suspend(thread)
+        return (BLOCKED, None)
+
+
+class ExitThread(Syscall):
+    """Terminate the calling thread (equivalent to returning)."""
+
+    def apply(self, kernel, thread):
+        kernel._exit_thread(thread)
+        return (BLOCKED, None)
+
+
+class SetPriority(Syscall):
+    """Change the calling thread's priority; returns the old value."""
+
+    __slots__ = ("priority",)
+
+    def __init__(self, priority: int) -> None:
+        self.priority = priority
+
+    def apply(self, kernel, thread):
+        old = thread.base_priority
+        thread.base_priority = self.priority
+        kernel.scheduler.set_priority(thread, self.priority)
+        return (DONE, old)
+
+
+class Join(Syscall):
+    """Block until *thread* exits; resolves to True (False on timeout)."""
+
+    __slots__ = ("thread", "timeout")
+
+    def __init__(self, thread, timeout: Optional[int] = None) -> None:
+        self.thread = thread
+        self.timeout = timeout
+
+    def apply(self, kernel, thread):
+        if not self.thread.alive:
+            return (DONE, True)
+        if self.thread is thread:
+            raise RtosError(f"thread {thread.name} cannot join itself")
+        kernel._join(self.thread, thread, self.timeout)
+        return (BLOCKED, None)
+
+
+class GetTime(Syscall):
+    """Return ``(sw_ticks, cycles)``."""
+
+    def apply(self, kernel, thread):
+        return (DONE, (kernel.sw_ticks, kernel.cycles))

@@ -1,0 +1,137 @@
+"""RTOS threads."""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import RtosError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rtos.kernel import RtosKernel
+
+# Thread states.
+READY = "ready"
+RUNNING = "running"
+SLEEPING = "sleeping"
+BLOCKED = "blocked"
+EXITED = "exited"
+
+
+class Thread:
+    """A kernel thread backed by a generator.
+
+    ``entry`` is a generator function; it is called with the thread
+    object if it accepts one positional argument, otherwise with no
+    arguments.  The generator yields
+    :class:`~repro.rtos.syscalls.Syscall` objects.
+    """
+
+    def __init__(
+        self,
+        kernel: "RtosKernel",
+        name: str,
+        entry: Callable,
+        priority: int,
+        allowed_in_idle: bool = False,
+    ) -> None:
+        if not 0 <= priority < kernel.config.priority_levels:
+            raise RtosError(
+                f"thread {name}: priority {priority} out of range "
+                f"[0,{kernel.config.priority_levels})"
+            )
+        self.kernel = kernel
+        self.name = name
+        self.entry = entry
+        self.priority = priority
+        #: The priority the thread was given (or last set itself);
+        #: ``priority`` may temporarily exceed it under priority
+        #: inheritance.
+        self.base_priority = priority
+        #: May this thread run while the OS is in the co-simulation IDLE
+        #: state?  (The paper's "communication threads".)
+        self.allowed_in_idle = allowed_in_idle
+
+        self.state = READY
+        self.suspended = False
+        self._gen = None
+        #: Pending CpuWork cycles not yet consumed.
+        self.work_remaining = 0
+        #: Value to send into the generator at next resume.
+        self.resume_value: Any = None
+        #: Remaining round-robin timeslice, in SW ticks.  Saved/restored
+        #: across the co-simulation NORMAL/IDLE switch (Section 5.3).
+        self.timeslice_left = kernel.config.timeslice_ticks
+
+        # Blocking bookkeeping (managed by the kernel and primitives) ----
+        self._joiners = []
+        self._blocked_on = None
+        self._timeout_alarm = None
+        self._flag_request = None
+        self._mbox_role = None
+        self._mbox_item = None
+        self._primed = False
+
+        # Statistics ----------------------------------------------------
+        self.cycles_consumed = 0
+        self.dispatch_count = 0
+        self.syscall_count = 0
+
+        self._takes_arg = self._entry_takes_arg(entry)
+
+    @staticmethod
+    def _entry_takes_arg(entry: Callable) -> bool:
+        try:
+            params = inspect.signature(entry).parameters
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            return False
+        required = [
+            p for p in params.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            and p.default is p.empty
+        ]
+        return len(required) >= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Thread {self.name} prio={self.priority} {self.state}>"
+
+    @property
+    def alive(self) -> bool:
+        return self.state != EXITED
+
+    @property
+    def runnable(self) -> bool:
+        return self.state == READY and not self.suspended
+
+    # ------------------------------------------------------------------
+    # Kernel internals
+    # ------------------------------------------------------------------
+    def _start_generator(self) -> None:
+        if self._gen is not None:
+            return
+        gen = self.entry(self) if self._takes_arg else self.entry()
+        if gen is None or not hasattr(gen, "send"):
+            raise RtosError(
+                f"thread {self.name}: entry must be a generator function"
+            )
+        self._gen = gen
+        self._primed = False
+
+    def _next_syscall(self):
+        """Advance the generator one step; returns the yielded syscall.
+
+        Raises StopIteration (caught by the kernel) when the thread's
+        body returns.
+        """
+        self._start_generator()
+        self.syscall_count += 1
+        if not self._primed:
+            self._primed = True
+            return next(self._gen)
+        value, self.resume_value = self.resume_value, None
+        return self._gen.send(value)
+
+    def _close(self) -> None:
+        if self._gen is not None:
+            self._gen.close()
+            self._gen = None

@@ -1,0 +1,67 @@
+"""A SystemC-like discrete-event simulation kernel.
+
+Public surface::
+
+    from repro.simkernel import (
+        Simulator, Module, Signal, In, Out, Event, Clock,
+        AllOf, Timeout, SimFifo, SimMutex, SimSemaphore,
+        BitVector, VcdTracer,
+        DriverIn, DriverOut, DriverSimulator, driver_process,
+        ns, us, ms, ps, sec, format_time,
+    )
+"""
+
+from repro.simkernel.bitvec import BitVector
+from repro.simkernel.clock import Clock
+from repro.simkernel.driver_ext import (
+    DriverIn,
+    DriverOut,
+    DriverSimulator,
+    driver_process,
+)
+from repro.simkernel.event_queue import EventQueue
+from repro.simkernel.events import Event
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.module import Module
+from repro.simkernel.ports import In, Out, Port
+from repro.simkernel.primitives import SimFifo, SimMutex, SimSemaphore
+from repro.simkernel.processes import AllOf, Process, Timeout
+from repro.simkernel.signals import Signal
+from repro.simkernel.simtime import MS, NS, PS, SEC, US, format_time, ms, ns, ps, sec, us
+from repro.simkernel.trace import VcdTracer, trace_to_string
+
+__all__ = [
+    "AllOf",
+    "BitVector",
+    "Clock",
+    "DriverIn",
+    "DriverOut",
+    "DriverSimulator",
+    "Event",
+    "EventQueue",
+    "In",
+    "MS",
+    "Module",
+    "NS",
+    "Out",
+    "PS",
+    "Port",
+    "Process",
+    "SEC",
+    "Signal",
+    "SimFifo",
+    "SimMutex",
+    "SimSemaphore",
+    "Simulator",
+    "Timeout",
+    "US",
+    "VcdTracer",
+    "driver_process",
+    "format_time",
+    "ms",
+    "ns",
+    "ps",
+    "sec",
+    "trace_to_string",
+    "us",
+]

@@ -1,0 +1,207 @@
+"""Fixed-width bit vectors with wrap-around arithmetic.
+
+A small hardware-value type used by the router model, the checksum
+implementation and the instruction-set simulator.  Values are stored as
+non-negative integers masked to ``width`` bits; arithmetic wraps, as in
+hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+IntLike = Union[int, "BitVector"]
+
+
+class BitVector:
+    """An immutable ``width``-bit unsigned value."""
+
+    __slots__ = ("width", "_value")
+
+    def __init__(self, value: IntLike = 0, width: int = 32) -> None:
+        if width <= 0:
+            raise ValueError("BitVector width must be positive")
+        self.width = width
+        self._value = int(value) & self.mask
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    @property
+    def value(self) -> int:
+        """Unsigned integer value."""
+        return self._value
+
+    @property
+    def signed(self) -> int:
+        """Two's-complement signed interpretation."""
+        if self._value >> (self.width - 1):
+            return self._value - (1 << self.width)
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._value))
+
+    def __repr__(self) -> str:
+        digits = (self.width + 3) // 4
+        return f"BitVector(0x{self._value:0{digits}x}, width={self.width})"
+
+    # ------------------------------------------------------------------
+    # Comparison (width-insensitive on value, like integers)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitVector):
+            return self._value == other._value
+        if isinstance(other, int):
+            return self._value == other
+        return NotImplemented
+
+    def __lt__(self, other: IntLike) -> bool:
+        return self._value < int(other)
+
+    def __le__(self, other: IntLike) -> bool:
+        return self._value <= int(other)
+
+    def __gt__(self, other: IntLike) -> bool:
+        return self._value > int(other)
+
+    def __ge__(self, other: IntLike) -> bool:
+        return self._value >= int(other)
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic, all wrapping at self.width
+    # ------------------------------------------------------------------
+    def _make(self, value: int) -> "BitVector":
+        return BitVector(value, self.width)
+
+    def __add__(self, other: IntLike) -> "BitVector":
+        return self._make(self._value + int(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "BitVector":
+        return self._make(self._value - int(other))
+
+    def __rsub__(self, other: IntLike) -> "BitVector":
+        return self._make(int(other) - self._value)
+
+    def __mul__(self, other: IntLike) -> "BitVector":
+        return self._make(self._value * int(other))
+
+    __rmul__ = __mul__
+
+    def __and__(self, other: IntLike) -> "BitVector":
+        return self._make(self._value & int(other))
+
+    __rand__ = __and__
+
+    def __or__(self, other: IntLike) -> "BitVector":
+        return self._make(self._value | int(other))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: IntLike) -> "BitVector":
+        return self._make(self._value ^ int(other))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "BitVector":
+        return self._make(~self._value)
+
+    def __lshift__(self, amount: int) -> "BitVector":
+        return self._make(self._value << int(amount))
+
+    def __rshift__(self, amount: int) -> "BitVector":
+        return self._make(self._value >> int(amount))
+
+    # ------------------------------------------------------------------
+    # Bit access and slicing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.width
+
+    def bit(self, index: int) -> int:
+        """The bit at *index* (0 == LSB)."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit index {index} out of range [0,{self.width})")
+        return (self._value >> index) & 1
+
+    def __getitem__(self, key) -> "BitVector":
+        if isinstance(key, int):
+            return BitVector(self.bit(key), 1)
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise ValueError("BitVector slices do not support a step")
+            hi = self.width - 1 if key.start is None else key.start
+            lo = 0 if key.stop is None else key.stop
+            return self.slice(hi, lo)
+        raise TypeError(f"invalid BitVector index {key!r}")
+
+    def slice(self, hi: int, lo: int) -> "BitVector":
+        """Bits ``hi`` down to ``lo`` inclusive (HDL ``v[hi:lo]`` style)."""
+        if not 0 <= lo <= hi < self.width:
+            raise IndexError(f"invalid slice [{hi}:{lo}] of {self.width} bits")
+        width = hi - lo + 1
+        return BitVector((self._value >> lo) & ((1 << width) - 1), width)
+
+    def set_bit(self, index: int, bit: int) -> "BitVector":
+        """A copy with bit *index* set to *bit*."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit index {index} out of range [0,{self.width})")
+        if bit:
+            return self._make(self._value | (1 << index))
+        return self._make(self._value & ~(1 << index))
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """``{self, other}`` — self becomes the high bits."""
+        return BitVector(
+            (self._value << other.width) | other._value,
+            self.width + other.width,
+        )
+
+    def bits(self) -> Iterator[int]:
+        """Iterate bits LSB first."""
+        for i in range(self.width):
+            yield (self._value >> i) & 1
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return bin(self._value).count("1")
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_bytes(self, byteorder: str = "big") -> bytes:
+        """Pack into ``ceil(width/8)`` bytes."""
+        nbytes = (self.width + 7) // 8
+        return self._value.to_bytes(nbytes, byteorder)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, byteorder: str = "big") -> "BitVector":
+        return cls(int.from_bytes(data, byteorder), width=len(data) * 8)
+
+    def to_bin(self) -> str:
+        """Binary string, MSB first."""
+        return format(self._value, f"0{self.width}b")
+
+    @classmethod
+    def from_bin(cls, text: str) -> "BitVector":
+        text = text.replace("_", "")
+        return cls(int(text, 2), width=len(text))
+
+    def resized(self, width: int) -> "BitVector":
+        """Zero-extend or truncate to *width* bits."""
+        return BitVector(self._value, width)

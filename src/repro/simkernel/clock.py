@@ -1,0 +1,71 @@
+"""Clock generator module (SystemC ``sc_clock`` analogue)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+from repro.simkernel.module import Module
+from repro.simkernel.signals import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+
+class Clock(Module):
+    """A free-running clock driving a boolean signal.
+
+    The first posedge occurs at ``start_time`` (default: time 0 is low,
+    the first rising edge lands after ``start_time`` ps).  ``cycles``
+    counts committed rising edges — the paper's simulated-cycle count.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        period: int,
+        duty: float = 0.5,
+        start_time: int = 0,
+        parent: Optional[Module] = None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        if period <= 0:
+            raise SimulationError(f"clock {name}: period must be positive")
+        high = int(period * duty)
+        if not 0 < high < period:
+            raise SimulationError(f"clock {name}: invalid duty cycle {duty}")
+        self.period = period
+        self._high_time = high
+        self._low_time = period - high
+        self.signal = Signal(sim, f"{name}.sig", init=False)
+        #: Number of rising edges that have occurred.
+        self.cycles = 0
+        self._tick = Event(sim, f"{name}.tick")
+        self.method(self._toggle, sensitive=[self._tick], dont_initialize=True)
+        # Schedule the first rising edge.
+        if start_time == 0:
+            self._tick.notify_delta()
+        else:
+            self._tick.notify(start_time)
+
+    @property
+    def posedge(self) -> Event:
+        return self.signal.posedge
+
+    @property
+    def negedge(self) -> Event:
+        return self.signal.negedge
+
+    def read(self) -> bool:
+        return bool(self.signal.read())
+
+    def _toggle(self) -> None:
+        if self.signal.read():
+            self.signal.write(False)
+            self._tick.notify(self._low_time)
+        else:
+            self.signal.write(True)
+            self.cycles += 1
+            self._tick.notify(self._high_time)

@@ -1,0 +1,258 @@
+"""The paper's SystemC kernel extension (Section 5.2).
+
+The DATE'05 methodology modifies the SystemC kernel with:
+
+* two new port classes, ``driver_in`` and ``driver_out``, "devoted
+  exclusively to the communication between a module and the OS running
+  on the board" — here :class:`DriverIn` and :class:`DriverOut`;
+* a special process kind, ``driver_process``, "triggered when a new
+  data is present on a driver_in port" — here :func:`driver_process`;
+* a modified simulation entry point, ``driver_simulate``, which opens
+  the communication channels and interleaves DATA-port servicing,
+  regular simulation cycles and interrupt forwarding — here
+  :meth:`DriverSimulator.driver_simulate` (the surrounding protocol
+  machinery lives in :mod:`repro.cosim.master`).
+
+Driver ports are addressed by small integer *register addresses* so the
+remote DATA protocol can name them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
+
+from repro.errors import ElaborationError, SimulationError
+from repro.simkernel.events import Event
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.module import Module
+from repro.simkernel.signals import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.clock import Clock
+
+
+class DriverIn:
+    """A register the remote software *writes* into the hardware model.
+
+    Unlike a plain signal, every external write raises ``data_written``
+    even when the value is unchanged: "a driver process will be
+    triggered when a new data is present on a driver_in port", and two
+    identical commands are still two commands.
+    """
+
+    def __init__(self, module: Module, name: str, init: Any = None) -> None:
+        self.module = module
+        self.name = name
+        self.signal = Signal(module.sim, f"{module.full_name}.{name}", init)
+        self.data_written = Event(module.sim,
+                                  f"{module.full_name}.{name}.data_written")
+        #: Number of external writes received.
+        self.write_count = 0
+
+    def read(self) -> Any:
+        """Committed value, as seen by the hardware model."""
+        return self.signal.read()
+
+    @property
+    def value(self) -> Any:
+        return self.signal.read()
+
+    def external_write(self, value: Any) -> None:
+        """Called by the kernel on behalf of the remote board."""
+        self.signal.write(value)
+        self.write_count += 1
+        self.data_written.notify_delta()
+
+
+class DriverOut:
+    """A register the remote software *reads* from the hardware model."""
+
+    def __init__(self, module: Module, name: str, init: Any = None) -> None:
+        self.module = module
+        self.name = name
+        self.signal = Signal(module.sim, f"{module.full_name}.{name}", init)
+        #: Number of external reads served.
+        self.read_count = 0
+
+    def write(self, value: Any) -> None:
+        """Called by the hardware model's own processes."""
+        self.signal.write(value)
+
+    def read(self) -> Any:
+        return self.signal.read()
+
+    @property
+    def value(self) -> Any:
+        return self.signal.read()
+
+    def external_read(self) -> Any:
+        """Called by the kernel on behalf of the remote board."""
+        self.read_count += 1
+        return self.signal.read()
+
+
+DriverPort = Union[DriverIn, DriverOut]
+
+
+def driver_process(module: Module, fn: Callable[[], None],
+                   *ports: DriverIn, name: Optional[str] = None):
+    """Register *fn* as a driver process sensitive to DriverIn writes.
+
+    Mirrors the paper's ``driver_process``: "similarly to a sc_method, a
+    driver process will be triggered when a new data is present on a
+    driver_in port to which the process is sensitive".
+    """
+    if not ports:
+        raise ElaborationError("driver_process needs at least one DriverIn")
+    events = [p.data_written for p in ports]
+    return module.method(fn, sensitive=events, dont_initialize=True,
+                         name=name or getattr(fn, "__name__", "driver"))
+
+
+class DriverSimulator(Simulator):
+    """A simulator with the paper's remote-driver register file.
+
+    Driver ports are registered at integer addresses; the co-simulation
+    master services remote DATA requests through :meth:`external_write`
+    and :meth:`external_read`, each followed by zero-time settlement so
+    driver processes and downstream combinational logic react before the
+    reply is sent — the paper's "advancing the driver process".
+    """
+
+    def __init__(self, name: str = "driver_sim",
+                 max_deltas: int = 10_000) -> None:
+        super().__init__(name, max_deltas)
+        self._driver_ports: Dict[int, DriverPort] = {}
+        self._interrupt_signal: Optional[Signal] = None
+        self._interrupt_was_high = False
+        #: vector -> (signal, was_high) for multi-device designs.
+        self._interrupt_vectors: Dict[int, list] = {}
+
+    # ------------------------------------------------------------------
+    # Register file
+    # ------------------------------------------------------------------
+    def map_port(self, address: int, port: DriverPort) -> None:
+        """Expose *port* to the remote board at *address*."""
+        if address in self._driver_ports:
+            raise ElaborationError(
+                f"driver address {address:#x} is already mapped"
+            )
+        if not isinstance(port, (DriverIn, DriverOut)):
+            raise ElaborationError(f"not a driver port: {port!r}")
+        self._driver_ports[address] = port
+
+    def port_at(self, address: int) -> DriverPort:
+        try:
+            return self._driver_ports[address]
+        except KeyError:
+            raise SimulationError(
+                f"no driver port mapped at address {address:#x}"
+            ) from None
+
+    @property
+    def mapped_addresses(self):
+        return sorted(self._driver_ports)
+
+    # ------------------------------------------------------------------
+    # Remote access (DATA port servicing)
+    # ------------------------------------------------------------------
+    def external_write(self, address: int, value: Any) -> None:
+        """Service a remote write: commit it and settle driver processes."""
+        port = self.port_at(address)
+        if not isinstance(port, DriverIn):
+            raise SimulationError(
+                f"driver address {address:#x} is read-only (DriverOut)"
+            )
+        port.external_write(value)
+        self.settle()
+
+    def external_read(self, address: int) -> Any:
+        """Service a remote read against the settled model state."""
+        self.settle()
+        port = self.port_at(address)
+        if not isinstance(port, DriverOut):
+            raise SimulationError(
+                f"driver address {address:#x} is write-only (DriverIn)"
+            )
+        return port.external_read()
+
+    # ------------------------------------------------------------------
+    # Interrupt forwarding
+    # ------------------------------------------------------------------
+    def bind_interrupt(self, signal: Signal) -> None:
+        """Designate the model's (single) interrupt-request signal."""
+        self._interrupt_signal = signal
+        self._interrupt_was_high = bool(signal.read())
+
+    def bind_interrupt_vector(self, vector: int, signal: Signal) -> None:
+        """Attach *signal* as the interrupt source for *vector*.
+
+        Multi-device designs expose one request line per device; the
+        master forwards each rising edge as an INT packet carrying the
+        vector, and the board's interrupt controller dispatches it to
+        the matching ISR.
+        """
+        if vector in self._interrupt_vectors:
+            raise ElaborationError(
+                f"interrupt vector {vector} already bound"
+            )
+        self._interrupt_vectors[vector] = [signal, bool(signal.read())]
+
+    def poll_interrupt(self) -> bool:
+        """Edge-detect the single interrupt signal.
+
+        Returns True exactly once per rising edge — the moment the
+        master must emit a packet on the INT port.
+        """
+        if self._interrupt_signal is None:
+            return False
+        high = bool(self._interrupt_signal.read())
+        fired = high and not self._interrupt_was_high
+        self._interrupt_was_high = high
+        return fired
+
+    def poll_interrupt_vectors(self) -> list:
+        """Edge-detect every bound vector; returns fired vector numbers."""
+        fired = []
+        for vector, record in self._interrupt_vectors.items():
+            signal, was_high = record
+            high = bool(signal.read())
+            if high and not was_high:
+                fired.append(vector)
+            record[1] = high
+        return fired
+
+    # ------------------------------------------------------------------
+    # Modified simulation loop (one cycle of it)
+    # ------------------------------------------------------------------
+    def driver_simulate_cycle(self, clock: "Clock", link) -> bool:
+        """One iteration of the paper's ``driver_simulate`` loop.
+
+        *link* is any object with the duck-typed interface::
+
+            poll_data_request() -> None | ("read", addr) | ("write", addr, value)
+            send_data_reply(value)
+            send_interrupt()
+
+        Performs, in order: DATA-port servicing, one standard simulation
+        cycle (advance to the next clock edge), and interrupt-signal
+        forwarding.  Returns True if an interrupt packet was sent.
+        """
+        # 1. Check for the presence of data on DATA_PORT.
+        while True:
+            request = link.poll_data_request()
+            if request is None:
+                break
+            if request[0] == "read":
+                link.send_data_reply(self.external_read(request[1]))
+            elif request[0] == "write":
+                self.external_write(request[1], request[2])
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"bad DATA request {request!r}")
+        # 2. A standard simulation cycle is accomplished.
+        self.run_until(self.now + clock.period)
+        # 3. The interrupt signal is checked.
+        if self.poll_interrupt():
+            link.send_interrupt()
+            return True
+        return False

@@ -1,0 +1,102 @@
+"""Event queue (SystemC ``sc_event_queue`` analogue).
+
+A plain :class:`~repro.simkernel.events.Event` holds at most one
+pending notification — an earlier ``notify`` cancels a later one.  An
+:class:`EventQueue` instead *accumulates* notifications: every queued
+time fires once, in order, with same-time duplicates delivered in
+successive delta cycles.  Useful for modelling request streams where
+each occurrence matters (DMA descriptors, timer reloads, packet
+arrivals).
+
+Processes wait on :attr:`EventQueue.event`::
+
+    queue = EventQueue(sim, "arrivals")
+    queue.notify(ns(10))
+    queue.notify(ns(10))   # fires twice at 10 ns (two deltas)
+    queue.notify(ns(5))    # and once at 5 ns — nothing is cancelled
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, List
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+
+class EventQueue:
+    """Accumulating notification queue."""
+
+    def __init__(self, sim: "Simulator", name: str = "event_queue") -> None:
+        self.sim = sim
+        self.name = name
+        #: The event processes should wait on.
+        self.event = Event(sim, f"{name}.out")
+        self._arm = Event(sim, f"{name}.arm")
+        self._pending: List[int] = []
+        self._armed_for: int = -1
+        #: Total notifications delivered.
+        self.fired = 0
+        # A tiny permanent process drains the queue.
+        self._arm.static_sensitive.append(_QueuePump(self))
+
+    # ------------------------------------------------------------------
+    def notify(self, delay_ps: int) -> None:
+        """Queue a notification *delay_ps* from now (0 = next delta)."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative queue delay: {delay_ps}")
+        when = self.sim.now + delay_ps
+        heapq.heappush(self._pending, when)
+        self._rearm()
+
+    def cancel_all(self) -> None:
+        """Drop every pending notification."""
+        self._pending.clear()
+        self._arm.cancel()
+        self._armed_for = -1
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def _rearm(self) -> None:
+        if not self._pending:
+            return
+        earliest = self._pending[0]
+        if self._armed_for == earliest and self._arm.has_pending_notification:
+            return
+        self._armed_for = earliest
+        delay = earliest - self.sim.now
+        if delay <= 0:
+            self._arm.notify_delta()
+        else:
+            self._arm.notify(delay)
+
+    def _pump(self) -> None:
+        """One queued time has come due: fire and rearm."""
+        if not self._pending:
+            return
+        heapq.heappop(self._pending)
+        self.fired += 1
+        self.event.notify_delta()
+        self._armed_for = -1
+        self._rearm()
+
+
+class _QueuePump:
+    """Minimal process-like adapter so the queue needs no Module host."""
+
+    def __init__(self, queue: EventQueue) -> None:
+        self.queue = queue
+        self.terminated = False
+        self.kind = "method"
+
+    def _triggered(self, event) -> bool:
+        return True
+
+    def _run(self, trigger) -> None:
+        self.queue._pump()

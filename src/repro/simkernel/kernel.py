@@ -1,0 +1,275 @@
+"""The discrete-event simulation kernel.
+
+Implements the SystemC scheduling algorithm:
+
+1. **Evaluate** — run every runnable process.  Writes to signals are
+   recorded, not applied.  Immediate event notifications make waiting
+   processes runnable within the same evaluate phase.
+2. **Update** — commit pending signal writes; value changes schedule
+   delta notifications.
+3. **Delta notification** — fire delta-notified events; if any process
+   became runnable, repeat from 1 (a new *delta cycle*) without
+   advancing time.
+4. **Time advance** — pop the earliest timed notifications, advance
+   ``now`` and repeat from 1.
+
+The kernel is deliberately free of global state: any number of
+:class:`Simulator` instances can coexist (the co-simulation test-suite
+relies on this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeltaOverflowError, SimulationError
+from repro.simkernel.events import _DELTA, _TIMED, Event
+from repro.simkernel.processes import Process
+from repro.simkernel.signals import Signal
+
+
+class Simulator:
+    """A self-contained discrete-event simulation context."""
+
+    def __init__(self, name: str = "sim", max_deltas: int = 10_000) -> None:
+        self.name = name
+        self.max_deltas = max_deltas
+        self._now = 0
+        self._running = False
+        self._stop_requested = False
+        self._elaborated = False
+
+        self.modules: List[Any] = []
+        self.signals: List[Signal] = []
+        self.events: List[Event] = []
+        self.processes: List[Process] = []
+
+        self._runnable: Deque[Tuple[Process, Optional[Event]]] = deque()
+        self._runnable_ids: Set[int] = set()
+        self._update_queue: List[Signal] = []
+        self._delta_events: List[Event] = []
+        self._timed_queue: List[Tuple[int, int, Event]] = []
+        self._seq = 0
+
+        #: Statistics
+        self.delta_count = 0
+        self.process_runs = 0
+
+    # ------------------------------------------------------------------
+    # Registration (called from Event/Signal/Module/Process constructors)
+    # ------------------------------------------------------------------
+    def _register_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    def _register_signal(self, signal: Signal) -> None:
+        self.signals.append(signal)
+
+    def _register_module(self, module: Any) -> None:
+        self.modules.append(module)
+
+    def _register_process(self, process: Process) -> None:
+        self.processes.append(process)
+        if self._elaborated:
+            # Process created after elaboration (dynamic spawn).
+            self._make_runnable(process, None)
+
+    # ------------------------------------------------------------------
+    # Public properties
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def pending_activity(self) -> bool:
+        """True if any runnable process, update, or notification remains."""
+        return bool(
+            self._runnable
+            or self._update_queue
+            or self._delta_events
+            or self._timed_queue
+        )
+
+    def time_of_next_activity(self) -> Optional[int]:
+        """Timestamp of the next timed event, or ``now`` if deltas pend."""
+        if self._runnable or self._update_queue or self._delta_events:
+            return self._now
+        entry = self._peek_timed()
+        return entry[0] if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # Scheduling services used by events and signals
+    # ------------------------------------------------------------------
+    def _request_update(self, signal: Signal) -> None:
+        self._update_queue.append(signal)
+
+    def _schedule_delta_notification(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def _cancel_delta_notification(self, event: Event) -> None:
+        # Lazy cancellation: the firing loop re-checks the pending kind.
+        pass
+
+    def _schedule_timed_notification(self, event: Event, when: int) -> None:
+        if when < self._now:
+            raise SimulationError(
+                f"timed notification in the past ({when} < {self._now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._timed_queue, (when, self._seq, event))
+
+    def _cancel_timed_notification(self, event: Event) -> None:
+        # Lazy cancellation: stale heap entries are skipped when popped.
+        pass
+
+    def _trigger_event(self, event: Event) -> None:
+        """Fire *event* right now, making its waiters runnable."""
+        waiters = event.static_sensitive + event.dynamic_waiters
+        event.dynamic_waiters = []
+        for proc in waiters:
+            if proc._triggered(event):
+                self._make_runnable(proc, event)
+
+    def _make_runnable(self, proc: Process, trigger: Optional[Event]) -> None:
+        if proc.terminated or id(proc) in self._runnable_ids:
+            return
+        self._runnable_ids.add(id(proc))
+        self._runnable.append((proc, trigger))
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def elaborate(self) -> None:
+        """Resolve bindings and seed the initial evaluate phase."""
+        if self._elaborated:
+            return
+        for module in self.modules:
+            for port in module.ports:
+                port.signal()  # resolves or raises ElaborationError
+            module._resolve_deferred_sensitivity()
+        for module in self.modules:
+            module.end_of_elaboration()
+        for proc in self.processes:
+            if proc.kind == "thread" or not proc.dont_initialize:
+                self._make_runnable(proc, None)
+        self._elaborated = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def settle(self) -> int:
+        """Run delta cycles at the current time until quiescent.
+
+        Returns the number of delta cycles executed.  This is the
+        zero-time settlement used by ``driver_simulate`` to react to
+        externally injected port writes without advancing the clock.
+        """
+        self.elaborate()
+        deltas = 0
+        while self._runnable or self._update_queue or self._delta_events:
+            self._one_delta()
+            deltas += 1
+            if deltas > self.max_deltas:
+                raise DeltaOverflowError(
+                    f"{self.name}: > {self.max_deltas} delta cycles at "
+                    f"time {self._now} (combinational loop?)"
+                )
+        return deltas
+
+    def run_until(self, t_end: int) -> None:
+        """Advance simulation, processing all events with time <= t_end.
+
+        On return ``now == t_end`` (unless :meth:`stop` was called).
+        """
+        self.elaborate()
+        if t_end < self._now:
+            raise SimulationError(
+                f"run_until({t_end}) is in the past (now={self._now})"
+            )
+        self._stop_requested = False
+        self._running = True
+        try:
+            while not self._stop_requested:
+                self.settle()
+                if self._stop_requested:
+                    break
+                entry = self._peek_timed()
+                if entry is None or entry[0] > t_end:
+                    break
+                self._advance_to(entry[0])
+            if not self._stop_requested and t_end > self._now:
+                self._now = t_end
+        finally:
+            self._running = False
+
+    def run(self, duration: Optional[int] = None) -> None:
+        """Run for *duration* picoseconds, or until no activity remains."""
+        if duration is not None:
+            self.run_until(self._now + duration)
+            return
+        self.elaborate()
+        self._stop_requested = False
+        self._running = True
+        try:
+            while not self._stop_requested:
+                self.settle()
+                if self._stop_requested:
+                    break
+                entry = self._peek_timed()
+                if entry is None:
+                    break
+                self._advance_to(entry[0])
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _one_delta(self) -> None:
+        """One evaluate / update / delta-notify sweep."""
+        self.delta_count += 1
+        # Evaluate phase.  Immediate notifications may extend the queue.
+        while self._runnable:
+            proc, trigger = self._runnable.popleft()
+            self._runnable_ids.discard(id(proc))
+            self.process_runs += 1
+            proc._run(trigger)
+        # Update phase.
+        updates = self._update_queue
+        self._update_queue = []
+        for signal in updates:
+            signal._update()
+        # Delta notification phase.
+        pending = self._delta_events
+        self._delta_events = []
+        for event in pending:
+            if event._pending_kind == _DELTA:
+                event._fired()
+                self._trigger_event(event)
+
+    def _peek_timed(self) -> Optional[Tuple[int, int, Event]]:
+        """Earliest live timed notification, skipping stale entries."""
+        queue = self._timed_queue
+        while queue:
+            when, seq, event = queue[0]
+            if event._pending_kind == _TIMED and event._pending_time == when:
+                return queue[0]
+            heapq.heappop(queue)  # stale (cancelled or superseded)
+        return None
+
+    def _advance_to(self, when: int) -> None:
+        """Advance time to *when* and fire every notification due then."""
+        self._now = when
+        queue = self._timed_queue
+        while queue and queue[0][0] == when:
+            _, _, event = heapq.heappop(queue)
+            if event._pending_kind == _TIMED and event._pending_time == when:
+                event._fired()
+                self._trigger_event(event)

@@ -1,0 +1,150 @@
+"""Hierarchical hardware modules (SystemC ``sc_module`` analogue).
+
+A module owns ports, child modules and processes.  Subclasses declare
+their structure in ``__init__`` and register behaviour with
+:meth:`Module.method` (combinational / clocked callbacks) and
+:meth:`Module.thread` (generator coroutines)::
+
+    class Counter(Module):
+        def __init__(self, sim, name):
+            super().__init__(sim, name)
+            self.clk = In(self, "clk")
+            self.count = Out(self, "count")
+            self._value = 0
+            self.method(self._tick, sensitive=[self.clk], edge="pos",
+                        dont_initialize=True)
+
+        def _tick(self):
+            self._value += 1
+            self.count.write(self._value)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Union
+
+from repro.errors import ElaborationError
+from repro.simkernel.events import Event
+from repro.simkernel.ports import In, Port
+from repro.simkernel.processes import METHOD, THREAD, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+Sensitive = Union[Event, In, "SignalLike"]
+
+
+class Module:
+    """Base class for all hardware modules."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        parent: Optional["Module"] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.children: List["Module"] = []
+        self.ports: List[Port] = []
+        self.processes: List[Process] = []
+        self._deferred_sensitivity: List[tuple] = []
+        if parent is not None:
+            parent.children.append(self)
+        sim._register_module(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.full_name}>"
+
+    @property
+    def full_name(self) -> str:
+        if self.parent is not None:
+            return f"{self.parent.full_name}.{self.name}"
+        return self.name
+
+    # ------------------------------------------------------------------
+    # Structure registration (called by Port/__init__)
+    # ------------------------------------------------------------------
+    def _register_port(self, port: Port) -> None:
+        self.ports.append(port)
+
+    # ------------------------------------------------------------------
+    # Process registration
+    # ------------------------------------------------------------------
+    def method(
+        self,
+        fn: Callable[[], None],
+        sensitive: Iterable[Sensitive] = (),
+        edge: str = "any",
+        dont_initialize: bool = False,
+        name: Optional[str] = None,
+    ) -> Process:
+        """Register *fn* as a method process.
+
+        ``sensitive`` entries may be events, ports or signals; ``edge``
+        selects which event of a port/signal is used ("any" for value
+        change, "pos"/"neg" for edges).
+        """
+        return self._spawn(METHOD, fn, sensitive, edge, dont_initialize, name)
+
+    def thread(
+        self,
+        fn: Callable[[], object],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Register the generator function *fn* as a thread process."""
+        return self._spawn(THREAD, fn, (), "any", False, name)
+
+    def _spawn(self, kind, fn, sensitive, edge, dont_initialize, name) -> Process:
+        events = [self._sensitivity_event(s, edge) for s in sensitive]
+        # Port sensitivity may need resolution after binding; ports that
+        # are not yet bound are deferred to elaboration.
+        pending = [s for s, e in zip(sensitive, events) if e is None]
+        resolved = [e for e in events if e is not None]
+        proc = Process(
+            self.sim,
+            self,
+            name or getattr(fn, "__name__", kind),
+            kind,
+            fn,
+            resolved,
+            dont_initialize=dont_initialize,
+        )
+        for spec in pending:
+            self._deferred_sensitivity.append((proc, spec, edge))
+        self.processes.append(proc)
+        return proc
+
+    def _sensitivity_event(self, spec: Sensitive, edge: str) -> Optional[Event]:
+        """Map a sensitivity spec to an Event, or None if deferred."""
+        if isinstance(spec, Event):
+            return spec
+        if isinstance(spec, Port) and not spec.is_bound:
+            return None  # resolved at elaboration
+        attr = {"any": "changed", "pos": "posedge", "neg": "negedge"}.get(edge)
+        if attr is None:
+            raise ElaborationError(f"unknown edge kind {edge!r}")
+        try:
+            return getattr(spec, attr)
+        except AttributeError:
+            raise ElaborationError(
+                f"{self.full_name}: cannot be sensitive to {spec!r}"
+            ) from None
+
+    def _resolve_deferred_sensitivity(self) -> None:
+        for proc, spec, edge in self._deferred_sensitivity:
+            event = self._sensitivity_event(spec, edge)
+            if event is None:
+                raise ElaborationError(
+                    f"{self.full_name}: unbound port in sensitivity list"
+                )
+            proc.static_sensitivity.append(event)
+            event.static_sensitive.append(proc)
+        self._deferred_sensitivity = []
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def end_of_elaboration(self) -> None:
+        """Called once after all ports are resolved; override freely."""

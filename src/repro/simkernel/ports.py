@@ -1,0 +1,123 @@
+"""Module ports and port binding.
+
+Ports decouple a module's interface from the signals wired to it.  A
+port may be bound to a :class:`~repro.simkernel.signals.Signal` or to a
+compatible port of the parent module; chains of port-to-port bindings
+are resolved to the underlying signal during elaboration, as in SystemC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from repro.errors import ElaborationError
+from repro.simkernel.events import Event
+from repro.simkernel.signals import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.module import Module
+
+
+class Port:
+    """Base class for input and output ports."""
+
+    direction = "inout"
+
+    def __init__(self, module: "Module", name: str) -> None:
+        self.module = module
+        self.name = name
+        self._bound_to: Optional[Union[Signal, "Port"]] = None
+        self._signal: Optional[Signal] = None
+        module._register_port(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.full_name}>"
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.module.full_name}.{self.name}"
+
+    @property
+    def is_bound(self) -> bool:
+        return self._bound_to is not None
+
+    def bind(self, target: Union[Signal, "Port"]) -> None:
+        """Bind this port to a signal or to another (parent-side) port."""
+        if self._bound_to is not None:
+            raise ElaborationError(f"port {self.full_name} is already bound")
+        if not isinstance(target, (Signal, Port)):
+            raise ElaborationError(
+                f"port {self.full_name}: cannot bind to {target!r}"
+            )
+        self._bound_to = target
+
+    def signal(self) -> Signal:
+        """The resolved signal (valid once elaborated or bound to a signal)."""
+        if self._signal is None:
+            self._resolve(set())
+        assert self._signal is not None
+        return self._signal
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def _resolve(self, visiting: set) -> Signal:
+        if self._signal is not None:
+            return self._signal
+        if id(self) in visiting:
+            raise ElaborationError(
+                f"port {self.full_name}: circular port binding"
+            )
+        visiting.add(id(self))
+        if self._bound_to is None:
+            raise ElaborationError(f"port {self.full_name} is not bound")
+        if isinstance(self._bound_to, Signal):
+            self._signal = self._bound_to
+        else:
+            self._signal = self._bound_to._resolve(visiting)
+        return self._signal
+
+
+class In(Port):
+    """Input port: read access plus edge/change events."""
+
+    direction = "in"
+
+    def read(self) -> Any:
+        return self.signal().read()
+
+    @property
+    def value(self) -> Any:
+        return self.signal().read()
+
+    @property
+    def changed(self) -> Event:
+        return self.signal().changed
+
+    @property
+    def posedge(self) -> Event:
+        return self.signal().posedge
+
+    @property
+    def negedge(self) -> Event:
+        return self.signal().negedge
+
+
+class Out(Port):
+    """Output port: write access (reads return the committed value)."""
+
+    direction = "out"
+
+    def write(self, value: Any) -> None:
+        self.signal().write(value)
+
+    def read(self) -> Any:
+        return self.signal().read()
+
+    @property
+    def value(self) -> Any:
+        return self.signal().read()
+
+    @property
+    def changed(self) -> Event:
+        return self.signal().changed

@@ -1,0 +1,150 @@
+"""Blocking channel primitives for thread processes.
+
+Analogues of SystemC's ``sc_fifo``, ``sc_mutex`` and ``sc_semaphore``.
+Blocking operations are generators intended to be delegated to from a
+thread process with ``yield from``::
+
+    def producer(self):
+        for item in data:
+            yield from self.fifo.put(item)
+
+Non-blocking variants (``try_put``/``try_get`` etc.) are ordinary
+methods usable from method processes as well.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+
+
+class SimFifo:
+    """A bounded FIFO channel between thread processes."""
+
+    def __init__(self, sim: "Simulator", name: str = "fifo",
+                 capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise SimulationError("fifo capacity must be positive")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self.data_written = Event(sim, f"{name}.data_written")
+        self.data_read = Event(sim, f"{name}.data_read")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def try_put(self, item: Any) -> bool:
+        """Append *item* if there is room; returns success."""
+        if self.is_full:
+            return False
+        self._items.append(item)
+        self.data_written.notify_delta()
+        return True
+
+    def try_get(self) -> Optional[Any]:
+        """Pop the head item, or None if empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self.data_read.notify_delta()
+        return item
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None
+
+    def put(self, item: Any):
+        """Blocking put (generator; use with ``yield from``)."""
+        while not self.try_put(item):
+            yield self.data_read
+
+    def get(self):
+        """Blocking get (generator; use with ``yield from``).
+
+        The gotten item is the generator's return value::
+
+            item = yield from fifo.get()
+        """
+        while True:
+            item = self.try_get()
+            if item is not None:
+                return item
+            yield self.data_written
+
+
+class SimMutex:
+    """A non-recursive mutex for thread processes."""
+
+    def __init__(self, sim: "Simulator", name: str = "mutex") -> None:
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self.released = Event(sim, f"{name}.released")
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def try_lock(self) -> bool:
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def lock(self):
+        """Blocking lock (generator; use with ``yield from``)."""
+        while not self.try_lock():
+            yield self.released
+
+    def unlock(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"mutex {self.name}: unlock while unlocked")
+        self._locked = False
+        self.released.notify_delta()
+
+
+class SimSemaphore:
+    """A counting semaphore for thread processes."""
+
+    def __init__(self, sim: "Simulator", name: str = "sem",
+                 initial: int = 0) -> None:
+        if initial < 0:
+            raise SimulationError("semaphore count cannot be negative")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self.posted = Event(sim, f"{name}.posted")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def try_wait(self) -> bool:
+        if self._count == 0:
+            return False
+        self._count -= 1
+        return True
+
+    def wait(self):
+        """Blocking wait (generator; use with ``yield from``)."""
+        while not self.try_wait():
+            yield self.posted
+
+    def post(self) -> None:
+        self._count += 1
+        self.posted.notify_delta()

@@ -1,0 +1,225 @@
+"""Simulation processes: method processes and thread processes.
+
+*Method processes* are plain callables re-invoked from scratch whenever
+an event in their static sensitivity list fires (SystemC ``SC_METHOD``).
+
+*Thread processes* are generator functions; the generator ``yield``\\ s a
+*wait specification* and is resumed when it is satisfied (SystemC
+``SC_THREAD`` with dynamic sensitivity).  Supported wait specifications:
+
+==========================  ==============================================
+``yield event``             wait for one :class:`~repro.simkernel.events.Event`
+``yield (ev1, ev2, ...)``   wait for *any* of several events
+``yield AllOf(ev1, ev2)``   wait for *all* of several events
+``yield 0``                 wait one delta cycle (``SC_ZERO_TIME``)
+``yield delay_ps``          wait *delay_ps* picoseconds (positive int)
+``yield Timeout(d, *evs)``  wait for any of *evs*, or at most *d* ps
+==========================  ==============================================
+
+The ``yield`` expression evaluates to the triggering
+:class:`~repro.simkernel.events.Event` (or ``None`` for pure time
+waits / timeout expiry), which is occasionally convenient and never
+required.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import SimulationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.kernel import Simulator
+    from repro.simkernel.module import Module
+
+METHOD = "method"
+THREAD = "thread"
+
+
+class AllOf:
+    """Wait specification: resume only when *all* events have fired."""
+
+    def __init__(self, *events: Event) -> None:
+        if not events:
+            raise ValueError("AllOf requires at least one event")
+        self.events: Sequence[Event] = tuple(events)
+
+
+class Timeout:
+    """Wait specification: any of *events*, or at most *delay_ps*."""
+
+    def __init__(self, delay_ps: int, *events: Event) -> None:
+        if delay_ps < 0:
+            raise ValueError("Timeout delay must be non-negative")
+        self.delay_ps = delay_ps
+        self.events: Sequence[Event] = tuple(events)
+
+
+class Process:
+    """Kernel-side record of a method or thread process."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        module: Optional["Module"],
+        name: str,
+        kind: str,
+        fn,
+        static_sensitivity: Iterable[Event] = (),
+        dont_initialize: bool = False,
+    ) -> None:
+        if kind not in (METHOD, THREAD):
+            raise ValueError(f"unknown process kind: {kind!r}")
+        self.sim = sim
+        self.module = module
+        self.name = name
+        self.kind = kind
+        self.fn = fn
+        self.dont_initialize = dont_initialize
+        self.static_sensitivity: List[Event] = list(static_sensitivity)
+        self.terminated = False
+        #: Statistics: number of activations.
+        self.activations = 0
+
+        # Thread-process state ------------------------------------------------
+        self._gen = None
+        self._waiting_any: Set[Event] = set()
+        self._waiting_all: Set[Event] = set()
+        self._timeout_event: Optional[Event] = None
+        self._started = False
+
+        for event in self.static_sensitivity:
+            event.static_sensitive.append(self)
+        sim._register_process(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.kind} {self.full_name}>"
+
+    @property
+    def full_name(self) -> str:
+        if self.module is not None:
+            return f"{self.module.full_name}.{self.name}"
+        return self.name
+
+    # ------------------------------------------------------------------
+    # Kernel callbacks
+    # ------------------------------------------------------------------
+    def _triggered(self, event: Optional[Event]) -> bool:
+        """An event this process waits on fired.  Return True if runnable.
+
+        For thread processes with dynamic sensitivity this also tears
+        down the remaining dynamic waits once the wait is satisfied.
+        """
+        if self.terminated:
+            return False
+        if self.kind == METHOD:
+            return True
+        if not self._started:
+            return True  # initial spawn
+        if event is not None and event in self._waiting_all:
+            self._waiting_all.discard(event)
+            if self._waiting_all:
+                return False  # still waiting for the rest
+            self._clear_dynamic_waits(satisfied_by=event)
+            return True
+        if event is None or event in self._waiting_any or event is self._timeout_event:
+            self._clear_dynamic_waits(satisfied_by=event)
+            return True
+        return False
+
+    def _run(self, trigger: Optional[Event]) -> None:
+        """Execute one activation (method call or thread resume)."""
+        if self.terminated:
+            return
+        self.activations += 1
+        if self.kind == METHOD:
+            self.fn()
+            return
+        if not self._started:
+            self._started = True
+            self._gen = self.fn()
+            if self._gen is None or not hasattr(self._gen, "send"):
+                # A plain function used as a thread: runs once and ends.
+                self.terminated = True
+                return
+            try:
+                spec = next(self._gen)
+            except StopIteration:
+                self.terminated = True
+                return
+        else:
+            try:
+                spec = self._gen.send(trigger)
+            except StopIteration:
+                self.terminated = True
+                return
+        self._arm_wait(spec)
+
+    # ------------------------------------------------------------------
+    # Dynamic sensitivity plumbing
+    # ------------------------------------------------------------------
+    def _arm_wait(self, spec) -> None:
+        if isinstance(spec, Event):
+            self._waiting_any = {spec}
+            spec.dynamic_waiters.append(self)
+        elif isinstance(spec, AllOf):
+            self._waiting_all = set(spec.events)
+            for event in spec.events:
+                event.dynamic_waiters.append(self)
+        elif isinstance(spec, Timeout):
+            self._waiting_any = set(spec.events)
+            for event in spec.events:
+                event.dynamic_waiters.append(self)
+            self._arm_timeout(spec.delay_ps)
+        elif isinstance(spec, int):
+            if spec < 0:
+                raise SimulationError(
+                    f"{self.full_name}: negative wait delay {spec}"
+                )
+            self._arm_timeout(spec)
+        elif isinstance(spec, (tuple, list, frozenset, set)):
+            events = list(spec)
+            if not events or not all(isinstance(e, Event) for e in events):
+                raise SimulationError(
+                    f"{self.full_name}: invalid wait-any specification {spec!r}"
+                )
+            self._waiting_any = set(events)
+            for event in events:
+                event.dynamic_waiters.append(self)
+        else:
+            raise SimulationError(
+                f"{self.full_name}: invalid wait specification {spec!r}"
+            )
+
+    def _arm_timeout(self, delay_ps: int) -> None:
+        if self._timeout_event is None:
+            self._timeout_event = Event(self.sim, f"{self.full_name}.timeout")
+        self._timeout_event.dynamic_waiters.append(self)
+        if delay_ps == 0:
+            self._timeout_event.notify_delta()
+        else:
+            self._timeout_event.notify(delay_ps)
+
+    def _clear_dynamic_waits(self, satisfied_by: Optional[Event]) -> None:
+        for event in self._waiting_any:
+            if event is not satisfied_by and self in event.dynamic_waiters:
+                event.dynamic_waiters.remove(self)
+        for event in self._waiting_all:
+            if event is not satisfied_by and self in event.dynamic_waiters:
+                event.dynamic_waiters.remove(self)
+        self._waiting_any = set()
+        self._waiting_all = set()
+        if self._timeout_event is not None:
+            if satisfied_by is not self._timeout_event:
+                if self in self._timeout_event.dynamic_waiters:
+                    self._timeout_event.dynamic_waiters.remove(self)
+                self._timeout_event.cancel()
+
+    def kill(self) -> None:
+        """Terminate the process; it will never run again."""
+        self.terminated = True
+        self._clear_dynamic_waits(satisfied_by=None)
+        if self._gen is not None:
+            self._gen.close()
+            self._gen = None

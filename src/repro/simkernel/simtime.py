@@ -1,0 +1,71 @@
+"""Simulation time representation.
+
+Time is an integer number of *picoseconds*, mirroring SystemC's default
+time resolution.  Using plain integers keeps arithmetic exact (no
+floating-point drift across billions of cycles) and cheap.
+
+Helpers convert from human units::
+
+    from repro.simkernel.simtime import ns, us
+
+    period = ns(10)          # 10 nanoseconds -> 10_000 ps
+    deadline = us(1) + ns(5)
+"""
+
+from __future__ import annotations
+
+#: Number of picoseconds per unit.
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+SEC = 1_000_000_000_000
+
+_UNIT_SUFFIXES = (
+    (SEC, "s"),
+    (MS, "ms"),
+    (US, "us"),
+    (NS, "ns"),
+    (PS, "ps"),
+)
+
+
+def ps(value: float) -> int:
+    """Return *value* picoseconds as an integer time."""
+    return round(value * PS)
+
+
+def ns(value: float) -> int:
+    """Return *value* nanoseconds as an integer time."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Return *value* microseconds as an integer time."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Return *value* milliseconds as an integer time."""
+    return round(value * MS)
+
+
+def sec(value: float) -> int:
+    """Return *value* seconds as an integer time."""
+    return round(value * SEC)
+
+
+def format_time(time_ps: int) -> str:
+    """Render an integer time with the largest unit that divides it evenly.
+
+    >>> format_time(10_000)
+    '10 ns'
+    >>> format_time(1_500)
+    '1500 ps'
+    """
+    if time_ps == 0:
+        return "0 ps"
+    for factor, suffix in _UNIT_SUFFIXES:
+        if time_ps % factor == 0 and abs(time_ps) >= factor:
+            return f"{time_ps // factor} {suffix}"
+    return f"{time_ps} ps"

@@ -1,0 +1,53 @@
+"""Remote IPC between the hardware simulator and the board.
+
+Three logical ports (DATA / INT / CLOCK, Section 5.1 of the paper) over
+three interchangeable carriers:
+
+* :class:`~repro.transport.inproc.InprocLink` — deterministic FIFOs,
+  for reproducible accuracy experiments and tests;
+* :class:`~repro.transport.queues.QueueLink` — thread-safe queues, for
+  two-thread wall-clock runs without socket overhead;
+* :mod:`repro.transport.tcp` — real localhost TCP, as in the paper.
+"""
+
+from repro.transport.channel import BoardEndpoint, LinkStats, MasterEndpoint
+from repro.transport.framing import decode, encode, frame_size
+from repro.transport.inproc import InprocLink
+from repro.transport.latency import CycleLatencyModel, WallCostModel
+from repro.transport.messages import (
+    CLOCK_PORT,
+    ClockGrant,
+    DATA_PORT,
+    DataRead,
+    DataReply,
+    DataWrite,
+    INT_PORT,
+    Interrupt,
+    TimeReport,
+)
+from repro.transport.queues import QueueLink
+from repro.transport.tcp import TcpLinkServer, connect_board
+
+__all__ = [
+    "BoardEndpoint",
+    "CLOCK_PORT",
+    "ClockGrant",
+    "CycleLatencyModel",
+    "DATA_PORT",
+    "DataRead",
+    "DataReply",
+    "DataWrite",
+    "INT_PORT",
+    "InprocLink",
+    "Interrupt",
+    "LinkStats",
+    "MasterEndpoint",
+    "QueueLink",
+    "TcpLinkServer",
+    "TimeReport",
+    "WallCostModel",
+    "connect_board",
+    "decode",
+    "encode",
+    "frame_size",
+]

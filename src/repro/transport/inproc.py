@@ -1,0 +1,122 @@
+"""Deterministic in-process link.
+
+All three ports are plain FIFOs inside one Python process; the
+co-simulation session interleaves master and board explicitly, so no OS
+threads and no real sockets are involved and every run is bit-for-bit
+reproducible.  DATA requests are served *synchronously* through a
+server callback installed by the session (the master's register file),
+mirroring the zero-time settlement of ``driver_simulate``.
+
+Message and byte counts are still accounted with the real wire codec so
+the modeled wall-clock cost of a run reflects genuine frame sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import TransportError
+from repro.transport.channel import BoardEndpoint, LinkStats, MasterEndpoint
+from repro.transport.messages import (
+    ClockGrant,
+    DataRead,
+    DataReply,
+    DataWrite,
+    Interrupt,
+    TimeReport,
+    Value,
+)
+
+DataServer = Callable[[str, int, Optional[Value]], Optional[Value]]
+
+
+class InprocLink:
+    """A deterministic three-port link; create then take both endpoints."""
+
+    def __init__(self) -> None:
+        self.stats = LinkStats()
+        self._grants: Deque[ClockGrant] = deque()
+        self._reports: Deque[TimeReport] = deque()
+        self._interrupts: Deque[Interrupt] = deque()
+        self._data_server: Optional[DataServer] = None
+        self.master = _InprocMaster(self)
+        self.board = _InprocBoard(self)
+
+    def install_data_server(self, server: DataServer) -> None:
+        """Route board DATA requests to *server*.
+
+        ``server("read", address, None)`` must return the value;
+        ``server("write", address, value)`` must apply the write.
+        """
+        self._data_server = server
+
+
+class _InprocMaster(MasterEndpoint):
+    def __init__(self, link: InprocLink) -> None:
+        self.link = link
+
+    def send_grant(self, grant: ClockGrant) -> None:
+        self.link.stats.account(grant, "clock")
+        self.link._grants.append(grant)
+
+    def recv_report(self, timeout: Optional[float] = None) -> Optional[TimeReport]:
+        if self.link._reports:
+            return self.link._reports.popleft()
+        return None
+
+    def send_interrupt(self, interrupt: Interrupt) -> None:
+        self.link.stats.account(interrupt, "int")
+        self.link._interrupts.append(interrupt)
+
+    def poll_data(self):
+        return None  # DATA requests are served synchronously by callback
+
+    def send_reply(self, seq: int, value: Value) -> None:
+        raise TransportError(
+            "in-process links serve DATA synchronously; send_reply unused"
+        )
+
+
+class _InprocBoard(BoardEndpoint):
+    def __init__(self, link: InprocLink) -> None:
+        self.link = link
+        self._data_seq = 0
+
+    def recv_grant(self, timeout: Optional[float] = None) -> Optional[ClockGrant]:
+        if self.link._grants:
+            return self.link._grants.popleft()
+        return None
+
+    def send_report(self, report: TimeReport) -> None:
+        self.link.stats.account(report, "clock")
+        self.link._reports.append(report)
+
+    def poll_interrupt(self) -> Optional[Interrupt]:
+        if self.link._interrupts:
+            return self.link._interrupts.popleft()
+        return None
+
+    def pending_interrupts(self) -> int:
+        return len(self.link._interrupts)
+
+    def data_read(self, address: int) -> Value:
+        server = self.link._data_server
+        if server is None:
+            raise TransportError("no DATA server installed on in-proc link")
+        self._data_seq += 1
+        self.link.stats.account(DataRead(self._data_seq, address), "data")
+        value = server("read", address, None)
+        assert value is not None
+        self.link.stats.account(DataReply(self._data_seq, value), "data")
+        return value
+
+    def data_write(self, address: int, value: Value) -> None:
+        server = self.link._data_server
+        if server is None:
+            raise TransportError("no DATA server installed on in-proc link")
+        self._data_seq += 1
+        self.link.stats.account(
+            DataWrite(self._data_seq, address, value), "data"
+        )
+        server("write", address, value)

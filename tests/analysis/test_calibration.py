@@ -1,0 +1,82 @@
+"""Tests for wall-cost calibration."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationSample,
+    calibrate,
+    fit_samples,
+    measure_samples,
+)
+from repro.errors import ReproError
+from repro.router.testbench import RouterWorkload
+
+
+def synthetic_samples(a=2e-4, b=3e-6, c=1e-5, noise=0.0):
+    """Samples generated from known constants."""
+    samples = []
+    for syncs, cycles, messages in [
+        (100, 1000, 50), (50, 2000, 80), (10, 5000, 120),
+        (200, 800, 40), (25, 3000, 90), (5, 10000, 200),
+    ]:
+        wall = a * syncs + b * cycles + c * messages
+        wall += noise * (syncs % 3 - 1)
+        samples.append(CalibrationSample(
+            t_sync=0, sync_exchanges=syncs, master_cycles=cycles,
+            messages=messages, wall_seconds=wall,
+        ))
+    return samples
+
+
+class TestFit:
+    def test_recovers_exact_constants(self):
+        result = fit_samples(synthetic_samples())
+        assert result.per_sync_exchange == pytest.approx(2e-4, rel=1e-6)
+        assert result.per_master_cycle == pytest.approx(3e-6, rel=1e-6)
+        assert result.per_message == pytest.approx(1e-5, rel=1e-6)
+        assert result.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_fit_still_close(self):
+        result = fit_samples(synthetic_samples(noise=1e-5))
+        assert result.per_sync_exchange == pytest.approx(2e-4, rel=0.05)
+        assert result.r_squared > 0.99
+
+    def test_prediction(self):
+        result = fit_samples(synthetic_samples())
+        expected = 2e-4 * 10 + 3e-6 * 100 + 1e-5 * 5
+        assert result.predict(10, 100, 5) == pytest.approx(expected,
+                                                           rel=1e-6)
+
+    def test_needs_three_samples(self):
+        with pytest.raises(ReproError):
+            fit_samples(synthetic_samples()[:2])
+
+    def test_to_wall_cost_model_clamps_and_zeroes(self):
+        result = fit_samples(synthetic_samples())
+        model = result.to_wall_cost_model()
+        assert model.per_sync_exchange == pytest.approx(2e-4, rel=1e-6)
+        assert model.per_byte == 0.0
+        assert model.per_state_switch == 0.0
+
+
+class TestMeasure:
+    def test_measure_samples_shape(self):
+        workload = RouterWorkload(packets_per_producer=2,
+                                  interval_cycles=150, corrupt_rate=0.0)
+        samples = measure_samples((50, 200), workload=workload, repeats=1)
+        assert len(samples) == 2
+        for sample in samples:
+            assert sample.wall_seconds > 0
+            assert sample.sync_exchanges > 0
+            assert sample.master_cycles > 0
+
+    def test_end_to_end_calibration(self):
+        workload = RouterWorkload(packets_per_producer=2,
+                                  interval_cycles=150, corrupt_rate=0.0)
+        result = calibrate((20, 60, 200), workload=workload, repeats=1)
+        assert len(result.samples) == 3
+        # Wall-clock noise means only sanity-level assertions here.
+        model = result.to_wall_cost_model()
+        assert model.per_sync_exchange >= 0.0
+        prediction = result.predict(100, 10_000, 50)
+        assert prediction >= 0.0

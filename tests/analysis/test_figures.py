@@ -1,0 +1,128 @@
+"""Fast, shrunken versions of the paper's figure harnesses.
+
+The benchmarks run the full-size experiments; here each figure function
+is exercised end-to-end on a small workload and its *shape claims* are
+asserted (linearity, monotonic overhead decline, the accuracy knee, the
+optimal-T_sync trade-off).
+"""
+
+import pytest
+
+from repro.analysis import (
+    expected_knee,
+    figure5_time_vs_packets,
+    figure6_overhead_ratio,
+    figure7_accuracy,
+    find_optimal_t_sync,
+    run_point,
+    sweep_t_sync,
+)
+from repro.router.testbench import RouterWorkload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    # Knee prediction: 8 * 200 / 4 = 400 cycles.
+    return RouterWorkload(packets_per_producer=8, interval_cycles=200,
+                          payload_size=16, corrupt_rate=0.0,
+                          buffer_capacity=8, seed=5)
+
+
+class TestSweep:
+    def test_run_point_fields(self, small_workload):
+        point = run_point(100, small_workload)
+        assert point.t_sync == 100
+        assert point.total_packets == small_workload.total_packets
+        assert point.accuracy == 1.0
+        assert point.modeled_wall_seconds > 0
+        assert point.wall_seconds is None
+        assert point.effective_wall_seconds == point.modeled_wall_seconds
+
+    def test_sweep_covers_all_values(self, small_workload):
+        points = sweep_t_sync([50, 200], small_workload)
+        assert [p.t_sync for p in points] == [50, 200]
+
+
+class TestFigure5:
+    def test_linear_in_packets_with_t_sync_ratio(self, small_workload):
+        result = figure5_time_vs_packets(
+            t_sync_values=(100, 400),
+            packet_counts=(8, 16, 24),
+            workload=small_workload,
+        )
+        # Linearity in N (the paper's first observation).
+        assert result.linearity_r2(100) > 0.98
+        assert result.linearity_r2(400) > 0.98
+        # Tighter sync is strictly slower (the paper's second).
+        for n in result.packet_counts:
+            assert result.seconds[100][n] > result.seconds[400][n]
+        assert result.time_ratio(100, 400, 16) > 1.5
+
+
+class TestFigure6:
+    def test_overhead_declines_monotonically(self, small_workload):
+        result = figure6_overhead_ratio(
+            t_sync_values=(20, 100, 500),
+            packet_counts=(16,),
+            workload=small_workload,
+        )
+        assert result.monotonically_decreasing(16)
+        assert result.ratios[16][20] > result.ratios[16][500] > 1.0
+
+    def test_curves_similar_across_packet_counts(self, small_workload):
+        result = figure6_overhead_ratio(
+            t_sync_values=(50, 200),
+            packet_counts=(8, 24),
+            workload=small_workload,
+        )
+        # "changing the amount of work done does not significantly
+        # change the rate at which the overhead decreases".
+        rate_small = result.ratios[8][50] / result.ratios[8][200]
+        rate_large = result.ratios[24][50] / result.ratios[24][200]
+        assert rate_small == pytest.approx(rate_large, rel=0.5)
+
+
+class TestFigure7:
+    def test_accuracy_knee_and_monotonicity(self, small_workload):
+        knee_prediction = expected_knee(small_workload)
+        result = figure7_accuracy(
+            t_sync_values=(100, 300, 1200, 3000),
+            packet_counts=(32,),
+            workload=small_workload,
+        )
+        assert result.monotonically_nonincreasing(32)
+        assert result.accuracy[32][100] == 1.0
+        assert result.accuracy[32][3000] < 1.0
+        knee = result.knee(32)
+        assert knee <= 4 * knee_prediction
+
+    def test_more_packets_marginally_worse(self, small_workload):
+        result = figure7_accuracy(
+            t_sync_values=(1200,),
+            packet_counts=(16, 64),
+            workload=small_workload,
+        )
+        assert result.accuracy[64][1200] <= result.accuracy[16][1200] + 0.05
+
+
+class TestOptimal:
+    def test_merit_tradeoff(self, small_workload):
+        result = find_optimal_t_sync(
+            t_sync_values=(50, 400, 1600, 4000),
+            workload=small_workload,
+        )
+        assert len(result.points) == 4
+        best = result.best
+        assert best.merit == max(p.merit for p in result.points)
+        # The optimum is never the slowest fully-synchronized point.
+        assert best.t_sync != 50
+
+    def test_best_in_range(self, small_workload):
+        result = find_optimal_t_sync(
+            t_sync_values=(50, 400, 1600),
+            workload=small_workload,
+        )
+        constrained = result.best_in_range(10, 500)
+        assert constrained is not None
+        assert constrained.t_sync in (50, 400)
+        assert result.best_in_range(99990, 99999) is None

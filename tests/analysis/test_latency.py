@@ -1,0 +1,70 @@
+"""Tests for the latency analysis module."""
+
+import pytest
+
+from repro.analysis import LatencyPoint, latency_vs_t_sync, percentile
+from repro.router.testbench import RouterWorkload
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7], 0.5) == 7.0
+        assert percentile([7], 1.0) == 7.0
+
+    def test_nearest_rank(self):
+        values = [10, 20, 30, 40, 50]
+        assert percentile(values, 0.5) == 30
+        assert percentile(values, 0.95) == 50
+        assert percentile(values, 0.01) == 10
+
+    def test_unsorted_input(self):
+        assert percentile([30, 10, 20], 0.5) == 20
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestLatencyPoint:
+    def test_from_samples(self):
+        point = LatencyPoint.from_samples(100, [10, 20, 30], accuracy=1.0)
+        assert point.samples == 3
+        assert point.mean == 20
+        assert point.p50 == 20
+        assert point.maximum == 30
+
+    def test_empty_samples(self):
+        point = LatencyPoint.from_samples(100, [], accuracy=0.0)
+        assert point.samples == 0
+        assert point.mean == 0.0
+
+
+class TestLatencyVsTSync:
+    @pytest.fixture(scope="class")
+    def points(self):
+        workload = RouterWorkload(packets_per_producer=10,
+                                  interval_cycles=300, corrupt_rate=0.0,
+                                  buffer_capacity=30, seed=4)
+        return latency_vs_t_sync((50, 500, 2000), workload=workload)
+
+    def test_one_point_per_value(self, points):
+        assert [p.t_sync for p in points] == [50, 500, 2000]
+
+    def test_latency_inflates_with_loose_sync(self, points):
+        means = [p.mean for p in points]
+        assert means[0] < means[-1]
+        p95s = [p.p95 for p in points]
+        assert p95s[0] < p95s[-1]
+
+    def test_tight_sync_latency_is_small(self, points):
+        # With near-cycle coupling the service loop finishes within a
+        # few windows of the arrival.
+        assert points[0].mean < 500
+
+    def test_loose_window_bounds_latency(self, points):
+        # A packet can wait at most a few windows end to end.
+        loose = points[-1]
+        assert loose.maximum <= 6 * 2000

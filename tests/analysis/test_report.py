@@ -1,0 +1,57 @@
+"""Tests for report rendering helpers."""
+
+import pytest
+
+from repro.analysis import (
+    format_float,
+    format_percent,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        table = format_table(["name", "value"],
+                             [["alpha", 1], ["b", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+        # Columns line up: every row has the same width.
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert table.splitlines()[0] == "a"
+
+
+class TestFormatSeries:
+    def test_bars_scale_with_values(self):
+        text = format_series("title", [1, 2], [1.0, 2.0],
+                             x_label="t", y_label="v", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert lines[-1].count("#") > lines[-2].count("#")
+
+    def test_empty_series(self):
+        text = format_series("t", [], [])
+        assert "t" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            format_series("t", [1], [])
+
+    def test_zero_values_have_no_bar(self):
+        text = format_series("t", [1], [0.0])
+        assert "#" not in text.splitlines()[-1]
+
+
+class TestScalars:
+    def test_format_float(self):
+        assert format_float(1.23456) == "1.235"
+        assert format_float(1.2, digits=1) == "1.2"
+
+    def test_format_percent(self):
+        assert format_percent(0.5) == "50.0%"
+        assert format_percent(1.0, digits=0) == "100%"

@@ -1,0 +1,98 @@
+"""Tests for the assembled board and hardware timer."""
+
+import pytest
+
+from repro.board import (
+    Board,
+    BoardConfig,
+    BusError,
+    CpuModel,
+    TIMER_BASE,
+    WorkModel,
+)
+from repro.board.timer import (
+    REG_COUNTER_LO,
+    REG_HW_TICKS,
+    REG_PERIOD,
+    REG_SW_TICKS,
+)
+from repro.errors import ReproError
+from repro.rtos import CpuWork
+
+
+class TestBoardAssembly:
+    def test_memory_map(self):
+        board = Board()
+        names = [r.name for r in board.bus.regions]
+        assert names == ["ram", "timer"]
+
+    def test_ram_usable_through_bus(self):
+        board = Board()
+        board.bus.store(0x100, 0xCAFE)
+        assert board.bus.load(0x100) == 0xCAFE
+
+    def test_uptime_tracks_cycles(self):
+        board = Board()
+        board.kernel.run_ticks(10)
+        expected = board.kernel.cycles / board.config.cpu.frequency_hz
+        assert board.uptime_seconds() == pytest.approx(expected)
+        assert board.cycles == board.kernel.cycles
+        assert board.sw_ticks == 10
+
+
+class TestHardwareTimer:
+    def test_counter_tracks_kernel_cycles(self):
+        board = Board()
+
+        def worker():
+            yield CpuWork(2500)
+
+        board.kernel.create_thread("w", worker, priority=10)
+        board.kernel.run_ticks(5)
+        counter = board.bus.load(TIMER_BASE + REG_COUNTER_LO)
+        assert counter == board.kernel.cycles & 0xFFFFFFFF
+
+    def test_tick_registers(self):
+        board = Board()
+        board.kernel.run_ticks(7)
+        assert board.bus.load(TIMER_BASE + REG_HW_TICKS) == 7
+        assert board.bus.load(TIMER_BASE + REG_SW_TICKS) == 7
+        assert (board.bus.load(TIMER_BASE + REG_PERIOD)
+                == board.config.rtos.cycles_per_hw_tick)
+
+    def test_timer_is_read_only(self):
+        board = Board()
+        with pytest.raises(BusError, match="read-only"):
+            board.bus.store(TIMER_BASE, 0)
+
+    def test_bad_register_offset(self):
+        board = Board()
+        with pytest.raises(BusError):
+            board.bus.load(TIMER_BASE + 0x11)
+
+
+class TestModels:
+    def test_cpu_model_conversions(self):
+        cpu = CpuModel(frequency_hz=100_000_000)
+        assert cpu.cycles_to_seconds(100_000_000) == pytest.approx(1.0)
+        assert cpu.seconds_to_cycles(0.5) == 50_000_000
+
+    def test_cpu_model_validation(self):
+        with pytest.raises(ReproError):
+            CpuModel(frequency_hz=0)
+
+    def test_work_model_costs(self):
+        work = WorkModel(checksum_cycles_per_byte=8,
+                         driver_setup_cycles=40,
+                         copy_cycles_per_byte=2)
+        assert work.checksum_cost(10) == 40 + 80
+        assert work.copy_cost(10) == 20
+
+    def test_work_model_validation(self):
+        with pytest.raises(ReproError):
+            WorkModel(checksum_cycles_per_byte=-1)
+
+    def test_board_config_defaults(self):
+        config = BoardConfig()
+        assert config.ram_size > 0
+        assert config.rtos.cycles_per_hw_tick > 0

@@ -1,0 +1,55 @@
+"""Tests for the bus address decoder."""
+
+import pytest
+
+from repro.board import Bus, BusError, Memory
+
+
+class TestDecode:
+    def test_routing_to_regions(self):
+        bus = Bus()
+        low = Memory(16, base=0)
+        high = Memory(16, base=0x100)
+        bus.map_region("low", 0, 16, low)
+        bus.map_region("high", 0x100, 16, high)
+        bus.store(0x4, 1)
+        bus.store(0x104, 2)
+        assert low.load(0x4) == 1
+        assert high.load(0x104) == 2
+        assert bus.load(0x104) == 2
+
+    def test_unmapped_access_raises(self):
+        bus = Bus()
+        with pytest.raises(BusError, match="unmapped"):
+            bus.load(0x42)
+
+    def test_overlapping_regions_rejected(self):
+        bus = Bus()
+        bus.map_region("a", 0, 32, Memory(32))
+        with pytest.raises(BusError, match="overlaps"):
+            bus.map_region("b", 16, 32, Memory(32, base=16))
+
+    def test_adjacent_regions_allowed(self):
+        bus = Bus()
+        bus.map_region("a", 0, 16, Memory(16))
+        bus.map_region("b", 16, 16, Memory(16, base=16))
+        assert len(bus.regions) == 2
+
+    def test_invalid_region_size(self):
+        bus = Bus()
+        with pytest.raises(BusError):
+            bus.map_region("bad", 0, 0, None)
+
+    def test_region_lookup(self):
+        bus = Bus()
+        bus.map_region("a", 0x10, 0x10, Memory(16, base=0x10))
+        region = bus.region_for(0x18)
+        assert region.name == "a"
+        assert region.end == 0x20
+
+    def test_access_counter(self):
+        bus = Bus()
+        bus.map_region("a", 0, 16, Memory(16))
+        bus.load(0)
+        bus.store(4, 9)
+        assert bus.accesses == 2

@@ -1,0 +1,81 @@
+"""Tests for the board RAM model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.board import Memory, MemoryError_
+
+
+class TestAccess:
+    def test_word_roundtrip(self):
+        mem = Memory(64)
+        mem.store(0, 0xDEADBEEF)
+        assert mem.load(0) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        mem = Memory(8)
+        mem.store(0, 0x11223344)
+        assert mem.load_bytes(0, 4) == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_byte_and_halfword(self):
+        mem = Memory(8)
+        mem.store(0, 0xAB, width=1)
+        mem.store(2, 0x1234, width=2)
+        assert mem.load(0, width=1) == 0xAB
+        assert mem.load(2, width=2) == 0x1234
+
+    def test_value_masked_to_width(self):
+        mem = Memory(8)
+        mem.store(0, 0x1FF, width=1)
+        assert mem.load(0, width=1) == 0xFF
+
+    def test_base_offset(self):
+        mem = Memory(16, base=0x1000)
+        mem.store(0x1004, 99)
+        assert mem.load(0x1004) == 99
+        with pytest.raises(MemoryError_):
+            mem.load(0)
+
+    def test_bounds_checks(self):
+        mem = Memory(8)
+        with pytest.raises(MemoryError_):
+            mem.load(8)
+        with pytest.raises(MemoryError_):
+            mem.load(6, width=4)
+        with pytest.raises(MemoryError_):
+            mem.store(-1, 0)
+
+    def test_bytes_roundtrip(self):
+        mem = Memory(32)
+        mem.store_bytes(4, b"hello")
+        assert mem.load_bytes(4, 5) == b"hello"
+
+    def test_fill(self):
+        mem = Memory(4)
+        mem.fill(0xAA)
+        assert mem.load_bytes(0, 4) == b"\xaa" * 4
+
+    def test_access_counters(self):
+        mem = Memory(8)
+        mem.store(0, 1)
+        mem.load(0)
+        assert mem.reads == 1 and mem.writes == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(MemoryError_):
+            Memory(0)
+
+    @given(st.integers(min_value=0, max_value=60),
+           st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_word_roundtrip_property(self, address, value):
+        mem = Memory(64)
+        mem.store(address, value)
+        assert mem.load(address) == value
+
+    @given(st.binary(min_size=0, max_size=32),
+           st.integers(min_value=0, max_value=32))
+    def test_bytes_roundtrip_property(self, data, offset):
+        mem = Memory(64)
+        mem.store_bytes(offset, data)
+        assert mem.load_bytes(offset, len(data)) == data

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.board.board import BoardConfig
+from repro.cosim.config import CosimConfig
+from repro.router.testbench import RouterWorkload
+from repro.rtos.config import RtosConfig
+
+
+@pytest.fixture
+def rtos_config():
+    """A small, fast RTOS configuration for kernel tests."""
+    return RtosConfig(
+        cycles_per_hw_tick=1000,
+        timeslice_ticks=5,
+        timer_isr_cycles=20,
+        context_switch_cycles=10,
+        isr_entry_cycles=15,
+        dsr_cycles=25,
+    )
+
+
+@pytest.fixture
+def tiny_workload():
+    """A small router workload that completes in well under a second."""
+    return RouterWorkload(
+        packets_per_producer=5,
+        interval_cycles=200,
+        payload_size=16,
+        corrupt_rate=0.2,
+        buffer_capacity=20,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def cosim_config():
+    return CosimConfig(t_sync=100)
+
+
+@pytest.fixture
+def board_config():
+    return BoardConfig()

@@ -1,0 +1,74 @@
+"""Tests for CosimConfig validation and CosimMetrics arithmetic."""
+
+import pytest
+
+from repro.cosim import CosimConfig, CosimMetrics
+from repro.errors import ProtocolError
+from repro.transport import LinkStats, WallCostModel
+from repro.transport.messages import ClockGrant, Interrupt
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = CosimConfig()
+        assert config.t_sync > 0
+        assert config.clock_period_ps > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(t_sync=0),
+        dict(t_sync=-5),
+        dict(clock_period_ps=0),
+        dict(max_windows=0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ProtocolError):
+            CosimConfig(**kwargs)
+
+
+class TestMetrics:
+    def test_absorb_link_stats(self):
+        stats = LinkStats()
+        stats.account(ClockGrant(seq=1, ticks=1), "clock")
+        stats.account(Interrupt(vector=1, master_cycle=1), "int")
+        metrics = CosimMetrics()
+        metrics.absorb_link_stats(stats)
+        assert metrics.messages_total == 2
+        assert metrics.int_packets == 1
+        assert metrics.bytes_total == stats.bytes_sent
+
+    def test_modeled_wall_seconds(self):
+        metrics = CosimMetrics(sync_exchanges=10, master_cycles=1000)
+        metrics.messages_total = 20
+        metrics.bytes_total = 500
+        metrics.board_ticks = 1000
+        metrics.state_switches = 20
+        model = WallCostModel()
+        metrics.finish_modeled(model)
+        expected = model.estimate(10, 20, 500, 1000, 1000, 20)
+        assert metrics.modeled_wall_seconds == pytest.approx(expected)
+
+    def test_effective_wall_prefers_measured(self):
+        metrics = CosimMetrics()
+        metrics.modeled_wall_seconds = 5.0
+        assert metrics.effective_wall_seconds == 5.0
+        metrics.wall_seconds = 2.0
+        assert metrics.effective_wall_seconds == 2.0
+
+    def test_overhead_ratio(self):
+        metrics = CosimMetrics()
+        metrics.wall_seconds = 8.0
+        assert metrics.overhead_ratio(2.0) == 4.0
+        with pytest.raises(ValueError):
+            metrics.overhead_ratio(0.0)
+
+    def test_syncs_per_kilocycle(self):
+        metrics = CosimMetrics(sync_exchanges=5, master_cycles=1000)
+        assert metrics.syncs_per_kilocycle() == 5.0
+        assert CosimMetrics().syncs_per_kilocycle() == 0.0
+
+    def test_summary_readable(self):
+        metrics = CosimMetrics(t_sync=100, windows=3)
+        metrics.modeled_wall_seconds = 0.5
+        text = metrics.summary()
+        assert "T_sync=100" in text
+        assert "modeled" in text

@@ -1,0 +1,146 @@
+"""Tests for multi-board co-simulation."""
+
+import pytest
+
+from repro.board import Board
+from repro.cosim import (
+    BoardSlot,
+    CosimBoardRuntime,
+    CosimConfig,
+    CosimMaster,
+    MultiBoardInprocSession,
+    build_driver_sim,
+)
+from repro.devices import (
+    AcceleratorDriver,
+    ChecksumAccelerator,
+    GpioBank,
+    GpioDriver,
+)
+from repro.errors import ProtocolError
+from repro.router.checksum import checksum16
+from repro.transport import InprocLink
+
+ACCEL_BASE, GPIO_BASE = 0x10, 0x30
+ACCEL_VECTOR, GPIO_VECTOR = 2, 4
+
+
+class Rig:
+    """One shared hardware model, two boards: board A drives the
+    accelerator, board B watches the GPIO bank."""
+
+    def __init__(self, t_sync=25):
+        self.config = CosimConfig(t_sync=t_sync)
+        self.sim, self.clock = build_driver_sim("multi_hw",
+                                                config=self.config)
+        self.accel = ChecksumAccelerator(self.sim, "accel", self.clock)
+        self.gpio = GpioBank(self.sim, "gpio", self.clock, width=8)
+        self.accel.map_registers(self.sim, ACCEL_BASE)
+        self.gpio.map_registers(self.sim, GPIO_BASE)
+
+        self.link_a = InprocLink()
+        self.link_b = InprocLink()
+        self.master = CosimMaster(self.sim, self.clock, self.link_a.master,
+                                  self.config)
+        self.master.bind_interrupt(ACCEL_VECTOR, self.accel.done_irq,
+                                   endpoint=self.link_a.master)
+        self.master.bind_interrupt(GPIO_VECTOR, self.gpio.irq,
+                                   endpoint=self.link_b.master)
+        self.link_a.install_data_server(self.master.serve_data)
+        self.link_b.install_data_server(self.master.serve_data)
+
+        self.board_a = Board(name="board_a")
+        self.board_b = Board(name="board_b")
+        latency = self.config.latency
+        self.accel_driver = AcceleratorDriver(
+            self.board_a.kernel, self.link_a.board, latency,
+            vector=ACCEL_VECTOR, base=ACCEL_BASE)
+        self.gpio_driver = GpioDriver(
+            self.board_b.kernel, self.link_b.board, latency,
+            vector=GPIO_VECTOR, base=GPIO_BASE)
+        self.slot_a = BoardSlot(
+            "a", self.link_a,
+            CosimBoardRuntime(self.board_a, self.link_a.board, self.config))
+        self.slot_b = BoardSlot(
+            "b", self.link_b,
+            CosimBoardRuntime(self.board_b, self.link_b.board, self.config))
+        self.session = MultiBoardInprocSession(
+            self.master, [self.slot_a, self.slot_b], self.config)
+
+
+@pytest.fixture
+def rig():
+    return Rig()
+
+
+class TestMultiBoard:
+    def test_both_boards_advance_in_lockstep(self, rig):
+        metrics = rig.session.run(max_cycles=100)
+        assert rig.session.aligned()
+        assert rig.board_a.kernel.sw_ticks == 100
+        assert rig.board_b.kernel.sw_ticks == 100
+        assert metrics.windows == 4
+
+    def test_apps_on_different_boards_share_the_hardware(self, rig):
+        results = {}
+
+        def app_a():
+            value = yield from rig.accel_driver.checksum([b"cross"],
+                                                         wait_irq=True)
+            results["csum"] = value
+
+        def app_b():
+            yield from rig.gpio_driver.configure(direction_mask=0,
+                                                 irq_enable_mask=0xFF)
+            results["edges"] = (yield from rig.gpio_driver.wait_edges())
+
+        thread_a = rig.board_a.kernel.create_thread("a", app_a, 10)
+        thread_b = rig.board_b.kernel.create_thread("b", app_b, 10)
+        # Let both apps run a little, then fire the GPIO edge.
+        rig.session.run(max_cycles=75)
+        rig.gpio.drive_inputs(0x04)
+        rig.sim.settle()
+        rig.session.run(
+            max_cycles=1000,
+            done=lambda: not thread_a.alive and not thread_b.alive,
+        )
+        assert results["csum"] == checksum16(b"cross")
+        assert results["edges"] == 0x04
+        assert rig.session.aligned()
+
+    def test_interrupts_route_to_owning_board_only(self, rig):
+        def app_a():
+            yield from rig.accel_driver.checksum([b"x"], wait_irq=True)
+
+        thread_a = rig.board_a.kernel.create_thread("a", app_a, 10)
+        rig.session.run(max_cycles=1000,
+                        done=lambda: not thread_a.alive)
+        accel_vec = rig.board_a.kernel.interrupts._vectors[ACCEL_VECTOR]
+        gpio_vec = rig.board_b.kernel.interrupts._vectors[GPIO_VECTOR]
+        assert accel_vec.isr_count == 1
+        assert gpio_vec.isr_count == 0
+
+    def test_metrics_aggregate_both_links(self, rig):
+        def app_a():
+            yield from rig.accel_driver.checksum([b"x"], wait_irq=False)
+
+        thread_a = rig.board_a.kernel.create_thread("a", app_a, 10)
+        metrics = rig.session.run(max_cycles=200,
+                                  done=lambda: not thread_a.alive)
+        # Clock traffic goes to both boards each window.
+        assert metrics.messages_total > 2 * metrics.windows
+        assert metrics.board_cycles > 0
+        assert metrics.state_switches >= 2 * 2 * metrics.windows
+
+    def test_empty_slot_list_rejected(self, rig):
+        with pytest.raises(ProtocolError, match="needs boards"):
+            MultiBoardInprocSession(rig.master, [], rig.config)
+
+    def test_duplicate_names_rejected(self, rig):
+        with pytest.raises(ProtocolError, match="duplicate"):
+            MultiBoardInprocSession(rig.master,
+                                    [rig.slot_a, rig.slot_a], rig.config)
+
+    def test_needs_bound(self, rig):
+        with pytest.raises(ProtocolError):
+            rig.session.run()

@@ -1,0 +1,88 @@
+"""Tests for virtual-tick protocol invariants."""
+
+import pytest
+
+from repro.cosim.protocol import (
+    BoardProtocol,
+    MasterProtocol,
+    is_shutdown,
+    make_shutdown,
+)
+from repro.errors import ProtocolError
+from repro.transport import ClockGrant, TimeReport
+
+
+class TestMasterProtocol:
+    def test_grant_sequence_increments(self):
+        protocol = MasterProtocol()
+        g1 = protocol.make_grant(10)
+        g2 = protocol.make_grant(20)
+        assert (g1.seq, g2.seq) == (1, 2)
+        assert protocol.ticks_granted == 30
+        assert protocol.history == [10, 20]
+
+    def test_zero_grant_rejected(self):
+        with pytest.raises(ProtocolError):
+            MasterProtocol().make_grant(0)
+
+    def test_aligned_report_accepted(self):
+        protocol = MasterProtocol()
+        protocol.make_grant(10)
+        protocol.check_report(TimeReport(seq=1, board_ticks=10),
+                              master_cycles=10)
+        assert protocol.exchanges == 1
+
+    def test_out_of_order_report_rejected(self):
+        protocol = MasterProtocol()
+        protocol.make_grant(10)
+        with pytest.raises(ProtocolError, match="out of order"):
+            protocol.check_report(TimeReport(seq=5, board_ticks=10), 10)
+
+    def test_board_divergence_detected(self):
+        protocol = MasterProtocol()
+        protocol.make_grant(10)
+        with pytest.raises(ProtocolError, match="divergence"):
+            protocol.check_report(TimeReport(seq=1, board_ticks=9), 10)
+
+    def test_master_clock_divergence_detected(self):
+        protocol = MasterProtocol()
+        protocol.make_grant(10)
+        with pytest.raises(ProtocolError, match="master clock"):
+            protocol.check_report(TimeReport(seq=1, board_ticks=10), 11)
+
+
+class TestBoardProtocol:
+    def test_accept_and_report(self):
+        protocol = BoardProtocol()
+        assert protocol.accept_grant(ClockGrant(seq=1, ticks=5)) == 5
+        report = protocol.make_report(5)
+        assert report == TimeReport(seq=1, board_ticks=5)
+
+    def test_out_of_order_grant_rejected(self):
+        protocol = BoardProtocol()
+        with pytest.raises(ProtocolError, match="out of order"):
+            protocol.accept_grant(ClockGrant(seq=2, ticks=5))
+
+    def test_duplicate_grant_rejected(self):
+        protocol = BoardProtocol()
+        protocol.accept_grant(ClockGrant(seq=1, ticks=5))
+        with pytest.raises(ProtocolError):
+            protocol.accept_grant(ClockGrant(seq=1, ticks=5))
+
+    def test_report_must_match_ticks_run(self):
+        protocol = BoardProtocol()
+        protocol.accept_grant(ClockGrant(seq=1, ticks=5))
+        with pytest.raises(ProtocolError):
+            protocol.make_report(4)
+
+    def test_nonpositive_grant_rejected(self):
+        protocol = BoardProtocol()
+        with pytest.raises(ProtocolError):
+            protocol.accept_grant(ClockGrant(seq=1, ticks=0))
+
+
+class TestShutdown:
+    def test_shutdown_roundtrip(self):
+        grant = make_shutdown(7)
+        assert is_shutdown(grant)
+        assert not is_shutdown(ClockGrant(seq=1, ticks=5))

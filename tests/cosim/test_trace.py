@@ -1,0 +1,87 @@
+"""Tests for protocol trace recording and CSV export."""
+
+import csv
+import io
+
+from repro.cosim import CosimConfig, ProtocolTrace, rows_to_csv
+from repro.cosim.adaptive import AdaptivePolicy
+from repro.router.testbench import RouterWorkload, build_router_cosim
+
+
+def run_traced(t_sync=100, adaptive=None, **workload_kwargs):
+    defaults = dict(packets_per_producer=4, interval_cycles=200,
+                    corrupt_rate=0.0, seed=6)
+    defaults.update(workload_kwargs)
+    cosim = build_router_cosim(CosimConfig(t_sync=t_sync),
+                               RouterWorkload(**defaults),
+                               adaptive=adaptive)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+    metrics = cosim.run()
+    return cosim, metrics, trace
+
+
+class TestRecording:
+    def test_one_record_per_window(self):
+        cosim, metrics, trace = run_traced()
+        assert len(trace) == metrics.windows
+        assert trace.consistent()
+
+    def test_cumulative_counters_match_metrics(self):
+        cosim, metrics, trace = run_traced()
+        last = trace.records[-1]
+        assert last.master_cycles == metrics.master_cycles
+        assert last.board_ticks == metrics.board_ticks
+        assert trace.total_interrupts() == metrics.int_packets
+
+    def test_window_traffic_attribution(self):
+        cosim, metrics, trace = run_traced()
+        assert sum(r.data_messages for r in trace.records) \
+            == metrics.data_messages
+        assert trace.active_windows() >= 1
+        assert trace.active_windows() <= len(trace)
+
+    def test_adaptive_trace_shows_varying_windows(self):
+        policy = AdaptivePolicy(min_t_sync=50, max_t_sync=1600,
+                                initial_t_sync=200)
+        cosim, metrics, trace = run_traced(
+            t_sync=200, adaptive=policy,
+            burst_size=4, burst_gap_cycles=5000,
+        )
+        sizes = set(trace.window_sizes())
+        assert len(sizes) > 1
+        assert trace.consistent()
+
+    def test_no_trace_attached_is_fine(self):
+        cosim = build_router_cosim(
+            CosimConfig(t_sync=100),
+            RouterWorkload(packets_per_producer=2, interval_cycles=200),
+        )
+        cosim.run()  # no attach_trace: must not fail
+
+
+class TestCsvExport:
+    def test_trace_csv_roundtrip(self, tmp_path):
+        cosim, metrics, trace = run_traced()
+        path = tmp_path / "trace.csv"
+        trace.to_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(trace.records[0].FIELDS)
+        assert len(rows) == len(trace) + 1
+        assert int(rows[-1][2]) == metrics.master_cycles
+
+    def test_trace_csv_to_stream(self):
+        cosim, metrics, trace = run_traced()
+        buffer = io.StringIO()
+        trace.to_csv(buffer)
+        assert buffer.getvalue().startswith("index,ticks,")
+
+    def test_rows_to_csv_generic(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        rows_to_csv(str(path), ["t_sync", "accuracy"],
+                    [[100, 1.0], [5000, 0.6]])
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["t_sync", "accuracy"],
+                        ["100", "1.0"], ["5000", "0.6"]]

@@ -1,0 +1,93 @@
+"""Tests for the checksum accelerator peripheral."""
+
+import pytest
+
+from repro.cosim.master import build_driver_sim
+from repro.devices import ChecksumAccelerator
+from repro.devices.accelerator import REG_CSUM, REG_DATA, REG_FINISH
+from repro.router.checksum import checksum16
+
+
+@pytest.fixture
+def hw():
+    sim, clock = build_driver_sim("accel_unit")
+    accel = ChecksumAccelerator(sim, "accel", clock)
+    accel.map_registers(sim, 0x10)
+    sim.elaborate()
+    sim.settle()
+    return sim, clock, accel
+
+
+class TestHardwareModel:
+    def test_single_chunk(self, hw):
+        sim, clock, accel = hw
+        sim.external_write(0x10 + REG_DATA, b"hello world")
+        sim.external_write(0x10 + REG_FINISH, 1)
+        assert sim.external_read(0x10 + REG_CSUM) == checksum16(b"hello world")
+
+    def test_streaming_matches_batch(self, hw):
+        sim, clock, accel = hw
+        data = bytes(range(100))
+        for start in range(0, len(data), 7):
+            sim.external_write(0x10 + REG_DATA, data[start:start + 7])
+        sim.external_write(0x10 + REG_FINISH, 1)
+        assert sim.external_read(0x10 + REG_CSUM) == checksum16(data)
+
+    def test_stream_resets_after_finish(self, hw):
+        sim, clock, accel = hw
+        sim.external_write(0x10 + REG_DATA, b"first")
+        sim.external_write(0x10 + REG_FINISH, 1)
+        sim.external_write(0x10 + REG_DATA, b"second")
+        sim.external_write(0x10 + REG_FINISH, 1)
+        assert sim.external_read(0x10 + REG_CSUM) == checksum16(b"second")
+        assert accel.checksums_computed == 2
+
+    def test_irq_pulses_on_finish(self, hw):
+        sim, clock, accel = hw
+        sim.external_write(0x10 + REG_DATA, b"x")
+        sim.external_write(0x10 + REG_FINISH, 1)
+        assert accel.done_irq.read()
+        sim.run_until(sim.now + clock.period)
+        assert not accel.done_irq.read()
+
+
+class TestDriverIntegration:
+    def test_checksum_via_driver_with_irq(self, rig):
+        results = []
+
+        def app():
+            value = yield from rig.accel_driver.checksum(
+                [b"abc", b"defgh"], wait_irq=True
+            )
+            results.append(value)
+
+        thread = rig.spawn(app)
+        rig.run(done=lambda: not thread.alive)
+        assert results == [checksum16(b"abcdefgh")]
+
+    def test_checksum_polling_mode(self, rig):
+        results = []
+
+        def app():
+            value = yield from rig.accel_driver.checksum(
+                [b"payload"], wait_irq=False
+            )
+            results.append(value)
+
+        thread = rig.spawn(app)
+        rig.run(done=lambda: not thread.alive)
+        assert results == [checksum16(b"payload")]
+
+    def test_count_ioctl(self, rig):
+        results = []
+
+        def app():
+            yield from rig.accel_driver.checksum([b"a"], wait_irq=False)
+            yield from rig.accel_driver.checksum([b"b"], wait_irq=False)
+            device = rig.board.kernel.devices.lookup("/dev/csum")
+            count = yield from device.ioctl("count")
+            results.append(count)
+
+        thread = rig.spawn(app)
+        rig.run(done=lambda: not thread.alive)
+        assert results == [2]

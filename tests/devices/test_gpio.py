@@ -1,0 +1,137 @@
+"""Tests for the GPIO bank."""
+
+import pytest
+
+from repro.cosim.master import build_driver_sim
+from repro.devices import GpioBank
+from repro.devices.gpio import (
+    REG_DIR,
+    REG_IN,
+    REG_IRQ_ACK,
+    REG_IRQ_EN,
+    REG_IRQ_PEND,
+    REG_OUT,
+)
+
+BASE = 0x30
+
+
+@pytest.fixture
+def hw():
+    sim, clock = build_driver_sim("gpio_unit")
+    gpio = GpioBank(sim, "gpio", clock, width=8)
+    gpio.map_registers(sim, BASE)
+    sim.elaborate()
+    sim.settle()
+    return sim, clock, gpio
+
+
+class TestPins:
+    def test_outputs_drive_pins(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_DIR, 0x0F)
+        sim.external_write(BASE + REG_OUT, 0x35)
+        assert gpio.pin_levels() == 0x05  # only the low nibble drives
+
+    def test_inputs_sample_environment(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_DIR, 0x0F)
+        gpio.drive_inputs(0xA0)
+        sim.settle()
+        assert sim.external_read(BASE + REG_IN) & 0xF0 == 0xA0
+
+    def test_direction_separates_in_out(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_DIR, 0x01)
+        sim.external_write(BASE + REG_OUT, 0x03)  # bit1 not an output
+        gpio.drive_inputs(0x02)
+        sim.settle()
+        assert gpio.pin_levels() == 0x03
+        assert sim.external_read(BASE + REG_IN) == 0x03
+
+    def test_width_validation(self):
+        sim, clock = build_driver_sim("gpio_bad")
+        with pytest.raises(ValueError):
+            GpioBank(sim, "g", clock, width=0)
+
+
+class TestEdgeInterrupts:
+    def test_enabled_rising_edge_sets_pending_and_irq(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_IRQ_EN, 0x02)
+        gpio.drive_inputs(0x02)
+        sim.settle()
+        assert gpio.irq.read()
+        assert sim.external_read(BASE + REG_IRQ_PEND) == 0x02
+
+    def test_disabled_edges_ignored(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_IRQ_EN, 0x01)
+        gpio.drive_inputs(0x02)
+        sim.settle()
+        assert not gpio.irq.read()
+        assert sim.external_read(BASE + REG_IRQ_PEND) == 0
+
+    def test_falling_edges_ignored(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_IRQ_EN, 0x02)
+        gpio.drive_inputs(0x02)
+        sim.settle()
+        sim.external_write(BASE + REG_IRQ_ACK, 0x02)
+        gpio.drive_inputs(0x00)
+        sim.settle()
+        assert sim.external_read(BASE + REG_IRQ_PEND) == 0
+
+    def test_ack_clears_pending(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_IRQ_EN, 0x06)
+        gpio.drive_inputs(0x06)
+        sim.settle()
+        sim.external_write(BASE + REG_IRQ_ACK, 0x02)
+        assert sim.external_read(BASE + REG_IRQ_PEND) == 0x04
+
+    def test_output_pins_never_interrupt(self, hw):
+        sim, clock, gpio = hw
+        sim.external_write(BASE + REG_DIR, 0x01)
+        sim.external_write(BASE + REG_IRQ_EN, 0x01)
+        gpio.drive_inputs(0x01)
+        sim.settle()
+        assert sim.external_read(BASE + REG_IRQ_PEND) == 0
+
+
+class TestDriverIntegration:
+    def test_configure_write_read(self, rig):
+        results = []
+
+        def app():
+            yield from rig.gpio_driver.configure(direction_mask=0x0F)
+            yield from rig.gpio_driver.write(0x05)
+            yield from rig.gpio_driver.set_pin(1, True)
+            levels = yield from rig.gpio_driver.read()
+            results.append(levels)
+
+        thread = rig.spawn(app)
+        rig.run(done=lambda: not thread.alive)
+        assert results == [0x07]
+        assert rig.gpio.pin_levels() == 0x07
+
+    def test_edge_wait_wakes_thread(self, rig):
+        events = []
+
+        def app():
+            yield from rig.gpio_driver.configure(direction_mask=0x00,
+                                                 irq_enable_mask=0xFF)
+            pending = yield from rig.gpio_driver.wait_edges()
+            events.append(pending)
+
+        thread = rig.spawn(app)
+        # Run a couple of windows so the configuration lands and the
+        # thread blocks, then fire a limit switch.
+        for _ in range(2):
+            rig.master.run_window_inproc(rig.config.t_sync)
+            rig.runtime.serve_window()
+            rig.master.finish_window_inproc(rig.link.master.recv_report())
+        rig.gpio.drive_inputs(0x10)
+        rig.sim.settle()
+        rig.run(done=lambda: not thread.alive)
+        assert events == [0x10]

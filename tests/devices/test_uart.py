@@ -1,0 +1,114 @@
+"""Tests for the virtual UART."""
+
+import pytest
+
+from repro.cosim.master import build_driver_sim
+from repro.devices import UartDevice
+from repro.devices.uart import (
+    REG_RXACK,
+    REG_RXDATA,
+    REG_STATUS,
+    REG_TXDATA,
+    STATUS_RX_READY,
+    STATUS_TX_FULL,
+)
+
+
+@pytest.fixture
+def hw():
+    sim, clock = build_driver_sim("uart_unit")
+    uart = UartDevice(sim, "uart", clock, tx_fifo_depth=4,
+                      cycles_per_char=3)
+    uart.map_registers(sim, 0x20)
+    sim.elaborate()
+    sim.settle()
+    return sim, clock, uart
+
+
+def run_cycles(sim, clock, n):
+    sim.run_until(sim.now + n * clock.period)
+
+
+class TestTxPath:
+    def test_characters_shift_out_at_char_rate(self, hw):
+        sim, clock, uart = hw
+        sim.external_write(0x20 + REG_TXDATA, b"ab")
+        run_cycles(sim, clock, 3)
+        assert uart.transmitted_bytes == b"a"
+        run_cycles(sim, clock, 3)
+        assert uart.transmitted_bytes == b"ab"
+
+    def test_fifo_overrun_counted(self, hw):
+        sim, clock, uart = hw
+        sim.external_write(0x20 + REG_TXDATA, b"123456")  # depth is 4
+        assert uart.tx_overruns == 2
+        status = sim.external_read(0x20 + REG_STATUS)
+        assert status & STATUS_TX_FULL
+
+    def test_status_reports_free_space(self, hw):
+        sim, clock, uart = hw
+        assert sim.external_read(0x20 + REG_STATUS) >> 8 == 4
+        sim.external_write(0x20 + REG_TXDATA, b"xy")
+        assert sim.external_read(0x20 + REG_STATUS) >> 8 == 2
+
+    def test_invalid_parameters(self):
+        sim, clock = build_driver_sim("uart_bad")
+        with pytest.raises(ValueError):
+            UartDevice(sim, "u", clock, tx_fifo_depth=0)
+
+
+class TestRxPath:
+    def test_receive_presents_head_byte(self, hw):
+        sim, clock, uart = hw
+        uart.receive_bytes(b"hi")
+        sim.settle()
+        assert sim.external_read(0x20 + REG_STATUS) & STATUS_RX_READY
+        assert sim.external_read(0x20 + REG_RXDATA) == b"h"
+        sim.external_write(0x20 + REG_RXACK, 1)
+        assert sim.external_read(0x20 + REG_RXDATA) == b"i"
+        sim.external_write(0x20 + REG_RXACK, 1)
+        assert not sim.external_read(0x20 + REG_STATUS) & STATUS_RX_READY
+
+    def test_rx_irq_pulses_on_first_byte(self, hw):
+        sim, clock, uart = hw
+        uart.receive_bytes(b"z")
+        sim.settle()
+        assert uart.rx_irq.read()
+        run_cycles(sim, clock, 1)
+        assert not uart.rx_irq.read()
+
+
+class TestDriverIntegration:
+    def test_write_respects_backpressure(self, rig):
+        message = b"The quick brown fox jumps over the lazy dog"
+        done = []
+
+        def app():
+            sent = yield from rig.uart_driver.write(message)
+            done.append(sent)
+
+        thread = rig.spawn(app)
+        rig.run(max_cycles=20_000, done=lambda: (
+            not thread.alive
+            and rig.uart.transmitted_bytes == message
+        ))
+        assert done == [len(message)]
+        assert rig.uart.transmitted_bytes == message
+        assert rig.uart.tx_overruns == 0
+
+    def test_blocking_read_wakes_on_rx_interrupt(self, rig):
+        received = []
+
+        def app():
+            data = yield from rig.uart_driver.read(count=3)
+            received.append(data)
+
+        thread = rig.spawn(app)
+        # Let the app block first, then inject characters mid-run.
+        rig.master.run_window_inproc(rig.config.t_sync)
+        rig.runtime.serve_window()
+        rig.master.finish_window_inproc(rig.link.master.recv_report())
+        rig.uart.receive_bytes(b"ok!")
+        rig.sim.settle()
+        rig.run(done=lambda: not thread.alive)
+        assert received == [b"ok!"]

@@ -1,0 +1,101 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.iss import assemble
+
+
+class TestParsing:
+    def test_basic_program(self):
+        program = assemble("""
+            ldi r1, 5
+            addi r1, r1, 2
+            halt
+        """)
+        assert len(program) == 3
+        assert program.instructions[0].op == "ldi"
+        assert program.instructions[0].imm == 5
+
+    def test_comments_stripped(self):
+        program = assemble("""
+            ; full-line comment
+            ldi r1, 1   ; trailing comment
+            # hash comment
+            halt        # another
+        """)
+        assert len(program) == 2
+
+    def test_labels_resolve_to_instruction_indices(self):
+        program = assemble("""
+            start:
+                ldi r1, 3
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                halt
+        """)
+        assert program.labels == {"start": 0, "loop": 1}
+        bne = program.instructions[2]
+        assert bne.imm == 1
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("top: ldi r1, 1\n jal r0, top\n halt")
+        assert program.labels["top"] == 0
+        assert program.instructions[1].imm == 0
+
+    def test_trailing_label(self):
+        program = assemble("""
+            jal r0, end
+            ldi r1, 1
+            end:
+        """)
+        assert program.labels["end"] == 2
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("ldi r1, 0xff\n addi r2, r1, -3\n halt")
+        assert program.instructions[0].imm == 0xFF
+        assert program.instructions[1].imm == -3
+
+    def test_memory_operands(self):
+        program = assemble("ld r1, 8(r2)\n st r1, -4(r3)\n halt")
+        ld, st_, _ = program.instructions
+        assert (ld.ra, ld.imm) == (2, 8)
+        assert (st_.ra, st_.rb, st_.imm) == (1, 3, -4)
+
+    def test_data_directives(self):
+        program = assemble("""
+            halt
+            .org 0x20
+            table: .word 1, 2, 3
+            bytes: .byte 0xde, 0xad
+        """)
+        assert program.data[0] == (0x20, (1).to_bytes(4, "little")
+                                   + (2).to_bytes(4, "little")
+                                   + (3).to_bytes(4, "little"))
+        assert program.data[1] == (0x2C, b"\xde\xad")
+
+    def test_data_labels_usable_as_immediates(self):
+        program = assemble("""
+            ldi r1, buf
+            halt
+            .org 0x40
+            buf: .space 8
+        """)
+        assert program.instructions[0].imm == 0x40
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,pattern", [
+        ("frobnicate r1, r2", "unknown opcode"),
+        ("add r1, r2", "expects 3 operands"),
+        ("ldi r99, 0", "out of range"),
+        ("ldi x1, 0", "expected register"),
+        ("jal r0, nowhere", "unknown label"),
+        ("ld r1, r2", "offset"),
+        ("1bad: halt", "bad label"),
+        ("dup: halt\ndup: halt", "duplicate label"),
+    ])
+    def test_bad_sources_rejected(self, source, pattern):
+        with pytest.raises(AssemblerError, match=pattern):
+            assemble(source)

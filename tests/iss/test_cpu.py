@@ -1,0 +1,159 @@
+"""Tests for the ISS core."""
+
+import pytest
+
+from repro.board import Memory
+from repro.errors import IssError
+from repro.iss import IssCpu, TimingModel, assemble
+
+
+def run(source, regs=None, memory=None):
+    cpu = IssCpu(assemble(source), memory or Memory(0x1000))
+    for index, value in (regs or {}).items():
+        cpu.write_reg(index, value)
+    cpu.run()
+    return cpu
+
+
+class TestAlu:
+    def test_arith(self):
+        cpu = run("add r3, r1, r2\n sub r4, r1, r2\n halt",
+                  regs={1: 10, 2: 3})
+        assert cpu.read_reg(3) == 13
+        assert cpu.read_reg(4) == 7
+
+    def test_wrapping(self):
+        cpu = run("add r3, r1, r2\n halt",
+                  regs={1: 0xFFFFFFFF, 2: 2})
+        assert cpu.read_reg(3) == 1
+
+    def test_logic(self):
+        cpu = run("and r3, r1, r2\n or r4, r1, r2\n xor r5, r1, r2\n halt",
+                  regs={1: 0b1100, 2: 0b1010})
+        assert cpu.read_reg(3) == 0b1000
+        assert cpu.read_reg(4) == 0b1110
+        assert cpu.read_reg(5) == 0b0110
+
+    def test_shifts(self):
+        cpu = run("shl r2, r1, 4\n shr r3, r1, 4\n sar r4, r1, 4\n halt",
+                  regs={1: 0x80000010})
+        assert cpu.read_reg(2) == 0x00000100
+        assert cpu.read_reg(3) == 0x08000001
+        assert cpu.read_reg(4) == 0xF8000001
+
+    def test_compare(self):
+        cpu = run("sltu r3, r1, r2\n slt r4, r1, r2\n halt",
+                  regs={1: 0xFFFFFFFF, 2: 1})
+        assert cpu.read_reg(3) == 0   # unsigned: max > 1
+        assert cpu.read_reg(4) == 1   # signed: -1 < 1
+
+    def test_r0_hardwired_to_zero(self):
+        cpu = run("ldi r0, 99\n mov r1, r0\n halt")
+        assert cpu.read_reg(0) == 0
+        assert cpu.read_reg(1) == 0
+
+
+class TestMemoryOps:
+    def test_word_load_store(self):
+        cpu = run("ldi r1, 0x100\n ldi r2, 0xCAFE\n st r2, 0(r1)\n"
+                  " ld r3, 0(r1)\n halt")
+        assert cpu.read_reg(3) == 0xCAFE
+
+    def test_byte_and_half(self):
+        cpu = run("ldi r1, 0x100\n ldi r2, 0x1234\n sth r2, 0(r1)\n"
+                  " ldb r3, 0(r1)\n ldb r4, 1(r1)\n halt")
+        assert cpu.read_reg(3) == 0x34  # little endian
+        assert cpu.read_reg(4) == 0x12
+
+    def test_data_image_preloaded(self):
+        cpu = run("""
+            ldi r1, table
+            ld  r2, 4(r1)
+            halt
+            .org 0x200
+            table: .word 10, 20, 30
+        """)
+        assert cpu.read_reg(2) == 20
+
+
+class TestControlFlow:
+    def test_countdown_loop(self):
+        cpu = run("""
+            ldi r1, 5
+            ldi r2, 0
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        assert cpu.read_reg(2) == 15
+
+    def test_jal_links_return_address(self):
+        cpu = run("""
+            jal r15, target
+            halt
+        target:
+            ldi r1, 7
+            jr r15
+        """)
+        assert cpu.read_reg(1) == 7
+        assert cpu.halted
+
+    def test_branch_variants(self):
+        cpu = run("""
+            ldi r1, 5
+            ldi r2, 5
+            beq r1, r2, eq_ok
+            ldi r9, 1
+        eq_ok:
+            bge r1, r2, ge_ok
+            ldi r9, 2
+        ge_ok:
+            halt
+        """)
+        assert cpu.read_reg(9) == 0
+
+
+class TestTimingAndErrors:
+    def test_cycle_accounting_with_branch_penalty(self):
+        timing = TimingModel()
+        cpu = IssCpu(assemble("ldi r1, 1\n beq r1, r1, skip\nskip: halt"),
+                     Memory(64), timing)
+        cpu.run()
+        expected = (timing.cycles["ldi"]
+                    + timing.cycles["beq"] + timing.branch_taken_penalty
+                    + timing.cycles["halt"])
+        assert cpu.cycles == expected
+
+    def test_untaken_branch_has_no_penalty(self):
+        timing = TimingModel()
+        cpu = IssCpu(assemble("bne r0, r0, skip\nskip: halt"),
+                     Memory(64), timing)
+        cpu.run()
+        assert cpu.cycles == timing.cycles["bne"] + timing.cycles["halt"]
+
+    def test_op_histogram(self):
+        cpu = run("ldi r1, 2\n ldi r2, 3\n add r3, r1, r2\n halt")
+        assert cpu.op_histogram == {"ldi": 2, "add": 1, "halt": 1}
+
+    def test_runaway_detection(self):
+        cpu = IssCpu(assemble("loop: jal r0, loop"), Memory(64))
+        with pytest.raises(IssError, match="did not halt"):
+            cpu.run(max_instructions=100)
+
+    def test_pc_out_of_range(self):
+        cpu = IssCpu(assemble("jr r1\n halt"), Memory(64))
+        cpu.write_reg(1, 99)
+        with pytest.raises(IssError, match="outside the program"):
+            cpu.run(max_instructions=10)
+
+    def test_step_after_halt_rejected(self):
+        cpu = IssCpu(assemble("halt"), Memory(64))
+        cpu.run()
+        with pytest.raises(IssError):
+            cpu.step()
+
+    def test_timing_model_validation(self):
+        with pytest.raises(IssError):
+            TimingModel(cycles={"add": 1})  # missing opcodes

@@ -1,0 +1,60 @@
+"""Tests for the bundled reference programs, with hypothesis checks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iss import run_checksum, run_fibonacci, run_memcpy
+from repro.router.checksum import checksum16
+
+
+class TestChecksumProgram:
+    def test_matches_reference_on_fixed_vectors(self):
+        for data in (b"", b"\x00", b"ab", b"hello world", bytes(range(256))):
+            value, _ = run_checksum(data)
+            assert value == checksum16(data)
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_property(self, data):
+        value, _ = run_checksum(data)
+        assert value == checksum16(data)
+
+    def test_cycles_grow_linearly_with_length(self):
+        _, c64 = run_checksum(bytes(64))
+        _, c128 = run_checksum(bytes(128))
+        _, c256 = run_checksum(bytes(256))
+        slope1 = (c128 - c64) / 64
+        slope2 = (c256 - c128) / 128
+        assert abs(slope1 - slope2) < 0.5
+
+    def test_cycles_deterministic(self):
+        assert run_checksum(b"abc") == run_checksum(b"abc")
+
+
+class TestFibonacci:
+    def test_known_values(self):
+        for n, expected in [(0, 0), (1, 1), (2, 1), (3, 2), (10, 55),
+                            (20, 6765)]:
+            value, _ = run_fibonacci(n)
+            assert value == expected
+
+    def test_wraps_at_32_bits(self):
+        value, _ = run_fibonacci(60)
+        # fib(60) mod 2^32
+        a, b = 0, 1
+        for _ in range(60):
+            a, b = b, (a + b) & 0xFFFFFFFF
+        assert value == a
+
+
+class TestMemcpy:
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=40, deadline=None)
+    def test_copies_exactly(self, data):
+        copied, _ = run_memcpy(data)
+        assert copied == data
+
+    def test_cycle_cost_proportional(self):
+        _, c10 = run_memcpy(bytes(10))
+        _, c20 = run_memcpy(bytes(20))
+        assert c20 > c10

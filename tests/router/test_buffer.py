@@ -1,0 +1,67 @@
+"""Tests for the drop-on-full packet buffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.router import Packet, PacketBuffer
+
+
+def packet(i):
+    return Packet.build(0, 0, i, b"x")
+
+
+class TestBuffer:
+    def test_fifo_order(self):
+        buffer = PacketBuffer(4)
+        for i in range(3):
+            assert buffer.offer(packet(i))
+        assert [buffer.pop().pkt_id for _ in range(3)] == [0, 1, 2]
+        assert buffer.pop() is None
+
+    def test_drop_on_full(self):
+        buffer = PacketBuffer(2)
+        assert buffer.offer(packet(0))
+        assert buffer.offer(packet(1))
+        assert not buffer.offer(packet(2))
+        assert buffer.dropped == 1
+        assert len(buffer) == 2
+
+    def test_peek(self):
+        buffer = PacketBuffer(2)
+        assert buffer.peek() is None
+        buffer.offer(packet(5))
+        assert buffer.peek().pkt_id == 5
+        assert len(buffer) == 1
+
+    def test_high_water_mark(self):
+        buffer = PacketBuffer(8)
+        for i in range(5):
+            buffer.offer(packet(i))
+        for _ in range(5):
+            buffer.pop()
+        assert buffer.max_occupancy == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ReproError):
+            PacketBuffer(0)
+
+    @given(st.lists(st.booleans(), max_size=60),
+           st.integers(min_value=1, max_value=8))
+    def test_conservation_property(self, operations, capacity):
+        """offered == stored + dropped, and occupancy never exceeds
+        capacity."""
+        buffer = PacketBuffer(capacity)
+        offered = accepted = popped = 0
+        for is_offer in operations:
+            if is_offer:
+                offered += 1
+                if buffer.offer(packet(offered)):
+                    accepted += 1
+            else:
+                if buffer.pop() is not None:
+                    popped += 1
+            assert len(buffer) <= capacity
+        assert accepted + buffer.dropped == offered
+        assert accepted - popped == len(buffer)

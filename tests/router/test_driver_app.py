@@ -1,0 +1,136 @@
+"""Tests for the RTOS router driver and the checksum application,
+exercised against a scripted fake endpoint (no hardware simulator)."""
+
+import pytest
+
+from repro.board import Board, REMOTE_DEVICE_VECTOR, WorkModel
+from repro.router import (
+    Packet,
+    REG_PACKET,
+    REG_STATUS,
+    REG_VERDICT,
+    RouterDriver,
+    VERDICT_BAD,
+    VERDICT_OK,
+    install_checksum_app,
+)
+from repro.transport import CycleLatencyModel
+from repro.transport.channel import BoardEndpoint
+
+
+class FakeRouterEndpoint(BoardEndpoint):
+    """Register-level router stub: a queue of packets plus a verdict log."""
+
+    def __init__(self, packets):
+        self.packets = list(packets)
+        self.current = None
+        self.verdicts = []
+
+    def _advance(self):
+        if self.current is None and self.packets:
+            self.current = self.packets.pop(0)
+
+    def data_read(self, address):
+        self._advance()
+        if address == REG_STATUS:
+            return (1 if self.current else 0) | (len(self.packets) << 8)
+        if address == REG_PACKET:
+            return self.current.to_bytes()
+        raise AssertionError(f"unexpected read {address:#x}")
+
+    def data_write(self, address, value):
+        assert address == REG_VERDICT
+        self.verdicts.append((self.current.pkt_id, value))
+        self.current = None
+
+
+@pytest.fixture
+def board():
+    return Board()
+
+
+@pytest.fixture
+def setup(board):
+    good = Packet.build(0, 1, 100, b"good data")
+    bad = Packet.build(0, 2, 101, b"bad data").corrupted(5)
+    endpoint = FakeRouterEndpoint([good, bad])
+    driver = RouterDriver(board.kernel, endpoint, CycleLatencyModel(),
+                          vector=REMOTE_DEVICE_VECTOR)
+    app = install_checksum_app(board.kernel, driver, WorkModel())
+    return board, endpoint, driver, app
+
+
+class TestDriver:
+    def test_registered_in_device_table(self, setup):
+        board, endpoint, driver, app = setup
+        assert board.kernel.devices.lookup("/dev/router") is driver
+
+    def test_isr_dsr_post_semaphore(self, setup):
+        board, endpoint, driver, app = setup
+        board.kernel.raise_interrupt(driver.vector)
+        board.kernel.run_ticks(1)
+        assert driver.isr_count == 1
+
+    def test_driver_read_parses_packet(self, board):
+        pkt = Packet.build(3, 4, 7, b"xyz")
+        endpoint = FakeRouterEndpoint([pkt])
+        driver = RouterDriver(board.kernel, endpoint, CycleLatencyModel())
+        results = []
+
+        def app_thread():
+            packet = yield from driver.read()
+            results.append(packet)
+
+        board.kernel.create_thread("t", app_thread, priority=10)
+        board.kernel.run_ticks(3)
+        assert results == [pkt]
+
+    def test_transactions_charge_cycles(self, board):
+        endpoint = FakeRouterEndpoint([Packet.build(0, 0, 1, b"")])
+        latency = CycleLatencyModel(data_access_cycles=500)
+        driver = RouterDriver(board.kernel, endpoint, latency)
+
+        def app_thread():
+            yield from driver.read_status()
+            yield from driver.read_status()
+
+        thread = board.kernel.create_thread("t", app_thread, priority=10)
+        board.kernel.run_ticks(3)
+        assert thread.cycles_consumed >= 1000
+
+    def test_ioctl_status(self, board):
+        endpoint = FakeRouterEndpoint([Packet.build(0, 0, 1, b"")])
+        driver = RouterDriver(board.kernel, endpoint, CycleLatencyModel())
+        results = []
+
+        def app_thread():
+            value = yield from driver.ioctl("status")
+            results.append(value)
+
+        board.kernel.create_thread("t", app_thread, priority=10)
+        board.kernel.run_ticks(3)
+        assert results == [(True, 0)]
+
+
+class TestChecksumApp:
+    def test_drains_and_judges_all_packets(self, setup):
+        board, endpoint, driver, app = setup
+        board.kernel.raise_interrupt(driver.vector)
+        board.kernel.run_ticks(20)
+        assert app.packets_checked == 2
+        assert app.packets_ok == 1
+        assert app.packets_bad == 1
+        assert endpoint.verdicts == [(100, VERDICT_OK), (101, VERDICT_BAD)]
+
+    def test_app_blocks_until_interrupt(self, setup):
+        board, endpoint, driver, app = setup
+        board.kernel.run_ticks(5)
+        assert app.packets_checked == 0
+        board.kernel.raise_interrupt(driver.vector)
+        board.kernel.run_ticks(20)
+        assert app.packets_checked == 2
+
+    def test_verdict_for_rejects_short_frames(self):
+        from repro.router.app import ChecksumApp
+        assert ChecksumApp._verdict_for(b"") == VERDICT_BAD
+        assert ChecksumApp._verdict_for(b"\x00") == VERDICT_BAD

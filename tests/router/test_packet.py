@@ -1,0 +1,68 @@
+"""Tests for the packet format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.router import Packet, PacketError
+
+packets = st.builds(
+    Packet.build,
+    src=st.integers(0, 255),
+    dst=st.integers(0, 255),
+    pkt_id=st.integers(0, 0xFFFF_FFFF),
+    payload=st.binary(max_size=200),
+)
+
+
+class TestConstruction:
+    def test_build_sets_valid_checksum(self):
+        packet = Packet.build(1, 2, 3, b"data")
+        assert packet.is_valid()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(src=-1, dst=0, pkt_id=0, payload=b"", checksum=0),
+        dict(src=256, dst=0, pkt_id=0, payload=b"", checksum=0),
+        dict(src=0, dst=300, pkt_id=0, payload=b"", checksum=0),
+        dict(src=0, dst=0, pkt_id=-1, payload=b"", checksum=0),
+        dict(src=0, dst=0, pkt_id=0, payload=b"", checksum=0x10000),
+    ])
+    def test_field_validation(self, kwargs):
+        with pytest.raises(PacketError):
+            Packet(**kwargs)
+
+
+class TestSerialization:
+    @given(packets)
+    def test_roundtrip(self, packet):
+        assert Packet.from_bytes(packet.to_bytes()) == packet
+
+    @given(packets)
+    def test_wire_size(self, packet):
+        assert len(packet.to_bytes()) == packet.wire_size()
+
+    def test_short_bytes_rejected(self):
+        with pytest.raises(PacketError, match="short"):
+            Packet.from_bytes(b"\x00\x01")
+
+    def test_length_mismatch_rejected(self):
+        raw = Packet.build(1, 2, 3, b"abcd").to_bytes()
+        with pytest.raises(PacketError, match="length mismatch"):
+            Packet.from_bytes(raw[:-1])
+
+
+class TestCorruption:
+    @given(packets, st.integers(0, 1000))
+    def test_corruption_invalidates_checksum(self, packet, bit):
+        corrupted = packet.corrupted(bit)
+        assert not corrupted.is_valid()
+
+    def test_corrupting_empty_payload_flips_checksum(self):
+        packet = Packet.build(0, 0, 0, b"")
+        corrupted = packet.corrupted()
+        assert corrupted.checksum != packet.checksum
+        assert not corrupted.is_valid()
+
+    @given(packets)
+    def test_valid_roundtrips_stay_valid(self, packet):
+        assert Packet.from_bytes(packet.to_bytes()).is_valid()

@@ -1,0 +1,64 @@
+"""Tests for the routing table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.router import RoutingError, RoutingTable
+
+
+class TestRouting:
+    def test_range_lookup(self):
+        table = RoutingTable(4)
+        table.add_route(0, 63, 0)
+        table.add_route(64, 127, 1)
+        assert table.lookup(10) == 0
+        assert table.lookup(64) == 1
+        assert table.lookup(127) == 1
+        assert table.lookup(200) is None
+
+    def test_first_match_wins(self):
+        table = RoutingTable(4)
+        table.add_route(0, 100, 2)
+        table.add_route(0, 255, 3)
+        assert table.lookup(50) == 2
+        assert table.lookup(150) == 3
+
+    def test_invalid_range(self):
+        table = RoutingTable(4)
+        with pytest.raises(RoutingError):
+            table.add_route(10, 5, 0)
+
+    def test_invalid_port(self):
+        table = RoutingTable(4)
+        with pytest.raises(RoutingError):
+            table.add_route(0, 10, 4)
+        with pytest.raises(RoutingError):
+            table.add_route(0, 10, -1)
+
+    def test_no_ports(self):
+        with pytest.raises(RoutingError):
+            RoutingTable(0)
+
+    def test_len(self):
+        table = RoutingTable(2)
+        table.add_route(0, 1, 0)
+        assert len(table) == 1
+
+
+class TestUniform:
+    @given(st.sampled_from([1, 2, 4, 8]))
+    def test_uniform_covers_all_addresses(self, num_ports):
+        table = RoutingTable.uniform(num_ports,
+                                     addresses_per_port=256 // num_ports)
+        for dst in range(256):
+            port = table.lookup(dst)
+            assert port is not None
+            assert 0 <= port < num_ports
+
+    def test_uniform_partitions_evenly(self):
+        table = RoutingTable.uniform(4, addresses_per_port=64)
+        counts = {}
+        for dst in range(256):
+            counts[table.lookup(dst)] = counts.get(table.lookup(dst), 0) + 1
+        assert counts == {0: 64, 1: 64, 2: 64, 3: 64}

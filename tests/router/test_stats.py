@@ -1,0 +1,56 @@
+"""Tests for workload statistics."""
+
+from repro.router import WorkloadStats
+
+
+class TestWorkloadStats:
+    def test_handled_fraction(self):
+        stats = WorkloadStats()
+        for i in range(10):
+            stats.record_generated(i, cycle=i * 10, corrupt=False)
+        stats.dropped_overflow = 3
+        assert stats.handled == 7
+        assert stats.handled_fraction() == 0.7
+
+    def test_empty_run_is_fully_accurate(self):
+        stats = WorkloadStats()
+        assert stats.handled_fraction() == 1.0
+        assert stats.forwarded_fraction() == 1.0
+        assert stats.mean_latency() == 0.0
+
+    def test_latency_tracking(self):
+        stats = WorkloadStats()
+        stats.record_generated(1, cycle=100, corrupt=False)
+        stats.record_generated(2, cycle=200, corrupt=True)
+        stats.record_delivery(1, cycle=150, valid=True)
+        stats.record_delivery(2, cycle=280, valid=False)
+        assert stats.latencies == [50, 80]
+        assert stats.mean_latency() == 65.0
+        assert stats.received == 2
+        assert stats.received_valid == 1
+        assert stats.generated_corrupt == 1
+
+    def test_delivery_of_unknown_packet_ignored_for_latency(self):
+        stats = WorkloadStats()
+        stats.record_delivery(99, cycle=10, valid=True)
+        assert stats.latencies == []
+        assert stats.received == 1
+
+    def test_consistency_check(self):
+        stats = WorkloadStats()
+        for i in range(5):
+            stats.record_generated(i, cycle=0, corrupt=False)
+        stats.forwarded = 3
+        stats.dropped_checksum = 1
+        assert stats.consistent()
+        stats.forwarded = 10
+        assert not stats.consistent()
+
+    def test_summary_mentions_key_counters(self):
+        stats = WorkloadStats()
+        stats.record_generated(1, cycle=0, corrupt=False)
+        stats.forwarded = 1
+        text = stats.summary()
+        assert "generated=1" in text
+        assert "forwarded=1" in text
+        assert "handled=" in text

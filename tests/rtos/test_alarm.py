@@ -1,0 +1,101 @@
+"""Tests for tick-driven alarms."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import RtosConfig, RtosKernel
+from repro.rtos.alarm import Alarm, AlarmQueue
+
+
+@pytest.fixture
+def kernel():
+    return RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
+
+
+class TestAlarm:
+    def test_one_shot_fires_once(self, kernel):
+        fires = []
+        alarm = kernel.create_alarm(lambda a, d: fires.append(kernel.sw_ticks))
+        alarm.initialize(3)
+        kernel.run_ticks(10)
+        assert fires == [3]
+        assert not alarm.enabled
+
+    def test_periodic_fires_repeatedly(self, kernel):
+        fires = []
+        alarm = kernel.create_alarm(lambda a, d: fires.append(kernel.sw_ticks))
+        alarm.initialize(2, interval=3)
+        kernel.run_ticks(12)
+        assert fires == [2, 5, 8, 11]
+        assert alarm.fire_count == 4
+
+    def test_disable_stops_firing(self, kernel):
+        fires = []
+        alarm = kernel.create_alarm(lambda a, d: fires.append(kernel.sw_ticks))
+        alarm.initialize(2, interval=2)
+        kernel.run_ticks(5)
+        alarm.disable()
+        kernel.run_ticks(5)
+        assert all(t <= 5 for t in fires)
+
+    def test_data_passed_to_callback(self, kernel):
+        seen = []
+        alarm = kernel.create_alarm(lambda a, d: seen.append(d), data="tag")
+        alarm.initialize(1)
+        kernel.run_ticks(2)
+        assert seen == ["tag"]
+
+    def test_callback_may_rearm(self, kernel):
+        fires = []
+
+        def callback(alarm, data):
+            fires.append(kernel.sw_ticks)
+            if len(fires) < 3:
+                alarm.initialize(kernel.sw_ticks + 2)
+
+        alarm = kernel.create_alarm(callback)
+        alarm.initialize(1)
+        kernel.run_ticks(10)
+        assert fires == [1, 3, 5]
+
+    def test_negative_interval_rejected(self, kernel):
+        alarm = kernel.create_alarm(lambda a, d: None)
+        with pytest.raises(RtosError):
+            alarm.initialize(1, interval=-1)
+
+    def test_past_trigger_fires_at_next_tick(self, kernel):
+        kernel.run_ticks(5)
+        fires = []
+        alarm = kernel.create_alarm(lambda a, d: fires.append(kernel.sw_ticks))
+        alarm.initialize(2)  # already in the past
+        kernel.run_ticks(1)
+        assert fires == [6]
+
+
+class TestAlarmQueue:
+    def test_due_pops_in_order(self, kernel):
+        queue = AlarmQueue()
+        alarms = []
+        for tick in (5, 1, 3):
+            alarm = Alarm(kernel, lambda a, d: None, name=f"a{tick}")
+            alarm.enabled = True
+            alarm.trigger_tick = tick
+            queue.push(alarm)
+            alarms.append(alarm)
+        due = queue.due(3)
+        assert [a.trigger_tick for a in due] == [1, 3]
+        assert queue.next_tick() == 5
+
+    def test_disabled_alarms_skipped(self, kernel):
+        queue = AlarmQueue()
+        alarm = Alarm(kernel, lambda a, d: None)
+        alarm.enabled = True
+        alarm.trigger_tick = 1
+        queue.push(alarm)
+        alarm.disable()
+        assert queue.due(10) == []
+        assert queue.next_tick() is None
+
+    def test_len(self, kernel):
+        queue = AlarmQueue()
+        assert len(queue) == 0

@@ -1,0 +1,41 @@
+"""Tests for RtosConfig validation."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import RtosConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = RtosConfig()
+        assert config.cycles_per_sw_tick == (
+            config.cycles_per_hw_tick * config.hw_ticks_per_sw_tick
+        )
+
+    @pytest.mark.parametrize("field,value", [
+        ("cycles_per_hw_tick", 0),
+        ("cycles_per_hw_tick", -1),
+        ("hw_ticks_per_sw_tick", 0),
+        ("timeslice_ticks", 0),
+        ("priority_levels", 1),
+        ("timer_isr_cycles", -1),
+        ("context_switch_cycles", -1),
+        ("isr_entry_cycles", -1),
+        ("dsr_cycles", -1),
+        ("syscall_cycles", -1),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(RtosError):
+            RtosConfig(**{field: value})
+
+    def test_timer_isr_must_fit_in_tick(self):
+        with pytest.raises(RtosError):
+            RtosConfig(cycles_per_hw_tick=100, timer_isr_cycles=100)
+
+    def test_sw_tick_divisor(self):
+        config = RtosConfig(cycles_per_hw_tick=500, hw_ticks_per_sw_tick=4)
+        assert config.cycles_per_sw_tick == 2000
+
+    def test_lowest_priority(self):
+        assert RtosConfig(priority_levels=8).lowest_priority == 7

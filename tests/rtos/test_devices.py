@@ -1,0 +1,97 @@
+"""Tests for the device table."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import CpuWork, Device, RtosConfig, RtosKernel, immediate
+
+
+class EchoDevice(Device):
+    def __init__(self, kernel):
+        super().__init__(kernel, "/dev/echo")
+        self.last_written = None
+
+    def read(self):
+        yield CpuWork(10)
+        return self.last_written
+
+    def write(self, value):
+        self.last_written = value
+        return (yield from immediate(True))
+
+    def ioctl(self, request, *args, **kwargs):
+        if request == "reset":
+            self.last_written = None
+            return (yield from immediate("reset-done"))
+        return (yield from super().ioctl(request, *args, **kwargs))
+
+
+@pytest.fixture
+def kernel():
+    return RtosKernel(RtosConfig())
+
+
+class TestDeviceTable:
+    def test_register_and_lookup(self, kernel):
+        dev = EchoDevice(kernel)
+        kernel.devices.register(dev)
+        assert kernel.devices.lookup("/dev/echo") is dev
+        assert dev.open_count == 1
+        assert "/dev/echo" in kernel.devices
+        assert kernel.devices.names() == ["/dev/echo"]
+
+    def test_duplicate_registration_rejected(self, kernel):
+        kernel.devices.register(EchoDevice(kernel))
+        with pytest.raises(RtosError):
+            kernel.devices.register(EchoDevice(kernel))
+
+    def test_unknown_device(self, kernel):
+        with pytest.raises(RtosError, match="no such device"):
+            kernel.devices.lookup("/dev/nope")
+
+    def test_device_name_must_be_dev_path(self, kernel):
+        with pytest.raises(RtosError):
+            Device(kernel, "echo")
+
+
+class TestDeviceIo:
+    def test_read_write_from_thread(self, kernel):
+        dev = EchoDevice(kernel)
+        kernel.devices.register(dev)
+        results = []
+
+        def app():
+            handle = kernel.devices.lookup("/dev/echo")
+            ok = yield from handle.write("hello")
+            results.append(ok)
+            value = yield from handle.read()
+            results.append(value)
+            answer = yield from handle.ioctl("reset")
+            results.append(answer)
+
+        kernel.create_thread("app", app, priority=10)
+        kernel.run_ticks(3)
+        assert results == [True, "hello", "reset-done"]
+        assert dev.last_written is None
+
+    def test_default_entry_points_raise(self, kernel):
+        dev = Device(kernel, "/dev/bare")
+        kernel.devices.register(dev)
+
+        def app():
+            yield from dev.read()
+
+        kernel.create_thread("app", app, priority=10)
+        with pytest.raises(RtosError, match="does not support read"):
+            kernel.run_ticks(1)
+
+    def test_unknown_ioctl_raises(self, kernel):
+        dev = EchoDevice(kernel)
+        kernel.devices.register(dev)
+
+        def app():
+            yield from dev.ioctl("frobnicate")
+
+        kernel.create_thread("app", app, priority=10)
+        with pytest.raises(RtosError, match="ioctl"):
+            kernel.run_ticks(1)

@@ -1,0 +1,235 @@
+"""Tests for RTOS extensions: priority inheritance, join, kill."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import (
+    CpuWork,
+    Join,
+    Mutex,
+    RtosConfig,
+    RtosKernel,
+    Semaphore,
+    SetPriority,
+    Sleep,
+)
+
+
+@pytest.fixture
+def kernel():
+    return RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
+
+
+class TestPriorityInheritance:
+    def _inversion_scenario(self, kernel, protocol):
+        """Classic three-thread priority inversion.
+
+        low locks the mutex, high blocks on it, mid (CPU hog) arrives.
+        Without inheritance mid starves low and thus high; with
+        inheritance low runs boosted and high gets the lock promptly.
+        """
+        mutex = Mutex(kernel, "m", protocol=protocol)
+        timeline = {}
+
+        def low():
+            yield mutex.lock()
+            yield Sleep(1)          # let high arrive and block
+            yield CpuWork(2000)     # critical section
+            mutex.unlock()
+            timeline["low_released"] = kernel.sw_ticks
+
+        def high():
+            yield Sleep(1)
+            yield mutex.lock()
+            timeline["high_locked"] = kernel.sw_ticks
+            mutex.unlock()
+
+        def mid():
+            yield Sleep(1)
+            yield CpuWork(50_000)   # the starving middle load
+            timeline["mid_done"] = kernel.sw_ticks
+
+        kernel.create_thread("low", low, priority=20)
+        kernel.create_thread("high", high, priority=2)
+        kernel.create_thread("mid", mid, priority=10)
+        kernel.run_ticks(80)
+        return mutex, timeline
+
+    def test_inversion_without_protocol(self, kernel):
+        mutex, timeline = self._inversion_scenario(kernel, Mutex.NONE)
+        # high waits for mid's entire 50-tick burst: inversion.
+        assert timeline["high_locked"] > timeline["mid_done"]
+        assert mutex.boosts == 0
+
+    def test_inheritance_bounds_the_inversion(self, kernel):
+        mutex, timeline = self._inversion_scenario(kernel, Mutex.INHERIT)
+        # low is boosted to high's priority; high locks long before
+        # mid's burst finishes.
+        assert timeline["high_locked"] < timeline["mid_done"]
+        assert mutex.boosts >= 1
+
+    def test_priority_restored_after_unlock(self, kernel):
+        mutex = Mutex(kernel, "m", protocol=Mutex.INHERIT)
+
+        def low(thread):
+            yield mutex.lock()
+            yield Sleep(2)
+            assert thread.priority == 2  # boosted by the blocked high
+            mutex.unlock()
+            assert thread.priority == 20
+
+        def high():
+            yield Sleep(1)
+            yield mutex.lock()
+            mutex.unlock()
+
+        kernel.create_thread("low", low, priority=20)
+        kernel.create_thread("high", high, priority=2)
+        kernel.run_ticks(20)
+
+    def test_base_priority_tracks_set_priority(self, kernel):
+        def worker(thread):
+            yield SetPriority(5)
+            assert thread.base_priority == 5
+            assert thread.priority == 5
+
+        kernel.create_thread("w", worker, priority=12)
+        kernel.run_ticks(2)
+
+    def test_unknown_protocol_rejected(self, kernel):
+        with pytest.raises(RtosError):
+            Mutex(kernel, "m", protocol="ceiling")
+
+
+class TestJoin:
+    def test_join_waits_for_exit(self, kernel):
+        log = []
+
+        def worker():
+            yield Sleep(3)
+            log.append(("worker-done", kernel.sw_ticks))
+
+        worker_thread = kernel.create_thread("w", worker, priority=10)
+
+        def joiner():
+            ok = yield Join(worker_thread)
+            log.append(("joined", ok, kernel.sw_ticks))
+
+        kernel.create_thread("j", joiner, priority=5)
+        kernel.run_ticks(10)
+        assert log[0][0] == "worker-done"
+        assert log[1] == ("joined", True, 3)
+
+    def test_join_already_exited_returns_immediately(self, kernel):
+        def worker():
+            yield CpuWork(10)
+
+        worker_thread = kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(2)
+        results = []
+
+        def joiner():
+            results.append((yield Join(worker_thread)))
+
+        kernel.create_thread("j", joiner, priority=5)
+        kernel.run_ticks(2)
+        assert results == [True]
+
+    def test_join_timeout(self, kernel):
+        def worker():
+            yield Sleep(100)
+
+        worker_thread = kernel.create_thread("w", worker, priority=10)
+        results = []
+
+        def joiner():
+            results.append((yield Join(worker_thread, timeout=3)))
+
+        kernel.create_thread("j", joiner, priority=5)
+        kernel.run_ticks(10)
+        assert results == [False]
+
+    def test_self_join_rejected(self, kernel):
+        def worker(thread):
+            yield Join(thread)
+
+        kernel.create_thread("w", worker, priority=10)
+        with pytest.raises(RtosError, match="join itself"):
+            kernel.run_ticks(2)
+
+    def test_multiple_joiners_all_woken(self, kernel):
+        def worker():
+            yield Sleep(2)
+
+        worker_thread = kernel.create_thread("w", worker, priority=10)
+        results = []
+
+        def make_joiner(tag):
+            def joiner():
+                yield Join(worker_thread)
+                results.append(tag)
+            return joiner
+
+        kernel.create_thread("j1", make_joiner("a"), priority=5)
+        kernel.create_thread("j2", make_joiner("b"), priority=6)
+        kernel.run_ticks(10)
+        assert sorted(results) == ["a", "b"]
+
+
+class TestKill:
+    def test_kill_running_loop(self, kernel):
+        counter = []
+
+        def spinner():
+            while True:
+                yield CpuWork(100)
+                counter.append(1)
+
+        thread = kernel.create_thread("spin", spinner, priority=10)
+        kernel.run_ticks(2)
+        assert counter
+        kernel.kill(thread)
+        before = len(counter)
+        kernel.run_ticks(2)
+        assert len(counter) == before
+        assert not thread.alive
+
+    def test_kill_blocked_thread_cleans_waitqueue(self, kernel):
+        sem = Semaphore(kernel, "s")
+
+        def waiter():
+            yield sem.wait()
+
+        thread = kernel.create_thread("w", waiter, priority=10)
+        kernel.run_ticks(1)
+        assert sem.waiter_count == 1
+        kernel.kill(thread)
+        assert sem.waiter_count == 0
+        sem.post()  # must not resurrect the dead thread
+        kernel.run_ticks(1)
+        assert not thread.alive
+
+    def test_kill_wakes_joiners(self, kernel):
+        def sleeper():
+            yield Sleep(1000)
+
+        target = kernel.create_thread("t", sleeper, priority=10)
+        results = []
+
+        def joiner():
+            results.append((yield Join(target)))
+
+        kernel.create_thread("j", joiner, priority=5)
+        kernel.run_ticks(2)
+        kernel.kill(target)
+        kernel.run_ticks(2)
+        assert results == [True]
+
+    def test_kill_exited_is_noop(self, kernel):
+        def worker():
+            yield CpuWork(1)
+
+        thread = kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(2)
+        kernel.kill(thread)
+        assert not thread.alive

@@ -1,0 +1,346 @@
+"""Tests for the RTOS kernel: time, dispatch, preemption, idle states."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import (
+    CpuWork,
+    GetTime,
+    IDLE,
+    NORMAL,
+    RtosConfig,
+    RtosKernel,
+    Semaphore,
+    SetPriority,
+    Sleep,
+    SleepUntil,
+    Suspend,
+    YieldCpu,
+)
+
+
+def make_kernel(**overrides):
+    defaults = dict(cycles_per_hw_tick=1000, timeslice_ticks=5,
+                    timer_isr_cycles=20, context_switch_cycles=10,
+                    isr_entry_cycles=15, dsr_cycles=25)
+    defaults.update(overrides)
+    return RtosKernel(RtosConfig(**defaults))
+
+
+class TestTimeAdvance:
+    def test_run_ticks_advances_sw_ticks_exactly(self):
+        kernel = make_kernel()
+        kernel.run_ticks(7)
+        assert kernel.sw_ticks == 7
+        assert kernel.hw_ticks == 7
+
+    def test_hw_sw_tick_divisor(self):
+        kernel = make_kernel(hw_ticks_per_sw_tick=4)
+        kernel.run_ticks(2)
+        assert kernel.sw_ticks == 2
+        assert kernel.hw_ticks == 8
+
+    def test_idle_cycles_accounted_when_no_threads(self):
+        kernel = make_kernel()
+        kernel.run_ticks(3)
+        assert kernel.idle_cycles > 0
+
+    def test_run_cycles(self):
+        kernel = make_kernel()
+        kernel.run_cycles(2500)
+        assert kernel.cycles >= 2500
+        assert kernel.sw_ticks == 2
+
+    def test_invalid_tick_grant(self):
+        kernel = make_kernel()
+        with pytest.raises(RtosError):
+            kernel.run_ticks(0)
+
+
+class TestThreadExecution:
+    def test_cpu_work_consumes_cycles(self):
+        kernel = make_kernel()
+        done = []
+
+        def worker():
+            yield CpuWork(2500)
+            done.append(kernel.cycles)
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(5)
+        assert done and done[0] >= 2500
+
+    def test_thread_exits_on_return(self):
+        kernel = make_kernel()
+
+        def worker():
+            yield CpuWork(100)
+
+        thread = kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(2)
+        assert not thread.alive
+
+    def test_get_time_syscall(self):
+        kernel = make_kernel()
+        seen = []
+
+        def worker():
+            yield Sleep(3)
+            ticks, cycles = yield GetTime()
+            seen.append((ticks, cycles))
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(5)
+        assert seen[0][0] == 3
+
+    def test_sleep_wakes_after_ticks(self):
+        kernel = make_kernel()
+        wakes = []
+
+        def worker():
+            yield Sleep(4)
+            wakes.append(kernel.sw_ticks)
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(10)
+        assert wakes == [4]
+
+    def test_sleep_until_absolute(self):
+        kernel = make_kernel()
+        wakes = []
+
+        def worker():
+            yield SleepUntil(6)
+            wakes.append(kernel.sw_ticks)
+            yield SleepUntil(2)  # already past: no-op
+            wakes.append(kernel.sw_ticks)
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(10)
+        assert wakes == [6, 6]
+
+    def test_non_syscall_yield_raises(self):
+        kernel = make_kernel()
+
+        def worker():
+            yield "bogus"
+
+        kernel.create_thread("w", worker, priority=10)
+        with pytest.raises(RtosError):
+            kernel.run_ticks(1)
+
+    def test_non_generator_entry_raises(self):
+        kernel = make_kernel()
+
+        def not_a_generator():
+            return 42
+
+        kernel.create_thread("w", not_a_generator, priority=10)
+        with pytest.raises(RtosError):
+            kernel.run_ticks(1)
+
+    def test_entry_receives_thread_when_it_takes_an_argument(self):
+        kernel = make_kernel()
+        seen = []
+
+        def worker(thread):
+            seen.append(thread.name)
+            yield CpuWork(1)
+
+        kernel.create_thread("named", worker, priority=10)
+        kernel.run_ticks(1)
+        assert seen == ["named"]
+
+
+class TestPriorityScheduling:
+    def test_higher_priority_runs_first(self):
+        kernel = make_kernel()
+        order = []
+
+        def make(tag):
+            def worker():
+                yield CpuWork(100)
+                order.append(tag)
+            return worker
+
+        kernel.create_thread("lo", make("lo"), priority=20)
+        kernel.create_thread("hi", make("hi"), priority=2)
+        kernel.run_ticks(2)
+        assert order == ["hi", "lo"]
+
+    def test_preemption_on_wakeup(self):
+        kernel = make_kernel()
+        order = []
+        sem = Semaphore(kernel, "s")
+
+        def low():
+            yield CpuWork(100)
+            sem.post()
+            order.append("low-post")
+            yield CpuWork(5000)
+            order.append("low-done")
+
+        def high():
+            yield sem.wait()
+            order.append("high")
+
+        kernel.create_thread("low", low, priority=20)
+        kernel.create_thread("high", high, priority=1)
+        kernel.run_ticks(10)
+        assert order == ["low-post", "high", "low-done"]
+
+    def test_set_priority_syscall(self):
+        kernel = make_kernel()
+        result = []
+
+        def worker():
+            old = yield SetPriority(3)
+            result.append(old)
+
+        thread = kernel.create_thread("w", worker, priority=12)
+        kernel.run_ticks(2)
+        assert result == [12]
+        assert thread.priority == 3
+
+    def test_round_robin_rotation(self):
+        kernel = make_kernel(timeslice_ticks=2)
+        seen = []
+
+        def make(tag):
+            def worker():
+                while True:
+                    yield CpuWork(200)
+                    seen.append(tag)
+            return worker
+
+        kernel.create_thread("a", make("a"), priority=10)
+        kernel.create_thread("b", make("b"), priority=10)
+        kernel.run_ticks(10)
+        assert {"a", "b"} <= set(seen)
+
+    def test_yield_cpu_rotates_immediately(self):
+        kernel = make_kernel()
+        seen = []
+
+        def make(tag):
+            def worker():
+                for _ in range(3):
+                    yield CpuWork(10)
+                    seen.append(tag)
+                    yield YieldCpu()
+            return worker
+
+        kernel.create_thread("a", make("a"), priority=10)
+        kernel.create_thread("b", make("b"), priority=10)
+        kernel.run_ticks(2)
+        assert seen[:4] == ["a", "b", "a", "b"]
+
+
+class TestSuspendResume:
+    def test_suspend_until_resume(self):
+        kernel = make_kernel()
+        log = []
+
+        def worker():
+            log.append("before")
+            yield Suspend()
+            log.append("after")
+
+        thread = kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(3)
+        assert log == ["before"]
+        kernel.resume(thread)
+        kernel.run_ticks(3)
+        assert log == ["before", "after"]
+
+    def test_create_thread_unstarted(self):
+        kernel = make_kernel()
+        log = []
+
+        def worker():
+            log.append(kernel.sw_ticks)
+            yield CpuWork(1)
+
+        thread = kernel.create_thread("w", worker, priority=10, start=False)
+        kernel.run_ticks(3)
+        assert log == []
+        kernel.resume(thread)
+        kernel.run_ticks(2)
+        assert len(log) == 1
+
+
+class TestIdleState:
+    def test_enter_exit_idle_state(self):
+        kernel = make_kernel()
+        assert kernel.state == NORMAL
+        kernel.enter_idle_state()
+        assert kernel.state == IDLE
+        kernel.enter_idle_state()  # idempotent
+        assert kernel.state_switches == 1
+        kernel.exit_idle_state()
+        assert kernel.state == NORMAL
+        assert kernel.state_switches == 2
+
+    def test_only_communication_threads_run_in_idle(self):
+        kernel = make_kernel(timeslice_ticks=1)
+        ran = []
+
+        def make(tag):
+            def worker():
+                while True:
+                    yield CpuWork(100)
+                    ran.append(tag)
+            return worker
+
+        kernel.create_thread("data", make("data"), priority=10)
+        kernel.create_thread("comm", make("comm"), priority=10,
+                             allowed_in_idle=True)
+        kernel.enter_idle_state()
+        kernel.run_ticks(4)
+        assert set(ran) == {"comm"}
+
+    def test_timeslice_saved_and_restored(self):
+        kernel = make_kernel(timeslice_ticks=5)
+        started = []
+
+        def data_worker():
+            while True:
+                yield CpuWork(100)
+
+        def peer():
+            while True:
+                yield CpuWork(100)
+
+        thread = kernel.create_thread("data", data_worker, priority=10)
+        kernel.create_thread("peer", peer, priority=10)
+        kernel.run_ticks(2)  # consumes part of the data thread's slice
+        remaining_before = thread.timeslice_left
+        assert remaining_before < 5
+        kernel.enter_idle_state()
+        kernel.run_ticks(3)  # idle time must not charge the saved slice
+        kernel.exit_idle_state()
+        assert thread.timeslice_left == remaining_before
+
+    def test_kernel_statistics(self):
+        kernel = make_kernel()
+
+        def worker():
+            yield CpuWork(5000)
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(10)
+        assert kernel.context_switches >= 1
+        assert kernel.kernel_cycles > 0
+
+
+class TestZeroProgressGuard:
+    def test_runaway_yield_loop_detected(self):
+        kernel = make_kernel()
+
+        def spinner():
+            while True:
+                yield CpuWork(0)
+
+        kernel.create_thread("spin", spinner, priority=10)
+        with pytest.raises(RtosError, match="no progress"):
+            kernel.run_ticks(1)

@@ -1,0 +1,134 @@
+"""Property-based tests of RTOS scheduling invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtos import CpuWork, RtosConfig, RtosKernel, Sleep, YieldCpu
+
+thread_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=31),      # priority
+        st.integers(min_value=1, max_value=3000),    # work per burst
+        st.integers(min_value=1, max_value=4),       # bursts
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_kernel(specs, record):
+    kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=500,
+                                   timeslice_ticks=2))
+    for index, (priority, work, bursts) in enumerate(specs):
+        def make(index=index, work=work, bursts=bursts):
+            def entry():
+                for _ in range(bursts):
+                    yield CpuWork(work)
+                record.append(index)
+            return entry
+
+        kernel.create_thread(f"t{index}", make(), priority)
+    return kernel
+
+
+class TestSchedulingInvariants:
+    @given(thread_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_all_threads_eventually_complete(self, specs):
+        record = []
+        kernel = build_kernel(specs, record)
+        total_work = sum(w * b for _, w, b in specs)
+        # Generous budget: work plus overhead headroom.
+        kernel.run_ticks(4 + 4 * (total_work // 500 + len(specs)))
+        assert sorted(record) == list(range(len(specs)))
+        assert all(not t.alive for t in kernel.threads)
+
+    @given(thread_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_time_is_monotonic_and_conserved(self, specs):
+        record = []
+        kernel = build_kernel(specs, record)
+        previous = 0
+        for _ in range(10):
+            kernel.run_ticks(2)
+            assert kernel.cycles > previous
+            previous = kernel.cycles
+        # Cycle conservation: thread + idle + kernel overhead == total.
+        consumed = sum(t.cycles_consumed for t in kernel.threads)
+        accounted = consumed + kernel.idle_cycles + kernel.kernel_cycles
+        assert accounted == kernel.cycles
+
+    @given(thread_specs, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_run_ticks_grants_exact_tick_counts(self, specs, ticks):
+        record = []
+        kernel = build_kernel(specs, record)
+        kernel.run_ticks(ticks)
+        assert kernel.sw_ticks == ticks
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_strict_priority_between_two_spinners(self, p_high, p_low):
+        if p_high == p_low:
+            return
+        p_high, p_low = min(p_high, p_low), max(p_high, p_low)
+        kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=500))
+        ran = []
+
+        def spinner(tag):
+            def entry():
+                while True:
+                    yield CpuWork(100)
+                    ran.append(tag)
+            return entry
+
+        kernel.create_thread("hi", spinner("hi"), p_high)
+        kernel.create_thread("lo", spinner("lo"), p_low)
+        kernel.run_ticks(5)
+        # The lower-priority spinner must never run while the
+        # higher-priority one is runnable (which it always is).
+        assert set(ran) == {"hi"}
+
+
+class TestSleepInvariants:
+    @given(st.lists(st.integers(min_value=1, max_value=30),
+                    min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_sleepers_wake_in_order(self, durations):
+        kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=500))
+        wakes = []
+
+        for index, duration in enumerate(durations):
+            def make(index=index, duration=duration):
+                def entry():
+                    yield Sleep(duration)
+                    wakes.append((kernel.sw_ticks, index))
+                return entry
+
+            kernel.create_thread(f"s{index}", make(), priority=10)
+        kernel.run_ticks(max(durations) + 2)
+        assert len(wakes) == len(durations)
+        woke_ticks = [t for t, _ in wakes]
+        assert woke_ticks == sorted(woke_ticks)
+        for (tick, index) in wakes:
+            assert tick == durations[index]
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_yielding_peers_share_the_cpu(self, count):
+        kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=500))
+        ran = []
+
+        for index in range(count):
+            def make(index=index):
+                def entry():
+                    for _ in range(3):
+                        yield CpuWork(10)
+                        ran.append(index)
+                        yield YieldCpu()
+                return entry
+
+            kernel.create_thread(f"p{index}", make(), priority=10)
+        kernel.run_ticks(5)
+        assert set(ran) == set(range(count))

@@ -1,0 +1,62 @@
+"""Tests for the kernel's utilization reporting."""
+
+import pytest
+
+from repro.cosim import CosimConfig
+from repro.router.testbench import RouterWorkload, build_router_cosim
+from repro.rtos import CpuWork, RtosConfig, RtosKernel, Sleep
+
+
+class TestUtilization:
+    def test_empty_kernel(self):
+        kernel = RtosKernel(RtosConfig())
+        report = kernel.utilization()
+        assert report == {"threads": {}, "idle": 0.0, "kernel": 0.0,
+                          "total_cycles": 0}
+
+    def test_fractions_sum_to_one(self):
+        kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
+
+        def busy():
+            while True:
+                yield CpuWork(400)
+                yield Sleep(1)
+
+        kernel.create_thread("busy", busy, priority=10)
+        kernel.run_ticks(20)
+        report = kernel.utilization()
+        total_fraction = (sum(report["threads"].values())
+                          + report["idle"] + report["kernel"])
+        assert total_fraction == pytest.approx(1.0)
+        assert report["total_cycles"] == kernel.cycles
+
+    def test_busier_thread_reports_higher_share(self):
+        kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=1000,
+                                       timeslice_ticks=1))
+
+        def make(burst):
+            def worker():
+                for _ in range(10):
+                    yield CpuWork(burst)
+                    yield Sleep(1)
+            return worker
+
+        kernel.create_thread("light", make(50), priority=10)
+        kernel.create_thread("heavy", make(700), priority=10)
+        kernel.run_ticks(60)
+        report = kernel.utilization()
+        assert report["threads"]["heavy"] > report["threads"]["light"]
+
+    def test_cosim_board_utilization(self):
+        """The case study's board reports a sensible breakdown."""
+        workload = RouterWorkload(packets_per_producer=5,
+                                  interval_cycles=200, corrupt_rate=0.0)
+        cosim = build_router_cosim(CosimConfig(t_sync=100), workload)
+        cosim.run()
+        report = cosim.runtime.board.kernel.utilization()
+        assert "checksum-app" in report["threads"]
+        assert 0.0 < report["threads"]["checksum-app"] < 1.0
+        assert report["idle"] > 0.0  # the board is mostly waiting
+        total_fraction = (sum(report["threads"].values())
+                          + report["idle"] + report["kernel"])
+        assert total_fraction == pytest.approx(1.0)

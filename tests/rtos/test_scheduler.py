@@ -1,0 +1,138 @@
+"""Unit tests for the MLQ scheduler in isolation."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import CpuWork, RtosConfig, RtosKernel
+from repro.rtos.scheduler import MlqScheduler
+
+
+def make_threads(kernel, specs):
+    """specs: list of (name, priority, allowed_in_idle)."""
+    threads = []
+    for name, priority, idle_ok in specs:
+        def entry():
+            yield CpuWork(1)
+        thread = kernel.create_thread(name, entry, priority,
+                                      allowed_in_idle=idle_ok, start=False)
+        thread.suspended = False
+        kernel.scheduler.remove(thread)
+        threads.append(thread)
+    return threads
+
+
+@pytest.fixture
+def kernel():
+    return RtosKernel(RtosConfig())
+
+
+@pytest.fixture
+def scheduler(kernel):
+    return MlqScheduler(kernel.config)
+
+
+class TestSelection:
+    def test_pop_best_returns_highest_priority(self, kernel, scheduler):
+        a, b, c = make_threads(kernel, [("a", 10, False), ("b", 3, False),
+                                        ("c", 20, False)])
+        for t in (a, b, c):
+            scheduler.add(t)
+        assert scheduler.pop_best() is b
+        assert scheduler.pop_best() is a
+        assert scheduler.pop_best() is c
+        assert scheduler.pop_best() is None
+
+    def test_fifo_within_priority(self, kernel, scheduler):
+        a, b = make_threads(kernel, [("a", 5, False), ("b", 5, False)])
+        scheduler.add(a)
+        scheduler.add(b)
+        assert scheduler.pop_best() is a
+        assert scheduler.pop_best() is b
+
+    def test_add_front_preserves_preempted_position(self, kernel, scheduler):
+        a, b = make_threads(kernel, [("a", 5, False), ("b", 5, False)])
+        scheduler.add(b)
+        scheduler.add_front(a)
+        assert scheduler.pop_best() is a
+
+    def test_best_priority(self, kernel, scheduler):
+        assert scheduler.best_priority() is None
+        (a,) = make_threads(kernel, [("a", 7, False)])
+        scheduler.add(a)
+        assert scheduler.best_priority() == 7
+
+    def test_suspended_threads_skipped(self, kernel, scheduler):
+        a, b = make_threads(kernel, [("a", 5, False), ("b", 9, False)])
+        scheduler.add(a)
+        scheduler.add(b)
+        a.suspended = True
+        assert scheduler.pop_best() is b
+        # a remains queued for when it is resumed.
+        a.suspended = False
+        assert scheduler.pop_best() is a
+
+
+class TestIdleMode:
+    def test_idle_mode_filters_ineligible(self, kernel, scheduler):
+        data, comm = make_threads(kernel, [("data", 5, False),
+                                           ("comm", 9, True)])
+        scheduler.add(data)
+        scheduler.add(comm)
+        scheduler.idle_mode = True
+        assert scheduler.best_priority() == 9
+        assert scheduler.pop_best() is comm
+        assert scheduler.pop_best() is None
+        scheduler.idle_mode = False
+        assert scheduler.pop_best() is data
+
+    def test_peers_ready_respects_idle_mode(self, kernel, scheduler):
+        a, b = make_threads(kernel, [("a", 5, False), ("b", 5, True)])
+        scheduler.add(b)
+        assert scheduler.peers_ready(a)
+        scheduler.idle_mode = True
+        assert scheduler.peers_ready(a)  # b is idle-eligible
+        scheduler.remove(b)
+        scheduler.add(a)
+        assert not scheduler.peers_ready(b)
+
+
+class TestMaintenance:
+    def test_remove_absent_thread_is_noop(self, kernel, scheduler):
+        (a,) = make_threads(kernel, [("a", 5, False)])
+        scheduler.remove(a)  # not queued: no error
+
+    def test_rotate_moves_front_to_back(self, kernel, scheduler):
+        a, b = make_threads(kernel, [("a", 5, False), ("b", 5, False)])
+        scheduler.add(a)
+        scheduler.add(b)
+        scheduler.rotate(a)
+        assert scheduler.pop_best() is b
+
+    def test_set_priority_requeues_ready_thread(self, kernel, scheduler):
+        a, b = make_threads(kernel, [("a", 5, False), ("b", 7, False)])
+        from repro.rtos.thread import READY
+        a.state = READY
+        scheduler.add(a)
+        scheduler.add(b)
+        scheduler.set_priority(a, 9)
+        assert scheduler.pop_best() is b
+
+    def test_set_priority_out_of_range(self, kernel, scheduler):
+        (a,) = make_threads(kernel, [("a", 5, False)])
+        with pytest.raises(RtosError):
+            scheduler.set_priority(a, 99)
+
+    def test_ready_count(self, kernel, scheduler):
+        threads = make_threads(kernel, [("a", 5, False), ("b", 6, False)])
+        for t in threads:
+            scheduler.add(t)
+        assert scheduler.ready_count() == 2
+
+
+class TestThreadValidation:
+    def test_priority_out_of_range_at_creation(self, kernel):
+        def entry():
+            yield CpuWork(1)
+
+        with pytest.raises(RtosError):
+            kernel.create_thread("bad", entry, priority=999)

@@ -1,0 +1,321 @@
+"""Tests for RTOS synchronization primitives."""
+
+import pytest
+
+from repro.errors import RtosError
+from repro.rtos import (
+    CpuWork,
+    Flag,
+    Mailbox,
+    Mutex,
+    RtosConfig,
+    RtosKernel,
+    Semaphore,
+    Sleep,
+)
+
+
+@pytest.fixture
+def kernel():
+    return RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
+
+
+class TestSemaphore:
+    def test_initial_count_consumed_without_blocking(self, kernel):
+        sem = Semaphore(kernel, "s", initial=2)
+        got = []
+
+        def worker():
+            got.append((yield sem.wait()))
+            got.append((yield sem.wait()))
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(2)
+        assert got == [True, True]
+        assert sem.count == 0
+
+    def test_wait_timeout_returns_false(self, kernel):
+        sem = Semaphore(kernel, "s")
+        got = []
+
+        def worker():
+            got.append((yield sem.wait(timeout=3)))
+            got.append(kernel.sw_ticks)
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(6)
+        assert got == [False, 3]
+
+    def test_post_before_timeout_cancels_alarm(self, kernel):
+        sem = Semaphore(kernel, "s")
+        got = []
+
+        def waiter():
+            got.append((yield sem.wait(timeout=10)))
+
+        def poster():
+            yield Sleep(2)
+            sem.post()
+
+        kernel.create_thread("w", waiter, priority=10)
+        kernel.create_thread("p", poster, priority=11)
+        kernel.run_ticks(15)
+        assert got == [True]
+
+    def test_waiters_woken_by_priority(self, kernel):
+        sem = Semaphore(kernel, "s")
+        order = []
+
+        def make(tag):
+            def worker():
+                yield sem.wait()
+                order.append(tag)
+            return worker
+
+        kernel.create_thread("lo", make("lo"), priority=20)
+        kernel.create_thread("hi", make("hi"), priority=5)
+        kernel.run_ticks(1)
+        sem.post()
+        sem.post()
+        kernel.run_ticks(2)
+        assert order == ["hi", "lo"]
+
+    def test_negative_initial_rejected(self, kernel):
+        with pytest.raises(RtosError):
+            Semaphore(kernel, "s", initial=-1)
+
+    def test_try_wait(self, kernel):
+        sem = Semaphore(kernel, "s", initial=1)
+        assert sem.try_wait()
+        assert not sem.try_wait()
+
+
+class TestMutex:
+    def test_lock_unlock_roundtrip(self, kernel):
+        mutex = Mutex(kernel, "m")
+        log = []
+
+        def worker():
+            yield mutex.lock()
+            log.append("locked")
+            mutex.unlock()
+            log.append("unlocked")
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(2)
+        assert log == ["locked", "unlocked"]
+        assert not mutex.locked
+
+    def test_ownership_handoff(self, kernel):
+        mutex = Mutex(kernel, "m")
+        log = []
+
+        def holder():
+            yield mutex.lock()
+            yield Sleep(3)
+            mutex.unlock()
+            log.append("released")
+
+        def contender():
+            yield Sleep(1)
+            yield mutex.lock()
+            log.append("acquired")
+            mutex.unlock()
+
+        kernel.create_thread("h", holder, priority=10)
+        kernel.create_thread("c", contender, priority=10)
+        kernel.run_ticks(10)
+        assert log == ["released", "acquired"]
+
+    def test_relock_by_owner_raises(self, kernel):
+        mutex = Mutex(kernel, "m")
+
+        def worker():
+            yield mutex.lock()
+            yield mutex.lock()
+
+        kernel.create_thread("w", worker, priority=10)
+        with pytest.raises(RtosError, match="relock"):
+            kernel.run_ticks(2)
+
+    def test_unlock_unlocked_raises(self, kernel):
+        mutex = Mutex(kernel, "m")
+        with pytest.raises(RtosError):
+            mutex.unlock()
+
+    def test_mutual_exclusion(self, kernel):
+        mutex = Mutex(kernel, "m")
+        inside = []
+        overlaps = []
+
+        def make(tag):
+            def worker():
+                for _ in range(3):
+                    yield mutex.lock()
+                    inside.append(tag)
+                    if len(inside) > 1:
+                        overlaps.append(list(inside))
+                    yield CpuWork(1500)
+                    inside.remove(tag)
+                    mutex.unlock()
+            return worker
+
+        kernel.create_thread("a", make("a"), priority=10)
+        kernel.create_thread("b", make("b"), priority=10)
+        kernel.run_ticks(40)
+        assert overlaps == []
+
+
+class TestFlag:
+    def test_or_mode(self, kernel):
+        flag = Flag(kernel, "f")
+        got = []
+
+        def worker():
+            got.append((yield flag.wait(0b110, mode=Flag.OR)))
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(1)
+        flag.set_bits(0b010)
+        kernel.run_ticks(1)
+        assert got == [0b010]
+
+    def test_and_mode_waits_for_all_bits(self, kernel):
+        flag = Flag(kernel, "f")
+        got = []
+
+        def worker():
+            got.append((yield flag.wait(0b11, mode=Flag.AND)))
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(1)
+        flag.set_bits(0b01)
+        kernel.run_ticks(1)
+        assert got == []
+        flag.set_bits(0b10)
+        kernel.run_ticks(1)
+        assert got == [0b11]
+
+    def test_clear_on_wake(self, kernel):
+        flag = Flag(kernel, "f")
+
+        def worker():
+            yield flag.wait(0b1, clear=True)
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(1)
+        flag.set_bits(0b11)
+        kernel.run_ticks(1)
+        assert flag.value == 0b10  # only the waited bit cleared
+
+    def test_already_satisfied_returns_immediately(self, kernel):
+        flag = Flag(kernel, "f", initial=0b1)
+        got = []
+
+        def worker():
+            got.append((yield flag.wait(0b1)))
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(1)
+        assert got == [0b1]
+
+    def test_timeout_returns_zero(self, kernel):
+        flag = Flag(kernel, "f")
+        got = []
+
+        def worker():
+            got.append((yield flag.wait(0b1, timeout=2)))
+
+        kernel.create_thread("w", worker, priority=10)
+        kernel.run_ticks(5)
+        assert got == [0]
+
+    def test_empty_pattern_rejected(self, kernel):
+        flag = Flag(kernel, "f")
+        with pytest.raises(RtosError):
+            flag.wait(0)
+
+
+class TestMailbox:
+    def test_put_get_fifo_order(self, kernel):
+        mbox = Mailbox(kernel, "m", capacity=4)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield mbox.put(i)
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield mbox.get()))
+
+        kernel.create_thread("p", producer, priority=10)
+        kernel.create_thread("c", consumer, priority=11)
+        kernel.run_ticks(5)
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, kernel):
+        mbox = Mailbox(kernel, "m")
+        got = []
+
+        def consumer():
+            got.append((yield mbox.get()))
+            got.append(kernel.sw_ticks)
+
+        def producer():
+            yield Sleep(3)
+            yield mbox.put("item")
+
+        kernel.create_thread("c", consumer, priority=10)
+        kernel.create_thread("p", producer, priority=11)
+        kernel.run_ticks(8)
+        assert got == ["item", 3]
+
+    def test_put_blocks_when_full(self, kernel):
+        mbox = Mailbox(kernel, "m", capacity=1)
+        events = []
+
+        def producer():
+            yield mbox.put(1)
+            events.append("put1")
+            yield mbox.put(2)
+            events.append("put2")
+
+        def consumer():
+            yield Sleep(3)
+            item = yield mbox.get()
+            events.append(("got", item))
+
+        kernel.create_thread("p", producer, priority=10)
+        kernel.create_thread("c", consumer, priority=9)
+        kernel.run_ticks(8)
+        assert events == ["put1", ("got", 1), "put2"]
+
+    def test_get_timeout_returns_none(self, kernel):
+        mbox = Mailbox(kernel, "m")
+        got = []
+
+        def consumer():
+            got.append((yield mbox.get(timeout=2)))
+
+        kernel.create_thread("c", consumer, priority=10)
+        kernel.run_ticks(5)
+        assert got == [None]
+
+    def test_try_put_from_external_context(self, kernel):
+        mbox = Mailbox(kernel, "m", capacity=1)
+        assert mbox.try_put("a")
+        assert not mbox.try_put("b")
+        assert mbox.try_get() == "a"
+        assert mbox.try_get() is None
+
+    def test_none_item_rejected(self, kernel):
+        mbox = Mailbox(kernel, "m")
+        with pytest.raises(RtosError):
+            mbox.put(None)
+        with pytest.raises(RtosError):
+            mbox.try_put(None)
+
+    def test_invalid_capacity(self, kernel):
+        with pytest.raises(RtosError):
+            Mailbox(kernel, "m", capacity=0)

@@ -1,0 +1,135 @@
+"""Tests (including property-based) for BitVector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simkernel import BitVector
+
+widths = st.integers(min_value=1, max_value=128)
+values = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestConstruction:
+    def test_masks_to_width(self):
+        assert BitVector(0x1FF, 8).value == 0xFF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 0)
+
+    def test_int_conversion(self):
+        assert int(BitVector(42, 8)) == 42
+        assert bool(BitVector(0, 8)) is False
+        assert bool(BitVector(1, 8)) is True
+
+    def test_signed_interpretation(self):
+        assert BitVector(0xFF, 8).signed == -1
+        assert BitVector(0x7F, 8).signed == 127
+
+
+class TestArithmetic:
+    def test_wrapping_add(self):
+        assert (BitVector(0xFF, 8) + 1).value == 0
+        assert (BitVector(0xFF, 8) + BitVector(2, 8)).value == 1
+
+    def test_wrapping_sub(self):
+        assert (BitVector(0, 8) - 1).value == 0xFF
+
+    def test_reverse_operators(self):
+        assert (1 + BitVector(1, 8)).value == 2
+        assert (10 - BitVector(3, 8)).value == 7
+
+    def test_logic_ops(self):
+        a = BitVector(0b1100, 4)
+        b = BitVector(0b1010, 4)
+        assert (a & b).value == 0b1000
+        assert (a | b).value == 0b1110
+        assert (a ^ b).value == 0b0110
+        assert (~a).value == 0b0011
+
+    def test_shifts(self):
+        assert (BitVector(0b0011, 4) << 2).value == 0b1100
+        assert (BitVector(0b1100, 4) >> 2).value == 0b0011
+        assert (BitVector(0b1000, 4) << 1).value == 0  # shifted out
+
+    @given(values, values, widths)
+    def test_add_wraps_like_modular_arithmetic(self, a, b, w):
+        assert (BitVector(a, w) + BitVector(b, w)).value == (a + b) % (1 << w)
+
+    @given(values, widths)
+    def test_double_invert_is_identity(self, a, w):
+        bv = BitVector(a, w)
+        assert (~~bv) == bv
+
+    @given(values, values, widths)
+    def test_xor_self_inverse(self, a, b, w):
+        x, y = BitVector(a, w), BitVector(b, w)
+        assert (x ^ y ^ y) == x
+
+
+class TestBitsAndSlices:
+    def test_bit_access(self):
+        bv = BitVector(0b1010, 4)
+        assert bv.bit(0) == 0
+        assert bv.bit(1) == 1
+        assert bv[3].value == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(0, 4).bit(4)
+
+    def test_slice_hdl_style(self):
+        bv = BitVector(0xABCD, 16)
+        assert bv.slice(15, 8).value == 0xAB
+        assert bv.slice(7, 0).value == 0xCD
+        assert bv[11:4].value == 0xBC
+
+    def test_set_bit(self):
+        assert BitVector(0, 4).set_bit(2, 1).value == 0b0100
+        assert BitVector(0xF, 4).set_bit(0, 0).value == 0b1110
+
+    def test_concat(self):
+        hi = BitVector(0xA, 4)
+        lo = BitVector(0x5, 4)
+        combined = hi.concat(lo)
+        assert combined.value == 0xA5
+        assert combined.width == 8
+
+    @given(values, widths)
+    def test_slice_concat_roundtrip(self, a, w):
+        bv = BitVector(a, w)
+        if w < 2:
+            return
+        mid = w // 2
+        rebuilt = bv.slice(w - 1, mid).concat(bv.slice(mid - 1, 0))
+        assert rebuilt == bv
+
+    @given(values, widths)
+    def test_popcount_matches_bits(self, a, w):
+        bv = BitVector(a, w)
+        assert bv.popcount() == sum(bv.bits())
+
+
+class TestConversions:
+    @given(st.binary(min_size=1, max_size=16))
+    def test_bytes_roundtrip(self, data):
+        assert BitVector.from_bytes(data).to_bytes() == data
+
+    @given(values, widths)
+    def test_bin_roundtrip(self, a, w):
+        bv = BitVector(a, w)
+        assert BitVector.from_bin(bv.to_bin()) == bv
+
+    def test_resize(self):
+        assert BitVector(0xFF, 8).resized(4).value == 0xF
+        assert BitVector(0xF, 4).resized(8).value == 0xF
+
+    def test_hash_and_eq(self):
+        assert BitVector(5, 8) == BitVector(5, 8)
+        assert BitVector(5, 8) == 5
+        assert hash(BitVector(5, 8)) == hash(BitVector(5, 8))
+
+    def test_ordering(self):
+        assert BitVector(3, 8) < BitVector(5, 8)
+        assert BitVector(5, 8) >= 5

@@ -1,0 +1,77 @@
+"""Tests for the clock generator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import Clock, Module, Simulator, ns
+
+
+class TestClock:
+    def test_cycle_count_matches_duration(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        sim.run(ns(95))
+        # Edges at 0, 10, ..., 90.
+        assert clk.cycles == 10
+
+    def test_start_time_offsets_first_edge(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10), start_time=ns(10))
+        sim.run_until(ns(10))
+        assert clk.cycles == 1
+        sim.run_until(ns(30))
+        assert clk.cycles == 3
+
+    def test_stepping_one_period_gives_one_cycle(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10), start_time=ns(10))
+        for expected in range(1, 6):
+            sim.run_until(sim.now + ns(10))
+            assert clk.cycles == expected
+
+    def test_duty_cycle(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10), duty=0.3)
+        highs = []
+        clk.signal.observe(
+            lambda s, old, new: highs.append((sim.now, new))
+        )
+        sim.run(ns(25))
+        rises = [t for t, v in highs if v]
+        falls = [t for t, v in highs if not v]
+        assert rises[0] == 0
+        assert falls[0] == ns(3)
+
+    def test_posedge_event_drives_thread(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(4))
+        times = []
+
+        class W(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                for _ in range(3):
+                    yield clk.posedge
+                    times.append(sim.now)
+
+        W(sim, "w")
+        sim.run(ns(20))
+        assert times == [0, ns(4), ns(8)]
+
+    def test_read_level(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        sim.run_until(ns(2))
+        assert clk.read() is True
+        sim.run_until(ns(6))
+        assert clk.read() is False
+
+    @pytest.mark.parametrize("period,duty", [(0, 0.5), (-5, 0.5),
+                                             (10, 0.0), (10, 1.5)])
+    def test_invalid_configuration(self, period, duty):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Clock(sim, "clk", period=period, duty=duty)

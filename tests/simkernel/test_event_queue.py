@@ -1,0 +1,108 @@
+"""Tests for the accumulating event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import EventQueue, Module, Simulator, ns
+
+
+def watcher(sim, queue):
+    log = []
+
+    class Watcher(Module):
+        def __init__(self, sim, name):
+            super().__init__(sim, name)
+            self.thread(self._run)
+
+        def _run(self):
+            while True:
+                yield queue.event
+                log.append(sim.now)
+
+    Watcher(sim, "w")
+    return log
+
+
+class TestEventQueue:
+    def test_multiple_times_all_fire(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        log = watcher(sim, queue)
+        queue.notify(ns(5))
+        queue.notify(ns(2))
+        queue.notify(ns(9))
+        sim.run(ns(20))
+        assert log == [ns(2), ns(5), ns(9)]
+        assert queue.fired == 3
+
+    def test_earlier_notification_does_not_cancel_later(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        log = watcher(sim, queue)
+        queue.notify(ns(8))
+        queue.notify(ns(3))  # plain Event would drop the 8 ns one
+        sim.run(ns(20))
+        assert log == [ns(3), ns(8)]
+
+    def test_same_time_duplicates_fire_separately(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        log = watcher(sim, queue)
+        queue.notify(ns(4))
+        queue.notify(ns(4))
+        queue.notify(ns(4))
+        sim.run(ns(10))
+        assert log == [ns(4)] * 3
+
+    def test_notify_zero_fires_in_delta(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        log = watcher(sim, queue)
+        queue.notify(0)
+        sim.run(ns(1))
+        assert log == [0]
+
+    def test_notify_while_running(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        fired = []
+
+        class Chain(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                queue.notify(ns(1))
+                for _ in range(3):
+                    yield queue.event
+                    fired.append(sim.now)
+                    queue.notify(ns(2))
+
+        Chain(sim, "c")
+        sim.run(ns(10))
+        assert fired == [ns(1), ns(3), ns(5)]
+
+    def test_cancel_all(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        log = watcher(sim, queue)
+        queue.notify(ns(2))
+        queue.notify(ns(4))
+        queue.cancel_all()
+        assert len(queue) == 0
+        sim.run(ns(10))
+        assert log == []
+
+    def test_len_counts_pending(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        queue.notify(ns(1))
+        queue.notify(ns(2))
+        assert len(queue) == 2
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        queue = EventQueue(sim, "q")
+        with pytest.raises(SimulationError):
+            queue.notify(-1)

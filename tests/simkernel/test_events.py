@@ -1,0 +1,160 @@
+"""Tests for event notification semantics (SystemC rules)."""
+
+import pytest
+
+from repro.simkernel import Event, Module, Simulator, ns
+
+
+class Recorder(Module):
+    """Thread process that waits on one event and logs wake times."""
+
+    def __init__(self, sim, name, event, repeat=1):
+        super().__init__(sim, name)
+        self.event = event
+        self.repeat = repeat
+        self.wakes = []
+        self.thread(self._run)
+
+    def _run(self):
+        for _ in range(self.repeat):
+            yield self.event
+            self.wakes.append(self.sim.now)
+
+
+class TestTimedNotification:
+    def test_timed_notify_fires_after_delay(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(ns(5))
+        sim.run(ns(10))
+        assert rec.wakes == [ns(5)]
+
+    def test_earlier_notification_overrides_later(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(ns(8))
+        event.notify(ns(3))  # earlier wins
+        sim.run(ns(10))
+        assert rec.wakes == [ns(3)]
+
+    def test_later_notification_is_ignored(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(ns(3))
+        event.notify(ns(8))  # ignored
+        sim.run(ns(10))
+        assert rec.wakes == [ns(3)]
+
+    def test_event_fires_once_per_notification(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event, repeat=2)
+        event.notify(ns(2))
+        sim.run(ns(10))
+        assert rec.wakes == [ns(2)]  # second wait never satisfied
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        with pytest.raises(ValueError):
+            event.notify(-5)
+
+
+class TestDeltaNotification:
+    def test_delta_notify_wakes_in_same_time(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify_delta()
+        sim.run(ns(1))
+        assert rec.wakes == [0]
+
+    def test_delta_beats_timed(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(ns(5))
+        event.notify_delta()
+        sim.run(ns(10))
+        assert rec.wakes == [0]
+
+    def test_notify_zero_is_delta(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(0)
+        sim.run(ns(1))
+        assert rec.wakes == [0]
+
+
+class TestCancel:
+    def test_cancel_timed(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(ns(5))
+        event.cancel()
+        sim.run(ns(10))
+        assert rec.wakes == []
+
+    def test_cancel_delta(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify_delta()
+        event.cancel()
+        sim.run(ns(10))
+        assert rec.wakes == []
+
+    def test_cancel_then_renotify(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        rec = Recorder(sim, "rec", event)
+        event.notify(ns(5))
+        event.cancel()
+        event.notify(ns(7))
+        sim.run(ns(10))
+        assert rec.wakes == [ns(7)]
+
+    def test_pending_flag(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        assert not event.has_pending_notification
+        event.notify(ns(5))
+        assert event.has_pending_notification
+        event.cancel()
+        assert not event.has_pending_notification
+
+
+class TestImmediateNotification:
+    def test_immediate_notify_from_process_wakes_same_evaluate(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        log = []
+
+        class Poker(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                yield ns(1)
+                event.notify()  # immediate
+                log.append(("poked", sim.now))
+
+        class Waiter(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                yield event
+                log.append(("woke", sim.now))
+
+        Waiter(sim, "w")
+        Poker(sim, "p")
+        sim.run(ns(5))
+        assert ("woke", ns(1)) in log

@@ -1,0 +1,140 @@
+"""Property-based tests of discrete-event kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Event, Module, Signal, Simulator, ns
+
+notifications = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),     # event index
+        st.integers(min_value=0, max_value=50),    # delay (ns)
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestEventOrdering:
+    @given(notifications)
+    @settings(max_examples=50, deadline=None)
+    def test_wakeups_are_time_ordered(self, plan):
+        """However notifications interleave, processes observe a
+        monotonically non-decreasing simulated time."""
+        sim = Simulator()
+        events = [Event(sim, f"e{i}") for i in range(5)]
+        observed = []
+
+        class Watcher(Module):
+            def __init__(self, sim, name, event):
+                super().__init__(sim, name)
+                self.event = event
+                self.thread(self._run)
+
+            def _run(self):
+                while True:
+                    yield self.event
+                    observed.append(sim.now)
+
+        for index, event in enumerate(events):
+            Watcher(sim, f"w{index}", event)
+
+        class Driver(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                for index, delay in plan:
+                    events[index].notify(ns(delay))
+                    yield ns(1)
+
+        Driver(sim, "driver")
+        sim.run(ns(200))
+        assert observed == sorted(observed)
+
+    @given(st.lists(st.integers(min_value=1, max_value=100),
+                    min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_timed_events_all_fire(self, delays):
+        """Notifications on distinct events never cancel each other."""
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delays):
+            event = Event(sim, f"e{index}")
+
+            class W(Module):
+                def __init__(self, sim, name, event, tag):
+                    super().__init__(sim, name)
+                    self.event, self.tag = event, tag
+                    self.thread(self._run)
+
+                def _run(self):
+                    yield self.event
+                    fired.append((sim.now, self.tag))
+
+            W(sim, f"w{index}", event, index)
+            event.notify(ns(delay))
+        sim.run(ns(200))
+        assert sorted(tag for _, tag in fired) == list(range(len(delays)))
+        for when, tag in fired:
+            assert when == ns(delays[tag])
+
+
+class TestSignalInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=5),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_change_count_equals_distinct_transitions(self, values):
+        sim = Simulator()
+        signal = Signal(sim, "s", init=None)
+        sim.elaborate()
+        expected = 0
+        previous = None
+        for value in values:
+            signal.write(value)
+            sim.settle()
+            if value != previous:
+                expected += 1
+            previous = value
+        assert signal.change_count == expected
+        assert signal.read() == values[-1]
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_edge_counts_are_consistent(self, levels):
+        """posedges - negedges equals the net level change."""
+        sim = Simulator()
+        signal = Signal(sim, "s", init=False)
+        pos = neg = 0
+
+        def count(sig, old, new):
+            nonlocal pos, neg
+            if new and not old:
+                pos += 1
+            if old and not new:
+                neg += 1
+
+        signal.observe(count)
+        sim.elaborate()
+        for level in levels:
+            signal.write(level)
+            sim.settle()
+        final = bool(signal.read())
+        assert pos - neg == (1 if final else 0)
+        assert pos >= neg
+
+
+class TestDeterminismProperty:
+    @given(notifications)
+    @settings(max_examples=25, deadline=None)
+    def test_identical_plans_identical_statistics(self, plan):
+        def run():
+            sim = Simulator()
+            events = [Event(sim, f"e{i}") for i in range(5)]
+            for index, delay in plan:
+                events[index].notify(ns(delay) + 1)
+            sim.run(ns(100))
+            return (sim.delta_count, sim.process_runs, sim.now)
+
+        assert run() == run()

@@ -1,0 +1,81 @@
+"""Small gap tests: tracer string variables, port errors, clock reads."""
+
+import io
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.simkernel import (
+    In,
+    Module,
+    Signal,
+    Simulator,
+    VcdTracer,
+    format_time,
+    ns,
+)
+
+
+class TestTracerStringVariables:
+    def test_string_signal_dumped_as_s_records(self):
+        sim = Simulator()
+        sig = Signal(sim, "state", init="IDLE")
+        buffer = io.StringIO()
+        tracer = VcdTracer(sim, buffer)
+        tracer.trace(sig, "state")
+        sim.elaborate()
+        tracer.flush()  # dump the initial value before any change
+        sig.write("NORMAL")
+        sim.settle()
+        tracer.close()
+        vcd = buffer.getvalue()
+        assert "sIDLE " in vcd
+        assert "sNORMAL " in vcd
+
+    def test_trace_registration_after_dump_starts_rejected(self):
+        sim = Simulator()
+        first = Signal(sim, "a", init=0)
+        second = Signal(sim, "b", init=0)
+        tracer = VcdTracer(sim, io.StringIO())
+        tracer.trace(first, width=4)
+        sim.elaborate()
+        first.write(1)
+        sim.settle()
+        with pytest.raises(RuntimeError):
+            tracer.trace(second)
+
+    def test_none_vector_dumped_as_x(self):
+        sim = Simulator()
+        sig = Signal(sim, "v", init=None)
+        buffer = io.StringIO()
+        tracer = VcdTracer(sim, buffer)
+        tracer.trace(sig, width=4)
+        sim.elaborate()
+        tracer.flush()
+        assert "bxxxx " in buffer.getvalue()
+
+
+class TestPortErrors:
+    def test_reading_unbound_port_raises(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        port = In(module, "p")
+        with pytest.raises(ElaborationError, match="not bound"):
+            port.signal()
+
+    def test_is_bound(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        port = In(module, "p")
+        assert not port.is_bound
+        port.bind(Signal(sim, "s"))
+        assert port.is_bound
+
+
+class TestFormatTimeEdges:
+    def test_negative_times(self):
+        assert format_time(-ns(2)) == "-2 ns"
+
+    def test_exact_unit_boundaries(self):
+        assert format_time(999_999) == "999999 ps"
+        assert format_time(1_000_000) == "1 us"

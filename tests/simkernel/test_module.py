@@ -1,0 +1,117 @@
+"""Tests for module hierarchy and process registration details."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.simkernel import Event, In, Module, Out, Signal, Simulator, ns
+
+
+class TestHierarchy:
+    def test_full_names(self):
+        sim = Simulator()
+
+        class Child(Module):
+            pass
+
+        class Parent(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.child = Child(sim, "child", parent=self)
+
+        parent = Parent(sim, "top")
+        assert parent.full_name == "top"
+        assert parent.child.full_name == "top.child"
+        assert parent.children == [parent.child]
+
+    def test_modules_registered_with_simulator(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        assert module in sim.modules
+
+
+class TestDeferredSensitivity:
+    def test_sensitivity_on_unbound_port_resolves_at_elaboration(self):
+        """A method may be sensitive to a port that is bound later."""
+        sim = Simulator()
+        hits = []
+
+        class Sink(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.din = In(self, "din")
+                # din is not bound yet: sensitivity must be deferred.
+                self.method(lambda: hits.append(sim.now),
+                            sensitive=[self.din], dont_initialize=True)
+
+        sink = Sink(sim, "sink")
+        sig = Signal(sim, "s", init=0)
+        sink.din.bind(sig)
+        sim.elaborate()
+        sig.write(1)
+        sim.settle()
+        assert hits == [0]
+
+    def test_unbound_deferred_sensitivity_fails_elaboration(self):
+        sim = Simulator()
+
+        class Sink(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.din = In(self, "din")
+                self.method(lambda: None, sensitive=[self.din])
+
+        Sink(sim, "sink")
+        with pytest.raises(ElaborationError):
+            sim.elaborate()
+
+    def test_unknown_edge_kind(self):
+        sim = Simulator()
+        sig = Signal(sim, "s")
+        module = Module(sim, "m")
+        with pytest.raises(ElaborationError, match="unknown edge"):
+            module.method(lambda: None, sensitive=[sig], edge="sideways")
+
+    def test_invalid_sensitivity_object(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        with pytest.raises(ElaborationError, match="cannot be sensitive"):
+            module.method(lambda: None, sensitive=[42])
+
+
+class TestDynamicProcesses:
+    def test_thread_spawned_after_elaboration_runs(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        sim.run(ns(5))
+        log = []
+
+        def late():
+            yield ns(3)
+            log.append(sim.now)
+
+        module.thread(late)
+        sim.run(ns(10))
+        assert log == [ns(8)]
+
+    def test_plain_function_thread_runs_once(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        log = []
+        proc = module.thread(lambda: log.append("ran"))
+        sim.run(ns(1))
+        assert log == ["ran"]
+        assert proc.terminated
+
+    def test_end_of_elaboration_hook(self):
+        sim = Simulator()
+        calls = []
+
+        class Hooked(Module):
+            def end_of_elaboration(self):
+                calls.append(self.name)
+
+        Hooked(sim, "h1")
+        Hooked(sim, "h2")
+        sim.elaborate()
+        sim.elaborate()  # idempotent
+        assert calls == ["h1", "h2"]

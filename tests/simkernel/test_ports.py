@@ -1,0 +1,116 @@
+"""Tests for port binding and resolution."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.simkernel import In, Module, Out, Signal, Simulator, ns
+
+
+class Inner(Module):
+    def __init__(self, sim, name, parent=None):
+        super().__init__(sim, name, parent)
+        self.din = In(self, "din")
+        self.dout = Out(self, "dout")
+        self.method(self._copy, sensitive=[self.din], dont_initialize=True)
+
+    def _copy(self):
+        self.dout.write(self.din.read() + 1)
+
+
+class TestBinding:
+    def test_bind_to_signal(self):
+        sim = Simulator()
+        source = Signal(sim, "src", init=0)
+        sink = Signal(sim, "dst", init=0)
+        inner = Inner(sim, "inner")
+        inner.din.bind(source)
+        inner.dout.bind(sink)
+        sim.elaborate()
+        source.write(10)
+        sim.settle()
+        assert sink.read() == 11
+
+    def test_hierarchical_port_to_port_binding(self):
+        sim = Simulator()
+
+        class Wrapper(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.din = In(self, "din")
+                self.dout = Out(self, "dout")
+                self.inner = Inner(sim, "inner", parent=self)
+                self.inner.din.bind(self.din)
+                self.inner.dout.bind(self.dout)
+
+        source = Signal(sim, "src", init=0)
+        sink = Signal(sim, "dst", init=0)
+        wrapper = Wrapper(sim, "wrap")
+        wrapper.din.bind(source)
+        wrapper.dout.bind(sink)
+        sim.elaborate()
+        source.write(5)
+        sim.settle()
+        assert sink.read() == 6
+
+    def test_unbound_port_fails_elaboration(self):
+        sim = Simulator()
+        Inner(sim, "inner")
+        with pytest.raises(ElaborationError):
+            sim.elaborate()
+
+    def test_double_bind_rejected(self):
+        sim = Simulator()
+        sig = Signal(sim, "s")
+        inner = Inner(sim, "inner")
+        inner.din.bind(sig)
+        with pytest.raises(ElaborationError):
+            inner.din.bind(sig)
+
+    def test_bind_to_non_signal_rejected(self):
+        sim = Simulator()
+        inner = Inner(sim, "inner")
+        with pytest.raises(ElaborationError):
+            inner.din.bind(42)
+
+    def test_circular_port_binding_detected(self):
+        sim = Simulator()
+
+        class Bare(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.p = In(self, "p")
+                self.q = In(self, "q")
+
+        bare = Bare(sim, "bare")
+        bare.p.bind(bare.q)
+        bare.q.bind(bare.p)
+        with pytest.raises(ElaborationError, match="circular"):
+            sim.elaborate()
+
+    def test_full_name(self):
+        sim = Simulator()
+        inner = Inner(sim, "inner")
+        assert inner.din.full_name == "inner.din"
+
+
+class TestPortAccess:
+    def test_in_port_edge_events(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=False)
+        inner = Inner(sim, "inner")
+        inner.din.bind(sig)
+        inner.dout.bind(Signal(sim, "o", init=0))
+        sim.elaborate()
+        assert inner.din.posedge is sig.posedge
+        assert inner.din.negedge is sig.negedge
+        assert inner.din.changed is sig.changed
+
+    def test_out_port_read_back(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=3)
+        inner = Inner(sim, "inner")
+        inner.din.bind(Signal(sim, "i", init=0))
+        inner.dout.bind(sig)
+        sim.elaborate()
+        assert inner.dout.read() == 3
+        assert inner.dout.value == 3

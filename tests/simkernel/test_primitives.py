@@ -1,0 +1,153 @@
+"""Tests for SimFifo / SimMutex / SimSemaphore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import (
+    Module,
+    SimFifo,
+    SimMutex,
+    SimSemaphore,
+    Simulator,
+    ns,
+)
+
+
+class TestSimFifo:
+    def test_try_put_get(self):
+        sim = Simulator()
+        fifo = SimFifo(sim, "f", capacity=2)
+        assert fifo.try_put(1)
+        assert fifo.try_put(2)
+        assert not fifo.try_put(3)  # full
+        assert fifo.try_get() == 1
+        assert fifo.try_get() == 2
+        assert fifo.try_get() is None
+
+    def test_peek_does_not_consume(self):
+        sim = Simulator()
+        fifo = SimFifo(sim, "f")
+        fifo.try_put("x")
+        assert fifo.peek() == "x"
+        assert len(fifo) == 1
+
+    def test_blocking_producer_consumer(self):
+        sim = Simulator()
+        fifo = SimFifo(sim, "f", capacity=1)
+        received = []
+
+        class Producer(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                for i in range(5):
+                    yield from fifo.put(i)
+
+        class Consumer(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                for _ in range(5):
+                    item = yield from fifo.get()
+                    received.append(item)
+                    yield ns(3)
+
+        Producer(sim, "p")
+        Consumer(sim, "c")
+        sim.run(ns(100))
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            SimFifo(sim, "f", capacity=0)
+
+
+class TestSimMutex:
+    def test_try_lock_and_unlock(self):
+        sim = Simulator()
+        mutex = SimMutex(sim, "m")
+        assert mutex.try_lock()
+        assert not mutex.try_lock()
+        mutex.unlock()
+        assert mutex.try_lock()
+
+    def test_unlock_while_unlocked_raises(self):
+        sim = Simulator()
+        mutex = SimMutex(sim, "m")
+        with pytest.raises(SimulationError):
+            mutex.unlock()
+
+    def test_mutual_exclusion_between_threads(self):
+        sim = Simulator()
+        mutex = SimMutex(sim, "m")
+        active = []
+        overlaps = []
+
+        class Worker(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                for _ in range(3):
+                    yield from mutex.lock()
+                    active.append(self.name)
+                    if len(active) > 1:
+                        overlaps.append(tuple(active))
+                    yield ns(5)
+                    active.remove(self.name)
+                    mutex.unlock()
+                    yield ns(1)
+
+        Worker(sim, "a")
+        Worker(sim, "b")
+        sim.run(ns(200))
+        assert overlaps == []
+
+
+class TestSimSemaphore:
+    def test_initial_count(self):
+        sim = Simulator()
+        sem = SimSemaphore(sim, "s", initial=2)
+        assert sem.try_wait()
+        assert sem.try_wait()
+        assert not sem.try_wait()
+
+    def test_negative_initial_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            SimSemaphore(sim, "s", initial=-1)
+
+    def test_post_wakes_waiter(self):
+        sim = Simulator()
+        sem = SimSemaphore(sim, "s")
+        log = []
+
+        class Waiter(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                yield from sem.wait()
+                log.append(sim.now)
+
+        class Poster(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                yield ns(8)
+                sem.post()
+
+        Waiter(sim, "w")
+        Poster(sim, "p")
+        sim.run(ns(20))
+        assert log == [ns(8)]
+        assert sem.count == 0

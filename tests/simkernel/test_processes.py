@@ -1,0 +1,188 @@
+"""Tests for thread-process wait specifications."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkernel import AllOf, Event, Module, Simulator, Timeout, ns
+
+
+def spawn(sim, gen_fn):
+    class Host(Module):
+        def __init__(self, sim, name):
+            super().__init__(sim, name)
+            self.proc = self.thread(gen_fn)
+
+    return Host(sim, "host")
+
+
+class TestWaitAny:
+    def test_tuple_waits_for_any(self):
+        sim = Simulator()
+        e1, e2 = Event(sim, "e1"), Event(sim, "e2")
+        log = []
+
+        def run():
+            trigger = yield (e1, e2)
+            log.append((trigger.name, sim.now))
+
+        spawn(sim, run)
+        e2.notify(ns(3))
+        sim.run(ns(10))
+        assert log == [("e2", ns(3))]
+
+    def test_both_firing_same_delta_wakes_once(self):
+        sim = Simulator()
+        e1, e2 = Event(sim, "e1"), Event(sim, "e2")
+        wakes = []
+
+        def run():
+            while True:
+                yield (e1, e2)
+                wakes.append(sim.now)
+
+        spawn(sim, run)
+        e1.notify(ns(3))
+        e2.notify(ns(3))
+        sim.run(ns(10))
+        assert wakes == [ns(3)]
+
+
+class TestWaitAll:
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        e1, e2 = Event(sim, "e1"), Event(sim, "e2")
+        log = []
+
+        def run():
+            yield AllOf(e1, e2)
+            log.append(sim.now)
+
+        spawn(sim, run)
+        e1.notify(ns(2))
+        e2.notify(ns(6))
+        sim.run(ns(10))
+        assert log == [ns(6)]
+
+    def test_all_of_requires_events(self):
+        with pytest.raises(ValueError):
+            AllOf()
+
+
+class TestTimeout:
+    def test_event_beats_timeout(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        log = []
+
+        def run():
+            trigger = yield Timeout(ns(10), event)
+            log.append((trigger is event, sim.now))
+
+        spawn(sim, run)
+        event.notify(ns(4))
+        sim.run(ns(20))
+        assert log == [(True, ns(4))]
+
+    def test_timeout_fires_when_event_silent(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        log = []
+
+        def run():
+            trigger = yield Timeout(ns(10), event)
+            log.append((trigger is event, sim.now))
+
+        spawn(sim, run)
+        sim.run(ns(20))
+        assert log == [(False, ns(10))]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1)
+
+
+class TestTimeWaits:
+    def test_plain_int_is_time_wait(self):
+        sim = Simulator()
+        log = []
+
+        def run():
+            yield ns(7)
+            log.append(sim.now)
+
+        spawn(sim, run)
+        sim.run(ns(10))
+        assert log == [ns(7)]
+
+    def test_zero_is_delta_wait(self):
+        sim = Simulator()
+        log = []
+
+        def run():
+            yield 0
+            log.append(sim.now)
+
+        spawn(sim, run)
+        sim.run(ns(1))
+        assert log == [0]
+
+    def test_negative_wait_raises(self):
+        sim = Simulator()
+
+        def run():
+            yield -5
+
+        spawn(sim, run)
+        with pytest.raises(SimulationError):
+            sim.run(ns(1))
+
+    def test_bogus_wait_spec_raises(self):
+        sim = Simulator()
+
+        def run():
+            yield "not-a-wait-spec"
+
+        spawn(sim, run)
+        with pytest.raises(SimulationError):
+            sim.run(ns(1))
+
+
+class TestLifecycle:
+    def test_thread_terminates_on_return(self):
+        sim = Simulator()
+
+        def run():
+            yield ns(1)
+
+        host = spawn(sim, run)
+        sim.run(ns(5))
+        assert host.proc.terminated
+
+    def test_kill_stops_future_wakes(self):
+        sim = Simulator()
+        event = Event(sim, "e")
+        log = []
+
+        def run():
+            while True:
+                yield event
+                log.append(sim.now)
+
+        host = spawn(sim, run)
+        event.notify(ns(2))
+        sim.run(ns(3))
+        host.proc.kill()
+        event.notify(ns(2))
+        sim.run(ns(5))
+        assert log == [ns(2)]
+
+    def test_activation_count(self):
+        sim = Simulator()
+
+        def run():
+            yield ns(1)
+            yield ns(1)
+
+        host = spawn(sim, run)
+        sim.run(ns(5))
+        assert host.proc.activations == 3  # start + two wakes

@@ -1,0 +1,131 @@
+"""Tests for delta-cycle signal semantics."""
+
+from repro.simkernel import Module, Signal, Simulator, ns
+
+
+class TestBasicSemantics:
+    def test_initial_value(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=42)
+        assert sig.read() == 42
+
+    def test_write_not_visible_until_update(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        seen = []
+
+        class Writer(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                sig.write(1)
+                seen.append(sig.read())  # still the old value
+                yield 0
+                seen.append(sig.read())  # committed after the delta
+
+        Writer(sim, "w")
+        sim.run(ns(1))
+        assert seen == [0, 1]
+
+    def test_last_write_wins_within_delta(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+
+        class Writer(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                sig.write(1)
+                sig.write(2)
+                yield 0
+
+        Writer(sim, "w")
+        sim.run(ns(1))
+        assert sig.read() == 2
+
+    def test_change_count_tracks_commits(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        sim.elaborate()
+        sig.write(5)
+        sim.settle()
+        sig.write(5)  # same value: update happens, no change
+        sim.settle()
+        sig.write(6)
+        sim.settle()
+        assert sig.change_count == 2
+
+
+class TestChangeEvents:
+    def _watcher(self, sim, event):
+        log = []
+
+        class Watcher(Module):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.thread(self._run)
+
+            def _run(self):
+                while True:
+                    yield event
+                    log.append(sim.now)
+
+        Watcher(sim, "w")
+        return log
+
+    def test_changed_fires_on_new_value_only(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        log = self._watcher(sim, sig.changed)
+        sim.elaborate()
+        sig.write(1)
+        sim.settle()
+        sig.write(1)
+        sim.settle()
+        assert len(log) == 1
+
+    def test_posedge_and_negedge(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=False)
+        pos = self._watcher(sim, sig.posedge)
+        neg = self._watcher(sim, sig.negedge)
+        sim.elaborate()
+        sig.write(True)
+        sim.settle()
+        sig.write(False)
+        sim.settle()
+        sig.write(True)
+        sim.settle()
+        assert len(pos) == 2
+        assert len(neg) == 1
+
+    def test_posedge_for_integers_uses_truthiness(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        pos = self._watcher(sim, sig.posedge)
+        sim.elaborate()
+        sig.write(7)
+        sim.settle()
+        sig.write(3)  # still truthy: no new posedge
+        sim.settle()
+        assert len(pos) == 1
+
+
+class TestObservers:
+    def test_observer_sees_old_and_new(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        log = []
+        sig.observe(lambda s, old, new: log.append((old, new)))
+        sim.elaborate()
+        sig.write(1)
+        sim.settle()
+        sig.write(1)
+        sim.settle()
+        sig.write(9)
+        sim.settle()
+        assert log == [(0, 1), (1, 9)]

@@ -1,0 +1,61 @@
+"""Tests for simulation time units and formatting."""
+
+import pytest
+
+from repro.simkernel.simtime import (
+    MS,
+    NS,
+    PS,
+    SEC,
+    US,
+    format_time,
+    ms,
+    ns,
+    ps,
+    sec,
+    us,
+)
+
+
+class TestUnits:
+    def test_unit_constants_are_consistent(self):
+        assert NS == 1000 * PS
+        assert US == 1000 * NS
+        assert MS == 1000 * US
+        assert SEC == 1000 * MS
+
+    def test_helpers_return_integers(self):
+        for helper in (ps, ns, us, ms, sec):
+            assert isinstance(helper(3), int)
+
+    def test_conversion_values(self):
+        assert ns(10) == 10_000
+        assert us(1) == 1_000_000
+        assert ms(2) == 2_000_000_000
+        assert sec(1) == 1_000_000_000_000
+
+    def test_fractional_values_round(self):
+        assert ns(1.5) == 1500
+        assert ns(0.0007) == 1  # rounds to nearest ps
+
+    def test_zero(self):
+        assert ns(0) == 0
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0 ps"),
+        (1, "1 ps"),
+        (999, "999 ps"),
+        (1000, "1 ns"),
+        (10_000, "10 ns"),
+        (1_500, "1500 ps"),
+        (1_000_000, "1 us"),
+        (2_000_000_000, "2 ms"),
+        (1_000_000_000_000, "1 s"),
+    ])
+    def test_formatting(self, value, expected):
+        assert format_time(value) == expected
+
+    def test_composite_times_pick_largest_exact_unit(self):
+        assert format_time(ns(10) + us(1)) == "1010 ns"

@@ -1,0 +1,100 @@
+"""Tests for the VCD tracer."""
+
+import io
+
+from repro.simkernel import Clock, Signal, Simulator, VcdTracer, ns
+from repro.simkernel.trace import _identifier, trace_to_string
+
+
+class TestIdentifiers:
+    def test_identifiers_are_unique_and_printable(self):
+        idents = [_identifier(i) for i in range(500)]
+        assert len(set(idents)) == 500
+        for ident in idents:
+            assert all(33 <= ord(ch) <= 126 for ch in ident)
+
+
+class TestVcdOutput:
+    def test_header_and_changes(self):
+        sim = Simulator()
+        clk = Clock(sim, "clk", period=ns(10))
+        counter = Signal(sim, "count", init=0)
+        clk.signal.observe(
+            lambda s, old, new: counter.write(counter.read() + 1) if new else None
+        )
+        tracer, buffer = trace_to_string(sim, {"clk": clk.signal,
+                                               "count": counter})
+        sim.run(ns(35))
+        tracer.close()
+        vcd = buffer.getvalue()
+        assert "$timescale 1 ps $end" in vcd
+        assert "$var wire 1" in vcd      # clk as a 1-bit wire
+        assert "$var wire 32" in vcd     # count as a 32-bit vector
+        assert "$dumpvars" in vcd
+        assert "#10000" in vcd           # a change at 10 ns
+        assert vcd.count("\n#") >= 3
+
+    def test_bool_formatting(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=False)
+        buffer = io.StringIO()
+        tracer = VcdTracer(sim, buffer)
+        tracer.trace(sig, "s", width=1)
+        sim.elaborate()
+        sig.write(True)
+        sim.settle()
+        tracer.close()
+        lines = buffer.getvalue().splitlines()
+        assert any(line.startswith("1") and len(line) <= 3 for line in lines)
+
+    def test_vector_formatting(self):
+        sim = Simulator()
+        sig = Signal(sim, "v", init=0)
+        buffer = io.StringIO()
+        tracer = VcdTracer(sim, buffer)
+        tracer.trace(sig, "v", width=8)
+        sim.elaborate()
+        sig.write(0xA5)
+        sim.settle()
+        tracer.close()
+        assert "b10100101 " in buffer.getvalue()
+
+    def test_duplicate_trace_is_ignored(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        buffer = io.StringIO()
+        tracer = VcdTracer(sim, buffer)
+        tracer.trace(sig)
+        tracer.trace(sig)
+        sim.elaborate()
+        sig.write(1)
+        sim.settle()
+        tracer.close()
+        # Exactly one $var declaration.
+        assert buffer.getvalue().count("$var") == 1
+
+    def test_file_output(self, tmp_path):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        path = tmp_path / "waves.vcd"
+        with VcdTracer(sim, str(path)) as tracer:
+            tracer.trace(sig, "s", width=4)
+            sim.elaborate()
+            sig.write(7)
+            sim.settle()
+        content = path.read_text()
+        assert "$enddefinitions" in content
+        assert "b0111 " in content
+
+    def test_changes_after_close_are_ignored(self):
+        sim = Simulator()
+        sig = Signal(sim, "s", init=0)
+        buffer = io.StringIO()
+        tracer = VcdTracer(sim, buffer)
+        tracer.trace(sig, width=4)
+        sim.elaborate()
+        tracer.close()
+        size = len(buffer.getvalue())
+        sig.write(3)
+        sim.settle()
+        assert len(buffer.getvalue()) == size

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_basic_run(self, capsys):
+        assert main(["run", "--t-sync", "200", "--packets", "8",
+                     "--interval", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+        assert "accuracy" in out
+        assert "T_sync=200" in out
+
+    def test_adaptive_run(self, capsys):
+        assert main(["run", "--t-sync", "400", "--packets", "8",
+                     "--interval", "150", "--adaptive"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_queue_mode(self, capsys):
+        assert main(["run", "--t-sync", "200", "--packets", "8",
+                     "--interval", "150", "--mode", "queue"]) == 0
+        assert "measured" in capsys.readouterr().out
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace_file = tmp_path / "windows.csv"
+        assert main(["run", "--t-sync", "200", "--packets", "8",
+                     "--interval", "150", "--trace", str(trace_file)]) == 0
+        assert "window records" in capsys.readouterr().out
+        content = trace_file.read_text()
+        assert content.startswith("index,ticks,")
+
+    def test_trace_requires_inproc(self, capsys):
+        assert main(["run", "--t-sync", "200", "--packets", "4",
+                     "--mode", "queue", "--trace", "x.csv"]) == 2
+
+
+class TestExploreCommand:
+    def test_explore(self, capsys):
+        assert main(["explore", "--packets", "16", "--interval", "200",
+                     "--buffer", "8",
+                     "--t-sync-values", "100", "500", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal T_sync" in out
+        assert "<-- optimum" in out
+
+
+class TestFiguresCommand:
+    def test_fast_figures(self, capsys):
+        assert main(["figures", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Figure 7" in out
+        assert "x" in out and "%" in out
+
+
+class TestIssCommand:
+    def test_assemble_and_run(self, tmp_path, capsys):
+        source = tmp_path / "prog.asm"
+        source.write_text("""
+            ldi r1, 6
+            ldi r2, 7
+            ldi r3, 0
+        loop:
+            add r3, r3, r1
+            addi r2, r2, -1
+            bne r2, r0, loop
+            halt
+        """)
+        assert main(["iss", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "halted after" in out
+        assert "0x0000002a" in out  # r3 = 6 * 7
+
+    def test_register_presets(self, tmp_path, capsys):
+        source = tmp_path / "prog.asm"
+        source.write_text("add r3, r1, r2\n halt")
+        assert main(["iss", str(source), "--reg", "r1=0x10",
+                     "--reg", "r2=2"]) == 0
+        assert "0x00000012" in capsys.readouterr().out

@@ -1,0 +1,33 @@
+"""Smoke tests: every bundled example must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_ARGS = {
+    "router_cosim.py": ["500", "20"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(p.name for p in
+                                          EXAMPLES_DIR.glob("*.py")))
+def test_example_runs(script):
+    args = FAST_ARGS.get(script, [])
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,88 @@
+"""Tests for the wire codec, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TransportError
+from repro.transport import (
+    ClockGrant,
+    DataRead,
+    DataReply,
+    DataWrite,
+    Interrupt,
+    TimeReport,
+    decode,
+    encode,
+    frame_size,
+)
+
+seqs = st.integers(min_value=0, max_value=2**40)
+values = st.one_of(
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.binary(min_size=0, max_size=512),
+)
+
+messages = st.one_of(
+    st.builds(ClockGrant, seq=seqs, ticks=seqs),
+    st.builds(TimeReport, seq=seqs, board_ticks=seqs),
+    st.builds(Interrupt, vector=st.integers(0, 255), master_cycle=seqs),
+    st.builds(DataRead, seq=seqs, address=st.integers(0, 2**30)),
+    st.builds(DataWrite, seq=seqs, address=st.integers(0, 2**30),
+              value=values),
+    st.builds(DataReply, seq=seqs, value=values),
+)
+
+
+def roundtrip(message):
+    frame = encode(message)
+    (length,) = __import__("struct").unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    return decode(frame[4:])
+
+
+class TestRoundTrip:
+    @given(messages)
+    def test_encode_decode_roundtrip(self, message):
+        assert roundtrip(message) == message
+
+    def test_int_and_bytes_values(self):
+        assert roundtrip(DataWrite(1, 2, -42)).value == -42
+        assert roundtrip(DataWrite(1, 2, b"\x00\xff")).value == b"\x00\xff"
+        assert roundtrip(DataReply(1, b"")).value == b""
+
+    def test_bool_value_encodes_as_int(self):
+        assert roundtrip(DataReply(1, True)).value == 1
+
+    def test_frame_size_includes_prefix(self):
+        message = ClockGrant(seq=1, ticks=100)
+        assert frame_size(message) == len(encode(message))
+
+
+class TestErrors:
+    def test_empty_frame(self):
+        with pytest.raises(TransportError):
+            decode(b"")
+
+    def test_unknown_kind(self):
+        with pytest.raises(TransportError, match="unknown frame kind"):
+            decode(b"\x7f")
+
+    def test_truncated_frame(self):
+        frame = encode(ClockGrant(seq=1, ticks=2))[4:]
+        with pytest.raises(TransportError, match="truncated"):
+            decode(frame[:-3])
+
+    def test_unencodable_value(self):
+        with pytest.raises(TransportError):
+            encode(DataWrite(1, 2, value=object()))
+
+    def test_unencodable_message(self):
+        with pytest.raises(TransportError):
+            encode("not a message")
+
+    def test_unknown_value_kind(self):
+        frame = bytearray(encode(DataReply(1, 5))[4:])
+        frame[9] = 0x7F  # corrupt the value-kind byte
+        with pytest.raises(TransportError, match="unknown value kind"):
+            decode(bytes(frame))

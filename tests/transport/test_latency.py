@@ -1,0 +1,47 @@
+"""Tests for the latency / wall-cost models."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport import CycleLatencyModel, WallCostModel
+
+
+class TestCycleLatencyModel:
+    def test_defaults_positive(self):
+        model = CycleLatencyModel()
+        assert model.interrupt_cycles >= 0
+        assert model.data_access_cycles >= 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(TransportError):
+            CycleLatencyModel(interrupt_cycles=-1)
+        with pytest.raises(TransportError):
+            CycleLatencyModel(data_access_cycles=-1)
+
+
+class TestWallCostModel:
+    def test_estimate_is_linear_in_counts(self):
+        model = WallCostModel()
+        one = model.estimate(1, 0, 0, 0, 0, 0)
+        two = model.estimate(2, 0, 0, 0, 0, 0)
+        assert two == pytest.approx(2 * one)
+
+    def test_estimate_combines_terms(self):
+        model = WallCostModel(per_sync_exchange=1.0, per_message=0.1,
+                              per_byte=0.01, per_master_cycle=0.001,
+                              per_board_tick=0.0001,
+                              per_state_switch=0.00001)
+        total = model.estimate(sync_exchanges=1, messages=1, bytes_sent=1,
+                               master_cycles=1, board_ticks=1,
+                               state_switches=1)
+        assert total == pytest.approx(1.11111 + 1e-6, rel=1e-3)
+
+    def test_sync_cost_dominates_cycle_cost_by_default(self):
+        """The paper's testbed calibration: one sync exchange costs
+        thousands of simulated cycles worth of host time."""
+        model = WallCostModel()
+        assert model.per_sync_exchange / model.per_master_cycle > 1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(TransportError):
+            WallCostModel(per_sync_exchange=-1.0)

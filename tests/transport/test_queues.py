@@ -1,0 +1,78 @@
+"""Tests for the thread-safe queue link."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport import ClockGrant, Interrupt, QueueLink, TimeReport
+from repro.transport.messages import DataRead, DataWrite
+
+
+class TestSingleThread:
+    def test_clock_roundtrip(self):
+        link = QueueLink()
+        link.master.send_grant(ClockGrant(seq=1, ticks=5))
+        assert link.board.recv_grant(timeout=1.0).ticks == 5
+        link.board.send_report(TimeReport(seq=1, board_ticks=5))
+        assert link.master.recv_report(timeout=1.0).seq == 1
+
+    def test_recv_timeout_returns_none(self):
+        link = QueueLink()
+        assert link.board.recv_grant(timeout=0.01) is None
+        assert link.master.recv_report(timeout=0.01) is None
+
+    def test_poll_interrupt(self):
+        link = QueueLink()
+        assert link.board.poll_interrupt() is None
+        link.master.send_interrupt(Interrupt(vector=2, master_cycle=1))
+        assert link.board.poll_interrupt().vector == 2
+
+
+class TestDataRpc:
+    def test_write_is_fire_and_forget(self):
+        link = QueueLink()
+        link.board.data_write(3, b"abc")
+        request = link.master.poll_data()
+        assert isinstance(request, DataWrite)
+        assert request.address == 3 and request.value == b"abc"
+        assert link.master.poll_data() is None
+
+    def test_read_blocks_for_reply(self):
+        link = QueueLink()
+        result = {}
+
+        def board_side():
+            result["value"] = link.board.data_read(5)
+
+        thread = threading.Thread(target=board_side)
+        thread.start()
+        while True:
+            request = link.master.poll_data()
+            if request is not None:
+                break
+        assert isinstance(request, DataRead) and request.address == 5
+        link.master.send_reply(request.seq, 123)
+        thread.join(timeout=5)
+        assert result["value"] == 123
+
+    def test_read_timeout(self):
+        link = QueueLink()
+        link.board.reply_timeout = 0.02
+        with pytest.raises(TransportError, match="no reply"):
+            link.board.data_read(0)
+
+    def test_out_of_order_reply_rejected(self):
+        link = QueueLink()
+        link.board.reply_timeout = 1.0
+        link.master.send_reply(999, 1)  # stale reply queued first
+        with pytest.raises(TransportError, match="out of order"):
+            link.board.data_read(0)
+
+    def test_stats_cover_both_directions(self):
+        link = QueueLink()
+        link.master.send_grant(ClockGrant(seq=1, ticks=1))
+        link.board.send_report(TimeReport(seq=1, board_ticks=1))
+        link.board.data_write(0, 1)
+        assert link.stats.clock_messages == 2
+        assert link.stats.data_messages == 1

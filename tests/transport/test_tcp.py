@@ -1,0 +1,104 @@
+"""Tests for the localhost TCP link."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport import (
+    ClockGrant,
+    Interrupt,
+    TcpLinkServer,
+    TimeReport,
+    connect_board,
+)
+from repro.transport.messages import DataRead
+
+
+@pytest.fixture
+def tcp_pair():
+    server = TcpLinkServer()
+    board_holder = {}
+
+    def connect():
+        board_holder["board"] = connect_board(server.addresses,
+                                              stats=server.stats)
+
+    thread = threading.Thread(target=connect)
+    thread.start()
+    master = server.accept(timeout=10)
+    thread.join(timeout=10)
+    board = board_holder["board"]
+    yield master, board
+    master.close()
+    board.close()
+
+
+class TestTcpLink:
+    def test_three_distinct_ports_bound(self):
+        server = TcpLinkServer()
+        addresses = server.addresses
+        ports = {addr[1] for addr in addresses.values()}
+        assert len(ports) == 3
+        server.close()
+
+    def test_clock_exchange(self, tcp_pair):
+        master, board = tcp_pair
+        master.send_grant(ClockGrant(seq=1, ticks=42))
+        grant = board.recv_grant(timeout=5)
+        assert grant.ticks == 42
+        board.send_report(TimeReport(seq=1, board_ticks=42))
+        report = master.recv_report(timeout=5)
+        assert report.board_ticks == 42
+
+    def test_interrupt_poll(self, tcp_pair):
+        master, board = tcp_pair
+        assert board.poll_interrupt() is None
+        master.send_interrupt(Interrupt(vector=1, master_cycle=9))
+        # Poll until the frame arrives (the write is asynchronous).
+        for _ in range(1000):
+            irq = board.poll_interrupt()
+            if irq is not None:
+                break
+        assert irq.master_cycle == 9
+
+    def test_data_rpc(self, tcp_pair):
+        master, board = tcp_pair
+        result = {}
+
+        def board_side():
+            result["value"] = board.data_read(7)
+
+        thread = threading.Thread(target=board_side)
+        thread.start()
+        request = None
+        while request is None:
+            request = master.poll_data()
+        assert isinstance(request, DataRead) and request.address == 7
+        master.send_reply(request.seq, b"payload")
+        thread.join(timeout=10)
+        assert result["value"] == b"payload"
+
+    def test_data_write_reaches_master(self, tcp_pair):
+        master, board = tcp_pair
+        board.data_write(3, 99)
+        request = None
+        while request is None:
+            request = master.poll_data()
+        assert request.address == 3 and request.value == 99
+
+    def test_recv_timeout(self, tcp_pair):
+        master, board = tcp_pair
+        assert board.recv_grant(timeout=0.02) is None
+
+    def test_accept_timeout(self):
+        server = TcpLinkServer()
+        with pytest.raises(TransportError, match="never connected"):
+            server.accept(timeout=0.05)
+        server.close()
+
+    def test_shared_stats(self, tcp_pair):
+        master, board = tcp_pair
+        master.send_grant(ClockGrant(seq=1, ticks=1))
+        board.send_report(TimeReport(seq=1, board_ticks=1))
+        assert master.stats.clock_messages == 2
