@@ -100,7 +100,12 @@ class CosimBoardRuntime:
     # Threaded mode
     # ------------------------------------------------------------------
     def serve_forever(self, grant_timeout_s: float = 60.0) -> None:
-        """Blocking serve loop; returns on a shutdown grant."""
+        """Blocking serve loop; returns on a shutdown grant.
+
+        With a resilient endpoint the grant wait is heartbeat-probed:
+        a dead master is detected within the configured liveness window
+        rather than after *grant_timeout_s* of silence.
+        """
         kernel = self.board.kernel
         kernel.irq_pump = self._pump_interrupts
         try:

@@ -8,6 +8,7 @@ from repro.board.board import REMOTE_DEVICE_VECTOR
 from repro.errors import ProtocolError
 from repro.simkernel.simtime import ns
 from repro.transport.latency import CycleLatencyModel, WallCostModel
+from repro.transport.resilience import ResilienceConfig
 
 
 @dataclass
@@ -38,6 +39,10 @@ class CosimConfig:
     #: threaded sessions, emulating the Ethernet + physical-board
     #: response latency of the paper's setup (0 = localhost only).
     emulated_network_delay_s: float = 0.0
+    #: Resilient-link behaviour for the TCP transport: reconnect with
+    #: bounded backoff, heartbeats and post-reconnect resync.  Disabled
+    #: by default (faults stay fatal, as in the seed implementation).
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.t_sync <= 0:
@@ -46,3 +51,10 @@ class CosimConfig:
             raise ProtocolError("clock period must be positive")
         if self.max_windows <= 0:
             raise ProtocolError("max_windows must be positive")
+        if self.resilience.enabled:
+            if self.resilience.liveness_window_s >= self.report_timeout_s:
+                raise ProtocolError(
+                    "heartbeat liveness window must be shorter than "
+                    "report_timeout_s, or a dead peer is never detected "
+                    "before the session gives up"
+                )

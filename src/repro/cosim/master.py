@@ -22,7 +22,7 @@ from typing import Optional
 
 from repro.cosim.config import CosimConfig
 from repro.cosim.protocol import MasterProtocol
-from repro.errors import ProtocolError, SimulationError
+from repro.errors import ProtocolError, SimulationError, TransportError
 from repro.simkernel.clock import Clock
 from repro.simkernel.driver_ext import DriverSimulator
 from repro.simkernel.signals import Signal
@@ -180,7 +180,15 @@ class CosimMaster:
         deadline = time.monotonic() + self.config.report_timeout_s
         while True:
             self._serve_pending_data()
-            report = self.endpoint.recv_report(timeout=0.0005)
+            try:
+                report = self.endpoint.recv_report(timeout=0.0005)
+            except TransportError as exc:
+                # A resilient endpoint only raises once its reconnect /
+                # liveness budget is spent; that is a protocol death.
+                raise ProtocolError(
+                    f"link failed while waiting for report of grant "
+                    f"seq {grant.seq}: {exc}"
+                ) from exc
             if report is not None:
                 break
             if time.monotonic() > deadline:

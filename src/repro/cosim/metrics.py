@@ -34,6 +34,13 @@ class CosimMetrics:
     messages_total: int = 0
     bytes_total: int = 0
     state_switches: int = 0
+    # Resilient-link counters (zero on fault-free / non-resilient runs).
+    reconnects: int = 0
+    reconnect_attempts: int = 0
+    replays: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_acked: int = 0
+    backoff_wait_s: float = 0.0
     #: Measured host seconds (threaded sessions) or None.
     wall_seconds: Optional[float] = None
     #: Modeled host seconds (always filled, from the wall-cost model).
@@ -44,6 +51,12 @@ class CosimMetrics:
         self.bytes_total = stats.bytes_sent
         self.int_packets = stats.int_messages
         self.data_messages = stats.data_messages
+        self.reconnects = stats.reconnects
+        self.reconnect_attempts = stats.reconnect_attempts
+        self.replays = stats.replays
+        self.heartbeats_sent = stats.heartbeats_sent
+        self.heartbeats_acked = stats.heartbeats_acked
+        self.backoff_wait_s = stats.backoff_wait_s
 
     def finish_modeled(self, model: WallCostModel) -> None:
         self.modeled_wall_seconds = model.estimate(
@@ -81,5 +94,9 @@ class CosimMetrics:
             f"T_sync={self.t_sync} windows={self.windows} "
             f"cycles={self.master_cycles} ticks={self.board_ticks} "
             f"ints={self.int_packets} data={self.data_messages} "
-            f"bytes={self.bytes_total} wall={wall}"
+            f"bytes={self.bytes_total} wall={wall} "
+            f"reconnects={self.reconnects} "
+            f"retries={self.reconnect_attempts} replays={self.replays} "
+            f"heartbeats={self.heartbeats_sent} "
+            f"backoff={self.backoff_wait_s:.3f}s"
         )

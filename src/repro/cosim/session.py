@@ -28,7 +28,7 @@ from repro.cosim.config import CosimConfig
 from repro.cosim.master import CosimMaster
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.protocol import make_shutdown
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TransportError
 from repro.transport.channel import LinkStats
 
 DoneFn = Callable[[], bool]
@@ -141,9 +141,15 @@ class ThreadedSession(_SessionBase):
                 metrics.windows += 1
                 metrics.sync_exchanges += 1
         finally:
-            self.master.endpoint.send_grant(
-                make_shutdown(self.master.protocol.seq + 1)
-            )
+            try:
+                self.master.endpoint.send_grant(
+                    make_shutdown(self.master.protocol.seq + 1)
+                )
+            except TransportError:
+                # The link is already down; don't let the poison pill
+                # mask the error that ended the run.  The daemon board
+                # thread will hit its own grant timeout.
+                pass
             board_thread.join(timeout=self.config.report_timeout_s)
         metrics.wall_seconds = time.perf_counter() - start
         if board_thread.is_alive():

@@ -36,8 +36,13 @@ from repro.router.router import (
 )
 from repro.router.routing_table import RoutingTable
 from repro.router.stats import WorkloadStats
+from repro.transport.faults import FaultPlan, FaultyBoardEndpoint
 from repro.transport.inproc import InprocLink
 from repro.transport.queues import QueueLink
+from repro.transport.resilience import (
+    ResilientLinkServer,
+    connect_board_resilient,
+)
 from repro.transport.tcp import TcpLinkServer, connect_board
 
 INPROC = "inproc"
@@ -109,11 +114,19 @@ class RouterCosim:
                     + self.stats.dropped_unroutable)
         return terminal >= self.stats.generated
 
-    def run(self, max_cycles: Optional[int] = None) -> CosimMetrics:
-        """Run to completion; returns the co-simulation metrics."""
+    def run(self, max_cycles: Optional[int] = None,
+            await_drain: bool = True) -> CosimMetrics:
+        """Run to completion; returns the co-simulation metrics.
+
+        With ``await_drain=False`` the session runs for exactly
+        *max_cycles* regardless of workload progress — useful when two
+        runs must cover an identical number of windows (e.g. comparing
+        a faulted run against a fault-free one).
+        """
         bound = max_cycles or (4 * self.workload.estimated_cycles())
+        done = self.drained if await_drain else None
         try:
-            return self.session.run(max_cycles=bound, done=self.drained)
+            return self.session.run(max_cycles=bound, done=done)
         finally:
             if self._cleanup is not None:
                 self._cleanup()
@@ -130,6 +143,7 @@ def build_router_cosim(
     mode: str = INPROC,
     adaptive=None,
     iss_timing: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> RouterCosim:
     """Assemble the complete case study on the chosen transport.
 
@@ -137,7 +151,11 @@ def build_router_cosim(
     (in-process mode only) to run with the feedback-controlled window
     size instead of a fixed ``T_sync``.  With ``iss_timing`` the
     checksum application *executes* its routine on the bundled ISS
-    instead of charging the coarse work-model cost.
+    instead of charging the coarse work-model cost.  A *fault_plan*
+    wraps the board endpoint in a saboteur
+    (:class:`~repro.transport.faults.FaultyBoardEndpoint`); combined
+    with ``config.resilience.enabled`` and TCP mode this exercises
+    disconnect recovery end to end.
     """
     config = config or CosimConfig()
     workload = workload or RouterWorkload()
@@ -154,16 +172,26 @@ def build_router_cosim(
         link = QueueLink()
         master_ep, board_ep, stats_src = link.master, link.board, link.stats
     elif mode == TCP:
-        server = TcpLinkServer()
-        board_ep = connect_board(server.addresses, stats=server.stats)
-        master_ep = server.accept()
+        if config.resilience.enabled:
+            server = ResilientLinkServer(config=config.resilience)
+            board_ep = connect_board_resilient(
+                server.addresses, config.resilience, stats=server.stats)
+            master_ep = server.accept()
+        else:
+            server = TcpLinkServer()
+            board_ep = connect_board(server.addresses, stats=server.stats)
+            master_ep = server.accept()
         stats_src = server.stats
 
         def cleanup() -> None:
             master_ep.close()
             board_ep.close()
+            server.close()
     else:
         raise ProtocolError(f"unknown transport mode {mode!r}")
+
+    if fault_plan is not None:
+        board_ep = FaultyBoardEndpoint(board_ep, fault_plan)
 
     # ------------------------------------------------------------------
     # Hardware side (the master simulation)

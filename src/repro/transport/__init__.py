@@ -21,11 +21,20 @@ from repro.transport.messages import (
     DataRead,
     DataReply,
     DataWrite,
+    Heartbeat,
+    HeartbeatAck,
     INT_PORT,
     Interrupt,
     TimeReport,
 )
 from repro.transport.queues import QueueLink
+from repro.transport.resilience import (
+    ResilienceConfig,
+    ResilientLinkServer,
+    ResilientTcpBoard,
+    ResilientTcpMaster,
+    connect_board_resilient,
+)
 from repro.transport.tcp import TcpLinkServer, connect_board
 
 __all__ = [
@@ -37,16 +46,23 @@ __all__ = [
     "DataRead",
     "DataReply",
     "DataWrite",
+    "Heartbeat",
+    "HeartbeatAck",
     "INT_PORT",
     "InprocLink",
     "Interrupt",
     "LinkStats",
     "MasterEndpoint",
     "QueueLink",
+    "ResilienceConfig",
+    "ResilientLinkServer",
+    "ResilientTcpBoard",
+    "ResilientTcpMaster",
     "TcpLinkServer",
     "TimeReport",
     "WallCostModel",
     "connect_board",
+    "connect_board_resilient",
     "decode",
     "encode",
     "frame_size",

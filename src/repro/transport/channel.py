@@ -41,6 +41,19 @@ class LinkStats:
         self.clock_messages = 0
         self.int_messages = 0
         self.data_messages = 0
+        # Resilience counters, populated by repro.transport.resilience.
+        #: Successful reconnections of a dropped port.
+        self.reconnects = 0
+        #: Individual (re)connect attempts, including failed ones.
+        self.reconnect_attempts = 0
+        #: Messages replayed after a reconnect (resync handshake).
+        self.replays = 0
+        #: Liveness probes sent on the CLOCK connection.
+        self.heartbeats_sent = 0
+        #: Probe acknowledgements received back.
+        self.heartbeats_acked = 0
+        #: Total wall seconds spent in backoff delays.
+        self.backoff_wait_s = 0.0
 
     def account(self, message: Message, port: str) -> None:
         self.messages_sent += 1

@@ -12,8 +12,9 @@ accounting).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.transport.channel import BoardEndpoint
 from repro.transport.messages import ClockGrant, Interrupt, TimeReport, Value
@@ -33,6 +34,12 @@ class FaultPlan:
     corrupt_reports: Set[int] = field(default_factory=set)
     #: 1-based interrupt indices to swallow.
     drop_interrupts: Set[int] = field(default_factory=set)
+    #: Grant seq -> port name: forcibly drop that TCP connection right
+    #: after the grant is delivered (requires an endpoint with an
+    #: ``inject_disconnect`` hook, e.g. ResilientTcpBoard).
+    disconnect_after_grants: Dict[int, str] = field(default_factory=dict)
+    #: Report seq -> extra wall seconds to stall before sending it.
+    delay_reports: Dict[int, float] = field(default_factory=dict)
 
     # Statistics ---------------------------------------------------------
     grants_dropped: int = 0
@@ -40,11 +47,14 @@ class FaultPlan:
     reports_dropped: int = 0
     reports_corrupted: int = 0
     interrupts_dropped: int = 0
+    disconnects_injected: int = 0
+    reports_delayed: int = 0
 
     def total_faults(self) -> int:
         return (self.grants_dropped + self.grants_duplicated
                 + self.reports_dropped + self.reports_corrupted
-                + self.interrupts_dropped)
+                + self.interrupts_dropped + self.disconnects_injected
+                + self.reports_delayed)
 
 
 class FaultyBoardEndpoint(BoardEndpoint):
@@ -73,9 +83,17 @@ class FaultyBoardEndpoint(BoardEndpoint):
                 self.plan.duplicate_grants.discard(grant.seq)
                 self.plan.grants_duplicated += 1
                 self._pending_duplicate = grant
+            port = self.plan.disconnect_after_grants.pop(grant.seq, None)
+            if port is not None and hasattr(self.inner, "inject_disconnect"):
+                self.inner.inject_disconnect(port)
+                self.plan.disconnects_injected += 1
             return grant
 
     def send_report(self, report: TimeReport) -> None:
+        delay = self.plan.delay_reports.pop(report.seq, None)
+        if delay is not None:
+            self.plan.reports_delayed += 1
+            time.sleep(delay)
         if report.seq in self.plan.drop_reports:
             self.plan.drop_reports.discard(report.seq)
             self.plan.reports_dropped += 1

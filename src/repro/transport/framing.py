@@ -18,6 +18,8 @@ from repro.transport.messages import (
     DataRead,
     DataReply,
     DataWrite,
+    Heartbeat,
+    HeartbeatAck,
     Interrupt,
     Message,
     TimeReport,
@@ -30,6 +32,8 @@ _T_INTERRUPT = 3
 _T_DATA_READ = 4
 _T_DATA_WRITE = 5
 _T_DATA_REPLY = 6
+_T_HEARTBEAT = 7
+_T_HEARTBEAT_ACK = 8
 
 _V_INT = 0
 _V_BYTES = 1
@@ -80,6 +84,10 @@ def encode(message: Message) -> bytes:
                 + _U64.pack(message.address) + _encode_value(message.value))
     elif isinstance(message, DataReply):
         body = bytes([_T_DATA_REPLY]) + _U64.pack(message.seq) + _encode_value(message.value)
+    elif isinstance(message, Heartbeat):
+        body = bytes([_T_HEARTBEAT]) + _U64.pack(message.seq)
+    elif isinstance(message, HeartbeatAck):
+        body = bytes([_T_HEARTBEAT_ACK]) + _U64.pack(message.seq)
     else:
         raise TransportError(f"cannot encode {message!r}")
     if len(body) > MAX_FRAME_SIZE:
@@ -115,6 +123,10 @@ def decode(body: bytes) -> Message:
             seq = _U64.unpack_from(body, 1)[0]
             value, _ = _decode_value(body, 9)
             return DataReply(seq=seq, value=value)
+        if kind == _T_HEARTBEAT:
+            return Heartbeat(seq=_U64.unpack_from(body, 1)[0])
+        if kind == _T_HEARTBEAT_ACK:
+            return HeartbeatAck(seq=_U64.unpack_from(body, 1)[0])
     except struct.error as exc:
         raise TransportError(f"truncated frame of kind {kind}: {exc}") from exc
     raise TransportError(f"unknown frame kind {kind}")

@@ -76,7 +76,28 @@ class DataReply:
     value: Value
 
 
-Message = Union[ClockGrant, TimeReport, Interrupt, DataRead, DataWrite, DataReply]
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness probe on the CLOCK connection.
+
+    Sent by a resilient endpoint while it waits; never passed to the
+    protocol layer — the peer's transport answers with a
+    :class:`HeartbeatAck` and both sides drop the pair from the message
+    stream (see :mod:`repro.transport.resilience`).
+    """
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Answer to a :class:`Heartbeat`, echoing its ``seq``."""
+
+    seq: int
+
+
+Message = Union[ClockGrant, TimeReport, Interrupt, DataRead, DataWrite,
+                DataReply, Heartbeat, HeartbeatAck]
 
 #: Logical port names.
 CLOCK_PORT = "clock"

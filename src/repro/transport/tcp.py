@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import socket
 import struct
+import time
 from typing import Optional, Tuple
 
 from repro.errors import TransportError
 from repro.transport.channel import BoardEndpoint, LinkStats, MasterEndpoint
-from repro.transport.framing import decode, encode
+from repro.transport.framing import MAX_FRAME_SIZE, decode, encode
 from repro.transport.messages import (
     CLOCK_PORT,
     ClockGrant,
@@ -47,13 +48,25 @@ class _FramedSocket:
         self.sock.sendall(encode(message))
 
     def recv(self, timeout: Optional[float]) -> Optional[Message]:
-        """Receive one message; None on timeout."""
-        self.sock.settimeout(timeout)
+        """Receive one message; None on timeout.
+
+        ``timeout`` is a wall-clock *deadline* for the whole message,
+        not a per-chunk allowance: a peer dribbling partial frames
+        cannot stretch the wait beyond ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         try:
             while True:
                 frame = self._extract_frame()
                 if frame is not None:
                     return decode(frame)
+                if deadline is None:
+                    self.sock.settimeout(None)
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self.sock.settimeout(remaining)
                 chunk = self.sock.recv(65536)
                 if not chunk:
                     raise TransportError("peer closed the connection")
@@ -66,6 +79,7 @@ class _FramedSocket:
         frame = self._extract_frame()
         if frame is not None:
             return decode(frame)
+        prior_timeout = self.sock.gettimeout()
         self.sock.setblocking(False)
         try:
             while True:
@@ -76,7 +90,7 @@ class _FramedSocket:
         except (BlockingIOError, InterruptedError):
             pass
         finally:
-            self.sock.setblocking(True)
+            self.sock.settimeout(prior_timeout)
         frame = self._extract_frame()
         return decode(frame) if frame is not None else None
 
@@ -84,6 +98,11 @@ class _FramedSocket:
         if len(self._rxbuf) < 4:
             return None
         (length,) = _LEN.unpack_from(self._rxbuf, 0)
+        if length > MAX_FRAME_SIZE:
+            raise TransportError(
+                f"frame length {length} exceeds MAX_FRAME_SIZE "
+                f"({MAX_FRAME_SIZE}); corrupt length prefix?"
+            )
         if len(self._rxbuf) < 4 + length:
             return None
         frame = bytes(self._rxbuf[4:4 + length])
@@ -108,8 +127,12 @@ class TcpLinkServer:
         master = server.accept()          # blocks until the board connects
     """
 
-    def __init__(self, host: str = "127.0.0.1") -> None:
+    def __init__(self, host: str = "127.0.0.1",
+                 keep_listening: bool = False) -> None:
         self.stats = LinkStats()
+        #: When set, listeners stay open after :meth:`accept` so dropped
+        #: connections can be re-accepted (see transport.resilience).
+        self.keep_listening = keep_listening
         self._listeners = {}
         for port_name in (DATA_PORT, INT_PORT, CLOCK_PORT):
             listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -126,20 +149,53 @@ class TcpLinkServer:
             for name, listener in self._listeners.items()
         }
 
-    def accept(self, timeout: float = 30.0) -> "TcpMaster":
+    def _accept_conns(self, timeout: float) -> dict:
+        """Accept one connection per port; cleans up fully on failure."""
         conns = {}
-        for name, listener in self._listeners.items():
-            listener.settimeout(timeout)
-            try:
-                sock, _ = listener.accept()
-            except socket.timeout:
-                raise TransportError(
-                    f"board never connected to {name} port"
-                ) from None
-            conns[name] = _FramedSocket(sock)
-            listener.close()
-        self._listeners = {}
-        return TcpMaster(conns, self.stats)
+        try:
+            for name, listener in self._listeners.items():
+                listener.settimeout(timeout)
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout:
+                    raise TransportError(
+                        f"board never connected to {name} port"
+                    ) from None
+                conns[name] = _FramedSocket(sock)
+        except TransportError:
+            # Don't leak the connections already accepted, nor the
+            # listeners we never got to.
+            for conn in conns.values():
+                conn.close()
+            self.close()
+            raise
+        if not self.keep_listening:
+            for listener in self._listeners.values():
+                listener.close()
+            self._listeners = {}
+        return conns
+
+    def accept(self, timeout: float = 30.0) -> "TcpMaster":
+        return TcpMaster(self._accept_conns(timeout), self.stats)
+
+    def reaccept(self, port_name: str,
+                 timeout: float = 0.0) -> Optional[_FramedSocket]:
+        """Accept a fresh connection on one port (``keep_listening`` only).
+
+        Returns None when no connection is pending within *timeout*.
+        """
+        listener = self._listeners.get(port_name)
+        if listener is None:
+            raise TransportError(
+                f"no open listener for {port_name} port "
+                "(construct the server with keep_listening=True)"
+            )
+        listener.settimeout(timeout)
+        try:
+            sock, _ = listener.accept()
+        except (socket.timeout, BlockingIOError):
+            return None
+        return _FramedSocket(sock)
 
     def close(self) -> None:
         for listener in self._listeners.values():
@@ -225,19 +281,21 @@ class TcpBoard(BoardEndpoint):
 
     def data_read(self, address: int) -> Value:
         self._data_seq += 1
-        self._account(DataRead(self._data_seq, address), "data")
-        self._conns[DATA_PORT].send(DataRead(self._data_seq, address))
+        request = DataRead(self._data_seq, address)
+        self._account(request, "data")
+        self._conns[DATA_PORT].send(request)
         reply = self._conns[DATA_PORT].recv(self.reply_timeout)
         if reply is None:
             raise TransportError(f"DATA read of {address:#x} timed out")
-        if not isinstance(reply, DataReply) or reply.seq != self._data_seq:
+        if not isinstance(reply, DataReply) or reply.seq != request.seq:
             raise TransportError(f"bad DATA reply: {reply!r}")
         return reply.value
 
     def data_write(self, address: int, value: Value) -> None:
         self._data_seq += 1
-        self._account(DataWrite(self._data_seq, address, value), "data")
-        self._conns[DATA_PORT].send(DataWrite(self._data_seq, address, value))
+        request = DataWrite(self._data_seq, address, value)
+        self._account(request, "data")
+        self._conns[DATA_PORT].send(request)
 
     def close(self) -> None:
         for conn in self._conns.values():

@@ -1,6 +1,9 @@
 """Tests for the localhost TCP link."""
 
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -12,7 +15,20 @@ from repro.transport import (
     TimeReport,
     connect_board,
 )
-from repro.transport.messages import DataRead
+from repro.transport.framing import MAX_FRAME_SIZE, encode
+from repro.transport.messages import DATA_PORT, DataRead
+from repro.transport.tcp import _FramedSocket
+
+
+def tcp_socket_pair():
+    """A connected (client, server) pair of real TCP sockets."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.create_connection(listener.getsockname())
+    server, _ = listener.accept()
+    listener.close()
+    return client, server
 
 
 @pytest.fixture
@@ -102,3 +118,93 @@ class TestTcpLink:
         master.send_grant(ClockGrant(seq=1, ticks=1))
         board.send_report(TimeReport(seq=1, board_ticks=1))
         assert master.stats.clock_messages == 2
+
+    def test_accept_timeout_closes_accepted_connections(self):
+        """A partial connect must not leak the sockets already accepted:
+        when a later listener times out, everything is torn down."""
+        server = TcpLinkServer()
+        # Connect only the first port; INT/CLOCK never connect.
+        lone = socket.create_connection(server.addresses[DATA_PORT])
+        try:
+            with pytest.raises(TransportError, match="never connected"):
+                server.accept(timeout=0.1)
+            assert server._listeners == {}
+            # The accepted DATA connection was closed server-side: the
+            # client sees EOF instead of a half-open socket.
+            lone.settimeout(2.0)
+            assert lone.recv(1) == b""
+        finally:
+            lone.close()
+
+
+class TestFramedSocket:
+    def test_oversized_length_prefix_rejected(self):
+        """A corrupt length prefix (e.g. 0xFFFFFFFF) must fail fast
+        instead of buffering unboundedly."""
+        client, server = tcp_socket_pair()
+        framed = _FramedSocket(server)
+        try:
+            client.sendall(struct.pack(">I", 0xFFFFFFFF) + b"junk")
+            with pytest.raises(TransportError, match="MAX_FRAME_SIZE"):
+                framed.recv(timeout=2.0)
+        finally:
+            client.close()
+            framed.close()
+
+    def test_max_frame_size_boundary(self):
+        client, server = tcp_socket_pair()
+        framed = _FramedSocket(server)
+        try:
+            client.sendall(struct.pack(">I", MAX_FRAME_SIZE + 1))
+            with pytest.raises(TransportError, match="MAX_FRAME_SIZE"):
+                framed.recv(timeout=2.0)
+        finally:
+            client.close()
+            framed.close()
+
+    def test_poll_preserves_configured_timeout(self):
+        client, server = tcp_socket_pair()
+        framed = _FramedSocket(server)
+        try:
+            framed.sock.settimeout(1.5)
+            assert framed.poll() is None
+            assert framed.sock.gettimeout() == 1.5
+            # And a message still comes through afterwards.
+            client.sendall(encode(ClockGrant(seq=1, ticks=2)))
+            assert framed.recv(timeout=2.0) == ClockGrant(seq=1, ticks=2)
+        finally:
+            client.close()
+            framed.close()
+
+    @pytest.mark.parametrize("timeout", [0.05, 0.15])
+    def test_recv_timeout_is_a_deadline(self, timeout):
+        """A peer dripping partial frames cannot stretch the wait: the
+        timeout is a wall-clock deadline, overshot by at most one
+        scheduling slice."""
+        client, server = tcp_socket_pair()
+        framed = _FramedSocket(server)
+        stop = threading.Event()
+
+        def dripper():
+            # One header byte every 10ms: each chunk would reset a
+            # naive per-chunk timeout forever.
+            payload = struct.pack(">I", 64)
+            index = 0
+            while not stop.is_set():
+                client.sendall(payload[index % len(payload):][:1])
+                index += 1
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=dripper, daemon=True)
+        thread.start()
+        try:
+            start = time.monotonic()
+            assert framed.recv(timeout=timeout) is None
+            elapsed = time.monotonic() - start
+            assert elapsed >= timeout
+            assert elapsed <= timeout + 0.1
+        finally:
+            stop.set()
+            thread.join(timeout=2)
+            client.close()
+            framed.close()
