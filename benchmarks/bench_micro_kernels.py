@@ -5,12 +5,12 @@ the RTOS, the ISS and the wire codec, to track performance regressions
 of the substrates every macro experiment sits on.
 """
 
-from repro.iss import IssCpu, assemble, checksum_program
+from repro.iss import IssCpu, checksum_program
 from repro.board.memory import Memory
 from repro.router import Packet, checksum16
 from repro.rtos import CpuWork, RtosConfig, RtosKernel, YieldCpu
 from repro.simkernel import Clock, Module, Signal, Simulator, ns
-from repro.transport import ClockGrant, DataWrite, decode, encode
+from repro.transport import DataWrite, decode, encode
 
 
 def test_simkernel_clocked_methods(benchmark):

@@ -11,9 +11,9 @@ optionally restricted to a designer-imposed range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
-from repro.analysis.sweep import SweepPoint, sweep_t_sync
+from repro.analysis.sweep import sweep_t_sync
 from repro.cosim.config import CosimConfig
 from repro.router.testbench import INPROC, RouterWorkload
 

@@ -7,7 +7,7 @@ the ISS-backed examples).  Handlers implement ``load``/``store``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.errors import ReproError
 

@@ -7,6 +7,7 @@
     repro explore [--t-sync-values ...]   # overhead/accuracy trade-off
     repro figures [--fast]                # regenerate Figs. 5-7 tables
     repro iss FILE.asm [--reg N=V ...]    # assemble + run + cycle stats
+    repro lint [TARGET ...] [--format text|json]  # static analysis
 
 (Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.)
@@ -128,18 +129,53 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_iss(args: argparse.Namespace) -> int:
+    import re
+
     from repro.analysis import format_table
     from repro.board.memory import Memory
+    from repro.errors import AssemblerError, ReproError
     from repro.iss import IssCpu, assemble
 
     with open(args.file, "r", encoding="utf-8") as handle:
         source = handle.read()
-    program = assemble(source)
-    cpu = IssCpu(program, Memory(args.memory))
+    try:
+        program = assemble(source)
+    except AssemblerError as exc:
+        for line, message in exc.messages:
+            where = f"{args.file}:{line}" if line is not None else args.file
+            message = re.sub(r"^line \d+: ", "", message)
+            print(f"{where}: error: {message}", file=sys.stderr)
+        return 1
+    presets = {}
     for assignment in args.reg:
         name, _, value = assignment.partition("=")
-        cpu.write_reg(int(name.lstrip("rR")), int(value, 0))
-    cpu.run(max_instructions=args.max_instructions)
+        presets[int(name.lstrip("rR"))] = int(value, 0)
+    if not args.no_lint:
+        from repro.staticcheck import LintReport, check_program
+
+        report = LintReport()
+        check_program(program, target=args.file, source=source,
+                      memory_size=args.memory,
+                      assume_defined=set(presets), report=report)
+        if report.diagnostics:
+            print(report.render_text(), file=sys.stderr)
+        if report.errors:
+            print("lint found errors; pass --no-lint to run anyway",
+                  file=sys.stderr)
+            return 1
+    cpu = IssCpu(program, Memory(args.memory))
+    for index, value in presets.items():
+        cpu.write_reg(index, value)
+    try:
+        cpu.run(max_instructions=args.max_instructions)
+    except ReproError as exc:
+        where = args.file
+        if 0 <= cpu.pc < len(program.instructions):
+            line = program.instructions[cpu.pc].line
+            if line is not None:
+                where = f"{args.file}:{line}"
+        print(f"{where}: runtime error: {exc}", file=sys.stderr)
+        return 1
     print(f"halted after {cpu.instructions_retired} instructions, "
           f"{cpu.cycles} cycles "
           f"(CPI {cpu.cycles / max(1, cpu.instructions_retired):.2f})")
@@ -148,6 +184,21 @@ def _cmd_iss(args: argparse.Namespace) -> int:
     if registers:
         print(format_table(["reg", "value"], registers))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.iss.timing import TimingModel
+    from repro.staticcheck import run_lint
+
+    timing = TimingModel() if args.wcet else None
+    report = run_lint(args.targets, suppress=args.suppress,
+                      memory_size=args.memory, timing=timing,
+                      include_cycle_bounds=args.wcet)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(strict=args.strict)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,7 +246,27 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N=VALUE", help="preset register, e.g. r1=0x10")
     iss.add_argument("--memory", type=int, default=64 * 1024)
     iss.add_argument("--max-instructions", type=int, default=10_000_000)
+    iss.add_argument("--no-lint", action="store_true",
+                     help="skip the static checks before running")
     iss.set_defaults(fn=_cmd_iss)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: ISS programs, netlists, co-sim configs")
+    lint.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help=".asm file, directory, 'bundled', or 'router' "
+             "(default: bundled router)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--suppress", action="append", default=[],
+                      metavar="RULE", help="suppress a rule id, e.g. ISS003")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too")
+    lint.add_argument("--memory", type=int, default=64 * 1024,
+                      help="memory size assumed for bounds checks")
+    lint.add_argument("--wcet", action="store_true",
+                      help="report static cycle bounds (ISS006)")
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -19,7 +19,7 @@ alignment invariants keep holding (and keep being checked).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cosim.metrics import CosimMetrics

@@ -20,8 +20,8 @@ checkpoint interval and optimism window.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import List, Tuple
 
 from repro.errors import ProtocolError
 from repro.router.checksum import checksum16

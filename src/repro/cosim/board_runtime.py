@@ -21,14 +21,13 @@ Two operating modes:
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List
 
 from repro.board.board import Board
 from repro.cosim.config import CosimConfig
 from repro.cosim.protocol import BoardProtocol, is_shutdown
 from repro.errors import ProtocolError
 from repro.transport.channel import BoardEndpoint
-from repro.transport.messages import ClockGrant, Interrupt
 
 
 class CosimBoardRuntime:

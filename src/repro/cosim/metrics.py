@@ -12,7 +12,7 @@ Collects everything the paper's evaluation plots:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.transport.channel import LinkStats

@@ -34,4 +34,23 @@ class IssError(ReproError):
 
 
 class AssemblerError(IssError):
-    """An error raised while assembling a program."""
+    """One or more errors raised while assembling a program.
+
+    ``messages`` holds every collected error as ``(line, message)``
+    pairs (``line`` may be None for errors without a location); the
+    exception text joins them, one per line, so single-error behaviour
+    is unchanged.
+    """
+
+    def __init__(self, message, messages=None):
+        super().__init__(message)
+        if messages is None:
+            messages = [(None, str(message))]
+        #: List of ``(line_number_or_None, message)`` tuples.
+        self.messages = list(messages)
+
+    @classmethod
+    def from_messages(cls, messages):
+        """Build one exception from collected ``(line, message)`` pairs."""
+        text = "\n".join(message for _, message in messages)
+        return cls(text, messages=messages)

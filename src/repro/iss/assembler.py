@@ -40,17 +40,38 @@ def _split_operands(text: str) -> List[str]:
 
 
 class Assembler:
-    """Assembles source text into a :class:`Program`."""
+    """Assembles source text into a :class:`Program`.
+
+    Errors do not stop at the first offender: each pass collects every
+    diagnosable problem and raises one :class:`AssemblerError` whose
+    ``messages`` lists them all (first-pass label errors abort before
+    the second pass, since operand resolution needs a consistent label
+    table).
+    """
 
     def __init__(self) -> None:
         self._labels: Dict[str, int] = {}
         self._data_labels: Dict[str, int] = {}
+        self._errors: List[Tuple[Optional[int], str]] = []
 
     # ------------------------------------------------------------------
     def assemble(self, source: str) -> Program:
         lines = self._clean(source)
+        self._errors = []
         self._first_pass(lines)
-        return self._second_pass(lines)
+        self._raise_collected()
+        program = self._second_pass(lines)
+        self._raise_collected()
+        return Program(program.instructions, program.data, program.labels,
+                       source=source)
+
+    def _collect(self, line: Optional[int], message: str) -> None:
+        self._errors.append((line, message))
+
+    def _raise_collected(self) -> None:
+        if self._errors:
+            errors, self._errors = self._errors, []
+            raise AssemblerError.from_messages(errors)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -73,13 +94,14 @@ class Assembler:
                 label, _, rest = line.partition(":")
                 label = label.strip()
                 if not _LABEL_RE.match(label):
-                    raise AssemblerError(f"line {number}: bad label {label!r}")
-                if (label in self._labels or label in self._data_labels
+                    self._collect(number,
+                                  f"line {number}: bad label {label!r}")
+                elif (label in self._labels or label in self._data_labels
                         or label in pending):
-                    raise AssemblerError(
-                        f"line {number}: duplicate label {label!r}"
-                    )
-                pending.append(label)
+                    self._collect(number,
+                                  f"line {number}: duplicate label {label!r}")
+                else:
+                    pending.append(label)
                 line = rest.strip()
             if not line:
                 continue
@@ -87,14 +109,19 @@ class Assembler:
                 for label in pending:
                     self._data_labels[label] = data_at
                 pending = []
-                if line.startswith(".org"):
-                    data_at = self._parse_imm(line.split(None, 1)[1], number)
-                elif line.startswith(".word"):
-                    data_at += 4 * len(_split_operands(line[5:]))
-                elif line.startswith(".byte"):
-                    data_at += len(_split_operands(line[5:]))
-                else:
-                    data_at += self._parse_imm(line.split(None, 1)[1], number)
+                try:
+                    if line.startswith(".org"):
+                        data_at = self._parse_imm(line.split(None, 1)[1],
+                                                  number)
+                    elif line.startswith(".word"):
+                        data_at += 4 * len(_split_operands(line[5:]))
+                    elif line.startswith(".byte"):
+                        data_at += len(_split_operands(line[5:]))
+                    else:
+                        data_at += self._parse_imm(line.split(None, 1)[1],
+                                                   number)
+                except AssemblerError as exc:
+                    self._collect(number, str(exc))
             else:
                 for label in pending:
                     self._labels[label] = pc
@@ -113,26 +140,29 @@ class Assembler:
                 line = line.partition(":")[2].strip()
             if not line:
                 continue
-            if line.startswith(".org"):
-                data_at = self._parse_imm(line.split(None, 1)[1], number)
-            elif line.startswith(".word"):
-                words = [self._parse_imm(w, number)
-                         for w in _split_operands(line[5:])]
-                blob = b"".join(
-                    (w & 0xFFFFFFFF).to_bytes(4, "little") for w in words
-                )
-                data.append((data_at, blob))
-                data_at += len(blob)
-            elif line.startswith(".byte"):
-                values = [self._parse_imm(b, number)
-                          for b in _split_operands(line[5:])]
-                blob = bytes(v & 0xFF for v in values)
-                data.append((data_at, blob))
-                data_at += len(blob)
-            elif line.startswith(".space"):
-                data_at += self._parse_imm(line.split(None, 1)[1], number)
-            else:
-                instructions.append(self._parse_instruction(line, number))
+            try:
+                if line.startswith(".org"):
+                    data_at = self._parse_imm(line.split(None, 1)[1], number)
+                elif line.startswith(".word"):
+                    words = [self._parse_imm(w, number)
+                             for w in _split_operands(line[5:])]
+                    blob = b"".join(
+                        (w & 0xFFFFFFFF).to_bytes(4, "little") for w in words
+                    )
+                    data.append((data_at, blob))
+                    data_at += len(blob)
+                elif line.startswith(".byte"):
+                    values = [self._parse_imm(b, number)
+                              for b in _split_operands(line[5:])]
+                    blob = bytes(v & 0xFF for v in values)
+                    data.append((data_at, blob))
+                    data_at += len(blob)
+                elif line.startswith(".space"):
+                    data_at += self._parse_imm(line.split(None, 1)[1], number)
+                else:
+                    instructions.append(self._parse_instruction(line, number))
+            except AssemblerError as exc:
+                self._collect(number, str(exc))
         return Program(tuple(instructions), tuple(data), dict(self._labels))
 
     # ------------------------------------------------------------------

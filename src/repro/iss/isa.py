@@ -81,6 +81,9 @@ class Program:
     data: Tuple[Tuple[int, bytes], ...] = ()
     #: label -> instruction index (for entry points and tests).
     labels: Optional[dict] = None
+    #: Raw assembly source, when assembled from text (diagnostics and
+    #: ``; lint:`` directives).
+    source: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.instructions)

@@ -21,6 +21,7 @@ from repro.iss.timing import TimingModel
 #: Calling convention: r1 = buffer address, r2 = length; result in r1.
 CHECKSUM_ASM = """
 ; 16-bit ones'-complement checksum (RFC 1071 flavour).
+; lint: live-in r1, r2
 checksum:
     ldi   r3, 0             ; running total
     mov   r4, r1            ; cursor
@@ -57,6 +58,7 @@ done:
 
 #: r1 = dst, r2 = src, r3 = byte count.
 MEMCPY_ASM = """
+; lint: live-in r1, r2, r3
 memcpy:
     beq   r3, r0, done
 loop:
@@ -72,6 +74,7 @@ done:
 
 #: r1 = n; result (fib(n)) in r1.  Iterative.
 FIBONACCI_ASM = """
+; lint: live-in r1
 fib:
     ldi   r2, 0             ; a
     ldi   r3, 1             ; b

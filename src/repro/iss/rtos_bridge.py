@@ -17,15 +17,9 @@ This gives the co-simulation a third software-timing fidelity level:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
-
 from repro.errors import IssError
 from repro.iss.cpu import IssCpu
 from repro.rtos.syscalls import CpuWork
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.iss.isa import Program
-
 
 def run_program(cpu: IssCpu, chunk_instructions: int = 64,
                 max_instructions: int = 10_000_000):

@@ -16,7 +16,6 @@ from typing import TYPE_CHECKING
 from repro.board.cpu import WorkModel
 from repro.router.checksum import checksum16
 from repro.router.driver import RouterDriver
-from repro.router.packet import PacketError
 from repro.router.router import VERDICT_BAD, VERDICT_OK
 from repro.rtos.syscalls import CpuWork
 

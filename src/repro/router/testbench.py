@@ -13,7 +13,7 @@ metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.board.board import Board, BoardConfig

@@ -64,6 +64,11 @@ class RtosKernel:
         self.current: Optional[Thread] = None
         self._last_thread: Optional[Thread] = None
         self._started = False
+        #: Names of threads declared as *communication threads* — the
+        #: only threads Section 5.3 permits to run while the OS is
+        #: frozen in the IDLE state (``repro lint`` checks this against
+        #: each thread's ``allowed_in_idle`` flag).
+        self.communication_threads: set = set()
 
         # Time ----------------------------------------------------------
         self._cycles = 0
@@ -122,6 +127,17 @@ class RtosKernel:
             thread.suspended = True
             self.scheduler.add(thread)
         return thread
+
+    def register_communication_thread(self, thread) -> None:
+        """Declare *thread* (a Thread or name) as a communication thread.
+
+        Communication threads service the co-simulation channel and are
+        expected to carry ``allowed_in_idle=True``; the static checker
+        flags any mismatch between this registry and the scheduler's
+        idle whitelist (rules RTOS001/RTOS002).
+        """
+        name = thread if isinstance(thread, str) else thread.name
+        self.communication_threads.add(name)
 
     def create_alarm(self, callback: Callable[[Alarm, Any], None],
                      data: Any = None, name: str = "") -> Alarm:

@@ -18,7 +18,7 @@ eCos.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
 
 from repro.errors import RtosError
 from repro.rtos.syscalls import BLOCKED, DONE, Syscall

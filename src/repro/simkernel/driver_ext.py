@@ -104,9 +104,19 @@ def driver_process(module: Module, fn: Callable[[], None],
     """
     if not ports:
         raise ElaborationError("driver_process needs at least one DriverIn")
+    for port in ports:
+        if not isinstance(port, DriverIn):
+            raise ElaborationError(
+                f"driver_process is sensitive to DriverIn ports only, "
+                f"got {port!r}"
+            )
     events = [p.data_written for p in ports]
-    return module.method(fn, sensitive=events, dont_initialize=True,
-                         name=name or getattr(fn, "__name__", "driver"))
+    process = module.method(fn, sensitive=events, dont_initialize=True,
+                            name=name or getattr(fn, "__name__", "driver"))
+    # Tag the process so the static checker (rule SIM004) can verify
+    # that every driver process hangs off a *mapped* register.
+    process.driver_ports = tuple(ports)
+    return process
 
 
 class DriverSimulator(Simulator):

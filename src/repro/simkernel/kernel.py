@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, List, Optional, Set, Tuple
 
 from repro.errors import DeltaOverflowError, SimulationError
 from repro.simkernel.events import _DELTA, _TIMED, Event

@@ -1,0 +1,75 @@
+"""Cross-layer static analysis (``repro lint``).
+
+The paper's methodology only works if three invariants hold *before* a
+run starts:
+
+* guest programs must be well-formed for the ISS (control flow reaches
+  ``halt``, registers are written before they are read, memory accesses
+  stay inside the board's address space);
+* the SystemC-side netlist must elaborate cleanly (every port bound,
+  one driver per signal, no combinational sensitivity cycles);
+* during the co-simulation IDLE state only registered communication
+  threads may remain runnable (Section 5.3), interrupt context must not
+  block, and the :class:`~repro.cosim.config.CosimConfig` knobs must be
+  mutually consistent.
+
+This package checks all three statically and reports findings as
+:class:`~repro.staticcheck.diagnostics.Diagnostic` objects with stable
+rule IDs, severities and source locations.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the JSON report
+schema.
+"""
+
+from repro.staticcheck.cfg import (
+    EXIT,
+    BasicBlock,
+    Cfg,
+    block_cycle_bounds,
+    build_cfg,
+    loop_free_wcet,
+)
+from repro.staticcheck.diagnostics import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    Rule,
+)
+from repro.staticcheck.iss_rules import check_program, parse_directives
+from repro.staticcheck.netlist_rules import check_netlist
+from repro.staticcheck.rtos_rules import check_cosim_config, check_kernel
+from repro.staticcheck.runner import (
+    lint_asm_file,
+    lint_bundled_programs,
+    lint_paths,
+    lint_router_design,
+    run_lint,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Cfg",
+    "Diagnostic",
+    "ERROR",
+    "EXIT",
+    "INFO",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "WARNING",
+    "block_cycle_bounds",
+    "build_cfg",
+    "check_cosim_config",
+    "check_kernel",
+    "check_netlist",
+    "check_program",
+    "lint_asm_file",
+    "lint_bundled_programs",
+    "lint_paths",
+    "lint_router_design",
+    "loop_free_wcet",
+    "parse_directives",
+    "run_lint",
+]

@@ -1,0 +1,233 @@
+"""The ISS lint pass: rules ISS001-ISS007 over assembled programs.
+
+:func:`check_program` analyses one :class:`~repro.iss.isa.Program`
+(optionally with its source text, for inline directives and precise
+lines) and returns diagnostics.  Inline directives, written anywhere in
+the assembly source as comments::
+
+    ; lint: live-in r1, r2          declare registers defined at entry
+    ; lint: disable=ISS001,ISS004   suppress rules for this file
+
+``live-in`` encodes the program's calling convention — the bundled
+checksum routine, for instance, receives its buffer address and length
+in ``r1``/``r2`` — so the use-before-def rule does not flag argument
+registers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.iss.isa import ALU2I, ALU3, BRANCHES, LOADS, Program
+from repro.iss.timing import TimingModel
+from repro.staticcheck.cfg import (
+    build_cfg,
+    block_cycle_bounds,
+    constant_address_accesses,
+    loop_free_wcet,
+    maybe_undefined_reads,
+)
+from repro.staticcheck.diagnostics import Diagnostic, LintReport, RULES
+
+#: Default memory image size assumed when none is given (matches the
+#: ``repro iss`` CLI default).
+DEFAULT_MEMORY_SIZE = 64 * 1024
+
+_DIRECTIVE_RE = re.compile(r"[;#]\s*lint:\s*(?P<body>.+?)\s*$")
+_REG_RE = re.compile(r"^[rR](\d+)$")
+
+
+@dataclass
+class LintDirectives:
+    """Inline ``; lint:`` directives collected from one source file."""
+
+    live_in: Set[int] = field(default_factory=set)
+    disabled: Set[str] = field(default_factory=set)
+
+
+def parse_directives(source: str) -> LintDirectives:
+    """Extract ``live-in`` and ``disable`` directives from *source*."""
+    directives = LintDirectives()
+    for number, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if match is None:
+            continue
+        body = match.group("body")
+        if body.startswith("live-in"):
+            for token in re.split(r"[,\s]+", body[len("live-in"):]):
+                if not token:
+                    continue
+                reg = _REG_RE.match(token)
+                if reg is None:
+                    raise ValueError(
+                        f"line {number}: bad live-in register {token!r}"
+                    )
+                directives.live_in.add(int(reg.group(1)))
+        elif body.startswith("disable"):
+            rest = body[len("disable"):].lstrip("= ")
+            for token in re.split(r"[,\s]+", rest):
+                if not token:
+                    continue
+                if token not in RULES:
+                    raise ValueError(
+                        f"line {number}: unknown lint rule {token!r}"
+                    )
+                directives.disabled.add(token)
+        else:
+            raise ValueError(
+                f"line {number}: unknown lint directive {body!r}"
+            )
+    return directives
+
+
+def check_program(
+    program: Program,
+    target: str = "<program>",
+    source: Optional[str] = None,
+    timing: Optional[TimingModel] = None,
+    memory_size: Optional[int] = None,
+    assume_defined: Optional[Set[int]] = None,
+    include_cycle_bounds: bool = False,
+    report: Optional[LintReport] = None,
+) -> List[Diagnostic]:
+    """Run every ISS rule over *program*; returns the new diagnostics.
+
+    *source* defaults to ``program.source`` (attached by the assembler)
+    and is only needed for inline directives.  *assume_defined* extends
+    the declared ``live-in`` set (e.g. ``repro iss --reg`` presets).
+    With *include_cycle_bounds* the ISS006 info diagnostics (per-block
+    bounds and the loop-free WCET) are emitted as well.
+    """
+    report = report if report is not None else LintReport()
+    report.begin_target(target)
+    before = len(report.diagnostics)
+    source = source if source is not None else program.source
+    directives = (parse_directives(source) if source
+                  else LintDirectives())
+    disabled = directives.disabled
+    live_in = set(directives.live_in) | set(assume_defined or ())
+    memory_size = memory_size or DEFAULT_MEMORY_SIZE
+    instrs = program.instructions
+
+    def line_of(pc: int) -> Optional[int]:
+        return instrs[pc].line if 0 <= pc < len(instrs) else None
+
+    if not instrs:
+        report.add("ISS002", "program has no instructions", target,
+                   extra_suppress=disabled)
+        return report.diagnostics[before:]
+
+    cfg = build_cfg(program)
+    reachable = cfg.reachable()
+
+    # ISS007 — branch/jump targets outside the program.  Targets equal
+    # to len(program) fall off the end and are reported by ISS002.
+    count = len(instrs)
+    for pc, instr in enumerate(instrs):
+        if instr.op in BRANCHES or instr.op == "jal":
+            if not 0 <= instr.imm <= count:
+                report.add(
+                    "ISS007",
+                    f"{instr.op} targets instruction {instr.imm}, outside "
+                    f"the program [0,{count})",
+                    target, line_of(pc), extra_suppress=disabled,
+                )
+
+    # ISS002 — control can fall past the last instruction.
+    for index in cfg.exit_reachers():
+        block = cfg.blocks[index]
+        last = instrs[block.end - 1]
+        if last.op in BRANCHES and last.imm == count:
+            what = f"{last.op} can branch past the last instruction"
+        elif last.op == "jal" and last.imm == count:
+            what = "jal jumps past the last instruction"
+        else:
+            what = "control falls past the last instruction"
+        report.add("ISS002", f"{what} without executing halt",
+                   target, line_of(block.end - 1), extra_suppress=disabled)
+
+    # ISS001 — unreachable instructions (report once per block).
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            first = instrs[block.start]
+            span = (f"instructions {block.start}..{block.end - 1}"
+                    if len(block) > 1 else f"instruction {block.start}")
+            report.add(
+                "ISS001",
+                f"unreachable code: {span} ({first.op} ...) can never "
+                "execute",
+                target, line_of(block.start), extra_suppress=disabled,
+            )
+
+    # ISS003 — register read before any write on some path.
+    seen_pairs = set()
+    for pc, reg in maybe_undefined_reads(cfg, live_in | {0}):
+        if (pc, reg) in seen_pairs:
+            continue
+        seen_pairs.add((pc, reg))
+        report.add(
+            "ISS003",
+            f"r{reg} is read by {instrs[pc].op} but no prior instruction "
+            "writes it (declare an input with '; lint: live-in "
+            f"r{reg}' if it is an argument)",
+            target, line_of(pc), extra_suppress=disabled,
+        )
+
+    # ISS004 — result discarded into r0 (jal r0 is the jump idiom).
+    for pc, instr in enumerate(instrs):
+        if pc not in cfg.block_of or cfg.block_of[pc] not in reachable:
+            continue
+        if instr.rd == 0 and (instr.op in ALU3 or instr.op in ALU2I
+                              or instr.op in LOADS
+                              or instr.op in ("ldi", "mov")):
+            report.add(
+                "ISS004",
+                f"{instr.op} writes its result to r0, which is hardwired "
+                "to zero — the value is discarded",
+                target, line_of(pc), extra_suppress=disabled,
+            )
+
+    # ISS005 — provably out-of-bounds memory traffic.
+    for address, blob in program.data:
+        end = address + len(blob)
+        if address < 0 or end > memory_size:
+            report.add(
+                "ISS005",
+                f"data directive places {len(blob)} byte(s) at "
+                f"[{address:#x},{end:#x}), outside the "
+                f"{memory_size:#x}-byte memory image",
+                target, extra_suppress=disabled,
+            )
+    for pc, instr, address, width in constant_address_accesses(cfg):
+        if address < 0 or address + width > memory_size:
+            report.add(
+                "ISS005",
+                f"{instr.op} provably accesses {width} byte(s) at "
+                f"address {address:#x}, outside the "
+                f"{memory_size:#x}-byte memory image",
+                target, line_of(pc), extra_suppress=disabled,
+            )
+
+    # ISS006 — static cycle bounds (opt-in; informational).
+    if include_cycle_bounds:
+        timing = timing or TimingModel()
+        bounds = block_cycle_bounds(cfg, timing)
+        wcet = loop_free_wcet(cfg, timing)
+        if wcet is not None:
+            report.add(
+                "ISS006",
+                f"loop-free worst-case execution time: {wcet} cycles "
+                f"over {len(cfg.blocks)} basic block(s)",
+                target, extra_suppress=disabled,
+            )
+        else:
+            worst = max(bounds.values()) if bounds else 0
+            report.add(
+                "ISS006",
+                "program contains loops; no whole-program WCET "
+                f"(worst single basic block: {worst} cycles)",
+                target, extra_suppress=disabled,
+            )
+    return report.diagnostics[before:]

@@ -1,0 +1,237 @@
+"""The simkernel lint pass: rules SIM001-SIM004 over an un-run netlist.
+
+:func:`check_netlist` inspects a fully constructed (but not yet
+elaborated or run) :class:`~repro.simkernel.kernel.Simulator`:
+
+* **SIM001** — module ports that are unbound, bound into a cycle, or
+  whose port-to-port chain never reaches a signal;
+* **SIM002** — signals with more than one writer endpoint (two ``Out``
+  ports, an ``Out`` port on a driver register, ...);
+* **SIM003** — level-sensitive method processes forming a sensitivity
+  cycle through signals their module can drive (the static
+  approximation of delta-cycle non-termination);
+* **SIM004** — driver processes listening on a ``DriverIn`` that is not
+  mapped to any remote register address, so the trigger can never fire.
+
+The checks never mutate kernel scheduling state: port resolution only
+caches the already-determined signal, exactly what ``elaborate()``
+would compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ElaborationError
+from repro.simkernel.driver_ext import DriverIn, DriverOut, DriverSimulator
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.ports import Out
+from repro.simkernel.processes import METHOD, Process
+from repro.simkernel.signals import Signal
+from repro.staticcheck.diagnostics import Diagnostic, LintReport
+
+
+def _driver_registers(sim: Simulator) -> List[Tuple[object, object]]:
+    """(module, DriverIn/DriverOut) pairs discovered on the netlist.
+
+    Registers are found through module attributes and, on a
+    :class:`DriverSimulator`, through the mapped register file.
+    """
+    registers = []
+    seen: Set[int] = set()
+
+    def record(value: object) -> None:
+        if isinstance(value, (DriverIn, DriverOut)) \
+                and id(value) not in seen:
+            seen.add(id(value))
+            registers.append((value.module, value))
+
+    for module in sim.modules:
+        for value in vars(module).values():
+            record(value)
+    if isinstance(sim, DriverSimulator):
+        for value in sim._driver_ports.values():
+            record(value)
+    return registers
+
+
+def _changed_event_signals(sim: Simulator) -> Dict[int, Signal]:
+    """Map ``id(signal.changed)`` -> signal, for lazily created events."""
+    mapping: Dict[int, Signal] = {}
+    for signal in sim.signals:
+        changed = getattr(signal, "_changed", None)
+        if changed is not None:
+            mapping[id(changed)] = signal
+    return mapping
+
+
+def check_netlist(sim: Simulator, target: Optional[str] = None,
+                  report: Optional[LintReport] = None) -> List[Diagnostic]:
+    """Run every netlist rule over *sim*; returns the new diagnostics."""
+    report = report if report is not None else LintReport()
+    target = target or f"netlist:{sim.name}"
+    report.begin_target(target)
+    before = len(report.diagnostics)
+
+    # ------------------------------------------------------------------
+    # SIM001 — unbound / circular ports
+    # ------------------------------------------------------------------
+    resolved: Dict[int, Signal] = {}
+    for module in sim.modules:
+        for port in module.ports:
+            if port._bound_to is None:
+                report.add("SIM001",
+                           f"port {port.full_name} is not bound to any "
+                           "signal", target)
+                continue
+            try:
+                resolved[id(port)] = port.signal()
+            except ElaborationError as exc:
+                report.add("SIM001", str(exc), target)
+
+    # ------------------------------------------------------------------
+    # SIM002 — multiple writer endpoints per signal
+    # ------------------------------------------------------------------
+    writers: Dict[int, List[str]] = {}
+    signal_names: Dict[int, str] = {}
+
+    def add_writer(signal: Signal, description: str) -> None:
+        writers.setdefault(id(signal), []).append(description)
+        signal_names[id(signal)] = signal.name
+
+    for module in sim.modules:
+        for port in module.ports:
+            signal = resolved.get(id(port))
+            if signal is not None and isinstance(port, Out):
+                add_writer(signal, f"output port {port.full_name}")
+    for module, register in _driver_registers(sim):
+        if isinstance(register, DriverIn):
+            add_writer(register.signal,
+                       f"remote writes through DriverIn "
+                       f"{module.full_name}.{register.name}")
+        else:
+            add_writer(register.signal,
+                       f"model writes through DriverOut "
+                       f"{module.full_name}.{register.name}")
+    for signal_id, descriptions in sorted(writers.items(),
+                                          key=lambda kv: signal_names[kv[0]]):
+        if len(descriptions) > 1:
+            report.add(
+                "SIM002",
+                f"signal {signal_names[signal_id]} has "
+                f"{len(descriptions)} writer endpoints: "
+                + "; ".join(sorted(descriptions)),
+                target,
+            )
+
+    # ------------------------------------------------------------------
+    # SIM003 — combinational sensitivity cycles
+    # ------------------------------------------------------------------
+    _check_combinational_cycles(sim, target, report, resolved)
+
+    # ------------------------------------------------------------------
+    # SIM004 — driver processes on unmapped DriverIn registers
+    # ------------------------------------------------------------------
+    mapped: Set[int] = set()
+    if isinstance(sim, DriverSimulator):
+        mapped = {id(port) for port in sim._driver_ports.values()}
+    for proc in sim.processes:
+        driver_ports = getattr(proc, "driver_ports", None)
+        if not driver_ports:
+            continue
+        for port in driver_ports:
+            if isinstance(sim, DriverSimulator) and id(port) not in mapped:
+                report.add(
+                    "SIM004",
+                    f"driver process {proc.full_name} is sensitive to "
+                    f"DriverIn {port.module.full_name}.{port.name}, which "
+                    "is not mapped to any driver address — the remote "
+                    "board can never trigger it",
+                    target,
+                )
+    return report.diagnostics[before:]
+
+
+def _check_combinational_cycles(sim: Simulator, target: str,
+                                report: LintReport,
+                                resolved: Dict[int, Signal]) -> None:
+    """Detect cycles among level-sensitive methods and driven signals.
+
+    The static approximation: a method process *reads* the signals whose
+    ``changed`` events it is sensitive to ("any"-edge sensitivity — a
+    pos/neg edge indicates clocking and breaks the cycle), and *may
+    write* any signal reachable through its module's output ports.  A
+    directed cycle in that relation can oscillate without advancing
+    time until the delta limit trips.
+    """
+    changed_of = _changed_event_signals(sim)
+
+    # Signals each module can drive through its Out ports.
+    drives: Dict[int, Set[int]] = {}
+    for module in sim.modules:
+        outs = {
+            id(resolved[id(port)])
+            for port in module.ports
+            if isinstance(port, Out) and id(port) in resolved
+        }
+        drives[id(module)] = outs
+
+    # Process -> set of processes it can make runnable.
+    methods: List[Process] = [p for p in sim.processes if p.kind == METHOD]
+    reads: Dict[int, Set[int]] = {}
+    for proc in methods:
+        read = set()
+        for event in proc.static_sensitivity:
+            signal = changed_of.get(id(event))
+            if signal is not None:
+                read.add(id(signal))
+        # Deferred sensitivity (port not bound at registration time).
+        module = proc.module
+        if module is not None:
+            for other, spec, edge in module._deferred_sensitivity:
+                if other is proc and edge == "any":
+                    signal = resolved.get(id(spec))
+                    if signal is not None:
+                        read.add(id(signal))
+        reads[id(proc)] = read
+
+    edges: Dict[int, List[int]] = {id(p): [] for p in methods}
+    by_id = {id(p): p for p in methods}
+    for src in methods:
+        driven = drives.get(id(src.module), set()) if src.module else set()
+        if not driven:
+            continue
+        for dst in methods:
+            if reads[id(dst)] & driven:
+                edges[id(src)].append(id(dst))
+
+    # DFS cycle detection; report each cycle once by its smallest member.
+    state: Dict[int, int] = {}
+    stack: List[int] = []
+    reported: Set[frozenset] = set()
+
+    def visit(node: int) -> None:
+        state[node] = 1
+        stack.append(node)
+        for succ in edges[node]:
+            if state.get(succ) == 1:
+                cycle = stack[stack.index(succ):]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    names = " -> ".join(by_id[n].full_name for n in cycle)
+                    report.add(
+                        "SIM003",
+                        "possible combinational cycle among "
+                        f"level-sensitive methods: {names} -> "
+                        f"{by_id[succ].full_name}",
+                        target,
+                    )
+            elif succ not in state:
+                visit(succ)
+        stack.pop()
+        state[node] = 2
+
+    for proc in methods:
+        if id(proc) not in state:
+            visit(id(proc))

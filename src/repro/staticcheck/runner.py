@@ -1,0 +1,144 @@
+"""Lint orchestration: map CLI targets to checker passes.
+
+Targets understood by :func:`run_lint` (and the ``repro lint`` CLI):
+
+* a path to an ``.asm`` file — assembled and run through the ISS pass
+  (assembly failures surface as ISS000 diagnostics, one per error);
+* a directory — recursively linted for ``*.asm`` files;
+* ``bundled`` — the reference programs in :mod:`repro.iss.programs`;
+* ``router`` — the full Section 6 router design: the master netlist,
+  the board RTOS (freeze invariant, interrupt context) and the
+  co-simulation configuration, checked cross-layer.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Iterable, List, Optional, Set
+
+from repro.errors import AssemblerError
+from repro.iss.assembler import assemble
+from repro.iss.timing import TimingModel
+from repro.staticcheck.diagnostics import LintReport
+from repro.staticcheck.iss_rules import check_program
+from repro.staticcheck.netlist_rules import check_netlist
+from repro.staticcheck.rtos_rules import check_cosim_config, check_kernel
+
+#: Special (non-path) target names.
+BUNDLED = "bundled"
+ROUTER = "router"
+
+_LINE_PREFIX_RE = re.compile(r"^line \d+: ")
+
+
+def lint_asm_file(path, report: LintReport,
+                  memory_size: Optional[int] = None,
+                  timing: Optional[TimingModel] = None,
+                  assume_defined: Optional[Set[int]] = None,
+                  include_cycle_bounds: bool = False) -> None:
+    """Assemble and lint one ``.asm`` file."""
+    path = pathlib.Path(path)
+    target = str(path)
+    report.begin_target(target)
+    source = path.read_text(encoding="utf-8")
+    try:
+        program = assemble(source)
+    except AssemblerError as exc:
+        for line, message in exc.messages or [(None, str(exc))]:
+            report.add("ISS000", _LINE_PREFIX_RE.sub("", message),
+                       target, line)
+        return
+    check_program(program, target=target, source=source, timing=timing,
+                  memory_size=memory_size, assume_defined=assume_defined,
+                  include_cycle_bounds=include_cycle_bounds,
+                  report=report)
+
+
+def lint_bundled_programs(report: LintReport,
+                          timing: Optional[TimingModel] = None,
+                          include_cycle_bounds: bool = False) -> None:
+    """Lint every reference program shipped in :mod:`repro.iss.programs`."""
+    from repro.iss import programs
+
+    bundled = (
+        ("checksum", programs.CHECKSUM_ASM),
+        ("memcpy", programs.MEMCPY_ASM),
+        ("fibonacci", programs.FIBONACCI_ASM),
+    )
+    for name, asm in bundled:
+        target = f"{BUNDLED}:{name}"
+        report.begin_target(target)
+        try:
+            program = assemble(asm)
+        except AssemblerError as exc:  # pragma: no cover - ships clean
+            for line, message in exc.messages or [(None, str(exc))]:
+                report.add("ISS000", _LINE_PREFIX_RE.sub("", message),
+                           target, line)
+            continue
+        check_program(program, target=target, source=asm, timing=timing,
+                      include_cycle_bounds=include_cycle_bounds,
+                      report=report)
+
+
+def lint_router_design(report: LintReport) -> None:
+    """Build the Section 6 router co-simulation and lint every layer."""
+    from repro.cosim.config import CosimConfig
+    from repro.router.testbench import RouterWorkload, build_router_cosim
+
+    config = CosimConfig()
+    workload = RouterWorkload(packets_per_producer=1)
+    cosim = build_router_cosim(config, workload, mode="inproc")
+    check_netlist(cosim.master.sim, target=f"{ROUTER}:hw", report=report)
+    check_kernel(cosim.runtime.board.kernel, target=f"{ROUTER}:board",
+                 report=report)
+    check_cosim_config(config, kernel=cosim.runtime.board.kernel,
+                       target=f"{ROUTER}:config", report=report)
+
+
+def lint_paths(paths: Iterable, report: LintReport,
+               memory_size: Optional[int] = None,
+               timing: Optional[TimingModel] = None,
+               assume_defined: Optional[Set[int]] = None,
+               include_cycle_bounds: bool = False) -> List[str]:
+    """Lint files/directories; returns the ``.asm`` files examined."""
+    examined: List[str] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files = sorted(path.rglob("*.asm"))
+        else:
+            files = [path]
+        for file in files:
+            examined.append(str(file))
+            lint_asm_file(file, report, memory_size=memory_size,
+                          timing=timing, assume_defined=assume_defined,
+                          include_cycle_bounds=include_cycle_bounds)
+    return examined
+
+
+def run_lint(targets: Iterable[str],
+             suppress: Iterable[str] = (),
+             memory_size: Optional[int] = None,
+             timing: Optional[TimingModel] = None,
+             include_cycle_bounds: bool = False) -> LintReport:
+    """Lint *targets* (paths, ``bundled``, ``router``); returns the report.
+
+    With no targets the default sweep covers ``bundled`` and
+    ``router`` — everything the repository ships.
+    """
+    report = LintReport(suppress=suppress)
+    targets = list(targets) or [BUNDLED, ROUTER]
+    paths = []
+    for target in targets:
+        if target == BUNDLED:
+            lint_bundled_programs(report, timing=timing,
+                                  include_cycle_bounds=include_cycle_bounds)
+        elif target == ROUTER:
+            lint_router_design(report)
+        else:
+            paths.append(target)
+    if paths:
+        lint_paths(paths, report, memory_size=memory_size, timing=timing,
+                   include_cycle_bounds=include_cycle_bounds)
+    return report

@@ -14,7 +14,7 @@ from __future__ import annotations
 import socket
 import struct
 import time
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.errors import TransportError
 from repro.transport.channel import BoardEndpoint, LinkStats, MasterEndpoint

@@ -9,9 +9,9 @@ from repro.cosim import (
     CosimMaster,
     build_driver_sim,
 )
-from repro.rtos import IDLE, NORMAL, Semaphore
+from repro.rtos import IDLE, Semaphore
 from repro.simkernel import DriverIn, DriverOut, Module, Signal, driver_process
-from repro.transport import CycleLatencyModel, InprocLink
+from repro.transport import InprocLink
 
 
 class PulseDevice(Module):

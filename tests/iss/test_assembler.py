@@ -99,3 +99,60 @@ class TestErrors:
     def test_bad_sources_rejected(self, source, pattern):
         with pytest.raises(AssemblerError, match=pattern):
             assemble(source)
+
+
+class TestMultiErrorCollection:
+    def test_all_second_pass_errors_reported_at_once(self):
+        source = "\n".join([
+            "start:",
+            "    foo  r1, r2",          # unknown opcode
+            "    ldi  r99, 5",          # bad register
+            "    jal  r0, nowhere",     # unknown label
+            "    halt",
+        ])
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        messages = excinfo.value.messages
+        assert [line for line, _ in messages] == [2, 3, 4]
+        texts = "\n".join(text for _, text in messages)
+        assert "unknown opcode" in texts
+        assert "out of range" in texts
+        assert "unknown label" in texts
+        # str() carries all of them, one per line.
+        assert str(excinfo.value).count("\n") == 2
+
+    def test_all_label_errors_reported_at_once(self):
+        source = "\n".join([
+            "1bad: halt",
+            "dup:  halt",
+            "dup:  halt",
+        ])
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        texts = [text for _, text in excinfo.value.messages]
+        assert any("bad label" in t for t in texts)
+        assert any("duplicate label" in t for t in texts)
+
+    def test_single_error_keeps_line_number(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nbogus r1\nhalt")
+        assert excinfo.value.messages == [(2, "line 2: unknown opcode 'bogus'")]
+
+    def test_assembler_reusable_after_errors(self):
+        from repro.iss.assembler import Assembler
+
+        assembler = Assembler()
+        with pytest.raises(AssemblerError):
+            assembler.assemble("bogus r1")
+        program = assembler.assemble("ldi r1, 7\nhalt")
+        assert len(program.instructions) == 2
+
+
+class TestSourceMetadata:
+    def test_program_keeps_source_text(self):
+        source = "ldi r1, 1\nhalt\n"
+        assert assemble(source).source == source
+
+    def test_instructions_carry_line_numbers(self):
+        program = assemble("\n; comment\nldi r1, 1\n\nhalt\n")
+        assert [i.line for i in program.instructions] == [3, 5]

@@ -9,7 +9,7 @@ from repro.iss import IssChecksumVerifier, IssCpu, assemble, run_program
 from repro.iss.programs import fibonacci_program
 from repro.router.checksum import checksum16
 from repro.router.testbench import RouterWorkload, build_router_cosim
-from repro.rtos import CpuWork, RtosConfig, RtosKernel
+from repro.rtos import RtosConfig, RtosKernel
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ElaborationError
-from repro.simkernel import Event, In, Module, Out, Signal, Simulator, ns
+from repro.simkernel import In, Module, Signal, Simulator, ns
 
 
 class TestHierarchy:

@@ -1,0 +1,172 @@
+"""Tests for CFG construction, dataflow and static cycle bounds."""
+
+from repro.board.memory import Memory
+from repro.iss.assembler import assemble
+from repro.iss.cpu import IssCpu
+from repro.iss.timing import TimingModel
+from repro.staticcheck import (
+    EXIT,
+    build_cfg,
+    block_cycle_bounds,
+    loop_free_wcet,
+)
+from repro.staticcheck.cfg import (
+    constant_address_accesses,
+    maybe_undefined_reads,
+)
+
+STRAIGHT = """
+    ldi  r1, 1
+    addi r1, r1, 2
+    halt
+"""
+
+LOOP = """
+    ldi  r1, 3
+loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+DIAMOND = """
+    ldi  r1, 1
+    beq  r1, r0, other
+    ldi  r2, 10
+    jal  r0, join
+other:
+    ldi  r2, 20
+join:
+    halt
+"""
+
+
+class TestCfgShape:
+    def test_straight_line_is_one_block(self):
+        cfg = build_cfg(assemble(STRAIGHT))
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []  # halt is terminal
+
+    def test_loop_blocks_and_back_edge(self):
+        cfg = build_cfg(assemble(LOOP))
+        assert cfg.has_cycle()
+        loop_block = cfg.block_at(1)
+        assert loop_block.index in loop_block.successors
+
+    def test_diamond_reachability(self):
+        cfg = build_cfg(assemble(DIAMOND))
+        assert not cfg.has_cycle()
+        assert cfg.reachable() == {b.index for b in cfg.blocks}
+
+    def test_fallthrough_reaches_exit(self):
+        cfg = build_cfg(assemble("ldi r1, 1\naddi r1, r1, 1"))
+        assert EXIT in cfg.blocks[-1].successors
+        assert cfg.exit_reachers() == [cfg.blocks[-1].index]
+
+    def test_jr_successors_are_label_blocks(self):
+        cfg = build_cfg(assemble("""
+entry:
+    ldi r1, target
+    jr  r1
+target:
+    halt
+other:
+    halt
+"""))
+        jr_pc = 1
+        jr_block = cfg.block_at(jr_pc)
+        label_blocks = {cfg.block_of[idx]
+                       for idx in cfg.program.labels.values()
+                       if idx < len(cfg.program.instructions)}
+        assert set(jr_block.successors) == label_blocks
+
+    def test_empty_program(self):
+        from repro.iss.isa import Program
+
+        cfg = build_cfg(Program(()))
+        assert cfg.blocks == []
+        assert cfg.reachable() == set()
+
+
+class TestDataflow:
+    def test_use_before_def_found(self):
+        cfg = build_cfg(assemble("add r1, r2, r3\nhalt"))
+        findings = maybe_undefined_reads(cfg, {0})
+        assert (0, 2) in findings and (0, 3) in findings
+
+    def test_assume_defined_silences(self):
+        cfg = build_cfg(assemble("add r1, r2, r3\nhalt"))
+        assert maybe_undefined_reads(cfg, {0, 2, 3}) == []
+
+    def test_defined_on_only_one_path_still_flagged(self):
+        cfg = build_cfg(assemble("""
+    ldi  r1, 1
+    beq  r1, r0, skip
+    ldi  r2, 5
+skip:
+    addi r3, r2, 1      ; r2 undefined on the taken path
+    halt
+"""))
+        findings = maybe_undefined_reads(cfg, {0})
+        assert any(reg == 2 for _, reg in findings)
+
+    def test_constant_addresses_propagate(self):
+        cfg = build_cfg(assemble("""
+    ldi r1, 0x100
+    addi r1, r1, 4
+    ld  r2, 8(r1)
+    halt
+"""))
+        accesses = constant_address_accesses(cfg)
+        assert any(addr == 0x10C and width == 4
+                   for _, _, addr, width in accesses)
+
+    def test_unknown_base_not_reported(self):
+        source = "; lint: live-in r1\nld r2, 0(r1)\nhalt"
+        cfg = build_cfg(assemble(source))
+        assert constant_address_accesses(cfg) == []
+
+
+class TestCycleBounds:
+    def test_block_bounds_positive(self):
+        cfg = build_cfg(assemble(LOOP))
+        bounds = block_cycle_bounds(cfg, TimingModel())
+        assert all(v > 0 for v in bounds.values())
+
+    def test_loop_has_no_wcet(self):
+        cfg = build_cfg(assemble(LOOP))
+        assert loop_free_wcet(cfg, TimingModel()) is None
+
+    def test_wcet_bounds_measured_cycles(self):
+        """The static loop-free WCET dominates any measured ISS run."""
+        timing = TimingModel()
+        program = assemble(DIAMOND)
+        wcet = loop_free_wcet(build_cfg(program), timing)
+        assert wcet is not None
+        cpu = IssCpu(program, Memory(256), timing)
+        cpu.run()
+        assert cpu.cycles <= wcet
+
+    def test_wcet_picks_longest_path(self):
+        """A short and a long arm: the WCET must charge the long one."""
+        timing = TimingModel()
+        program = assemble("""
+; lint: live-in r1
+    beq  r1, r0, short
+    ldi  r2, 1
+    ldi  r3, 2
+    ldi  r4, 3
+    jal  r0, join
+short:
+    ldi  r2, 9
+join:
+    halt
+""")
+        cfg = build_cfg(program)
+        wcet = loop_free_wcet(cfg, timing)
+        # Run both arms on the ISS; neither may exceed the bound.
+        for preset in (0, 1):
+            cpu = IssCpu(program, Memory(64), timing)
+            cpu.write_reg(1, preset)
+            cpu.run()
+            assert cpu.cycles <= wcet

@@ -1,0 +1,141 @@
+"""Tests for the diagnostics core: rules, reports, rendering."""
+
+import json
+
+import pytest
+
+from repro.staticcheck import (
+    ERROR,
+    INFO,
+    RULES,
+    WARNING,
+    Diagnostic,
+    LintReport,
+)
+
+
+class TestRuleCatalogue:
+    def test_every_rule_has_stable_fields(self):
+        for rule_id, rule in RULES.items():
+            assert rule.id == rule_id
+            assert rule.severity in (ERROR, WARNING, INFO)
+            assert rule.slug
+            assert rule.summary
+
+    def test_families_present(self):
+        families = {rule_id[:3] for rule_id in RULES}
+        assert {"ISS", "SIM", "RTO", "COS"} <= families
+
+    def test_ids_and_slugs_unique(self):
+        slugs = [rule.slug for rule in RULES.values()]
+        assert len(slugs) == len(set(slugs))
+
+
+class TestDiagnostic:
+    def test_render_with_line(self):
+        diag = Diagnostic("ISS003", "warning", "r2 read undefined",
+                          "prog.asm", 7)
+        assert diag.render() == (
+            "prog.asm:7: warning ISS003[use-before-def]: r2 read undefined"
+        )
+
+    def test_render_without_line(self):
+        diag = Diagnostic("SIM001", "error", "port unbound", "netlist:top")
+        assert diag.render() == (
+            "netlist:top: error SIM001[unbound-port]: port unbound"
+        )
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            Diagnostic("XXX999", "error", "m", "t")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Diagnostic("ISS001", "fatal", "m", "t")
+
+
+class TestLintReport:
+    def test_default_severity_from_rule(self):
+        report = LintReport()
+        diag = report.add("ISS005", "oob", "t")
+        assert diag.severity == ERROR
+
+    def test_severity_override(self):
+        report = LintReport()
+        diag = report.add("RTOS003", "might block", "t", severity="warning")
+        assert diag.severity == WARNING
+
+    def test_suppression_drops_and_counts(self):
+        report = LintReport(suppress=["ISS004"])
+        assert report.add("ISS004", "discarded", "t") is None
+        assert report.diagnostics == []
+        assert report.suppressed == {"ISS004": 1}
+
+    def test_inline_extra_suppression(self):
+        report = LintReport()
+        assert report.add("ISS001", "dead", "t",
+                          extra_suppress={"ISS001"}) is None
+        assert report.suppressed == {"ISS001": 1}
+
+    def test_unknown_suppression_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintReport(suppress=["NOPE01"])
+
+    def test_exit_codes(self):
+        clean = LintReport()
+        assert clean.exit_code() == 0
+        warned = LintReport()
+        warned.add("ISS003", "w", "t")
+        assert warned.exit_code() == 0
+        assert warned.exit_code(strict=True) == 1
+        errored = LintReport()
+        errored.add("ISS005", "e", "t")
+        assert errored.exit_code() == 1
+
+    def test_render_text_summary(self):
+        report = LintReport(suppress=["ISS004"])
+        report.begin_target("a.asm")
+        report.add("ISS005", "boom", "a.asm", 3)
+        report.add("ISS004", "dropped", "a.asm")
+        text = report.render_text()
+        assert "a.asm:3: error ISS005[memory-out-of-bounds]: boom" in text
+        assert "1 target(s): 1 error(s), 0 warning(s), 0 info(s)" in text
+        assert "1 suppressed" in text
+
+
+class TestJsonSchema:
+    """The JSON document is a stable contract (repro-lint-report/1)."""
+
+    def test_schema_marker_and_shape(self):
+        report = LintReport()
+        report.begin_target("x.asm")
+        report.add("ISS003", "msg", "x.asm", 2)
+        doc = json.loads(report.render_json())
+        assert doc["schema"] == "repro-lint-report/1"
+        assert set(doc) == {"schema", "findings", "summary"}
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "name", "severity", "target",
+                                "line", "message"}
+        assert finding == {
+            "rule": "ISS003",
+            "name": "use-before-def",
+            "severity": "warning",
+            "target": "x.asm",
+            "line": 2,
+            "message": "msg",
+        }
+        assert doc["summary"] == {
+            "errors": 0,
+            "warnings": 1,
+            "infos": 0,
+            "suppressed": {},
+            "targets": ["x.asm"],
+        }
+
+    def test_findings_sorted_deterministically(self):
+        report = LintReport()
+        report.add("ISS004", "b", "z.asm", 9)
+        report.add("ISS001", "a", "a.asm", 1)
+        report.add("ISS001", "a", "a.asm", 1)  # duplicate stays stable
+        rules = [f["target"] for f in report.to_dict()["findings"]]
+        assert rules == ["a.asm", "a.asm", "z.asm"]

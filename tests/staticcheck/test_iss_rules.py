@@ -1,0 +1,198 @@
+"""Per-rule tests for the ISS pass: one seeded defect and one clean
+fixture for every rule ISS001-ISS007, plus directive parsing."""
+
+import pytest
+
+from repro.iss.assembler import assemble
+from repro.iss.isa import Program
+from repro.staticcheck import check_program, parse_directives
+
+CLEAN = """
+; lint: live-in r1
+start:
+    addi r2, r1, 1
+    halt
+"""
+
+
+def rules_of(diagnostics):
+    return {diag.rule for diag in diagnostics}
+
+
+def check_source(source, **kwargs):
+    return check_program(assemble(source), **kwargs)
+
+
+class TestClean:
+    def test_clean_program_has_no_findings(self):
+        assert check_source(CLEAN) == []
+
+
+class TestIss001Unreachable:
+    def test_dead_code_after_jump(self):
+        diags = check_source("""
+    ldi r1, 1
+    halt
+dead:
+    addi r1, r1, 1      ; no path reaches this
+    jal  r0, dead
+""")
+        assert "ISS001" in rules_of(diags)
+        (finding,) = [d for d in diags if d.rule == "ISS001"]
+        assert finding.severity == "warning"
+        assert finding.line == 5
+
+    def test_all_reachable_is_clean(self):
+        diags = check_source("""
+    ldi r1, 1
+    beq r1, r0, out
+    addi r1, r1, 1
+out:
+    halt
+""")
+        assert "ISS001" not in rules_of(diags)
+
+
+class TestIss002MissingHalt:
+    def test_fallthrough_off_the_end(self):
+        diags = check_source("ldi r1, 1\naddi r1, r1, 1")
+        assert "ISS002" in rules_of(diags)
+
+    def test_branch_past_the_end(self):
+        diags = check_source("""
+; lint: live-in r1
+    beq r1, r0, end
+    halt
+end:
+""")
+        assert "ISS002" in rules_of(diags)
+
+    def test_empty_program(self):
+        diags = check_program(Program(()))
+        assert rules_of(diags) == {"ISS002"}
+
+    def test_halting_program_is_clean(self):
+        assert "ISS002" not in rules_of(check_source(CLEAN))
+
+
+class TestIss003UseBeforeDef:
+    def test_undefined_read_flagged(self):
+        diags = check_source("add r1, r2, r3\nhalt")
+        assert "ISS003" in rules_of(diags)
+
+    def test_live_in_directive_silences(self):
+        diags = check_source("; lint: live-in r2, r3\nadd r1, r2, r3\nhalt")
+        assert "ISS003" not in rules_of(diags)
+
+    def test_assume_defined_silences(self):
+        diags = check_source("add r1, r2, r3\nhalt",
+                             assume_defined={2, 3})
+        assert "ISS003" not in rules_of(diags)
+
+
+class TestIss004WriteToR0:
+    def test_discarded_result_flagged(self):
+        diags = check_source("ldi r0, 7\nhalt")
+        assert "ISS004" in rules_of(diags)
+
+    def test_jal_r0_jump_idiom_is_clean(self):
+        diags = check_source("""
+loop:
+    jal r0, done
+done:
+    halt
+""")
+        assert "ISS004" not in rules_of(diags)
+
+
+class TestIss005MemoryBounds:
+    def test_provably_out_of_bounds_load(self):
+        diags = check_source("""
+    ldi r1, 0x20000
+    ld  r2, 0(r1)
+    halt
+""", memory_size=64 * 1024)
+        assert "ISS005" in rules_of(diags)
+
+    def test_data_directive_out_of_image(self):
+        diags = check_source("""
+    halt
+    .org 0xfffe
+    .word 1
+""", memory_size=64 * 1024)
+        assert "ISS005" in rules_of(diags)
+
+    def test_in_bounds_access_is_clean(self):
+        diags = check_source("""
+    ldi r1, 0x100
+    ld  r2, 0(r1)
+    halt
+    .org 0x100
+    .word 42
+""", memory_size=64 * 1024)
+        assert "ISS005" not in rules_of(diags)
+
+    def test_unknown_base_not_flagged(self):
+        diags = check_source("; lint: live-in r1\nld r2, 0(r1)\nhalt")
+        assert "ISS005" not in rules_of(diags)
+
+
+class TestIss006CycleBounds:
+    def test_opt_in_reports_wcet(self):
+        diags = check_source(CLEAN, include_cycle_bounds=True)
+        (info,) = [d for d in diags if d.rule == "ISS006"]
+        assert info.severity == "info"
+        assert "worst-case execution time" in info.message
+
+    def test_loops_reported_without_wcet(self):
+        diags = check_source("""
+; lint: live-in r1
+loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+""", include_cycle_bounds=True)
+        (info,) = [d for d in diags if d.rule == "ISS006"]
+        assert "loops" in info.message
+
+    def test_off_by_default(self):
+        assert "ISS006" not in rules_of(check_source(CLEAN))
+
+
+class TestIss007BadBranchTarget:
+    def test_target_outside_program(self):
+        program = Program(assemble("beq r0, r0, 0\nhalt").instructions)
+        bad = Program((program.instructions[0].__class__(
+            "jal", rd=0, imm=99, line=1),) + program.instructions[1:])
+        diags = check_program(bad)
+        assert "ISS007" in rules_of(diags)
+
+    def test_trailing_label_target_is_not_iss007(self):
+        # target == len(program) falls off the end: that's ISS002.
+        diags = check_source("jal r0, end\nend:")
+        assert "ISS007" not in rules_of(diags)
+        assert "ISS002" in rules_of(diags)
+
+
+class TestInlineDirectives:
+    def test_parse_live_in_and_disable(self):
+        directives = parse_directives(
+            "; lint: live-in r1, r2\n# lint: disable=ISS001, ISS004\n")
+        assert directives.live_in == {1, 2}
+        assert directives.disabled == {"ISS001", "ISS004"}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rule"):
+            parse_directives("; lint: disable=BOGUS9")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint directive"):
+            parse_directives("; lint: frobnicate")
+
+    def test_bad_live_in_register_rejected(self):
+        with pytest.raises(ValueError, match="bad live-in register"):
+            parse_directives("; lint: live-in bananas")
+
+    def test_disable_suppresses_in_check(self):
+        diags = check_source("; lint: disable=ISS004\nldi r0, 7\nhalt")
+        assert "ISS004" not in rules_of(diags)

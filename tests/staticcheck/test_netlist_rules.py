@@ -1,0 +1,166 @@
+"""Per-rule tests for the simkernel netlist pass (SIM001-SIM004)."""
+
+from repro.simkernel import In, Module, Out, Signal, Simulator
+from repro.simkernel.driver_ext import (
+    DriverIn,
+    DriverOut,
+    DriverSimulator,
+    driver_process,
+)
+from repro.staticcheck import check_netlist
+
+
+def rules_of(diagnostics):
+    return {diag.rule for diag in diagnostics}
+
+
+class Passthrough(Module):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.din = In(self, "din")
+        self.dout = Out(self, "dout")
+        self.method(self._copy, sensitive=[self.din],
+                    dont_initialize=True)
+
+    def _copy(self):
+        self.dout.write(self.din.read())
+
+
+class TestSim001UnboundPort:
+    def test_unbound_port_flagged(self):
+        sim = Simulator()
+        module = Passthrough(sim, "m")
+        module.dout.bind(Signal(sim, "out_sig"))
+        diags = check_netlist(sim)
+        (finding,) = [d for d in diags if d.rule == "SIM001"]
+        assert "m.din" in finding.message
+        assert finding.severity == "error"
+
+    def test_circular_port_binding_flagged(self):
+        sim = Simulator()
+        a = Passthrough(sim, "a")
+        b = Passthrough(sim, "b")
+        a.din.bind(b.din)
+        b.din.bind(a.din)
+        a.dout.bind(Signal(sim, "s1"))
+        b.dout.bind(Signal(sim, "s2"))
+        diags = check_netlist(sim)
+        assert "SIM001" in rules_of(diags)
+
+    def test_fully_bound_is_clean(self):
+        sim = Simulator()
+        module = Passthrough(sim, "m")
+        module.din.bind(Signal(sim, "in_sig", init=0))
+        module.dout.bind(Signal(sim, "out_sig"))
+        assert check_netlist(sim) == []
+
+
+class TestSim002MultipleDrivers:
+    def test_two_out_ports_one_signal(self):
+        sim = Simulator()
+        shared = Signal(sim, "shared")
+        a = Passthrough(sim, "a")
+        b = Passthrough(sim, "b")
+        a.din.bind(Signal(sim, "ia", init=0))
+        b.din.bind(Signal(sim, "ib", init=0))
+        a.dout.bind(shared)
+        b.dout.bind(shared)
+        diags = check_netlist(sim)
+        (finding,) = [d for d in diags if d.rule == "SIM002"]
+        assert "2 writer endpoints" in finding.message
+        assert "a.dout" in finding.message and "b.dout" in finding.message
+
+    def test_out_port_onto_driver_register(self):
+        sim = DriverSimulator()
+        module = Passthrough(sim, "m")
+        module.din.bind(Signal(sim, "in_sig", init=0))
+        reg = DriverIn(module, "cmd")
+        sim.map_port(0x0, reg)
+        module.dout.bind(reg.signal)  # model output fights remote writes
+        diags = check_netlist(sim)
+        assert "SIM002" in rules_of(diags)
+
+    def test_single_driver_is_clean(self):
+        sim = Simulator()
+        module = Passthrough(sim, "m")
+        module.din.bind(Signal(sim, "in_sig", init=0))
+        module.dout.bind(Signal(sim, "out_sig"))
+        assert "SIM002" not in rules_of(check_netlist(sim))
+
+
+class TestSim003CombinationalCycle:
+    @staticmethod
+    def _loop(sim, edge_a="any", edge_b="any"):
+        s_ab = Signal(sim, "s_ab", init=0)
+        s_ba = Signal(sim, "s_ba", init=0)
+        a = Passthrough(sim, "a")
+        b = Passthrough(sim, "b")
+        a.din.bind(s_ba)
+        a.dout.bind(s_ab)
+        b.din.bind(s_ab)
+        b.dout.bind(s_ba)
+        return sim
+
+    def test_two_method_loop_flagged(self):
+        sim = self._loop(Simulator())
+        diags = check_netlist(sim)
+        (finding,) = [d for d in diags if d.rule == "SIM003"]
+        assert finding.severity == "warning"
+        assert "a._copy" in finding.message or "b._copy" in finding.message
+
+    def test_edge_sensitivity_breaks_the_cycle(self):
+        sim = Simulator()
+        s_ab = Signal(sim, "s_ab", init=0)
+        s_ba = Signal(sim, "s_ba", init=0)
+
+        class EdgeCopy(Module):
+            def __init__(self, sim, name, src, dst):
+                super().__init__(sim, name)
+                self.src, self.dst = src, dst
+                self.method(lambda: dst.write(src.read()),
+                            sensitive=[src.posedge], dont_initialize=True)
+
+        EdgeCopy(sim, "a", s_ba, s_ab)
+        EdgeCopy(sim, "b", s_ab, s_ba)
+        assert "SIM003" not in rules_of(check_netlist(sim))
+
+    def test_pipeline_without_feedback_is_clean(self):
+        sim = Simulator()
+        a = Passthrough(sim, "a")
+        b = Passthrough(sim, "b")
+        mid = Signal(sim, "mid", init=0)
+        a.din.bind(Signal(sim, "head", init=0))
+        a.dout.bind(mid)
+        b.din.bind(mid)
+        b.dout.bind(Signal(sim, "tail"))
+        assert "SIM003" not in rules_of(check_netlist(sim))
+
+
+class TestSim004DriverProcessUnmapped:
+    def test_unmapped_driver_in_flagged(self):
+        sim = DriverSimulator()
+        module = Module(sim, "dev")
+        reg = DriverIn(module, "cmd")
+        driver_process(module, lambda: None, reg, name="on_cmd")
+        diags = check_netlist(sim)
+        (finding,) = [d for d in diags if d.rule == "SIM004"]
+        assert "dev.cmd" in finding.message
+
+    def test_mapped_driver_in_is_clean(self):
+        sim = DriverSimulator()
+        module = Module(sim, "dev")
+        reg = DriverIn(module, "cmd")
+        sim.map_port(0x0, reg)
+        driver_process(module, lambda: None, reg, name="on_cmd")
+        assert "SIM004" not in rules_of(check_netlist(sim))
+
+    def test_driver_process_rejects_non_driver_in(self):
+        import pytest
+
+        from repro.errors import ElaborationError
+
+        sim = DriverSimulator()
+        module = Module(sim, "dev")
+        status = DriverOut(module, "status")
+        with pytest.raises(ElaborationError, match="DriverIn"):
+            driver_process(module, lambda: None, status)

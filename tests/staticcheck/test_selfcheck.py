@@ -1,0 +1,78 @@
+"""Self-check: everything the repository ships must lint clean.
+
+This is the acceptance gate for the analyzer itself — a rule that fires
+on the bundled reference programs, the examples directory or the
+Section 6 router design is either a bug in the rule or a bug worth
+fixing in the shipped artifact.
+"""
+
+import pathlib
+
+from repro.staticcheck import LintReport, lint_paths, run_lint
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+class TestSelfCheck:
+    def test_bundled_programs_are_clean(self):
+        report = run_lint(["bundled"])
+        assert report.render_text().splitlines()[:-1] == []
+        assert report.diagnostics == []
+        assert set(report.targets) == {
+            "bundled:checksum", "bundled:memcpy", "bundled:fibonacci",
+        }
+
+    def test_router_design_is_clean(self):
+        report = run_lint(["router"])
+        assert report.diagnostics == []
+        assert set(report.targets) == {
+            "router:hw", "router:board", "router:config",
+        }
+
+    def test_examples_directory_is_clean(self):
+        report = LintReport()
+        examined = lint_paths([EXAMPLES], report)
+        assert examined, "expected at least one .asm example"
+        assert report.diagnostics == []
+
+    def test_default_sweep_is_clean_and_exits_zero(self):
+        report = run_lint([])
+        assert report.diagnostics == []
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+
+
+class TestRunner:
+    def test_asm_file_with_assembly_errors_yields_iss000(self, tmp_path):
+        bad = tmp_path / "bad.asm"
+        bad.write_text("foo r1, r2\nldi r99, 5\nhalt\n")
+        report = run_lint([str(bad)])
+        assert [d.rule for d in report.diagnostics] == ["ISS000", "ISS000"]
+        lines = [d.line for d in report.diagnostics]
+        assert lines == [1, 2]
+        # The "line N:" prefix is redundant with the location field.
+        assert all("line" not in d.message.split(":")[0]
+                   for d in report.diagnostics)
+        assert report.exit_code() == 1
+
+    def test_directory_target_recurses(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "ok.asm").write_text("halt\n")
+        report = run_lint([str(tmp_path)])
+        assert report.targets == [str(tmp_path / "sub" / "ok.asm")]
+        assert report.diagnostics == []
+
+    def test_suppression_reaches_the_checkers(self, tmp_path):
+        noisy = tmp_path / "noisy.asm"
+        noisy.write_text("ldi r0, 7\nhalt\n")
+        assert run_lint([str(noisy)]).diagnostics != []
+        report = run_lint([str(noisy)], suppress=["ISS004"])
+        assert report.diagnostics == []
+        assert report.suppressed == {"ISS004": 1}
+
+    def test_wcet_info_on_bundled(self):
+        report = run_lint(["bundled"], include_cycle_bounds=True)
+        infos = [d for d in report.diagnostics if d.rule == "ISS006"]
+        assert len(infos) == 3  # one per bundled program
+        assert report.exit_code() == 0  # infos never fail the build

@@ -92,3 +92,83 @@ class TestIssCommand:
         assert main(["iss", str(source), "--reg", "r1=0x10",
                      "--reg", "r2=2"]) == 0
         assert "0x00000012" in capsys.readouterr().out
+
+    def test_assembler_errors_point_at_lines(self, tmp_path, capsys):
+        source = tmp_path / "bad.asm"
+        source.write_text("nop\nfoo r1, r2\nldi r99, 5\nhalt\n")
+        assert main(["iss", str(source)]) == 1
+        err = capsys.readouterr().err
+        assert f"{source}:2: error: unknown opcode 'foo'" in err
+        assert f"{source}:3: error: register r99 out of range" in err
+
+    def test_runtime_errors_point_at_lines(self, tmp_path, capsys):
+        source = tmp_path / "crash.asm"
+        source.write_text("; lint: live-in r1\nld r2, 0(r1)\nhalt\n")
+        assert main(["iss", str(source), "--reg", "r1=0xffffff"]) == 1
+        err = capsys.readouterr().err
+        assert f"{source}:2: runtime error:" in err
+
+    def test_lint_gate_blocks_error_findings(self, tmp_path, capsys):
+        source = tmp_path / "oob.asm"
+        source.write_text("ldi r1, 0x20000\nld r2, 0(r1)\nhalt\n")
+        assert main(["iss", str(source)]) == 1
+        err = capsys.readouterr().err
+        assert "ISS005" in err
+        assert "--no-lint" in err
+
+    def test_no_lint_skips_the_gate(self, tmp_path, capsys):
+        source = tmp_path / "oob.asm"
+        source.write_text("ldi r1, 0x20000\nld r2, 0(r1)\nhalt\n")
+        # Still fails, but now at runtime, not in the lint gate.
+        assert main(["iss", str(source), "--no-lint"]) == 1
+        assert "runtime error" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_default_sweep_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_text_findings_and_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.asm"
+        bad.write_text("ldi r1, 0x20000\nld r2, 0(r1)\nhalt\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ISS005[memory-out-of-bounds]" in out
+
+    def test_json_schema(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.asm"
+        bad.write_text("ldi r0, 1\nhalt\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-lint-report/1"
+        assert doc["findings"][0]["rule"] == "ISS004"
+        assert doc["summary"]["warnings"] == 1
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        bad = tmp_path / "warn.asm"
+        bad.write_text("ldi r0, 1\nhalt\n")
+        assert main(["lint", str(bad)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--strict", str(bad)]) == 1
+
+    def test_suppress_flag(self, tmp_path, capsys):
+        bad = tmp_path / "warn.asm"
+        bad.write_text("ldi r0, 1\nhalt\n")
+        assert main(["lint", "--strict", "--suppress", "ISS004",
+                     str(bad)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_memory_flag_changes_bounds(self, tmp_path, capsys):
+        prog = tmp_path / "prog.asm"
+        prog.write_text("ldi r1, 0x180\nld r2, 0(r1)\nhalt\n")
+        assert main(["lint", str(prog)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--memory", "256", str(prog)]) == 1
+
+    def test_wcet_flag_reports_bounds(self, capsys):
+        assert main(["lint", "--wcet", "bundled"]) == 0
+        assert "ISS006" in capsys.readouterr().out
