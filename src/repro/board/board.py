@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.board.bus import Bus
 from repro.board.cpu import CpuModel, WorkModel
+from repro.errors import ReproError
 from repro.board.memory import Memory
 from repro.board.timer import REGISTER_WINDOW_SIZE, HardwareTimer
 from repro.rtos.config import RtosConfig
@@ -55,6 +56,27 @@ class Board:
         self.bus.map_region("ram", RAM_BASE, self.config.ram_size, self.memory)
         self.bus.map_region("timer", TIMER_BASE, REGISTER_WINDOW_SIZE,
                             self.timer)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Composite snapshot of kernel, RAM, bus and timer."""
+        return {
+            "kernel": self.kernel.snapshot(),
+            "memory": self.memory.snapshot(),
+            "bus": self.bus.snapshot(),
+            "timer": self.timer.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("kernel", "memory", "bus", "timer"):
+            if key not in state:
+                raise ReproError(f"board snapshot missing {key!r}")
+        self.kernel.restore(state["kernel"])
+        self.memory.restore(state["memory"])
+        self.bus.restore(state["bus"])
+        self.timer.restore(state["timer"])
 
     # Convenience passthroughs ------------------------------------------
     @property

@@ -71,3 +71,16 @@ class Bus:
     @property
     def regions(self) -> Tuple[BusRegion, ...]:
         return tuple(self._regions)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Only the access counter: the map itself is construction-time
+        state and region handlers snapshot through their owners."""
+        return {"accesses": self.accesses}
+
+    def restore(self, state: dict) -> None:
+        if "accesses" not in state:
+            raise BusError("bus snapshot missing 'accesses'")
+        self.accesses = state["accesses"]

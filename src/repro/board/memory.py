@@ -58,5 +58,25 @@ class Memory:
     def fill(self, value: int = 0) -> None:
         self._data[:] = bytes([value & 0xFF]) * self.size
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full RAM image plus access counters (bytes compress well)."""
+        return {"data": bytes(self._data), "reads": self.reads,
+                "writes": self.writes}
+
+    def restore(self, state: dict) -> None:
+        if "data" not in state:
+            raise MemoryError_("memory snapshot missing 'data'")
+        data = state["data"]
+        if len(data) != self.size:
+            raise MemoryError_(
+                f"memory snapshot is {len(data)} bytes, RAM is {self.size}"
+            )
+        self._data[:] = data
+        self.reads = state.get("reads", self.reads)
+        self.writes = state.get("writes", self.writes)
+
     def __len__(self) -> int:
         return self.size

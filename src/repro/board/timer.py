@@ -51,3 +51,13 @@ class HardwareTimer:
 
     def store(self, address: int, value: int, width: int = 4) -> None:
         raise BusError("the hardware timer registers are read-only")
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Stateless by design: every register mirrors kernel state."""
+        return {}
+
+    def restore(self, state: dict) -> None:
+        pass

@@ -8,6 +8,9 @@
     repro figures [--fast]                # regenerate Figs. 5-7 tables
     repro iss FILE.asm [--reg N=V ...]    # assemble + run + cycle stats
     repro lint [TARGET ...] [--format text|json]  # static analysis
+    repro record OUT.json [...]           # record a run's message stream
+    repro replay RECORDING.json [--bisect] [--trace FILE.csv]
+    repro checkpoint --every N [--dir D] [--resume FILE.json]
 
 (Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.)
@@ -201,6 +204,167 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _workload_from_args(args: argparse.Namespace):
+    from repro.router.testbench import RouterWorkload
+
+    return RouterWorkload(
+        packets_per_producer=max(1, args.packets // 4),
+        interval_cycles=args.interval,
+        corrupt_rate=args.corrupt_rate,
+        buffer_capacity=args.buffer,
+        seed=args.seed,
+    )
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.cosim import CosimConfig, ProtocolTrace
+    from repro.replay import SessionRecording
+    from repro.router.testbench import (
+        build_router_cosim,
+        finalize_router_recording,
+    )
+    from repro.transport.faults import FaultPlan
+    from repro.transport.messages import CLOCK_PORT, DATA_PORT, INT_PORT
+    from repro.transport.resilience import ResilienceConfig
+
+    ports = {p: p for p in (CLOCK_PORT, DATA_PORT, INT_PORT)}
+    disconnects = {}
+    for spec in args.disconnect_after:
+        seq, _, port = spec.partition(":")
+        port = port or CLOCK_PORT
+        if port not in ports:
+            print(f"unknown port {port!r} in --disconnect-after {spec!r} "
+                  f"(expected one of {sorted(ports)})", file=sys.stderr)
+            return 2
+        disconnects[int(seq)] = port
+    if disconnects and args.mode != "tcp":
+        print("--disconnect-after requires --mode tcp (the resilient "
+              "link is what reconnects)", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if disconnects or args.drop_interrupt:
+        fault_plan = FaultPlan(
+            drop_interrupts=set(args.drop_interrupt),
+            disconnect_after_grants=disconnects,
+        )
+    resilience = ResilienceConfig()
+    if disconnects:
+        # Fast-reconnect knobs (the soak-test profile): sub-second
+        # backoff so a recorded CI run stays quick.
+        resilience = ResilienceConfig(
+            enabled=True, max_attempts=8, backoff_initial_s=0.005,
+            backoff_max_s=0.05, heartbeat_interval_s=0.05,
+            heartbeat_misses_allowed=200)
+    recording = SessionRecording()
+    cosim = build_router_cosim(
+        CosimConfig(t_sync=args.t_sync, resilience=resilience),
+        _workload_from_args(args), mode=args.mode,
+        fault_plan=fault_plan, recorder=recording)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+    metrics = cosim.run()
+    finalize_router_recording(recording, cosim, metrics)
+    recording.save(args.out)
+    print(metrics.summary())
+    print(f"recorded {recording.num_windows} windows, "
+          f"{len(recording.interrupts)} interrupts, "
+          f"{len(recording.data_ops)} data ops -> {args.out}")
+    if args.trace:
+        trace.to_csv(args.trace)
+        print(f"wrote {len(trace)} window records to {args.trace}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.replay import (
+        ReplayDivergence,
+        SessionRecording,
+        find_divergence,
+    )
+    from repro.router.testbench import replay_router_recording
+
+    recording = SessionRecording.load(args.recording)
+    scenario = recording.meta.get("scenario")
+    if scenario != "router":
+        print(f"cannot replay scenario {scenario!r} (only 'router')",
+              file=sys.stderr)
+        return 2
+    # Bisection needs the full divergence list, so it always runs
+    # non-strict; plain strict mode aborts on the first hard mismatch.
+    strict = args.strict and not args.bisect
+    try:
+        result = replay_router_recording(recording, strict=strict)
+    except ReplayDivergence as exc:
+        print(f"replay diverged in window {exc.window} ({exc.kind}): "
+              f"recorded {exc.expected!r}, replayed {exc.actual!r}",
+              file=sys.stderr)
+        return 1
+    print(f"replayed {result.windows_replayed} windows, "
+          f"{result.interrupts_delivered} interrupts, "
+          f"{result.data_ops_replayed} data ops")
+    if args.trace:
+        result.trace.to_csv(args.trace)
+        print(f"wrote {len(result.trace)} window records to {args.trace}")
+    report = find_divergence(recording, result)
+    if args.bisect or not report.clean:
+        print(report.describe())
+    elif report.clean:
+        print("replay is bit-identical to the recording")
+    return 0 if report.clean else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.cosim import CosimConfig, ProtocolTrace
+    from repro.replay import Checkpoint, Checkpointer, restore_session
+    from repro.router.testbench import (
+        build_router_cosim,
+        router_run_meta,
+        workload_from_meta,
+    )
+
+    if args.resume:
+        checkpoint = Checkpoint.load(args.resume)
+        meta = checkpoint.meta
+        if meta.get("scenario") != "router":
+            print(f"cannot resume scenario {meta.get('scenario')!r} "
+                  "(only 'router')", file=sys.stderr)
+            return 2
+        config = CosimConfig(t_sync=meta.get("t_sync", args.t_sync))
+        workload = workload_from_meta(meta)
+        iss_timing = bool(meta.get("iss_timing"))
+    else:
+        config = CosimConfig(t_sync=args.t_sync)
+        workload = _workload_from_args(args)
+        iss_timing = False
+
+    cosim = build_router_cosim(config, workload, mode="inproc",
+                               iss_timing=iss_timing)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+
+    if args.resume:
+        # Fast-forward (deterministic re-execution) happens without the
+        # checkpointer so already-saved checkpoints are not re-captured.
+        restore_session(cosim.session, checkpoint)
+        print(f"restored window {checkpoint.window} "
+              f"(master cycle {checkpoint.master_cycles}) from "
+              f"{args.resume}")
+    checkpointer = Checkpointer(
+        every=args.every, directory=args.dir,
+        meta=router_run_meta(config, workload, mode="inproc",
+                             iss_timing=iss_timing))
+    cosim.session.attach_checkpointer(checkpointer)
+    metrics = cosim.run()
+    print(metrics.summary())
+    if checkpointer.paths:
+        print(f"wrote {len(checkpointer.paths)} checkpoint(s) to "
+              f"{args.dir}")
+    if args.trace:
+        trace.to_csv(args.trace)
+        print(f"wrote {len(trace)} window records to {args.trace}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +431,67 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--wcet", action="store_true",
                       help="report static cycle bounds (ISS006)")
     lint.set_defaults(fn=_cmd_lint)
+
+    def add_workload_args(cmd) -> None:
+        cmd.add_argument("--t-sync", type=int, default=1000)
+        cmd.add_argument("--packets", type=int, default=40)
+        cmd.add_argument("--interval", type=int, default=1000)
+        cmd.add_argument("--buffer", type=int, default=20)
+        cmd.add_argument("--corrupt-rate", type=float, default=0.05)
+        cmd.add_argument("--seed", type=int, default=12345)
+
+    record = sub.add_parser(
+        "record",
+        help="run the router case study, recording the board's complete "
+             "message stream for deterministic replay")
+    record.add_argument("out", metavar="OUT.json",
+                        help="recording file to write")
+    add_workload_args(record)
+    record.add_argument("--mode", choices=["inproc", "queue", "tcp"],
+                        default="inproc")
+    record.add_argument("--trace", metavar="FILE.csv",
+                        help="also write the live per-window trace")
+    record.add_argument("--drop-interrupt", type=int, action="append",
+                        default=[], metavar="N",
+                        help="fault injection: swallow the N-th interrupt")
+    record.add_argument("--disconnect-after", action="append",
+                        default=[], metavar="SEQ[:PORT]",
+                        help="fault injection (tcp mode): yank PORT "
+                             "(clock/int/data) right after grant SEQ; "
+                             "enables the resilient link")
+    record.set_defaults(fn=_cmd_record)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded run with no sockets or wall clock "
+             "and verify it is bit-identical")
+    replay.add_argument("recording", metavar="RECORDING.json")
+    replay.add_argument("--no-strict", dest="strict", action="store_false",
+                        help="collect divergences instead of aborting on "
+                             "the first one")
+    replay.add_argument("--bisect", action="store_true",
+                        help="report the first diverging window across "
+                             "stream, trace and end-of-run state")
+    replay.add_argument("--trace", metavar="FILE.csv",
+                        help="write the replayed per-window trace")
+    replay.set_defaults(fn=_cmd_replay)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="run the router case study with periodic checkpoints, or "
+             "resume from one")
+    checkpoint.add_argument("--every", type=int, default=5, metavar="N",
+                            help="checkpoint every N windows")
+    checkpoint.add_argument("--dir", default="checkpoints",
+                            help="directory for checkpoint-NNNNNN.json")
+    checkpoint.add_argument("--resume", metavar="CHECKPOINT.json",
+                            help="restore this checkpoint into a fresh "
+                                 "session and finish the run")
+    add_workload_args(checkpoint)
+    checkpoint.add_argument("--trace", metavar="FILE.csv",
+                            help="write the full per-window trace "
+                                 "(fast-forward included)")
+    checkpoint.set_defaults(fn=_cmd_checkpoint)
     return parser
 
 

@@ -100,6 +100,26 @@ class AdaptiveController:
             return float(self.policy.initial_t_sync)
         return sum(self.trace) / len(self.trace)
 
+    def snapshot(self) -> dict:
+        """Controller state (checkpoint support)."""
+        return {
+            "t_sync": self.t_sync,
+            "quiet_streak": self._quiet_streak,
+            "trace": list(self.trace),
+            "shrinks": self.shrinks,
+            "grows": self.grows,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("t_sync", "quiet_streak", "trace", "shrinks", "grows"):
+            if key not in state:
+                raise ProtocolError(f"controller snapshot missing {key!r}")
+        self.t_sync = state["t_sync"]
+        self._quiet_streak = state["quiet_streak"]
+        self.trace = list(state["trace"])
+        self.shrinks = state["shrinks"]
+        self.grows = state["grows"]
+
 
 class AdaptiveInprocSession(InprocSession):
     """Deterministic session with a feedback-controlled window size."""
@@ -108,14 +128,19 @@ class AdaptiveInprocSession(InprocSession):
                  policy: Optional[AdaptivePolicy] = None) -> None:
         super().__init__(master, runtime, link_stats, config)
         self.controller = AdaptiveController(policy or AdaptivePolicy())
+        self.register_snapshotable("adaptive_controller", self.controller)
 
     def run(self, max_cycles: Optional[int] = None,
-            done: Optional[DoneFn] = None) -> CosimMetrics:
-        if max_cycles is None and done is None:
-            raise ProtocolError("need max_cycles and/or a done() condition")
+            done: Optional[DoneFn] = None,
+            max_windows: Optional[int] = None) -> CosimMetrics:
+        if max_cycles is None and done is None and max_windows is None:
+            raise ProtocolError(
+                "need max_cycles, max_windows, and/or a done() condition"
+            )
         metrics = self._new_metrics()
         metrics.t_sync = 0  # varies; see controller.trace
-        while self._should_continue(metrics.windows, done, max_cycles):
+        while self._should_continue(metrics.windows, done, max_cycles,
+                                    max_windows):
             max_ticks = self.controller.next_window()
             if max_cycles is not None:
                 max_ticks = min(max_ticks,
@@ -131,7 +156,7 @@ class AdaptiveInprocSession(InprocSession):
             self.master.finish_window_inproc(report)
             metrics.windows += 1
             metrics.sync_exchanges += 1
-            self._record_window(actual_ticks, ints_before, data_before)
+            self._after_window(actual_ticks, ints_before, data_before)
             active = (self.master.interrupts_sent > ints_before
                       or self.link_stats.data_messages > data_before)
             self.controller.feedback(active)

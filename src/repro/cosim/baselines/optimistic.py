@@ -19,10 +19,10 @@ checkpoint interval and optimism window.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, replace
 from typing import List, Tuple
 
+from repro.determinism import seeded_rng
 from repro.errors import ProtocolError
 from repro.router.checksum import checksum16
 
@@ -165,7 +165,7 @@ class OptimisticCosim:
         self.mean_interarrival = mean_interarrival
         self.lookahead = lookahead
         self.software = SoftwareEngine(checkpoint_interval, service_time)
-        self._rng = random.Random(seed)
+        self._rng = seeded_rng(seed)
         self.payload_size = payload_size
 
     def _hardware_schedule(self) -> List[TimedMessage]:

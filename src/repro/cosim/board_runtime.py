@@ -47,6 +47,28 @@ class CosimBoardRuntime:
         board.kernel.enter_idle_state()
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Protocol state, serve counters, and the board itself."""
+        return {
+            "protocol": self.protocol.snapshot(),
+            "windows_served": self.windows_served,
+            "interrupts_received": self.interrupts_received,
+            "board": self.board.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("protocol", "windows_served", "interrupts_received",
+                    "board"):
+            if key not in state:
+                raise ProtocolError(f"board runtime snapshot missing {key!r}")
+        self.protocol.restore(state["protocol"])
+        self.windows_served = state["windows_served"]
+        self.interrupts_received = state["interrupts_received"]
+        self.board.restore(state["board"])
+
+    # ------------------------------------------------------------------
     # Interrupt plumbing
     # ------------------------------------------------------------------
     def _schedule_window_interrupts(self, window_start_master: int) -> int:

@@ -90,6 +90,30 @@ class CosimMaster:
         signal.observe(on_commit)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Protocol state, service counters, and the hardware model."""
+        return {
+            "protocol": self.protocol.snapshot(),
+            "interrupts_sent": self.interrupts_sent,
+            "data_reads_served": self.data_reads_served,
+            "data_writes_served": self.data_writes_served,
+            "sim": self.sim.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("protocol", "interrupts_sent", "data_reads_served",
+                    "data_writes_served", "sim"):
+            if key not in state:
+                raise ProtocolError(f"master snapshot missing {key!r}")
+        self.protocol.restore(state["protocol"])
+        self.interrupts_sent = state["interrupts_sent"]
+        self.data_reads_served = state["data_reads_served"]
+        self.data_writes_served = state["data_writes_served"]
+        self.sim.restore(state["sim"])
+
+    # ------------------------------------------------------------------
     # DATA servicing
     # ------------------------------------------------------------------
     def serve_data(self, op: str, address: int, value=None):

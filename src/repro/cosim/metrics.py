@@ -41,6 +41,10 @@ class CosimMetrics:
     heartbeats_sent: int = 0
     heartbeats_acked: int = 0
     backoff_wait_s: float = 0.0
+    # Checkpoint/replay counters (see repro.replay).
+    checkpoints_taken: int = 0
+    restores: int = 0
+    windows_replayed: int = 0
     #: Measured host seconds (threaded sessions) or None.
     wall_seconds: Optional[float] = None
     #: Modeled host seconds (always filled, from the wall-cost model).
@@ -98,5 +102,8 @@ class CosimMetrics:
             f"reconnects={self.reconnects} "
             f"retries={self.reconnect_attempts} replays={self.replays} "
             f"heartbeats={self.heartbeats_sent} "
-            f"backoff={self.backoff_wait_s:.3f}s"
+            f"backoff={self.backoff_wait_s:.3f}s "
+            f"checkpoints={self.checkpoints_taken} "
+            f"restores={self.restores} "
+            f"windows_replayed={self.windows_replayed}"
         )

@@ -56,6 +56,24 @@ class MasterProtocol:
             )
         self.exchanges += 1
 
+    def snapshot(self) -> dict:
+        """Sequence/alignment counters (checkpoint support)."""
+        return {
+            "seq": self.seq,
+            "ticks_granted": self.ticks_granted,
+            "exchanges": self.exchanges,
+            "history": list(self.history),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("seq", "ticks_granted", "exchanges", "history"):
+            if key not in state:
+                raise ProtocolError(f"master protocol snapshot missing {key!r}")
+        self.seq = state["seq"]
+        self.ticks_granted = state["ticks_granted"]
+        self.exchanges = state["exchanges"]
+        self.history = list(state["history"])
+
 
 @dataclass
 class BoardProtocol:
@@ -83,6 +101,17 @@ class BoardProtocol:
                 f"{self.ticks_run}"
             )
         return TimeReport(seq=self.last_seq, board_ticks=board_sw_ticks)
+
+    def snapshot(self) -> dict:
+        """Sequence counters (checkpoint support)."""
+        return {"last_seq": self.last_seq, "ticks_run": self.ticks_run}
+
+    def restore(self, state: dict) -> None:
+        for key in ("last_seq", "ticks_run"):
+            if key not in state:
+                raise ProtocolError(f"board protocol snapshot missing {key!r}")
+        self.last_seq = state["last_seq"]
+        self.ticks_run = state["ticks_run"]
 
 
 #: Sentinel tick count used by threaded sessions to stop the board loop.

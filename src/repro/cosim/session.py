@@ -28,7 +28,7 @@ from repro.cosim.config import CosimConfig
 from repro.cosim.master import CosimMaster
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.protocol import make_shutdown
-from repro.errors import ProtocolError, TransportError
+from repro.errors import ProtocolError, ReproError, TransportError
 from repro.transport.channel import LinkStats
 
 DoneFn = Callable[[], bool]
@@ -43,10 +43,85 @@ class _SessionBase:
         self.config = config
         #: Optional per-window recorder (see repro.cosim.trace).
         self.trace = None
+        #: Optional periodic checkpointer (see repro.replay.checkpoint).
+        self.checkpointer = None
+        #: Extra checkpointed objects, name -> Snapshotable-like.
+        self.snapshotables = {}
+        #: Windows completed over the session's lifetime (across runs).
+        self.windows_completed = 0
+        # Checkpoint/restore accounting, copied into the metrics.
+        self.checkpoints_taken = 0
+        self.restores = 0
+        self.windows_replayed = 0
 
     def attach_trace(self, trace) -> None:
         """Record every window into *trace* (a ProtocolTrace)."""
         self.trace = trace
+
+    def attach_checkpointer(self, checkpointer) -> None:
+        """Capture checkpoints at window boundaries via *checkpointer*
+        (an object with an ``on_window(session)`` hook)."""
+        self.checkpointer = checkpointer
+
+    def register_snapshotable(self, name: str, obj) -> None:
+        """Include *obj* (``snapshot()``/``restore(state)``) in session
+        checkpoints under ``extra/<name>``."""
+        if not (callable(getattr(obj, "snapshot", None))
+                and callable(getattr(obj, "restore", None))):
+            raise ReproError(
+                f"{name!r} does not implement snapshot()/restore(state)"
+            )
+        if name in self.snapshotables:
+            raise ReproError(f"snapshotable {name!r} already registered")
+        self.snapshotables[name] = obj
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full-session state tree (only call at a window boundary)."""
+        return {
+            "master": self.master.snapshot(),
+            "board_runtime": self.runtime.snapshot(),
+            "link": self.link_stats.snapshot(),
+            "extra": {name: obj.snapshot()
+                      for name, obj in sorted(self.snapshotables.items())},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a tree produced by :meth:`snapshot`.
+
+        Only plain data is applied; generator-backed state (RTOS thread
+        frames, simkernel processes) must already match, which the
+        re-execution restore path guarantees and verifies by digest.
+        """
+        for key in ("master", "board_runtime", "link", "extra"):
+            if key not in state:
+                raise ReproError(f"session snapshot missing {key!r}")
+        self.master.restore(state["master"])
+        self.runtime.restore(state["board_runtime"])
+        self.link_stats.restore(state["link"])
+        for name, subtree in state["extra"].items():
+            if name not in self.snapshotables:
+                raise ReproError(
+                    f"snapshot names unregistered snapshotable {name!r}"
+                )
+            self.snapshotables[name].restore(subtree)
+
+    def close(self) -> None:
+        """Release transport resources on both ends of the link."""
+        try:
+            self.master.endpoint.close()
+        finally:
+            self.runtime.endpoint.close()
+
+    def _after_window(self, ticks: int, ints_before: int,
+                      data_before: int) -> None:
+        """Window-boundary hook: trace row, then checkpointer."""
+        self.windows_completed += 1
+        self._record_window(ticks, ints_before, data_before)
+        if self.checkpointer is not None:
+            self.checkpointer.on_window(self)
 
     def _record_window(self, ticks: int, ints_before: int,
                        data_before: int) -> None:
@@ -69,6 +144,9 @@ class _SessionBase:
         metrics.board_ticks = board_kernel.sw_ticks
         metrics.board_cycles = board_kernel.cycles
         metrics.state_switches = board_kernel.state_switches
+        metrics.checkpoints_taken = self.checkpoints_taken
+        metrics.restores = self.restores
+        metrics.windows_replayed = self.windows_replayed
         metrics.absorb_link_stats(self.link_stats)
         metrics.finish_modeled(self.config.wall_cost)
         return metrics
@@ -81,12 +159,15 @@ class _SessionBase:
         return ticks
 
     def _should_continue(self, windows: int, done: Optional[DoneFn],
-                         max_cycles: Optional[int]) -> bool:
+                         max_cycles: Optional[int],
+                         max_windows: Optional[int] = None) -> bool:
         if windows >= self.config.max_windows:
             raise ProtocolError(
                 f"exceeded max_windows={self.config.max_windows}; "
                 "is the workload's done() condition reachable?"
             )
+        if max_windows is not None and self.windows_completed >= max_windows:
+            return False
         if done is not None and done():
             return False
         if max_cycles is not None and self.master.clock.cycles >= max_cycles:
@@ -98,11 +179,15 @@ class InprocSession(_SessionBase):
     """Deterministic, single-thread co-simulation."""
 
     def run(self, max_cycles: Optional[int] = None,
-            done: Optional[DoneFn] = None) -> CosimMetrics:
-        if max_cycles is None and done is None:
-            raise ProtocolError("need max_cycles and/or a done() condition")
+            done: Optional[DoneFn] = None,
+            max_windows: Optional[int] = None) -> CosimMetrics:
+        if max_cycles is None and done is None and max_windows is None:
+            raise ProtocolError(
+                "need max_cycles, max_windows, and/or a done() condition"
+            )
         metrics = self._new_metrics()
-        while self._should_continue(metrics.windows, done, max_cycles):
+        while self._should_continue(metrics.windows, done, max_cycles,
+                                    max_windows):
             ticks = self._window_ticks(max_cycles)
             ints_before = self.master.interrupts_sent
             data_before = self.link_stats.data_messages
@@ -114,7 +199,7 @@ class InprocSession(_SessionBase):
             self.master.finish_window_inproc(report)
             metrics.windows += 1
             metrics.sync_exchanges += 1
-            self._record_window(ticks, ints_before, data_before)
+            self._after_window(ticks, ints_before, data_before)
         return self._finalize(metrics)
 
 
@@ -134,12 +219,17 @@ class ThreadedSession(_SessionBase):
         )
         board_thread.start()
         start = time.perf_counter()
+        failed = True
         try:
             while self._should_continue(metrics.windows, done, max_cycles):
                 ticks = self._window_ticks(max_cycles)
+                ints_before = self.master.interrupts_sent
+                data_before = self.link_stats.data_messages
                 self.master.run_window_threaded(ticks)
                 metrics.windows += 1
                 metrics.sync_exchanges += 1
+                self._after_window(ticks, ints_before, data_before)
+            failed = False
         finally:
             try:
                 self.master.endpoint.send_grant(
@@ -151,7 +241,18 @@ class ThreadedSession(_SessionBase):
                 # thread will hit its own grant timeout.
                 pass
             board_thread.join(timeout=self.config.report_timeout_s)
+            if failed or board_thread.is_alive():
+                # The run died (or the board thread wedged): close both
+                # endpoints so sockets are not leaked and a blocked
+                # recv_grant is unblocked, without masking the original
+                # exception.
+                try:
+                    self.close()
+                except Exception:
+                    pass
         metrics.wall_seconds = time.perf_counter() - start
         if board_thread.is_alive():
-            raise ProtocolError("board runtime failed to shut down")
+            board_thread.join(timeout=1.0)
+            if board_thread.is_alive():
+                raise ProtocolError("board runtime failed to shut down")
         return self._finalize(metrics)

@@ -98,6 +98,43 @@ class ProtocolTrace:
         for record in self.records:
             writer.writerow(record.as_row())
 
+    @classmethod
+    def from_csv(cls, source: Union[str, TextIO]) -> "ProtocolTrace":
+        """Rebuild a trace from :meth:`to_csv` output (path or file).
+
+        The inverse of :meth:`to_csv`: a write/read round trip yields a
+        trace with identical records.
+        """
+        if isinstance(source, str):
+            with open(source, "r", newline="", encoding="ascii") as handle:
+                return cls._read_csv(handle)
+        return cls._read_csv(source)
+
+    @classmethod
+    def _read_csv(cls, handle: TextIO) -> "ProtocolTrace":
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != list(WindowRecord.FIELDS):
+            raise ValueError(
+                f"not a protocol trace CSV: header {header!r}"
+            )
+        trace = cls()
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(WindowRecord.FIELDS):
+                raise ValueError(f"malformed trace row {row!r}")
+            index, ticks, cycles, board_ticks, ints, data = map(int, row)
+            if index != len(trace.records):
+                raise ValueError(
+                    f"trace row out of order: index {index}, "
+                    f"expected {len(trace.records)}"
+                )
+            trace.record(ticks=ticks, master_cycles=cycles,
+                         board_ticks=board_ticks, interrupts=ints,
+                         data_messages=data)
+        return trace
+
 
 def rows_to_csv(target: Union[str, TextIO], headers: Sequence[str],
                 rows: Sequence[Sequence[object]]) -> None:

@@ -67,6 +67,23 @@ class ChecksumAccelerator(Module):
         sim.map_port(base + REG_CSUM, self.csum_out)
         sim.map_port(base + REG_COUNT, self.count_out)
 
+    def snapshot(self) -> dict:
+        """In-flight stream accumulator and latch counter."""
+        return {
+            "stream_total": self._stream._total,
+            "stream_pending": self._stream._pending,
+            "checksums_computed": self.checksums_computed,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("stream_total", "stream_pending", "checksums_computed"):
+            if key not in state:
+                raise ValueError(f"accelerator snapshot missing {key!r}")
+        self._stream = IncrementalChecksum()
+        self._stream._total = state["stream_total"]
+        self._stream._pending = state["stream_pending"]
+        self.checksums_computed = state["checksums_computed"]
+
     def _on_data(self) -> None:
         self._stream.update(bytes(self.data_in.read()))
 
@@ -110,6 +127,15 @@ class AcceleratorDriver(Device):
     def _dsr(self, vector: int, count: int) -> None:
         for _ in range(count):
             self.done_sem.post()
+
+    def snapshot(self) -> dict:
+        """Checkpoint support: the driver's completion semaphore."""
+        return {"done_sem": self.done_sem.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        if "done_sem" not in state:
+            raise ValueError("accelerator driver snapshot missing 'done_sem'")
+        self.done_sem.restore(state["done_sem"])
 
     def _cost(self):
         return CpuWork(self.latency.data_access_cycles)

@@ -81,6 +81,24 @@ class GpioBank(Module):
         sim.map_port(base + REG_IRQ_ACK, self.reg_irq_ack)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """External levels and pending-edge flags (registers live in
+        the signal snapshot)."""
+        return {
+            "external_levels": self._external_levels,
+            "pending": self._pending,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("external_levels", "pending"):
+            if key not in state:
+                raise ValueError(f"gpio snapshot missing {key!r}")
+        self._external_levels = state["external_levels"]
+        self._pending = state["pending"]
+
+    # ------------------------------------------------------------------
     # Environment side (testbench API)
     # ------------------------------------------------------------------
     def drive_inputs(self, levels: int) -> None:
@@ -154,6 +172,22 @@ class GpioDriver(Device):
         # it simple and latch the event count into the flag's MSB-free
         # range at service time (the driver's service() reads PEND).
         self.edge_flag.set_bits(1 << 31)
+
+    def snapshot(self) -> dict:
+        """Checkpoint support: shadow registers and the edge flag."""
+        return {
+            "shadow_out": self._shadow_out,
+            "shadow_dir": self._shadow_dir,
+            "edge_flag": self.edge_flag.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("shadow_out", "shadow_dir", "edge_flag"):
+            if key not in state:
+                raise ValueError(f"gpio driver snapshot missing {key!r}")
+        self._shadow_out = state["shadow_out"]
+        self._shadow_dir = state["shadow_dir"]
+        self.edge_flag.restore(state["edge_flag"])
 
     def _cost(self):
         return CpuWork(self.latency.data_access_cycles)

@@ -88,6 +88,30 @@ class UartDevice(Module):
         sim.map_port(base + REG_RXACK, self.rxack)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """FIFO contents, shifter countdown and wire history."""
+        return {
+            "tx_fifo": list(self._tx_fifo),
+            "rx_fifo": list(self._rx_fifo),
+            "tx_countdown": self._tx_countdown,
+            "transmitted": list(self.transmitted),
+            "tx_overruns": self.tx_overruns,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("tx_fifo", "rx_fifo", "tx_countdown", "transmitted",
+                    "tx_overruns"):
+            if key not in state:
+                raise ValueError(f"uart snapshot missing {key!r}")
+        self._tx_fifo = deque(state["tx_fifo"])
+        self._rx_fifo = deque(state["rx_fifo"])
+        self._tx_countdown = state["tx_countdown"]
+        self.transmitted = list(state["transmitted"])
+        self.tx_overruns = state["tx_overruns"]
+
+    # ------------------------------------------------------------------
     # Environment side (testbench API)
     # ------------------------------------------------------------------
     def receive_bytes(self, data: bytes) -> None:
@@ -171,6 +195,15 @@ class UartDriver(Device):
     def _dsr(self, vector: int, count: int) -> None:
         for _ in range(count):
             self.rx_sem.post()
+
+    def snapshot(self) -> dict:
+        """Checkpoint support: the driver's RX semaphore."""
+        return {"rx_sem": self.rx_sem.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        if "rx_sem" not in state:
+            raise ValueError("uart driver snapshot missing 'rx_sem'")
+        self.rx_sem.restore(state["rx_sem"])
 
     def _cost(self):
         return CpuWork(self.latency.data_access_cycles)

@@ -59,6 +59,42 @@ class IssCpu:
             self.regs[index] = value & _MASK32
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Architectural + accounting state (registers, PC, counters).
+
+        Memory is snapshotted by its owner (the board), not here, so a
+        CPU sharing the system bus is not serialized twice.
+        """
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "halted": self.halted,
+            "instructions_retired": self.instructions_retired,
+            "cycles": self.cycles,
+            "op_histogram": dict(self.op_histogram),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("regs", "pc", "halted"):
+            if key not in state:
+                raise IssError(f"cpu snapshot missing {key!r}")
+        if len(state["regs"]) != NUM_REGS:
+            raise IssError(
+                f"cpu snapshot has {len(state['regs'])} registers, "
+                f"expected {NUM_REGS}"
+            )
+        self.regs = [value & _MASK32 for value in state["regs"]]
+        self.pc = state["pc"]
+        self.halted = state["halted"]
+        self.instructions_retired = state.get("instructions_retired",
+                                              self.instructions_retired)
+        self.cycles = state.get("cycles", self.cycles)
+        self.op_histogram = dict(state.get("op_histogram",
+                                           self.op_histogram))
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> Instruction:

@@ -1,0 +1,106 @@
+"""Deterministic checkpoint and record/replay subsystem.
+
+Three capabilities built on the protocol's window-boundary
+synchronization points:
+
+* **Checkpointing** (:mod:`repro.replay.checkpoint`) — versioned,
+  digest-verified session snapshots (``repro-checkpoint/1``) captured
+  periodically by a session hook; restore is deterministic
+  re-execution plus leaf-level verification.
+* **Recording** (:mod:`repro.replay.recorder`) — the full CLOCK / INT /
+  DATA message stream the board observed, serialized as
+  ``repro-recording/1``.
+* **Replay & bisection** (:mod:`repro.replay.replayer`) — re-feed a
+  recording to a freshly built board with no sockets and no wall
+  clock, compare window-by-window, and report the first divergent
+  window.
+
+CLI entry points: ``repro record``, ``repro replay``,
+``repro checkpoint``.
+"""
+
+from repro.replay.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    Checkpoint,
+    CheckpointDivergence,
+    Checkpointer,
+    capture_checkpoint,
+    restore_session,
+    validate_checkpoint_dict,
+    verify_against,
+)
+from repro.replay.recorder import (
+    OP_READ,
+    OP_WRITE,
+    RECORDING_SCHEMA,
+    RecordingBoardEndpoint,
+    SessionRecording,
+    validate_recording_dict,
+)
+from repro.replay.replayer import (
+    SUMMARY_FIELDS,
+    DivergenceReport,
+    ReplayBoardEndpoint,
+    ReplayDivergence,
+    ReplayResult,
+    board_state_summary,
+    find_divergence,
+    reconstruct_trace,
+    recorded_trace,
+    replay_recording,
+)
+from repro.replay.snapshot import (
+    BYTES_KEY,
+    AttrSnapshot,
+    SnapshotError,
+    Snapshotable,
+    canonical_json,
+    decode_tree,
+    diff_trees,
+    encode_tree,
+    is_snapshotable,
+    missing_snapshotables,
+    plain_copy,
+    require_keys,
+    state_digest,
+)
+
+__all__ = [
+    "AttrSnapshot",
+    "BYTES_KEY",
+    "CHECKPOINT_SCHEMA",
+    "Checkpoint",
+    "CheckpointDivergence",
+    "Checkpointer",
+    "DivergenceReport",
+    "OP_READ",
+    "OP_WRITE",
+    "RECORDING_SCHEMA",
+    "RecordingBoardEndpoint",
+    "ReplayBoardEndpoint",
+    "ReplayDivergence",
+    "ReplayResult",
+    "SUMMARY_FIELDS",
+    "SessionRecording",
+    "SnapshotError",
+    "Snapshotable",
+    "board_state_summary",
+    "canonical_json",
+    "capture_checkpoint",
+    "decode_tree",
+    "diff_trees",
+    "encode_tree",
+    "find_divergence",
+    "is_snapshotable",
+    "missing_snapshotables",
+    "plain_copy",
+    "reconstruct_trace",
+    "recorded_trace",
+    "replay_recording",
+    "require_keys",
+    "restore_session",
+    "state_digest",
+    "validate_checkpoint_dict",
+    "validate_recording_dict",
+    "verify_against",
+]

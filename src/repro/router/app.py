@@ -43,6 +43,22 @@ class ChecksumApp:
         self.packets_ok = 0
         self.packets_bad = 0
 
+    def snapshot(self) -> dict:
+        """Checkpoint support: verdict counters."""
+        return {
+            "packets_checked": self.packets_checked,
+            "packets_ok": self.packets_ok,
+            "packets_bad": self.packets_bad,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("packets_checked", "packets_ok", "packets_bad"):
+            if key not in state:
+                raise ValueError(f"checksum app snapshot missing {key!r}")
+        self.packets_checked = state["packets_checked"]
+        self.packets_ok = state["packets_ok"]
+        self.packets_bad = state["packets_bad"]
+
     def thread_entry(self):
         """Generator entry point for the application thread."""
         while True:

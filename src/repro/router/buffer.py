@@ -55,3 +55,26 @@ class PacketBuffer:
 
     def peek(self) -> Optional[Packet]:
         return self._packets[0] if self._packets else None
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Queued packets (wire form) and drop accounting."""
+        return {
+            "packets": [packet.to_bytes() for packet in self._packets],
+            "dropped": self.dropped,
+            "max_occupancy": self.max_occupancy,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("packets", "dropped", "max_occupancy"):
+            if key not in state:
+                raise ReproError(f"packet buffer snapshot missing {key!r}")
+        if len(state["packets"]) > self.capacity:
+            raise ReproError("packet buffer snapshot exceeds capacity")
+        self._packets = deque(
+            Packet.from_bytes(raw) for raw in state["packets"]
+        )
+        self.dropped = state["dropped"]
+        self.max_occupancy = state["max_occupancy"]

@@ -41,6 +41,23 @@ class Consumer(Module):
         self.misrouted_count = 0
         self.thread(self._run, name="sink")
 
+    def snapshot(self) -> dict:
+        """Checkpoint support: delivery counters (kept packets are
+        diagnostics and stay out of the digest)."""
+        return {
+            "received_count": self.received_count,
+            "invalid_count": self.invalid_count,
+            "misrouted_count": self.misrouted_count,
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("received_count", "invalid_count", "misrouted_count"):
+            if key not in state:
+                raise ValueError(f"consumer snapshot missing {key!r}")
+        self.received_count = state["received_count"]
+        self.invalid_count = state["invalid_count"]
+        self.misrouted_count = state["misrouted_count"]
+
     def _run(self):
         fifo = self.router.output_fifos[self.port_index]
         period = self.clock.period

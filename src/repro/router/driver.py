@@ -55,6 +55,25 @@ class RouterDriver(Device):
         kernel.devices.register(self)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Driver counters plus the interrupt semaphore it owns."""
+        return {
+            "isr_count": self.isr_count,
+            "transactions": self.transactions,
+            "irq_sem": self.irq_sem.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("isr_count", "transactions", "irq_sem"):
+            if key not in state:
+                raise ValueError(f"router driver snapshot missing {key!r}")
+        self.isr_count = state["isr_count"]
+        self.transactions = state["transactions"]
+        self.irq_sem.restore(state["irq_sem"])
+
+    # ------------------------------------------------------------------
     # Interrupt path
     # ------------------------------------------------------------------
     def _isr(self, vector: int) -> int:

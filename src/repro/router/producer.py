@@ -8,9 +8,10 @@ simulation; generation is deterministic given the seed.
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
+from repro.determinism import mixed_seed, rng_state_restore, \
+    rng_state_snapshot, seeded_rng
 from repro.router.packet import Packet
 from repro.router.router import Router
 from repro.router.stats import WorkloadStats
@@ -62,13 +63,31 @@ class Producer(Module):
         self.dst_addresses = dst_addresses or range(0, 256)
         self.burst_size = burst_size
         self.burst_gap_cycles = burst_gap_cycles
-        self._rng = random.Random(seed ^ (port_index * 0x9E3779B9))
+        self._rng = seeded_rng(mixed_seed(seed, port_index))
         #: Packets generated so far.
         self.sent = 0
         #: Packets refused at the input FIFO (also overflow drops).
         self.input_drops = 0
         self.done = False
         self.thread(self._run, name="gen")
+
+    def snapshot(self) -> dict:
+        """Checkpoint support: counters plus the private RNG stream."""
+        return {
+            "sent": self.sent,
+            "input_drops": self.input_drops,
+            "done": self.done,
+            "rng": rng_state_snapshot(self._rng),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("sent", "input_drops", "done", "rng"):
+            if key not in state:
+                raise ValueError(f"producer snapshot missing {key!r}")
+        self.sent = state["sent"]
+        self.input_drops = state["input_drops"]
+        self.done = state["done"]
+        rng_state_restore(self._rng, state["rng"])
 
     def _next_packet_id(self) -> int:
         # Globally unique across producers: port index in the high bits.

@@ -100,6 +100,33 @@ class Router(Module):
                        name="verdict")
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Buffer, in-flight packet and FIFO contents, in wire form."""
+        return {
+            "buffer": self.buffer.snapshot(),
+            "current": (self._current.to_bytes()
+                        if self._current is not None else None),
+            "input_fifos": [[p.to_bytes() for p in fifo.items()]
+                            for fifo in self.input_fifos],
+            "output_fifos": [[p.to_bytes() for p in fifo.items()]
+                             for fifo in self.output_fifos],
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("buffer", "current", "input_fifos", "output_fifos"):
+            if key not in state:
+                raise ValueError(f"router snapshot missing {key!r}")
+        self.buffer.restore(state["buffer"])
+        raw = state["current"]
+        self._current = Packet.from_bytes(raw) if raw is not None else None
+        for fifo, packets in zip(self.input_fifos, state["input_fifos"]):
+            fifo.load_items([Packet.from_bytes(p) for p in packets])
+        for fifo, packets in zip(self.output_fifos, state["output_fifos"]):
+            fifo.load_items([Packet.from_bytes(p) for p in packets])
+
+    # ------------------------------------------------------------------
     # Input side: move arriving packets into the internal buffer
     # ------------------------------------------------------------------
     def _make_input_process(self, index: int):

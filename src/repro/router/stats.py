@@ -50,6 +50,34 @@ class WorkloadStats:
             self.latencies.append(cycle - born)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    _COUNTERS = ("generated", "generated_corrupt", "dropped_overflow",
+                 "dropped_checksum", "dropped_unroutable", "forwarded",
+                 "received", "received_valid", "checked_by_sw")
+
+    def snapshot(self) -> dict:
+        state = {name: getattr(self, name) for name in self._COUNTERS}
+        state["generation_cycle"] = {
+            str(pkt_id): cycle
+            for pkt_id, cycle in self.generation_cycle.items()
+        }
+        state["latencies"] = list(self.latencies)
+        return state
+
+    def restore(self, state: dict) -> None:
+        for key in self._COUNTERS + ("generation_cycle", "latencies"):
+            if key not in state:
+                raise ValueError(f"workload stats snapshot missing {key!r}")
+        for name in self._COUNTERS:
+            setattr(self, name, state[name])
+        self.generation_cycle = {
+            int(pkt_id): cycle
+            for pkt_id, cycle in state["generation_cycle"].items()
+        }
+        self.latencies = list(state["latencies"])
+
+    # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
     @property

@@ -136,6 +136,25 @@ class RouterCosim:
         return self.stats.handled_fraction()
 
 
+def build_router_board_side(board_ep, config: CosimConfig,
+                            board_config: BoardConfig,
+                            iss_timing: bool = False):
+    """The board half of the case study: eCos kernel, router driver,
+    checksum application.  Shared by the live testbench and the replay
+    harness (which substitutes a recorded endpoint for *board_ep*)."""
+    board = Board(board_config)
+    driver = RouterDriver(board.kernel, board_ep, config.latency,
+                          vector=config.remote_vector)
+    verifier = None
+    if iss_timing:
+        from repro.iss.rtos_bridge import IssChecksumVerifier
+
+        verifier = IssChecksumVerifier()
+    app = install_checksum_app(board.kernel, driver, board_config.work,
+                               verifier=verifier)
+    return board, driver, app
+
+
 def build_router_cosim(
     config: Optional[CosimConfig] = None,
     workload: Optional[RouterWorkload] = None,
@@ -144,6 +163,7 @@ def build_router_cosim(
     adaptive=None,
     iss_timing: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    recorder=None,
 ) -> RouterCosim:
     """Assemble the complete case study on the chosen transport.
 
@@ -155,7 +175,10 @@ def build_router_cosim(
     wraps the board endpoint in a saboteur
     (:class:`~repro.transport.faults.FaultyBoardEndpoint`); combined
     with ``config.resilience.enabled`` and TCP mode this exercises
-    disconnect recovery end to end.
+    disconnect recovery end to end.  A *recorder* (a
+    :class:`repro.replay.SessionRecording`) wraps the board endpoint
+    outermost — inside any fault injector — so it logs the exact
+    message stream the board consumed, fault effects included.
     """
     config = config or CosimConfig()
     workload = workload or RouterWorkload()
@@ -193,6 +216,14 @@ def build_router_cosim(
     if fault_plan is not None:
         board_ep = FaultyBoardEndpoint(board_ep, fault_plan)
 
+    if recorder is not None:
+        from repro.replay import RecordingBoardEndpoint
+
+        recorder.meta.update(
+            router_run_meta(config, workload, mode=mode,
+                            iss_timing=iss_timing))
+        board_ep = RecordingBoardEndpoint(board_ep, recorder)
+
     # ------------------------------------------------------------------
     # Hardware side (the master simulation)
     # ------------------------------------------------------------------
@@ -229,16 +260,8 @@ def build_router_cosim(
     # ------------------------------------------------------------------
     # Software side (the board)
     # ------------------------------------------------------------------
-    board = Board(board_config)
-    driver = RouterDriver(board.kernel, board_ep, config.latency,
-                          vector=config.remote_vector)
-    verifier = None
-    if iss_timing:
-        from repro.iss.rtos_bridge import IssChecksumVerifier
-
-        verifier = IssChecksumVerifier()
-    app = install_checksum_app(board.kernel, driver, board_config.work,
-                               verifier=verifier)
+    board, driver, app = build_router_board_side(
+        board_ep, config, board_config, iss_timing=iss_timing)
     runtime = CosimBoardRuntime(board, board_ep, config)
 
     # ------------------------------------------------------------------
@@ -260,6 +283,105 @@ def build_router_cosim(
             )
         session = ThreadedSession(master, runtime, stats_src, config)
 
+    # Workload-level state that lives outside the master/board trees
+    # joins the checkpoint under extra/.
+    session.register_snapshotable("workload_stats", stats)
+    session.register_snapshotable("checksum_app", app)
+
     return RouterCosim(session, master, runtime, router, producers,
                        consumers, app, driver, stats, workload,
                        cleanup=cleanup)
+
+
+def router_run_meta(config: CosimConfig, workload: RouterWorkload,
+                    mode: str = INPROC,
+                    iss_timing: bool = False) -> dict:
+    """The knobs needed to rebuild an identical router run — stamped
+    into recordings and checkpoints so replay/restore can reconstruct
+    the session without out-of-band information."""
+    return {
+        "scenario": "router",
+        "mode": mode,
+        "threaded": mode != INPROC,
+        "t_sync": config.t_sync,
+        "packets_per_producer": workload.packets_per_producer,
+        "interval_cycles": workload.interval_cycles,
+        "payload_size": workload.payload_size,
+        "corrupt_rate": workload.corrupt_rate,
+        "buffer_capacity": workload.buffer_capacity,
+        "num_ports": workload.num_ports,
+        "seed": workload.seed,
+        "burst_size": workload.burst_size,
+        "burst_gap_cycles": workload.burst_gap_cycles,
+        "iss_timing": iss_timing,
+    }
+
+
+def finalize_router_recording(recording, cosim: RouterCosim,
+                              metrics: CosimMetrics) -> None:
+    """Stamp end-of-run ground truth into *recording* after a recorded
+    run completes: board counters, workload stats and the live trace
+    rows (when a trace was attached) — everything a replay is compared
+    against bit-for-bit."""
+    from repro.replay import board_state_summary
+
+    recording.final = {
+        "board": board_state_summary(cosim.runtime.board),
+        "stats": cosim.stats.snapshot(),
+        "metrics": {
+            "windows": metrics.windows,
+            "master_cycles": metrics.master_cycles,
+            "board_ticks": metrics.board_ticks,
+            "int_packets": metrics.int_packets,
+            "data_messages": metrics.data_messages,
+        },
+    }
+    if cosim.session.trace is not None:
+        recording.trace_rows = [record.as_row()
+                                for record in cosim.session.trace.records]
+
+
+def workload_from_meta(meta: dict) -> RouterWorkload:
+    """Rebuild the recorded run's workload knobs from recording meta."""
+    defaults = RouterWorkload()
+    return RouterWorkload(
+        packets_per_producer=meta.get("packets_per_producer",
+                                      defaults.packets_per_producer),
+        interval_cycles=meta.get("interval_cycles",
+                                 defaults.interval_cycles),
+        payload_size=meta.get("payload_size", defaults.payload_size),
+        corrupt_rate=meta.get("corrupt_rate", defaults.corrupt_rate),
+        buffer_capacity=meta.get("buffer_capacity",
+                                 defaults.buffer_capacity),
+        num_ports=meta.get("num_ports", defaults.num_ports),
+        seed=meta.get("seed", defaults.seed),
+        burst_size=meta.get("burst_size", defaults.burst_size),
+        burst_gap_cycles=meta.get("burst_gap_cycles",
+                                  defaults.burst_gap_cycles),
+    )
+
+
+def replay_router_recording(recording, strict: bool = True,
+                            config: Optional[CosimConfig] = None,
+                            board_config: Optional[BoardConfig] = None):
+    """Replay a recorded router co-simulation: rebuild the board side
+    from ``recording.meta``, feed it the recorded message stream, and
+    return the :class:`repro.replay.ReplayResult`.
+
+    No sockets are opened, no threads are started and no wall clock is
+    read — the recording fully determines the board's inputs.
+    """
+    from repro.replay import replay_recording
+
+    meta = recording.meta
+    config = config or CosimConfig(t_sync=meta.get("t_sync", 1000))
+    board_config = board_config or BoardConfig()
+
+    def factory(endpoint):
+        board, _driver, _app = build_router_board_side(
+            endpoint, config, board_config,
+            iss_timing=bool(meta.get("iss_timing")))
+        return board
+
+    return replay_recording(recording, config=config, strict=strict,
+                            board_factory=factory)

@@ -85,6 +85,66 @@ class AlarmQueue:
                 fired.append(alarm)
         return fired
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _live_entries(self) -> List[Tuple[int, "Alarm"]]:
+        """Armed alarms in heap order, stale entries skipped."""
+        live: List[Tuple[int, Alarm]] = []
+        seen = set()
+        for trigger, seq, alarm in sorted(self._heap,
+                                          key=lambda entry: entry[:2]):
+            if (alarm.enabled and alarm.trigger_tick == trigger
+                    and id(alarm) not in seen):
+                seen.add(id(alarm))
+                live.append((trigger, alarm))
+        return live
+
+    def snapshot(self) -> List[list]:
+        """Live alarms as ``[trigger_tick, name, interval, fire_count]``.
+
+        Auto-generated names (which embed ``id()``) are rewritten to
+        heap-order indices so snapshots compare across processes.
+        """
+        entries = []
+        for index, (trigger, alarm) in enumerate(self._live_entries()):
+            name = alarm.name
+            if name == f"alarm_{id(alarm):x}":
+                name = f"alarm#{index}"
+            entries.append([trigger, name, alarm.interval,
+                            alarm.fire_count])
+        return entries
+
+    def restore(self, entries: List[list]) -> None:
+        """Apply snapshot fields to the queue's current live alarms.
+
+        Alarm objects carry callbacks, so they cannot be rebuilt from a
+        serialized tree; they are recreated by re-execution, and this
+        method re-applies the numeric fields after verifying the
+        re-executed queue has the same shape.
+        """
+        live = self._live_entries()
+        if len(live) != len(entries):
+            raise RtosError(
+                f"alarm queue snapshot has {len(entries)} live alarms, "
+                f"kernel has {len(live)}"
+            )
+        for index, ((_trigger, alarm), entry) in enumerate(
+                zip(live, entries)):
+            trigger_tick, name, interval, fire_count = entry
+            current = alarm.name
+            if current == f"alarm_{id(alarm):x}":
+                current = f"alarm#{index}"
+            if current != name:
+                raise RtosError(
+                    f"alarm queue snapshot names {name!r} at position "
+                    f"{index}, kernel has {current!r}"
+                )
+            alarm.trigger_tick = trigger_tick
+            alarm.interval = interval
+            alarm.fire_count = fire_count
+            alarm.enabled = True
+
     def next_tick(self) -> Optional[int]:
         """Trigger tick of the earliest live alarm, or None."""
         while self._heap:

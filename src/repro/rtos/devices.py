@@ -84,5 +84,9 @@ class DeviceTable:
     def names(self) -> List[str]:
         return sorted(self._devices)
 
+    def items(self) -> List:
+        """``(name, device)`` pairs in name order."""
+        return sorted(self._devices.items())
+
     def __contains__(self, name: str) -> bool:
         return name in self._devices

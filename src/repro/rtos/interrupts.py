@@ -100,6 +100,48 @@ class InterruptController:
         return self._scheduled[0][0] if self._scheduled else None
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Vector flags/counters plus all three delivery queues."""
+        return {
+            "vectors": {
+                str(vector): [record.masked, record.isr_count,
+                              record.dsr_count, record.dsr_pending]
+                for vector, record in sorted(self._vectors.items())
+            },
+            "pending": list(self._pending),
+            "scheduled": [[cycle, vector] for cycle, _seq, vector
+                          in sorted(self._scheduled,
+                                    key=lambda entry: entry[:2])],
+            "dsr_queue": [record.number for record in self._dsr_queue],
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("vectors", "pending", "scheduled", "dsr_queue"):
+            if key not in state:
+                raise RtosError(
+                    f"interrupt snapshot missing {key!r}"
+                )
+        for vector, fields in state["vectors"].items():
+            record = self._vectors.get(int(vector))
+            if record is None:
+                raise RtosError(
+                    f"interrupt snapshot names unattached vector "
+                    f"{vector}"
+                )
+            (record.masked, record.isr_count,
+             record.dsr_count, record.dsr_pending) = fields
+        self._pending = deque(state["pending"])
+        self._scheduled = []
+        self._seq = 0
+        for cycle, vector in state["scheduled"]:
+            self.schedule_at_cycle(cycle, vector)
+        self._dsr_queue = deque(
+            self._vector(number) for number in state["dsr_queue"]
+        )
+
+    # ------------------------------------------------------------------
     # Servicing (called from the kernel loop)
     # ------------------------------------------------------------------
     def has_work(self, now_cycle: int) -> bool:

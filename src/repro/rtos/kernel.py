@@ -330,6 +330,116 @@ class RtosKernel:
             self._saved_context = None
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data kernel state: time, threads, queues, counters.
+
+        Thread generator frames are not serializable; this tree is the
+        digest-verified evidence that a deterministic re-execution
+        reached the same state (see :mod:`repro.replay.checkpoint`).
+        """
+        threads = {}
+        for thread in self.threads:
+            if thread.name in threads:
+                raise RtosError(
+                    f"{self.name}: duplicate thread name {thread.name!r} "
+                    "prevents checkpointing"
+                )
+            threads[thread.name] = thread.snapshot()
+        saved = None
+        if self._saved_context is not None:
+            saved = [self._saved_context[0].name, self._saved_context[1]]
+        return {
+            "cycles": self._cycles,
+            "hw_ticks": self._hw_ticks,
+            "sw_ticks": self._sw_ticks,
+            "next_tick_at": self._next_tick_at,
+            "hw_tick_phase": self._hw_tick_phase,
+            "state": self.state,
+            "state_switches": self.state_switches,
+            "saved_context": saved,
+            "current": self.current.name if self.current else None,
+            "last_thread": (self._last_thread.name
+                            if self._last_thread else None),
+            "external_irqs": list(self._external_irqs),
+            "idle_cycles": self.idle_cycles,
+            "kernel_cycles": self.kernel_cycles,
+            "context_switches": self.context_switches,
+            "idle_service_count": self.idle_service_count,
+            "threads": threads,
+            "scheduler": self.scheduler.snapshot(),
+            "alarms": self._alarm_queue.snapshot(),
+            "interrupts": self.interrupts.snapshot(),
+            "devices": {
+                name: device.snapshot()
+                for name, device in self.devices.items()
+                if callable(getattr(device, "snapshot", None))
+                and callable(getattr(device, "restore", None))
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a snapshot to a structurally identical kernel.
+
+        The kernel must already hold the same thread/alarm/vector
+        population (built by the same construction code and brought to
+        the checkpoint by re-execution); this re-applies every plain
+        field and queue ordering on top.
+        """
+        for key in ("cycles", "sw_ticks", "threads", "scheduler",
+                    "alarms", "interrupts"):
+            if key not in state:
+                raise RtosError(
+                    f"{self.name}: kernel snapshot missing {key!r}"
+                )
+        by_name = {thread.name: thread for thread in self.threads}
+        for name, sub in state["threads"].items():
+            thread = by_name.get(name)
+            if thread is None:
+                raise RtosError(
+                    f"{self.name}: snapshot names unknown thread {name!r}"
+                )
+            thread.restore(sub)
+        self._cycles = state["cycles"]
+        self._hw_ticks = state["hw_ticks"]
+        self._sw_ticks = state["sw_ticks"]
+        self._next_tick_at = state["next_tick_at"]
+        self._hw_tick_phase = state["hw_tick_phase"]
+        self.state = state["state"]
+        self.state_switches = state["state_switches"]
+        saved = state.get("saved_context")
+        if saved is not None:
+            name, timeslice = saved
+            if name not in by_name:
+                raise RtosError(
+                    f"{self.name}: snapshot names unknown thread {name!r}"
+                )
+            self._saved_context = (by_name[name], timeslice)
+        else:
+            self._saved_context = None
+        current = state.get("current")
+        self.current = by_name[current] if current else None
+        last = state.get("last_thread")
+        self._last_thread = by_name[last] if last else None
+        self._external_irqs = deque(state.get("external_irqs", []))
+        self.idle_cycles = state["idle_cycles"]
+        self.kernel_cycles = state["kernel_cycles"]
+        self.context_switches = state["context_switches"]
+        self.idle_service_count = state["idle_service_count"]
+        self.scheduler.restore(state["scheduler"], by_name)
+        self._alarm_queue.restore(state["alarms"])
+        self.interrupts.restore(state["interrupts"])
+        devices = dict(self.devices.items())
+        for name, sub in state.get("devices", {}).items():
+            device = devices.get(name)
+            if device is None:
+                raise RtosError(
+                    f"{self.name}: snapshot names unknown device {name!r}"
+                )
+            device.restore(sub)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run_ticks(self, ticks: int) -> None:

@@ -113,6 +113,45 @@ class MlqScheduler:
             priority += 1
         return None
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Ready-queue contents by thread name, plus the idle flag."""
+        return {
+            "queues": [[thread.name for thread in queue]
+                       for queue in self._queues],
+            "idle_mode": self.idle_mode,
+        }
+
+    def restore(self, state: dict, threads: dict) -> None:
+        """Rebuild the ready queues from a snapshot.
+
+        *threads* maps thread names to live :class:`Thread` objects
+        (the kernel's registry — queue entries are references, so the
+        caller must supply them).
+        """
+        queues = state.get("queues")
+        if queues is None or len(queues) != len(self._queues):
+            raise RtosError(
+                f"scheduler snapshot has {len(queues or [])} priority "
+                f"levels, expected {len(self._queues)}"
+            )
+        self._bitmap = 0
+        for priority, names in enumerate(queues):
+            queue: Deque[Thread] = deque()
+            for name in names:
+                if name not in threads:
+                    raise RtosError(
+                        f"scheduler snapshot names unknown thread "
+                        f"{name!r}"
+                    )
+                queue.append(threads[name])
+            self._queues[priority] = queue
+            if queue:
+                self._bitmap |= 1 << priority
+        self.idle_mode = state.get("idle_mode", self.idle_mode)
+
     def peers_ready(self, thread: Thread) -> bool:
         """Any eligible thread ready at *thread*'s own priority?"""
         return any(

@@ -54,6 +54,18 @@ class Waitable:
         self._waiters.remove(best)
         return best
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Waiter names (digest evidence; waits are rebuilt by
+        re-execution, so :meth:`restore` does not reattach them)."""
+        return {"waiters": [thread.name for thread in self._waiters]}
+
+    def restore(self, state: dict) -> None:
+        if "waiters" not in state:
+            raise RtosError(f"{self.name}: snapshot missing 'waiters'")
+
 
 # ----------------------------------------------------------------------
 # Semaphore
@@ -105,6 +117,17 @@ class Semaphore(Waitable):
 
     def peek(self) -> int:
         return self._count
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["count"] = self._count
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        if "count" not in state:
+            raise RtosError(f"{self.name}: snapshot missing 'count'")
+        self._count = state["count"]
 
 
 # ----------------------------------------------------------------------
@@ -180,6 +203,16 @@ class Mutex(Waitable):
         if (self.protocol == Mutex.INHERIT
                 and owner.priority != owner.base_priority):
             self.kernel.scheduler.set_priority(owner, owner.base_priority)
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["owner"] = self._owner.name if self._owner else None
+        state["boosts"] = self.boosts
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.boosts = state.get("boosts", self.boosts)
 
     def unlock(self) -> None:
         if self._owner is None:
@@ -264,6 +297,17 @@ class Flag(Waitable):
     def clear_bits(self, pattern: int) -> None:
         self._value &= ~pattern
 
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["value"] = self._value
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        if "value" not in state:
+            raise RtosError(f"{self.name}: snapshot missing 'value'")
+        self._value = state["value"]
+
 
 # ----------------------------------------------------------------------
 # Mailbox / message queue
@@ -339,6 +383,16 @@ class Mailbox(Waitable):
         if item is None:
             raise RtosError("mailbox items cannot be None")
         return self._deliver(item)
+
+    def snapshot(self) -> dict:
+        """Item payloads may be arbitrary objects, so only the queue
+        depth is recorded; contents are rebuilt by re-execution."""
+        state = super().snapshot()
+        state["depth"] = len(self._items)
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
 
     # ------------------------------------------------------------------
     def _deliver(self, item: Any) -> bool:

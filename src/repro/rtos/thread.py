@@ -104,6 +104,61 @@ class Thread:
         return self.state == READY and not self.suspended
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-data thread state for checkpoint digests.
+
+        The generator frame itself cannot be serialized; it is
+        reproduced by deterministic re-execution, and this tree is the
+        evidence the re-execution arrived at the same point (state,
+        blocking relationship, work budget, accounting).
+        """
+        blocked_on = getattr(self._blocked_on, "name", None) \
+            if self._blocked_on is not None else None
+        return {
+            "state": self.state,
+            "suspended": self.suspended,
+            "priority": self.priority,
+            "base_priority": self.base_priority,
+            "work_remaining": self.work_remaining,
+            "timeslice_left": self.timeslice_left,
+            "cycles_consumed": self.cycles_consumed,
+            "dispatch_count": self.dispatch_count,
+            "syscall_count": self.syscall_count,
+            "blocked_on": blocked_on,
+            "has_timeout_alarm": self._timeout_alarm is not None,
+            "started": self._gen is not None,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply the plain scalar fields of a snapshot.
+
+        Blocking relationships, alarms and the generator frame are
+        rebuilt by re-execution, not assigned here (they reference live
+        objects a serialized tree cannot carry).
+        """
+        for key in ("state", "suspended", "work_remaining",
+                    "timeslice_left"):
+            if key not in state:
+                raise RtosError(
+                    f"thread {self.name}: snapshot missing {key!r}"
+                )
+        self.state = state["state"]
+        self.suspended = state["suspended"]
+        self.priority = state.get("priority", self.priority)
+        self.base_priority = state.get("base_priority",
+                                       self.base_priority)
+        self.work_remaining = state["work_remaining"]
+        self.timeslice_left = state["timeslice_left"]
+        self.cycles_consumed = state.get("cycles_consumed",
+                                         self.cycles_consumed)
+        self.dispatch_count = state.get("dispatch_count",
+                                        self.dispatch_count)
+        self.syscall_count = state.get("syscall_count",
+                                       self.syscall_count)
+
+    # ------------------------------------------------------------------
     # Kernel internals
     # ------------------------------------------------------------------
     def _start_generator(self) -> None:

@@ -61,6 +61,20 @@ class Clock(Module):
     def read(self) -> bool:
         return bool(self.signal.read())
 
+    def snapshot(self) -> dict:
+        """Checkpoint state: the committed edge count.
+
+        The waveform itself (signal level, next toggle time) lives in
+        the kernel's signal/timed-event snapshot.
+        """
+        return {"cycles": self.cycles}
+
+    def restore(self, state: dict) -> None:
+        if "cycles" not in state:
+            raise SimulationError(f"clock {self.name}: snapshot missing "
+                                  "'cycles'")
+        self.cycles = state["cycles"]
+
     def _toggle(self) -> None:
         if self.signal.read():
             self.signal.write(False)

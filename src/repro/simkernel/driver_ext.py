@@ -233,6 +233,45 @@ class DriverSimulator(Simulator):
         return fired
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["driver"] = {
+            "interrupt_was_high": self._interrupt_was_high,
+            "vector_levels": {
+                str(vector): record[1]
+                for vector, record in sorted(self._interrupt_vectors.items())
+            },
+            "port_counts": {
+                str(address): [getattr(port, "write_count", 0),
+                               getattr(port, "read_count", 0)]
+                for address, port in sorted(self._driver_ports.items())
+            },
+        }
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        if "driver" not in state:
+            raise SimulationError(f"{self.name}: snapshot missing 'driver'")
+        driver = state["driver"]
+        self._interrupt_was_high = driver["interrupt_was_high"]
+        for vector, level in driver["vector_levels"].items():
+            record = self._interrupt_vectors.get(int(vector))
+            if record is None:
+                raise SimulationError(
+                    f"{self.name}: snapshot names unbound vector {vector}"
+                )
+            record[1] = level
+        for address, (writes, reads) in driver["port_counts"].items():
+            port = self.port_at(int(address))
+            if hasattr(port, "write_count"):
+                port.write_count = writes
+            if hasattr(port, "read_count"):
+                port.read_count = reads
+
+    # ------------------------------------------------------------------
     # Modified simulation loop (one cycle of it)
     # ------------------------------------------------------------------
     def driver_simulate_cycle(self, clock: "Clock", link) -> bool:

@@ -21,13 +21,18 @@ relies on this).
 from __future__ import annotations
 
 import heapq
+import re
 from collections import deque
-from typing import Any, Deque, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeltaOverflowError, SimulationError
 from repro.simkernel.events import _DELTA, _TIMED, Event
 from repro.simkernel.processes import Process
 from repro.simkernel.signals import Signal
+
+#: Auto-generated object names embed ``id()``; checkpoints rewrite them
+#: to registration-order indices so snapshots compare across processes.
+_DEFAULT_NAME = re.compile(r"\b(signal|event)_[0-9a-f]{6,}\b")
 
 
 class Simulator:
@@ -228,6 +233,130 @@ class Simulator:
     def stop(self) -> None:
         """Request the current :meth:`run` call to return."""
         self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_names(self):
+        """Name maps for checkpoints, stable across processes.
+
+        Auto-generated names embed ``id()``, which differs between
+        runs; they are rewritten to registration-order indices (both
+        runs register objects in the same deterministic order).
+        """
+        mapping: Dict[str, str] = {}
+
+        def normalize(name: str) -> str:
+            def repl(match):
+                token = match.group(0)
+                if token not in mapping:
+                    mapping[token] = f"{match.group(1)}#{len(mapping)}"
+                return mapping[token]
+            return _DEFAULT_NAME.sub(repl, name)
+
+        signals = {}
+        for signal in self.signals:
+            signals.setdefault(normalize(signal.name), signal)
+        events = {}
+        for event in self.events:
+            events.setdefault(normalize(event.name), event)
+        modules = {}
+        for index, module in enumerate(self.modules):
+            if not (callable(getattr(module, "snapshot", None))
+                    and callable(getattr(module, "restore", None))):
+                continue
+            base = normalize(getattr(module, "full_name", "")
+                             or getattr(module, "name", "")
+                             or f"module#{index}")
+            name, bump = base, 1
+            while name in modules:
+                name = f"{base}#{bump}"
+                bump += 1
+            modules[name] = module
+        return signals, events, modules
+
+    def _require_settled(self, verb: str) -> None:
+        if self._runnable or self._update_queue or self._delta_events:
+            raise SimulationError(
+                f"{self.name}: cannot {verb} with pending delta "
+                "activity; snapshots are only valid at settled points"
+            )
+
+    def snapshot(self) -> dict:
+        """Plain-data kernel state at a settled point (window boundary).
+
+        Covers simulation time, committed signal values, live timed
+        notifications and the sub-state of every snapshotable module.
+        Process generator frames are *not* serializable; they are
+        reproduced by deterministic re-execution and verified against
+        this tree (see :mod:`repro.replay.checkpoint`).
+        """
+        self._require_settled("snapshot")
+        signals, events, modules = self._checkpoint_names()
+        timed: List[list] = []
+        seen: Set[int] = set()
+        event_names = {id(event): name for name, event in events.items()}
+        for when, _seq, event in sorted(self._timed_queue,
+                                        key=lambda entry: entry[:2]):
+            if (event._pending_kind == _TIMED
+                    and event._pending_time == when
+                    and id(event) not in seen):
+                seen.add(id(event))
+                timed.append([when, event_names[id(event)]])
+        return {
+            "now": self._now,
+            "delta_count": self.delta_count,
+            "process_runs": self.process_runs,
+            "signals": {name: [signal._current, signal.change_count]
+                        for name, signal in signals.items()},
+            "timed": timed,
+            "modules": {name: module.snapshot()
+                        for name, module in modules.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` tree to a settled, elaborated kernel."""
+        self._require_settled("restore")
+        signals, events, modules = self._checkpoint_names()
+        for key in ("now", "signals", "timed", "modules"):
+            if key not in state:
+                raise SimulationError(
+                    f"{self.name}: snapshot missing key {key!r}"
+                )
+        self._now = state["now"]
+        self.delta_count = state.get("delta_count", self.delta_count)
+        self.process_runs = state.get("process_runs", self.process_runs)
+        for name, (value, change_count) in state["signals"].items():
+            signal = signals.get(name)
+            if signal is None:
+                raise SimulationError(
+                    f"{self.name}: snapshot names unknown signal {name!r}"
+                )
+            signal._current = value
+            signal._next = value
+            signal._update_pending = False
+            signal.change_count = change_count
+        for event in self.events:
+            if event._pending_kind == _TIMED:
+                event.cancel()
+        self._timed_queue = []
+        for when, name in state["timed"]:
+            event = events.get(name)
+            if event is None:
+                raise SimulationError(
+                    f"{self.name}: snapshot names unknown event {name!r}"
+                )
+            event._pending_kind = _TIMED
+            event._pending_time = when
+            self._seq += 1
+            heapq.heappush(self._timed_queue, (when, self._seq, event))
+        for name, sub in state["modules"].items():
+            module = modules.get(name)
+            if module is None:
+                raise SimulationError(
+                    f"{self.name}: snapshot names unknown module {name!r}"
+                )
+            module.restore(sub)
 
     # ------------------------------------------------------------------
     # Internals

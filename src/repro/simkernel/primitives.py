@@ -68,6 +68,20 @@ class SimFifo:
     def peek(self) -> Optional[Any]:
         return self._items[0] if self._items else None
 
+    def items(self) -> list:
+        """Current contents, head first (checkpoint support)."""
+        return list(self._items)
+
+    def load_items(self, items) -> None:
+        """Replace the contents without notifying either event
+        (checkpoint support; caller guarantees capacity)."""
+        if len(items) > self.capacity:
+            raise SimulationError(
+                f"fifo {self.name}: {len(items)} items exceed capacity "
+                f"{self.capacity}"
+            )
+        self._items = deque(items)
+
     def put(self, item: Any):
         """Blocking put (generator; use with ``yield from``)."""
         while not self.try_put(item):

@@ -39,6 +39,7 @@ from repro.staticcheck.diagnostics import (
 )
 from repro.staticcheck.iss_rules import check_program, parse_directives
 from repro.staticcheck.netlist_rules import check_netlist
+from repro.staticcheck.replay_rules import check_snapshotability
 from repro.staticcheck.rtos_rules import check_cosim_config, check_kernel
 from repro.staticcheck.runner import (
     lint_asm_file,
@@ -65,6 +66,7 @@ __all__ = [
     "check_kernel",
     "check_netlist",
     "check_program",
+    "check_snapshotability",
     "lint_asm_file",
     "lint_bundled_programs",
     "lint_paths",

@@ -90,6 +90,11 @@ RULES: Dict[str, Rule] = {
         Rule("COSIM004", "remote-vector-unattached", ERROR,
              "the configured remote interrupt vector has no handler "
              "attached on the board kernel"),
+        Rule("COSIM005", "not-snapshotable", WARNING,
+             "a netlist module or board device in a checkpointing-"
+             "enabled session does not implement the Snapshotable "
+             "protocol (its state is silently omitted from "
+             "checkpoints)"),
     )
 }
 

@@ -23,6 +23,7 @@ from repro.iss.timing import TimingModel
 from repro.staticcheck.diagnostics import LintReport
 from repro.staticcheck.iss_rules import check_program
 from repro.staticcheck.netlist_rules import check_netlist
+from repro.staticcheck.replay_rules import check_snapshotability
 from repro.staticcheck.rtos_rules import check_cosim_config, check_kernel
 
 #: Special (non-path) target names.
@@ -94,6 +95,8 @@ def lint_router_design(report: LintReport) -> None:
                  report=report)
     check_cosim_config(config, kernel=cosim.runtime.board.kernel,
                        target=f"{ROUTER}:config", report=report)
+    check_snapshotability(cosim.session, target=f"{ROUTER}:checkpoint",
+                          assume_enabled=True, report=report)
 
 
 def lint_paths(paths: Iterable, report: LintReport,

@@ -55,6 +55,22 @@ class LinkStats:
         #: Total wall seconds spent in backoff delays.
         self.backoff_wait_s = 0.0
 
+    #: Counter attribute names, in snapshot order.
+    FIELDS = (
+        "messages_sent", "bytes_sent", "clock_messages", "int_messages",
+        "data_messages", "reconnects", "reconnect_attempts", "replays",
+        "heartbeats_sent", "heartbeats_acked", "backoff_wait_s",
+    )
+
+    def snapshot(self) -> dict:
+        """All counters as a plain dict (checkpoint support)."""
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def restore(self, state: dict) -> None:
+        for name in self.FIELDS:
+            if name in state:
+                setattr(self, name, state[name])
+
     def account(self, message: Message, port: str) -> None:
         self.messages_sent += 1
         self.bytes_sent += frame_size(message)

@@ -30,12 +30,12 @@ Counters for all of this land in the shared
 
 from __future__ import annotations
 
-import random
 import socket
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.determinism import seeded_rng
 from repro.errors import TransportError
 from repro.transport.channel import BoardEndpoint, LinkStats, MasterEndpoint
 from repro.transport.messages import (
@@ -100,7 +100,7 @@ class ResilienceConfig:
 
         Deterministic: the same config always yields the same schedule.
         """
-        rng = random.Random(self.jitter_seed)
+        rng = seeded_rng(self.jitter_seed)
         delays = []
         delay = self.backoff_initial_s
         for _ in range(self.max_attempts):

@@ -73,3 +73,50 @@ class TestEmulatedNetworkDelay:
         assert slow_metrics.wall_seconds > fast_metrics.wall_seconds
         expected_extra = 0.005 * slow_metrics.sync_exchanges
         assert slow_metrics.wall_seconds >= 0.8 * expected_extra
+
+
+class TestFailureCleanup:
+    """A run that dies mid-window must not leak the board thread or
+    leave transport endpoints open."""
+
+    def _run_with_dropped_report(self):
+        import threading
+
+        from repro.errors import ProtocolError
+        from repro.transport.faults import FaultPlan
+
+        workload = RouterWorkload(packets_per_producer=4,
+                                  interval_cycles=150, corrupt_rate=0.0,
+                                  payload_size=16, seed=3)
+        # Drop the second time report: the master times out waiting for
+        # it while the healthy board loops back to recv_grant and takes
+        # the shutdown pill from the cleanup path.
+        cosim = build_router_cosim(
+            CosimConfig(t_sync=100, report_timeout_s=0.5), workload,
+            mode="queue", fault_plan=FaultPlan(drop_reports={2}))
+        session = cosim.session
+        closed = []
+        for name, endpoint in (("master", session.master.endpoint),
+                               ("board", session.runtime.endpoint)):
+            def wrapped(original=endpoint.close, name=name):
+                closed.append(name)
+                original()
+            endpoint.close = wrapped
+        with pytest.raises(ProtocolError, match="report"):
+            cosim.run()
+        return closed, threading
+
+    def test_board_thread_joined_and_endpoints_closed(self):
+        import time
+
+        closed, threading = self._run_with_dropped_report()
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline and any(
+                t.name == "cosim-board" and t.is_alive()
+                for t in threading.enumerate()):
+            time.sleep(0.01)
+        assert not any(t.name == "cosim-board" and t.is_alive()
+                       for t in threading.enumerate()), \
+            "failed run leaked the board thread"
+        assert closed == ["master", "board"], \
+            "failed run must close both transport endpoints"

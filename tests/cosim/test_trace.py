@@ -3,8 +3,11 @@
 import csv
 import io
 
+import pytest
+
 from repro.cosim import CosimConfig, ProtocolTrace, rows_to_csv
 from repro.cosim.adaptive import AdaptivePolicy
+from repro.cosim.trace import WindowRecord
 from repro.router.testbench import RouterWorkload, build_router_cosim
 
 
@@ -76,6 +79,36 @@ class TestCsvExport:
         buffer = io.StringIO()
         trace.to_csv(buffer)
         assert buffer.getvalue().startswith("index,ticks,")
+
+    def test_from_csv_round_trip(self, tmp_path):
+        cosim, _metrics, trace = run_traced()
+        path = tmp_path / "trace.csv"
+        trace.to_csv(str(path))
+        loaded = ProtocolTrace.from_csv(str(path))
+        assert loaded.records == trace.records
+        assert loaded.consistent() == trace.consistent()
+
+    def test_from_csv_stream(self):
+        cosim, _metrics, trace = run_traced()
+        buffer = io.StringIO()
+        trace.to_csv(buffer)
+        loaded = ProtocolTrace.from_csv(io.StringIO(buffer.getvalue()))
+        assert loaded.records == trace.records
+
+    def test_from_csv_rejects_wrong_header(self):
+        with pytest.raises(ValueError, match="not a protocol trace"):
+            ProtocolTrace.from_csv(io.StringIO("a,b,c\n1,2,3\n"))
+
+    def test_from_csv_rejects_malformed_row(self):
+        good = ",".join(WindowRecord.FIELDS)
+        with pytest.raises(ValueError, match="malformed trace row"):
+            ProtocolTrace.from_csv(io.StringIO(f"{good}\n1,2,3\n"))
+
+    def test_from_csv_rejects_out_of_order_rows(self):
+        good = ",".join(WindowRecord.FIELDS)
+        body = "5,100,100,100,0,0\n"
+        with pytest.raises(ValueError, match="out of order"):
+            ProtocolTrace.from_csv(io.StringIO(good + "\n" + body))
 
     def test_rows_to_csv_generic(self, tmp_path):
         path = tmp_path / "fig.csv"

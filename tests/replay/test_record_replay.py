@@ -1,0 +1,189 @@
+"""End-to-end record -> replay determinism tests.
+
+The acceptance property: replaying a recorded session — inproc or
+threaded, fault-free or faulted — reproduces the per-window trace and
+the end-of-run board state bit-for-bit, with no sockets and no wall
+clock on the replay side.
+"""
+
+import pytest
+
+from repro.cosim import CosimConfig, ProtocolTrace
+from repro.determinism import forbid_entropy
+from repro.replay import (
+    ReplayDivergence,
+    SessionRecording,
+    find_divergence,
+    recorded_trace,
+    replay_recording,
+)
+from repro.router.testbench import (
+    RouterWorkload,
+    build_router_cosim,
+    finalize_router_recording,
+    replay_router_recording,
+    workload_from_meta,
+)
+from repro.transport.faults import FaultPlan
+
+
+def record_run(mode="inproc", t_sync=300, fault_plan=None,
+               **workload_kwargs):
+    defaults = dict(packets_per_producer=5, interval_cycles=300,
+                    corrupt_rate=0.2, seed=11)
+    defaults.update(workload_kwargs)
+    recording = SessionRecording()
+    cosim = build_router_cosim(CosimConfig(t_sync=t_sync),
+                               RouterWorkload(**defaults), mode=mode,
+                               fault_plan=fault_plan, recorder=recording)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+    metrics = cosim.run()
+    finalize_router_recording(recording, cosim, metrics)
+    return recording, metrics, trace
+
+
+class TestRecording:
+    def test_recording_captures_all_streams(self):
+        recording, metrics, _trace = record_run()
+        assert recording.num_windows == metrics.windows
+        assert len(recording.grants) == metrics.windows
+        assert len(recording.interrupts) == metrics.int_packets
+        assert recording.data_ops, "router run must do DATA traffic"
+        assert recording.meta["scenario"] == "router"
+        assert recording.meta["threaded"] is False
+
+    def test_recording_survives_save_load(self, tmp_path):
+        recording, _metrics, _trace = record_run()
+        path = tmp_path / "run.json"
+        recording.save(str(path))
+        loaded = SessionRecording.load(str(path))
+        assert loaded.grants == recording.grants
+        assert loaded.interrupts == recording.interrupts
+        assert loaded.data_ops == recording.data_ops
+        assert loaded.reports == recording.reports
+        assert loaded.trace_rows == recording.trace_rows
+        assert loaded.final == recording.final
+
+    def test_workload_round_trips_through_meta(self):
+        recording, _metrics, _trace = record_run(seed=99,
+                                                 corrupt_rate=0.3)
+        rebuilt = workload_from_meta(recording.meta)
+        assert rebuilt.seed == 99
+        assert rebuilt.corrupt_rate == 0.3
+        assert rebuilt.packets_per_producer == 5
+
+
+class TestReplayIdentity:
+    def test_inproc_replay_is_bit_identical(self):
+        recording, _metrics, trace = record_run()
+        result = replay_router_recording(recording)
+        assert result.clean
+        report = find_divergence(recording, result)
+        assert report.clean
+        assert ([r.as_row() for r in result.trace.records]
+                == [r.as_row() for r in trace.records])
+
+    def test_threaded_replay_is_bit_identical_without_entropy(self):
+        recording, _metrics, _trace = record_run(mode="queue")
+        assert recording.meta["threaded"] is True
+        # The replay side must never touch wall-clock time or global
+        # randomness: the recording fully determines the run.
+        with forbid_entropy():
+            result = replay_router_recording(recording)
+        assert result.clean
+        assert find_divergence(recording, result).clean
+
+    def test_disconnect_faulted_run_replays_identically(self):
+        # Yank connections mid-run on the resilient TCP link: the
+        # recording captures the post-recovery stream the board
+        # consumed, so replay reproduces the run without re-injecting
+        # faults or opening any socket.
+        from repro.transport.messages import CLOCK_PORT, DATA_PORT
+        from repro.transport.resilience import ResilienceConfig
+
+        plan = FaultPlan(disconnect_after_grants={2: CLOCK_PORT,
+                                                  4: DATA_PORT})
+        config = CosimConfig(
+            t_sync=300,
+            resilience=ResilienceConfig(
+                enabled=True, max_attempts=8, backoff_initial_s=0.005,
+                backoff_max_s=0.05, heartbeat_interval_s=0.05,
+                heartbeat_misses_allowed=200))
+        recording = SessionRecording()
+        cosim = build_router_cosim(
+            config,
+            RouterWorkload(packets_per_producer=5, interval_cycles=300,
+                           corrupt_rate=0.2, seed=11),
+            mode="tcp", fault_plan=plan, recorder=recording)
+        trace = ProtocolTrace()
+        cosim.session.attach_trace(trace)
+        metrics = cosim.run()
+        finalize_router_recording(recording, cosim, metrics)
+        assert plan.disconnects_injected == 2
+        assert metrics.reconnects >= 2
+        with forbid_entropy():
+            result = replay_router_recording(recording)
+        assert result.clean
+        assert find_divergence(recording, result).clean
+
+    def test_replay_after_save_load(self, tmp_path):
+        recording, _metrics, _trace = record_run()
+        path = tmp_path / "run.json"
+        recording.save(str(path))
+        result = replay_router_recording(SessionRecording.load(str(path)))
+        assert result.clean
+
+
+class TestDivergenceDetection:
+    def test_tampered_data_value_raises_in_strict_mode(self):
+        recording, _metrics, _trace = record_run()
+        writes = [i for i, op in enumerate(recording.data_ops)
+                  if op[1] == "write" and isinstance(op[3], int)]
+        recording.data_ops[writes[len(writes) // 2]][3] += 1
+        with pytest.raises(ReplayDivergence):
+            replay_router_recording(recording, strict=True)
+
+    def test_bisector_reports_first_divergent_window(self):
+        recording, _metrics, _trace = record_run()
+        writes = [i for i, op in enumerate(recording.data_ops)
+                  if op[1] == "write" and isinstance(op[3], int)]
+        index = writes[len(writes) // 2]
+        tampered_window = recording.data_ops[index][0]
+        recording.data_ops[index][3] += 1
+        result = replay_router_recording(recording, strict=False)
+        assert not result.clean
+        report = find_divergence(recording, result)
+        assert not report.clean
+        assert report.first_window is not None
+        assert report.first_window <= tampered_window
+        assert "divergent window" in report.describe()
+
+    def test_tampered_final_state_is_caught(self):
+        recording, _metrics, _trace = record_run()
+        recording.final["board"]["board_ticks"] += 1
+        result = replay_router_recording(recording, strict=False)
+        report = find_divergence(recording, result)
+        assert not report.clean
+        assert report.summary_mismatches
+        assert report.first_window == result.windows_replayed
+
+    def test_recorded_trace_prefers_live_rows(self):
+        recording, _metrics, trace = record_run()
+        from_recording = recorded_trace(recording)
+        assert ([r.as_row() for r in from_recording.records]
+                == [r.as_row() for r in trace.records])
+        # Reconstruction from the raw stream matches the live rows too.
+        recording.trace_rows = []
+        reconstructed = recorded_trace(recording)
+        assert ([r.as_row() for r in reconstructed.records]
+                == [r.as_row() for r in trace.records])
+
+
+class TestReplayApi:
+    def test_replay_recording_needs_a_board(self):
+        recording, _metrics, _trace = record_run()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="board"):
+            replay_recording(recording, config=CosimConfig(t_sync=300))

@@ -1,0 +1,114 @@
+"""Unit tests for the snapshot protocol layer."""
+
+import pytest
+
+from repro.replay import (
+    AttrSnapshot,
+    SnapshotError,
+    canonical_json,
+    decode_tree,
+    diff_trees,
+    encode_tree,
+    is_snapshotable,
+    missing_snapshotables,
+    plain_copy,
+    require_keys,
+    state_digest,
+)
+
+
+class Widget(AttrSnapshot):
+    SNAPSHOT_ATTRS = ("count", "name")
+
+    def __init__(self):
+        self.count = 3
+        self.name = "w"
+
+
+class TestProtocol:
+    def test_duck_typing(self):
+        class Duck:
+            def snapshot(self):
+                return {}
+
+            def restore(self, state):
+                pass
+
+        assert is_snapshotable(Duck())
+        assert not is_snapshotable(object())
+        assert not is_snapshotable("string")
+
+    def test_half_implemented_is_not_snapshotable(self):
+        class Half:
+            def snapshot(self):
+                return {}
+
+        assert not is_snapshotable(Half())
+
+    def test_missing_snapshotables(self):
+        missing = missing_snapshotables(
+            [("good", Widget()), ("bad", object())])
+        assert missing == ["bad"]
+
+    def test_attr_snapshot_round_trip(self):
+        first, second = Widget(), Widget()
+        first.count = 99
+        first.name = "renamed"
+        second.restore(first.snapshot())
+        assert second.count == 99
+        assert second.name == "renamed"
+
+    def test_require_keys(self):
+        require_keys({"a": 1, "b": 2}, ("a", "b"), "owner")
+        with pytest.raises(SnapshotError, match="owner"):
+            require_keys({"a": 1}, ("a", "b"), "owner")
+
+
+class TestEncoding:
+    def test_bytes_round_trip(self):
+        tree = {"payload": b"\x00\x01\xff" * 100,
+                "nested": [{"more": b"abc"}, 7],
+                "plain": "text"}
+        encoded = encode_tree(tree)
+        assert decode_tree(encoded) == tree
+
+    def test_encoded_tree_is_json_safe(self):
+        import json
+
+        encoded = encode_tree({"blob": bytes(range(256))})
+        round_tripped = json.loads(json.dumps(encoded))
+        assert decode_tree(round_tripped) == {"blob": bytes(range(256))}
+
+    def test_digest_is_stable_and_key_order_independent(self):
+        a = {"x": 1, "y": [1, 2, 3], "blob": b"abc"}
+        b = {"y": [1, 2, 3], "blob": b"abc", "x": 1}
+        assert state_digest(a) == state_digest(b)
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_digest_changes_with_content(self):
+        assert state_digest({"x": 1}) != state_digest({"x": 2})
+
+    def test_plain_copy_detaches(self):
+        source = {"list": [1, 2], "sub": {"k": "v"}}
+        copy = plain_copy(source)
+        source["list"].append(3)
+        assert copy["list"] == [1, 2]
+
+
+class TestDiff:
+    def test_identical_trees_have_no_diff(self):
+        tree = {"a": {"b": [1, 2]}, "c": 3}
+        assert diff_trees(tree, plain_copy(tree)) == []
+
+    def test_leaf_difference_is_located(self):
+        left = {"a": {"b": 1}, "c": [1, 2]}
+        right = {"a": {"b": 2}, "c": [1, 2]}
+        diffs = diff_trees(left, right)
+        assert len(diffs) == 1
+        path, expected, actual = diffs[0]
+        assert "b" in path
+        assert (expected, actual) == (1, 2)
+
+    def test_missing_key_is_reported(self):
+        diffs = diff_trees({"a": 1, "b": 2}, {"a": 1})
+        assert any("b" in path for path, _e, _a in diffs)

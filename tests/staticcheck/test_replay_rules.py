@@ -1,0 +1,86 @@
+"""COSIM005: checkpointing sessions must be fully snapshotable."""
+
+import pytest
+
+from repro.cosim import CosimConfig
+from repro.replay import Checkpointer
+from repro.router.testbench import RouterWorkload, build_router_cosim
+from repro.staticcheck import check_snapshotability
+from repro.staticcheck.diagnostics import RULES, WARNING
+
+
+class NotSnapshotable:
+    def __init__(self, name="bogus"):
+        self.name = name
+
+
+class HalfSnapshotable:
+    name = "half"
+
+    def snapshot(self):
+        return {}
+
+
+@pytest.fixture
+def session():
+    cosim = build_router_cosim(
+        CosimConfig(t_sync=300),
+        RouterWorkload(packets_per_producer=2, interval_cycles=300,
+                       corrupt_rate=0.0, seed=3),
+        mode="inproc")
+    return cosim.session
+
+
+class TestRuleCatalogue:
+    def test_cosim005_registered_as_warning(self):
+        rule = RULES["COSIM005"]
+        assert rule.slug == "not-snapshotable"
+        assert rule.severity == WARNING
+
+
+class TestCheckSnapshotability:
+    def test_router_design_is_clean(self, session):
+        assert check_snapshotability(session, assume_enabled=True) == []
+
+    def test_gap_silent_when_checkpointing_disabled(self, session):
+        session.runtime.board.kernel.devices.register(NotSnapshotable())
+        assert check_snapshotability(session) == []
+
+    def test_gap_reported_when_checkpointer_attached(self, session):
+        session.runtime.board.kernel.devices.register(NotSnapshotable())
+        session.attach_checkpointer(Checkpointer(every=5))
+        diagnostics = check_snapshotability(session)
+        assert len(diagnostics) == 1
+        diagnostic = diagnostics[0]
+        assert diagnostic.rule == "COSIM005"
+        assert diagnostic.severity == WARNING
+        assert "bogus" in diagnostic.message
+        assert "NotSnapshotable" in diagnostic.message
+
+    def test_gap_reported_when_assume_enabled(self, session):
+        session.runtime.board.kernel.devices.register(NotSnapshotable())
+        diagnostics = check_snapshotability(session, assume_enabled=True)
+        assert [d.rule for d in diagnostics] == ["COSIM005"]
+
+    def test_half_implemented_always_reported(self, session):
+        # A lone snapshot() without restore() is never intentional:
+        # warn even when no checkpointer is in sight.
+        session.runtime.board.kernel.devices.register(HalfSnapshotable())
+        diagnostics = check_snapshotability(session)
+        assert len(diagnostics) == 1
+        assert "restore" in diagnostics[0].message
+
+    def test_netlist_module_gap_reported(self, session):
+        module = NotSnapshotable()
+        session.master.sim.modules.append(module)
+        diagnostics = check_snapshotability(session, assume_enabled=True)
+        assert len(diagnostics) == 1
+        assert "netlist module" in diagnostics[0].message
+
+    def test_session_snapshotable_mutation_is_recheck(self, session):
+        # register_snapshotable() validates, but the dict is mutable —
+        # lint re-checks so a later mutation still surfaces.
+        session.snapshotables["sneaky"] = NotSnapshotable()
+        diagnostics = check_snapshotability(session, assume_enabled=True)
+        assert len(diagnostics) == 1
+        assert "sneaky" in diagnostics[0].message

@@ -28,6 +28,7 @@ class TestSelfCheck:
         assert report.diagnostics == []
         assert set(report.targets) == {
             "router:hw", "router:board", "router:config",
+            "router:checkpoint",
         }
 
     def test_examples_directory_is_clean(self):

@@ -22,6 +22,8 @@ PACKAGES = [
     "repro.router",
     "repro.devices",
     "repro.analysis",
+    "repro.replay",
+    "repro.staticcheck",
 ]
 
 
