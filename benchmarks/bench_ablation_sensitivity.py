@@ -18,16 +18,20 @@ from repro.cosim import CosimConfig
 from repro.router.testbench import RouterWorkload, build_router_cosim
 
 
-def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark):
+def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark, quick):
+    capacities = (5, 20) if quick else (5, 10, 20)
+    packets = 10 if quick else 25
+    sweep = ((250, 1000, 4000) if quick
+             else (250, 500, 1000, 2000, 4000, 8000))
+
     def run():
         rows = []
-        for capacity in (5, 10, 20):
-            workload = RouterWorkload(packets_per_producer=25,
+        for capacity in capacities:
+            workload = RouterWorkload(packets_per_producer=packets,
                                       interval_cycles=400,
                                       corrupt_rate=0.0,
                                       buffer_capacity=capacity)
             prediction = expected_knee(workload)
-            sweep = (250, 500, 1000, 2000, 4000, 8000)
             result = figure7_accuracy(sweep, (100,), workload=workload)
             rows.append([capacity, int(prediction), result.knee(100)])
         return rows
@@ -37,21 +41,27 @@ def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark):
     emit(format_table(["capacity", "predicted knee", "measured knee"], rows))
     knees = [measured for _, _, measured in rows]
     assert knees == sorted(knees), "knee must grow with the buffer"
+    if quick:
+        return
     for _, predicted, measured in rows:
         assert measured <= 2 * predicted + 500
 
 
-def test_software_service_rate_sensitivity(macro_benchmark, benchmark):
+def test_software_service_rate_sensitivity(macro_benchmark, benchmark,
+                                           quick):
     """When the checksum code gets slower, the board can no longer
     drain a window's backlog within its granted ticks and accuracy
     collapses — an RTOS-timing effect the untimed and annotated
     baselines cannot exhibit, and the virtual tick captures."""
 
+    costs = (8, 12_000) if quick else (8, 2000, 12_000)
+    packets = 10 if quick else 25
+
     def run():
         accuracies = []
-        for cycles_per_byte in (8, 2000, 12_000):
+        for cycles_per_byte in costs:
             config = CosimConfig(t_sync=1000)
-            workload = RouterWorkload(packets_per_producer=25,
+            workload = RouterWorkload(packets_per_producer=packets,
                                       interval_cycles=400,
                                       corrupt_rate=0.0, buffer_capacity=10)
             board_config = BoardConfig(
@@ -73,17 +83,19 @@ def test_software_service_rate_sensitivity(macro_benchmark, benchmark):
     assert values[-1] < 1.0, "a compute-bound board must drop packets"
 
 
-def test_latency_inflates_with_t_sync(macro_benchmark, benchmark):
+def test_latency_inflates_with_t_sync(macro_benchmark, benchmark, quick):
     """The fidelity axis Figure 7 does not plot: even while accuracy is
     still 100%, loose synchronization inflates observed packet latency,
     because packets wait for window boundaries to be serviced."""
     from repro.analysis import latency_vs_t_sync
 
+    sweep = (100, 4000) if quick else (100, 1000, 4000)
+
     def run():
-        workload = RouterWorkload(packets_per_producer=20,
+        workload = RouterWorkload(packets_per_producer=5 if quick else 20,
                                   interval_cycles=500, corrupt_rate=0.0,
                                   buffer_capacity=40)
-        return latency_vs_t_sync((100, 1000, 4000), workload=workload)
+        return latency_vs_t_sync(sweep, workload=workload)
 
     points = macro_benchmark(run)
     emit("\n== packet latency vs T_sync (cycles) ==")
@@ -99,15 +111,17 @@ def test_latency_inflates_with_t_sync(macro_benchmark, benchmark):
     assert means == sorted(means), "latency must inflate with T_sync"
 
 
-def test_measured_overhead_declines(macro_benchmark, benchmark):
+def test_measured_overhead_declines(macro_benchmark, benchmark, quick):
     """Figure 6's decline, in genuinely measured wall-clock time."""
+
+    sweep = (25, 1000) if quick else (25, 100, 1000)
 
     def run():
         rows = []
-        for t_sync in (25, 100, 1000):
+        for t_sync in sweep:
             config = CosimConfig(t_sync=t_sync,
                                  emulated_network_delay_s=0.002)
-            workload = RouterWorkload(packets_per_producer=5,
+            workload = RouterWorkload(packets_per_producer=2 if quick else 5,
                                       interval_cycles=200,
                                       corrupt_rate=0.0)
             cosim = build_router_cosim(config, workload, mode="queue")
@@ -121,5 +135,5 @@ def test_measured_overhead_declines(macro_benchmark, benchmark):
     emit(format_table(["T_sync", "wall [s]", "sync exchanges"],
                       [[t, f"{w:.3f}", s] for t, w, s in rows]))
     walls = [w for _, w, _ in rows]
-    assert walls[0] > walls[1] > walls[2], \
+    assert walls == sorted(walls, reverse=True), \
         "measured overhead must decline with T_sync"

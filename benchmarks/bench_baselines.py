@@ -23,31 +23,33 @@ from repro.cosim.baselines import (
 from repro.router.testbench import RouterWorkload, build_router_cosim
 
 
-def make_workload():
-    return RouterWorkload(packets_per_producer=10, interval_cycles=500,
+def make_workload(packets=10):
+    return RouterWorkload(packets_per_producer=packets, interval_cycles=500,
                           payload_size=32, corrupt_rate=0.1, seed=17)
 
 
-def test_untimed_baseline(macro_benchmark, benchmark):
-    result = macro_benchmark(run_untimed, make_workload())
+def test_untimed_baseline(macro_benchmark, benchmark, quick):
+    result = macro_benchmark(run_untimed,
+                             make_workload(3 if quick else 10))
     emit(f"\nuntimed: {result.stats.summary()} "
          f"(wall {result.wall_seconds:.3f}s)")
     benchmark.extra_info["forwarded"] = result.stats.forwarded
     assert result.stats.handled_fraction() == 1.0
 
 
-def test_lockstep_reference(macro_benchmark, benchmark):
-    metrics, stats = macro_benchmark(run_lockstep, make_workload())
+def test_lockstep_reference(macro_benchmark, benchmark, quick):
+    metrics, stats = macro_benchmark(run_lockstep,
+                                     make_workload(3 if quick else 10))
     emit(f"\nlockstep: {stats.summary()}")
     emit(f"          {metrics.summary()}")
     assert stats.handled_fraction() == 1.0
     assert metrics.sync_exchanges == metrics.master_cycles
 
 
-def test_virtual_tick_practical(macro_benchmark, benchmark):
+def test_virtual_tick_practical(macro_benchmark, benchmark, quick):
     def run():
         cosim = build_router_cosim(CosimConfig(t_sync=1000),
-                                   make_workload())
+                                   make_workload(3 if quick else 10))
         metrics = cosim.run()
         return cosim, metrics
 
@@ -59,9 +61,9 @@ def test_virtual_tick_practical(macro_benchmark, benchmark):
     assert metrics.sync_exchanges < metrics.master_cycles / 100
 
 
-def test_annotated_iss_baseline(macro_benchmark, benchmark):
+def test_annotated_iss_baseline(macro_benchmark, benchmark, quick):
     def run():
-        annotated = build_annotated_router(make_workload())
+        annotated = build_annotated_router(make_workload(3 if quick else 10))
         stats = annotated.run()
         return annotated, stats
 
@@ -75,14 +77,14 @@ def test_annotated_iss_baseline(macro_benchmark, benchmark):
 
 
 def test_iss_executed_vs_modeled_software_timing(macro_benchmark,
-                                                 benchmark):
+                                                 benchmark, quick):
     """The third software-timing fidelity level: execute the checksum
     routine on the ISS inside the board thread, versus charging the
     coarse work-model cost.  Functional results agree; the cycle
     accounting differs by whatever the model's coefficients miss."""
 
     def run():
-        workload = make_workload()
+        workload = make_workload(3 if quick else 10)
         model = build_router_cosim(CosimConfig(t_sync=500), workload)
         model.run()
         iss = build_router_cosim(CosimConfig(t_sync=500), workload,
@@ -112,11 +114,15 @@ def test_iss_executed_vs_modeled_software_timing(macro_benchmark,
     assert 0.5 < ratio < 2.0
 
 
-def test_optimistic_rollback_overhead(macro_benchmark, benchmark):
+def test_optimistic_rollback_overhead(macro_benchmark, benchmark, quick):
+    lookaheads = (0, 1000) if quick else (0, 200, 1000, 5000)
+    packet_count = 60 if quick else 300
+
     def run():
         rows = []
-        for lookahead in (0, 200, 1000, 5000):
-            stats = OptimisticCosim(packet_count=300, lookahead=lookahead,
+        for lookahead in lookaheads:
+            stats = OptimisticCosim(packet_count=packet_count,
+                                    lookahead=lookahead,
                                     checkpoint_interval=100,
                                     mean_interarrival=100).run()
             rows.append([lookahead, stats.rollbacks, stats.wasted_units,

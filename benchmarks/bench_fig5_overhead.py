@@ -19,39 +19,48 @@ from repro.router.testbench import RouterWorkload
 T_SYNC_VALUES = (1000, 2000, 5000, 10000)
 PACKET_COUNTS = (20, 40, 60, 80, 100)
 
+QUICK_T_SYNC = (1000,)
+QUICK_PACKETS = (5, 10)
 
-def run_figure5():
+
+def run_figure5(t_sync_values=T_SYNC_VALUES, packet_counts=PACKET_COUNTS):
     workload = RouterWorkload(interval_cycles=1000, payload_size=32,
                               corrupt_rate=0.0, buffer_capacity=20)
-    return figure5_time_vs_packets(T_SYNC_VALUES, PACKET_COUNTS,
+    return figure5_time_vs_packets(t_sync_values, packet_counts,
                                    workload=workload)
 
 
-def test_fig5_time_vs_packets(macro_benchmark, benchmark):
-    result = macro_benchmark(run_figure5)
+def test_fig5_time_vs_packets(macro_benchmark, benchmark, quick):
+    t_sync_values = QUICK_T_SYNC if quick else T_SYNC_VALUES
+    packet_counts = QUICK_PACKETS if quick else PACKET_COUNTS
+    result = macro_benchmark(run_figure5, t_sync_values, packet_counts)
 
     rows = []
-    for n in PACKET_COUNTS:
+    for n in packet_counts:
         rows.append([n] + [f"{result.seconds[t][n]:.3f}"
-                           for t in T_SYNC_VALUES])
+                           for t in t_sync_values])
     emit("\n== Figure 5: co-simulation time [s] vs packets N ==")
-    emit(format_table(["N"] + [f"T={t}" for t in T_SYNC_VALUES], rows))
+    emit(format_table(["N"] + [f"T={t}" for t in t_sync_values], rows))
+
+    # Every series is monotonically increasing in N (smoke-safe).
+    for t in t_sync_values:
+        series = [result.seconds[t][n] for n in packet_counts]
+        assert series == sorted(series)
+        assert all(s > 0 for s in series)
+    if quick:
+        return
 
     ratio = result.time_ratio(1000, 10000, packets=100)
     emit(f"\ntime(T=1000)/time(T=10000) at N=100: {ratio:.2f} "
          "(paper: 241/32 ~= 8)")
-    for t in T_SYNC_VALUES:
+    for t in t_sync_values:
         emit(f"linearity R^2 for T_sync={t}: {result.linearity_r2(t):.4f}")
 
     benchmark.extra_info["ratio_1000_vs_10000"] = round(ratio, 2)
 
     # Shape assertions.  The coarsest T_sync has only a handful of
     # windows per run, so window quantization leaves a little noise.
-    for t in T_SYNC_VALUES:
+    for t in t_sync_values:
         threshold = 0.99 if t <= 5000 else 0.94
         assert result.linearity_r2(t) > threshold, "time(N) must be linear"
     assert 3.0 < ratio < 12.0, "T_sync ratio anchor out of range"
-    # Every series is monotonically increasing in N.
-    for t in T_SYNC_VALUES:
-        series = [result.seconds[t][n] for n in PACKET_COUNTS]
-        assert series == sorted(series)

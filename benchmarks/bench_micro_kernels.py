@@ -13,8 +13,9 @@ from repro.simkernel import Clock, Module, Signal, Simulator, ns
 from repro.transport import DataWrite, decode, encode
 
 
-def test_simkernel_clocked_methods(benchmark):
+def test_simkernel_clocked_methods(benchmark, quick):
     """Events per second through a 4-module clocked design."""
+    cycles = 200 if quick else 2000
 
     def run():
         sim = Simulator()
@@ -34,15 +35,16 @@ def test_simkernel_clocked_methods(benchmark):
                 self.sig.write(self.count)
 
         stages = [Stage(sim, f"m{i}", s) for i, s in enumerate(signals)]
-        sim.run(ns(10) * 2000)
+        sim.run(ns(10) * cycles)
         return stages[0].count
 
     count = benchmark(run)
-    assert count == 2001  # edges at t = 0, 10 ns, ..., 20 us inclusive
+    assert count == cycles + 1  # edges at t = 0, 10 ns, ..., 20 us inclusive
 
 
-def test_simkernel_thread_pingpong(benchmark):
+def test_simkernel_thread_pingpong(benchmark, quick):
     """Thread-process wakeups through event ping-pong."""
+    rounds = 200 if quick else 2000
 
     def run():
         sim = Simulator()
@@ -56,7 +58,7 @@ def test_simkernel_thread_pingpong(benchmark):
                 self.thread(self._run)
 
             def _run(self):
-                for _ in range(2000):
+                for _ in range(rounds):
                     ping.notify(ns(1))
                     yield pong
 
@@ -73,15 +75,16 @@ def test_simkernel_thread_pingpong(benchmark):
 
         Ping(sim, "ping_m")
         Pong(sim, "pong_m")
-        sim.run(ns(1) * 4000)
+        sim.run(ns(1) * 2 * rounds)
         return state["count"]
 
     count = benchmark(run)
-    assert count == 2000
+    assert count == rounds
 
 
-def test_rtos_context_switching(benchmark):
+def test_rtos_context_switching(benchmark, quick):
     """RTOS round-robin context switches."""
+    ticks = 10 if quick else 50
 
     def run():
         kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
@@ -93,16 +96,16 @@ def test_rtos_context_switching(benchmark):
 
         for i in range(4):
             kernel.create_thread(f"t{i}", spinner, priority=10)
-        kernel.run_ticks(50)
+        kernel.run_ticks(ticks)
         return kernel.context_switches
 
     switches = benchmark(run)
-    assert switches > 100
+    assert switches > 2 * ticks
 
 
-def test_iss_instruction_throughput(benchmark):
+def test_iss_instruction_throughput(benchmark, quick):
     """ISS instructions per second on the checksum inner loop."""
-    data = bytes(range(256)) * 4
+    data = bytes(range(256)) * (1 if quick else 4)
 
     def run():
         memory = Memory(0x1000)
@@ -114,11 +117,11 @@ def test_iss_instruction_throughput(benchmark):
         return cpu.instructions_retired
 
     retired = benchmark(run)
-    assert retired > 1000
+    assert retired > len(data)
 
 
-def test_checksum_throughput(benchmark):
-    data = bytes(range(256)) * 16
+def test_checksum_throughput(benchmark, quick):
+    data = bytes(range(256)) * (2 if quick else 16)
 
     def run():
         return checksum16(data)
@@ -127,12 +130,13 @@ def test_checksum_throughput(benchmark):
     assert 0 <= value <= 0xFFFF
 
 
-def test_codec_roundtrip_throughput(benchmark):
+def test_codec_roundtrip_throughput(benchmark, quick):
     packet = Packet.build(1, 2, 3, bytes(64))
     message = DataWrite(seq=9, address=1, value=packet.to_bytes())
+    rounds = 10 if quick else 100
 
     def run():
-        for _ in range(100):
+        for _ in range(rounds):
             frame = encode(message)
             decode(frame[4:])
         return frame
@@ -141,11 +145,12 @@ def test_codec_roundtrip_throughput(benchmark):
     assert decode(frame[4:]) == message
 
 
-def test_packet_build_parse_throughput(benchmark):
+def test_packet_build_parse_throughput(benchmark, quick):
     payload = bytes(range(64))
+    rounds = 10 if quick else 100
 
     def run():
-        for i in range(100):
+        for i in range(rounds):
             packet = Packet.build(1, 2, i, payload)
             Packet.from_bytes(packet.to_bytes())
         return packet

@@ -14,16 +14,20 @@ from repro.router.testbench import RouterWorkload
 
 T_SYNC_VALUES = (100, 500, 1000, 2000, 5000, 8000, 12000, 20000, 40000)
 
+QUICK_T_SYNC = (100, 1000, 20000)
 
-def run_sweep():
-    workload = RouterWorkload(packets_per_producer=25,
+
+def run_sweep(t_sync_values=T_SYNC_VALUES, packets=25):
+    workload = RouterWorkload(packets_per_producer=packets,
                               interval_cycles=1000, corrupt_rate=0.0,
                               buffer_capacity=20)
-    return find_optimal_t_sync(T_SYNC_VALUES, workload=workload)
+    return find_optimal_t_sync(t_sync_values, workload=workload)
 
 
-def test_optimal_t_sync(macro_benchmark, benchmark):
-    result = macro_benchmark(run_sweep)
+def test_optimal_t_sync(macro_benchmark, benchmark, quick):
+    t_sync_values = QUICK_T_SYNC if quick else T_SYNC_VALUES
+    result = macro_benchmark(run_sweep, t_sync_values,
+                             5 if quick else 25)
 
     rows = [
         [p.t_sync, format_percent(p.accuracy), f"{p.wall_seconds:.3f}",
@@ -37,10 +41,13 @@ def test_optimal_t_sync(macro_benchmark, benchmark):
     ))
     benchmark.extra_info["optimal_t_sync"] = result.best.t_sync
 
-    # The optimum is interior: the trade-off is real.
-    assert result.best.t_sync not in (T_SYNC_VALUES[0], T_SYNC_VALUES[-1])
     # Accuracy at the optimum is still useful (> 50%).
     assert result.best.accuracy > 0.5
+    if quick:
+        return
+
+    # The optimum is interior: the trade-off is real.
+    assert result.best.t_sync not in (T_SYNC_VALUES[0], T_SYNC_VALUES[-1])
     # A designer-constrained range yields a (possibly different) optimum.
     constrained = result.best_in_range(100, 5000)
     assert constrained is not None

@@ -6,11 +6,29 @@ experiments are timed with a single round) and prints the same
 rows/series the paper plots.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+CI smoke mode: ``pytest benchmarks/ --quick --benchmark-disable``
+shrinks every experiment to one tiny configuration and keeps only the
+assertions that survive the shrink — it proves the harnesses still
+*run*, not that the paper's curves still hold.
 """
 
 import sys
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="benchmark smoke mode: one tiny config per experiment, "
+             "paper-shape assertions relaxed")
+
+
+@pytest.fixture
+def quick(request):
+    """True when running in ``--quick`` smoke mode."""
+    return request.config.getoption("--quick")
 
 
 def emit(text: str) -> None:

@@ -11,6 +11,8 @@
     repro record OUT.json [...]           # record a run's message stream
     repro replay RECORDING.json [--bisect] [--trace FILE.csv]
     repro checkpoint --every N [--dir D] [--resume FILE.json]
+    repro profile [router] [--format chrome|csv|text] [--out FILE]
+                  [--sample N]            # traced run + span profile
 
 (Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.)
@@ -365,6 +367,57 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cosim import CosimConfig, TracingConfig
+    from repro.obs import (
+        render_text_report,
+        to_chrome_trace,
+        write_csv,
+    )
+    from repro.router.testbench import build_router_cosim
+
+    if args.app != "router":
+        print(f"unknown application {args.app!r} (only 'router')",
+              file=sys.stderr)
+        return 2
+    tracing = TracingConfig(
+        enabled=True,
+        mode="sample" if args.sample > 1 else "full",
+        sample_every=args.sample,
+    )
+    cosim = build_router_cosim(
+        CosimConfig(t_sync=args.t_sync, tracing=tracing),
+        _workload_from_args(args), mode=args.mode)
+    metrics = cosim.run()
+    obs = cosim.session.obs
+    print(metrics.summary())
+    if args.format == "text":
+        report = render_text_report(obs, top=args.top)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+            print(f"wrote span report to {args.out}")
+        else:
+            print(report)
+        return 0
+    out = args.out or f"profile.{'json' if args.format == 'chrome' else 'csv'}"
+    if args.format == "chrome":
+        doc = to_chrome_trace(obs, metadata={
+            "app": args.app, "t_sync": args.t_sync, "mode": args.mode,
+        })
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        print(f"wrote {len(doc['traceEvents'])} trace events to {out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    else:
+        write_csv(obs, out)
+        print(f"wrote {obs.span_count - obs.dropped_spans} spans and "
+              f"{obs.event_count - obs.dropped_events} events to {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -492,6 +545,29 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the full per-window trace "
                                  "(fast-forward included)")
     checkpoint.set_defaults(fn=_cmd_checkpoint)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an application with tracing enabled and export the "
+             "span profile (Chrome trace JSON, CSV, or a text report)")
+    profile.add_argument("app", nargs="?", default="router",
+                         help="application to profile (default: router)")
+    add_workload_args(profile)
+    profile.add_argument("--mode", choices=["inproc", "queue", "tcp"],
+                         default="inproc")
+    profile.add_argument("--format", choices=["chrome", "csv", "text"],
+                         default="chrome",
+                         help="chrome: trace_event JSON for "
+                              "chrome://tracing / Perfetto (default)")
+    profile.add_argument("--out", metavar="FILE",
+                         help="output file (default: profile.json / "
+                              "profile.csv; text prints to stdout)")
+    profile.add_argument("--sample", type=int, default=1, metavar="N",
+                         help="keep every N-th window's span subtree; "
+                              "aggregates still cover every span")
+    profile.add_argument("--top", type=int, default=15,
+                         help="hot spans listed in the text report")
+    profile.set_defaults(fn=_cmd_profile)
     return parser
 
 

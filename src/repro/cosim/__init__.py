@@ -19,6 +19,7 @@ from repro.cosim.protocol import (
 )
 from repro.cosim.session import InprocSession, ThreadedSession
 from repro.cosim.trace import ProtocolTrace, WindowRecord, rows_to_csv
+from repro.obs.recorder import TracingConfig
 
 __all__ = [
     "AdaptiveController",
@@ -36,6 +37,7 @@ __all__ = [
     "ProtocolTrace",
     "SHUTDOWN_TICKS",
     "ThreadedSession",
+    "TracingConfig",
     "WindowRecord",
     "build_driver_sim",
     "is_shutdown",

@@ -147,13 +147,25 @@ class AdaptiveInprocSession(InprocSession):
                                 max_cycles - self.master.clock.cycles)
             ints_before = self.master.interrupts_sent
             data_before = self.link_stats.data_messages
-            # Reactive window: ends early at the first interrupt edge.
-            actual_ticks = self.master.run_window_inproc_reactive(max_ticks)
-            self.runtime.serve_window()
-            report = self.master.endpoint.recv_report()
-            if report is None:
-                raise ProtocolError("board produced no time report")
-            self.master.finish_window_inproc(report)
+            token = None
+            if self.obs.enabled:
+                token = self.obs.begin("session", "window",
+                                       sim=self.master.clock.cycles,
+                                       index=self.windows_completed,
+                                       max_ticks=max_ticks)
+            try:
+                # Reactive window: ends early at the first interrupt
+                # edge.
+                actual_ticks = self.master.run_window_inproc_reactive(
+                    max_ticks)
+                self.runtime.serve_window()
+                report = self.master.endpoint.recv_report()
+                if report is None:
+                    raise ProtocolError("board produced no time report")
+                self.master.finish_window_inproc(report)
+            finally:
+                if token is not None:
+                    self.obs.end(token, sim=self.master.clock.cycles)
             metrics.windows += 1
             metrics.sync_exchanges += 1
             self._after_window(actual_ticks, ints_before, data_before)

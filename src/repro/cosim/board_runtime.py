@@ -27,11 +27,15 @@ from repro.board.board import Board
 from repro.cosim.config import CosimConfig
 from repro.cosim.protocol import BoardProtocol, is_shutdown
 from repro.errors import ProtocolError
+from repro.obs.recorder import NULL_RECORDER
 from repro.transport.channel import BoardEndpoint
 
 
 class CosimBoardRuntime:
     """Drives a :class:`~repro.board.board.Board` as the protocol slave."""
+
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
 
     def __init__(self, board: Board, endpoint: BoardEndpoint,
                  config: CosimConfig) -> None:
@@ -86,6 +90,9 @@ class CosimBoardRuntime:
             deliver_at = (window_start_cycle
                           + offset_ticks * cycles_per_tick
                           + self.config.latency.interrupt_cycles)
+            if self.obs.enabled:
+                self.obs.event("board", "irq.schedule", sim=kernel.cycles,
+                               vector=irq.vector, deliver_at=deliver_at)
             kernel.interrupts.schedule_at_cycle(deliver_at, irq.vector)
             scheduled += 1
 
@@ -97,6 +104,11 @@ class CosimBoardRuntime:
             if irq is None:
                 return vectors
             self.interrupts_received += 1
+            if self.obs.enabled:
+                self.obs.event("board", "irq.receive",
+                               sim=self.board.kernel.cycles,
+                               vector=irq.vector,
+                               master_cycle=irq.master_cycle)
             vectors.append(irq.vector)
 
     # ------------------------------------------------------------------
@@ -110,10 +122,22 @@ class CosimBoardRuntime:
         ticks = self.protocol.accept_grant(grant)
         kernel = self.board.kernel
         window_start_master = self.protocol.ticks_run - ticks
-        kernel.exit_idle_state()
-        self._schedule_window_interrupts(window_start_master)
-        kernel.run_ticks(ticks)
-        kernel.enter_idle_state()
+        token = None
+        if self.obs.enabled:
+            token = self.obs.begin("board", "window", sim=kernel.cycles,
+                                   index=self.windows_served,
+                                   ticks=ticks, seq=grant.seq)
+        scheduled = 0
+        try:
+            kernel.exit_idle_state()
+            scheduled = self._schedule_window_interrupts(
+                window_start_master)
+            kernel.run_ticks(ticks)
+            kernel.enter_idle_state()
+        finally:
+            if token is not None:
+                self.obs.end(token, sim=kernel.cycles,
+                             interrupts=scheduled)
         self.windows_served += 1
         self.endpoint.send_report(self.protocol.make_report(kernel.sw_ticks))
 
@@ -131,7 +155,16 @@ class CosimBoardRuntime:
         kernel.irq_pump = self._pump_interrupts
         try:
             while True:
-                grant = self.endpoint.recv_grant(timeout=grant_timeout_s)
+                wait_token = None
+                if self.obs.enabled:
+                    wait_token = self.obs.begin("transport", "grant_wait",
+                                                sim=kernel.cycles)
+                try:
+                    grant = self.endpoint.recv_grant(
+                        timeout=grant_timeout_s)
+                finally:
+                    if wait_token is not None:
+                        self.obs.end(wait_token, sim=kernel.cycles)
                 if grant is None:
                     raise ProtocolError(
                         f"no clock grant within {grant_timeout_s}s"
@@ -139,14 +172,25 @@ class CosimBoardRuntime:
                 if is_shutdown(grant):
                     return
                 ticks = self.protocol.accept_grant(grant)
-                # Interrupts that arrived while frozen were taken by the
-                # channel thread, which "cannot be halted when the OS is
-                # in the idle state, otherwise some events can be lost".
-                for vector in self._pump_interrupts():
-                    kernel.deliver_interrupt_in_idle(vector)
-                kernel.exit_idle_state()
-                kernel.run_ticks(ticks)
-                kernel.enter_idle_state()
+                token = None
+                if self.obs.enabled:
+                    token = self.obs.begin("board", "window",
+                                           sim=kernel.cycles,
+                                           index=self.windows_served,
+                                           ticks=ticks, seq=grant.seq)
+                try:
+                    # Interrupts that arrived while frozen were taken by
+                    # the channel thread, which "cannot be halted when
+                    # the OS is in the idle state, otherwise some events
+                    # can be lost".
+                    for vector in self._pump_interrupts():
+                        kernel.deliver_interrupt_in_idle(vector)
+                    kernel.exit_idle_state()
+                    kernel.run_ticks(ticks)
+                    kernel.enter_idle_state()
+                finally:
+                    if token is not None:
+                        self.obs.end(token, sim=kernel.cycles)
                 self.windows_served += 1
                 if self.config.emulated_network_delay_s > 0:
                     time.sleep(self.config.emulated_network_delay_s)

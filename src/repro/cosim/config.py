@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.board.board import REMOTE_DEVICE_VECTOR
 from repro.errors import ProtocolError
+from repro.obs.recorder import TracingConfig
 from repro.simkernel.simtime import ns
 from repro.transport.latency import CycleLatencyModel, WallCostModel
 from repro.transport.resilience import ResilienceConfig
@@ -43,6 +44,10 @@ class CosimConfig:
     #: bounded backoff, heartbeats and post-reconnect resync.  Disabled
     #: by default (faults stay fatal, as in the seed implementation).
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Observability: span tracing and profiling (see repro.obs).
+    #: Disabled by default — sessions then install the no-op recorder
+    #: and the instrumented hot paths cost one branch.
+    tracing: TracingConfig = field(default_factory=TracingConfig)
 
     def __post_init__(self) -> None:
         if self.t_sync <= 0:

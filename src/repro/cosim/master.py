@@ -23,6 +23,7 @@ from typing import Optional
 from repro.cosim.config import CosimConfig
 from repro.cosim.protocol import MasterProtocol
 from repro.errors import ProtocolError, SimulationError, TransportError
+from repro.obs.recorder import NULL_RECORDER
 from repro.simkernel.clock import Clock
 from repro.simkernel.driver_ext import DriverSimulator
 from repro.simkernel.signals import Signal
@@ -32,6 +33,9 @@ from repro.transport.messages import DataRead, DataWrite, Interrupt, TimeReport
 
 class CosimMaster:
     """Drives the hardware simulation as the master of co-simulated time."""
+
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
 
     def __init__(
         self,
@@ -80,6 +84,9 @@ class CosimMaster:
         def on_commit(sig, old, new, vector=vector, target=target):
             if new and not old:
                 self.interrupts_sent += 1
+                if self.obs.enabled:
+                    self.obs.event("master", "irq.send",
+                                   sim=self.clock.cycles, vector=vector)
                 target.send_interrupt(
                     Interrupt(vector=vector,
                               master_cycle=self.clock.cycles)
@@ -120,9 +127,15 @@ class CosimMaster:
         """Synchronous DATA server (installed on in-process links)."""
         if op == "read":
             self.data_reads_served += 1
+            if self.obs.enabled:
+                self.obs.event("master", "data.read",
+                               sim=self.clock.cycles, address=address)
             return self.sim.external_read(address)
         if op == "write":
             self.data_writes_served += 1
+            if self.obs.enabled:
+                self.obs.event("master", "data.write",
+                               sim=self.clock.cycles, address=address)
             self.sim.external_write(address, value)
             return None
         raise SimulationError(f"bad DATA operation {op!r}")
@@ -137,10 +150,18 @@ class CosimMaster:
             served += 1
             if isinstance(request, DataRead):
                 self.data_reads_served += 1
+                if self.obs.enabled:
+                    self.obs.event("master", "data.read",
+                                   sim=self.clock.cycles,
+                                   address=request.address)
                 value = self.sim.external_read(request.address)
                 self.endpoint.send_reply(request.seq, value)
             elif isinstance(request, DataWrite):
                 self.data_writes_served += 1
+                if self.obs.enabled:
+                    self.obs.event("master", "data.write",
+                                   sim=self.clock.cycles,
+                                   address=request.address)
                 self.sim.external_write(request.address, request.value)
             else:  # pragma: no cover - endpoint type-checks already
                 raise ProtocolError(f"bad DATA request {request!r}")
@@ -159,11 +180,36 @@ class CosimMaster:
         the time report through :meth:`finish_window_inproc`.
         """
         grant = self.protocol.make_grant(ticks)
+        if self.obs.enabled:
+            self.obs.event("transport", "grant.send",
+                           sim=self.clock.cycles, seq=grant.seq,
+                           ticks=ticks)
         self.endpoint.send_grant(grant)
-        self.run_cycles(ticks)
+        self._run_cycles_traced(ticks)
 
     def finish_window_inproc(self, report: TimeReport) -> None:
+        if self.obs.enabled:
+            self.obs.event("transport", "report.recv",
+                           sim=self.clock.cycles, seq=report.seq,
+                           board_ticks=report.board_ticks)
         self.protocol.check_report(report, self.clock.cycles)
+
+    def _run_cycles_traced(self, ticks: int) -> None:
+        """One window's worth of hardware simulation, under a
+        ``master.simulate`` span when tracing is on."""
+        if not self.obs.enabled:
+            self.run_cycles(ticks)
+            return
+        deltas = self.sim.delta_count
+        runs = self.sim.process_runs
+        token = self.obs.begin("master", "simulate",
+                               sim=self.clock.cycles, ticks=ticks)
+        try:
+            self.run_cycles(ticks)
+        finally:
+            self.obs.end(token, sim=self.clock.cycles,
+                         deltas=self.sim.delta_count - deltas,
+                         process_runs=self.sim.process_runs - runs)
 
     def run_window_inproc_reactive(self, max_ticks: int) -> int:
         """Simulate up to *max_ticks* cycles, stopping at the first
@@ -178,48 +224,87 @@ class CosimMaster:
         """
         start = self.clock.cycles
         period = self.clock.period
-        self._stop_on_activity = True
+        token = None
+        if self.obs.enabled:
+            token = self.obs.begin("master", "simulate", sim=start,
+                                   max_ticks=max_ticks, reactive=1)
         try:
-            self.sim.run_until(self.sim.now + max_ticks * period)
-        finally:
-            self._stop_on_activity = False
-        ticks = self.clock.cycles - start
-        if ticks == 0:
-            # An event fired in the settle phase before any clock edge;
-            # the minimum legal grant is one tick.
-            self.sim.run_until(self.sim.now + period)
+            self._stop_on_activity = True
+            try:
+                self.sim.run_until(self.sim.now + max_ticks * period)
+            finally:
+                self._stop_on_activity = False
             ticks = self.clock.cycles - start
-        self.endpoint.send_grant(self.protocol.make_grant(ticks))
+            if ticks == 0:
+                # An event fired in the settle phase before any clock
+                # edge; the minimum legal grant is one tick.
+                self.sim.run_until(self.sim.now + period)
+                ticks = self.clock.cycles - start
+        finally:
+            if token is not None:
+                self.obs.end(token, sim=self.clock.cycles)
+        grant = self.protocol.make_grant(ticks)
+        if self.obs.enabled:
+            self.obs.event("transport", "grant.send", sim=self.clock.cycles,
+                           seq=grant.seq, ticks=ticks)
+        self.endpoint.send_grant(grant)
         return ticks
 
     def run_window_threaded(self, ticks: int) -> None:
         """Threaded sessions: grant, simulate cycle by cycle while
         servicing the DATA port, then block for the time report."""
         grant = self.protocol.make_grant(ticks)
+        obs = self.obs
+        if obs.enabled:
+            obs.event("transport", "grant.send", sim=self.clock.cycles,
+                      seq=grant.seq, ticks=ticks)
         self.endpoint.send_grant(grant)
         period = self.clock.period
-        for _ in range(ticks):
-            self._serve_pending_data()
-            self.sim.run_until(self.sim.now + period)
+        sim_token = None
+        if obs.enabled:
+            deltas = self.sim.delta_count
+            runs = self.sim.process_runs
+            sim_token = obs.begin("master", "simulate",
+                                  sim=self.clock.cycles, ticks=ticks)
+        try:
+            for _ in range(ticks):
+                self._serve_pending_data()
+                self.sim.run_until(self.sim.now + period)
+        finally:
+            if sim_token is not None:
+                obs.end(sim_token, sim=self.clock.cycles,
+                        deltas=self.sim.delta_count - deltas,
+                        process_runs=self.sim.process_runs - runs)
+        wait_token = None
+        if obs.enabled:
+            wait_token = obs.begin("transport", "report_wait",
+                                   sim=self.clock.cycles, seq=grant.seq)
+        polls = 0
         deadline = time.monotonic() + self.config.report_timeout_s
-        while True:
-            self._serve_pending_data()
-            try:
-                report = self.endpoint.recv_report(timeout=0.0005)
-            except TransportError as exc:
-                # A resilient endpoint only raises once its reconnect /
-                # liveness budget is spent; that is a protocol death.
-                raise ProtocolError(
-                    f"link failed while waiting for report of grant "
-                    f"seq {grant.seq}: {exc}"
-                ) from exc
-            if report is not None:
-                break
-            if time.monotonic() > deadline:
-                raise ProtocolError(
-                    f"no time report for grant seq {grant.seq} within "
-                    f"{self.config.report_timeout_s}s"
-                )
+        try:
+            while True:
+                self._serve_pending_data()
+                polls += 1
+                try:
+                    report = self.endpoint.recv_report(timeout=0.0005)
+                except TransportError as exc:
+                    # A resilient endpoint only raises once its
+                    # reconnect / liveness budget is spent; that is a
+                    # protocol death.
+                    raise ProtocolError(
+                        f"link failed while waiting for report of grant "
+                        f"seq {grant.seq}: {exc}"
+                    ) from exc
+                if report is not None:
+                    break
+                if time.monotonic() > deadline:
+                    raise ProtocolError(
+                        f"no time report for grant seq {grant.seq} "
+                        f"within {self.config.report_timeout_s}s"
+                    )
+        finally:
+            if wait_token is not None:
+                obs.end(wait_token, sim=self.clock.cycles, polls=polls)
         self.protocol.check_report(report, self.clock.cycles)
 
 

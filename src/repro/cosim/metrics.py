@@ -45,6 +45,10 @@ class CosimMetrics:
     checkpoints_taken: int = 0
     restores: int = 0
     windows_replayed: int = 0
+    # Observability counters (zero unless tracing was enabled).
+    spans_recorded: int = 0
+    span_events: int = 0
+    spans_dropped: int = 0
     #: Measured host seconds (threaded sessions) or None.
     wall_seconds: Optional[float] = None
     #: Modeled host seconds (always filled, from the wall-cost model).
@@ -105,5 +109,6 @@ class CosimMetrics:
             f"backoff={self.backoff_wait_s:.3f}s "
             f"checkpoints={self.checkpoints_taken} "
             f"restores={self.restores} "
-            f"windows_replayed={self.windows_replayed}"
+            f"windows_replayed={self.windows_replayed} "
+            f"spans={self.spans_recorded}"
         )

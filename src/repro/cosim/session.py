@@ -29,6 +29,7 @@ from repro.cosim.master import CosimMaster
 from repro.cosim.metrics import CosimMetrics
 from repro.cosim.protocol import make_shutdown
 from repro.errors import ProtocolError, ReproError, TransportError
+from repro.obs.recorder import install_recorder, make_recorder
 from repro.transport.channel import LinkStats
 
 DoneFn = Callable[[], bool]
@@ -47,6 +48,10 @@ class _SessionBase:
         self.checkpointer = None
         #: Extra checkpointed objects, name -> Snapshotable-like.
         self.snapshotables = {}
+        #: Span recorder (NULL_RECORDER unless config.tracing enables
+        #: it), installed across master, board and transport wrappers.
+        self.obs = make_recorder(getattr(config, "tracing", None))
+        install_recorder(self.obs, master=master, runtime=runtime)
         #: Windows completed over the session's lifetime (across runs).
         self.windows_completed = 0
         # Checkpoint/restore accounting, copied into the metrics.
@@ -121,7 +126,20 @@ class _SessionBase:
         self.windows_completed += 1
         self._record_window(ticks, ints_before, data_before)
         if self.checkpointer is not None:
-            self.checkpointer.on_window(self)
+            if self.obs.enabled:
+                taken = self.checkpoints_taken
+                token = self.obs.begin("session", "checkpoint",
+                                       sim=self.master.clock.cycles,
+                                       window=self.windows_completed)
+                try:
+                    self.checkpointer.on_window(self)
+                finally:
+                    # taken=0 marks the windows where the hook ran but
+                    # the interval skipped the capture.
+                    self.obs.end(token, sim=self.master.clock.cycles,
+                                 taken=self.checkpoints_taken - taken)
+            else:
+                self.checkpointer.on_window(self)
 
     def _record_window(self, ticks: int, ints_before: int,
                        data_before: int) -> None:
@@ -148,6 +166,10 @@ class _SessionBase:
         metrics.restores = self.restores
         metrics.windows_replayed = self.windows_replayed
         metrics.absorb_link_stats(self.link_stats)
+        if self.obs.enabled:
+            metrics.spans_recorded = self.obs.span_count
+            metrics.span_events = self.obs.event_count
+            metrics.spans_dropped = self.obs.dropped_spans
         metrics.finish_modeled(self.config.wall_cost)
         return metrics
 
@@ -191,12 +213,22 @@ class InprocSession(_SessionBase):
             ticks = self._window_ticks(max_cycles)
             ints_before = self.master.interrupts_sent
             data_before = self.link_stats.data_messages
-            self.master.run_window_inproc(ticks)
-            self.runtime.serve_window()
-            report = self.master.endpoint.recv_report()
-            if report is None:
-                raise ProtocolError("board produced no time report")
-            self.master.finish_window_inproc(report)
+            token = None
+            if self.obs.enabled:
+                token = self.obs.begin("session", "window",
+                                       sim=self.master.clock.cycles,
+                                       index=self.windows_completed,
+                                       ticks=ticks)
+            try:
+                self.master.run_window_inproc(ticks)
+                self.runtime.serve_window()
+                report = self.master.endpoint.recv_report()
+                if report is None:
+                    raise ProtocolError("board produced no time report")
+                self.master.finish_window_inproc(report)
+            finally:
+                if token is not None:
+                    self.obs.end(token, sim=self.master.clock.cycles)
             metrics.windows += 1
             metrics.sync_exchanges += 1
             self._after_window(ticks, ints_before, data_before)
@@ -225,7 +257,18 @@ class ThreadedSession(_SessionBase):
                 ticks = self._window_ticks(max_cycles)
                 ints_before = self.master.interrupts_sent
                 data_before = self.link_stats.data_messages
-                self.master.run_window_threaded(ticks)
+                token = None
+                if self.obs.enabled:
+                    token = self.obs.begin("session", "window",
+                                           sim=self.master.clock.cycles,
+                                           index=self.windows_completed,
+                                           ticks=ticks)
+                try:
+                    self.master.run_window_threaded(ticks)
+                finally:
+                    if token is not None:
+                        self.obs.end(token,
+                                     sim=self.master.clock.cycles)
                 metrics.windows += 1
                 metrics.sync_exchanges += 1
                 self._after_window(ticks, ints_before, data_before)

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import IssError
 from repro.iss.isa import ACCESS_WIDTH, BRANCHES, Instruction, NUM_REGS, Program
 from repro.iss.timing import TimingModel
+from repro.obs.recorder import NULL_RECORDER
 
 _MASK32 = 0xFFFFFFFF
 
@@ -23,6 +24,9 @@ class IssCpu:
     ``store(addr, value, width)`` — a :class:`repro.board.memory.Memory`
     or a :class:`repro.board.bus.Bus` with MMIO regions.
     """
+
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
 
     def __init__(self, program: Program, memory,
                  timing: Optional[TimingModel] = None) -> None:
@@ -112,6 +116,21 @@ class IssCpu:
 
     def run(self, max_instructions: int = 10_000_000) -> Tuple[int, int]:
         """Run until ``halt``; returns ``(instructions, cycles)``."""
+        if not self.obs.enabled:
+            return self._run(max_instructions)
+        instructions = self.instructions_retired
+        cycles = self.cycles
+        token = self.obs.begin("iss", "run", sim=self.cycles)
+        try:
+            return self._run(max_instructions)
+        finally:
+            self.obs.end(
+                token, sim=self.cycles,
+                instructions=self.instructions_retired - instructions,
+                cycles=self.cycles - cycles,
+            )
+
+    def _run(self, max_instructions: int) -> Tuple[int, int]:
         remaining = max_instructions
         while not self.halted:
             if remaining <= 0:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.errors import IssError
 from repro.iss.cpu import IssCpu
+from repro.obs.recorder import NULL_RECORDER
 from repro.rtos.syscalls import CpuWork
 
 def run_program(cpu: IssCpu, chunk_instructions: int = 64,
@@ -41,15 +42,25 @@ def run_program(cpu: IssCpu, chunk_instructions: int = 64,
     while not cpu.halted:
         cycles_before = cpu.cycles
         executed = 0
-        while not cpu.halted and executed < chunk_instructions:
-            if remaining <= 0:
-                raise IssError(
-                    f"program did not halt within {max_instructions} "
-                    "instructions"
-                )
-            cpu.step()
-            executed += 1
-            remaining -= 1
+        # Each chunk runs synchronously between preemption points, so a
+        # span here never straddles a yield.
+        token = None
+        if cpu.obs.enabled:
+            token = cpu.obs.begin("iss", "chunk", sim=cpu.cycles)
+        try:
+            while not cpu.halted and executed < chunk_instructions:
+                if remaining <= 0:
+                    raise IssError(
+                        f"program did not halt within {max_instructions} "
+                        "instructions"
+                    )
+                cpu.step()
+                executed += 1
+                remaining -= 1
+        finally:
+            if token is not None:
+                cpu.obs.end(token, sim=cpu.cycles,
+                            instructions=executed)
         charged = cpu.cycles - cycles_before
         if charged > 0:
             yield CpuWork(charged)
@@ -63,6 +74,9 @@ class IssChecksumVerifier:
     :class:`repro.router.app.ChecksumApp`: builds an ISS run per packet
     and charges the thread the *measured* cycles.
     """
+
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
 
     def __init__(self, memory_size: int = 64 * 1024,
                  data_base: int = 0x100,
@@ -85,6 +99,7 @@ class IssChecksumVerifier:
         )
         memory.store_bytes(self.data_base, body)
         cpu = IssCpu(self._program, memory)
+        cpu.obs = self.obs
         cpu.write_reg(1, self.data_base)
         cpu.write_reg(2, len(body))
         cpu = yield from run_program(cpu, self.chunk_instructions)

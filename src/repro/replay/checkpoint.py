@@ -231,6 +231,10 @@ def restore_session(session, checkpoint: Checkpoint, strict: bool = True):
     session.restore(checkpoint.state)
     session.restores += 1
     session.windows_replayed += checkpoint.window
+    obs = getattr(session, "obs", None)
+    if obs is not None and obs.enabled:
+        obs.event("session", "restore", sim=session.master.clock.cycles,
+                  window=checkpoint.window)
     return metrics
 
 

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional
 from repro.cosim.board_runtime import CosimBoardRuntime
 from repro.cosim.trace import ProtocolTrace
 from repro.errors import ReproError
+from repro.obs.recorder import install_recorder, make_recorder
 from repro.replay.recorder import OP_READ, OP_WRITE, SessionRecording
 from repro.transport.channel import BoardEndpoint
 from repro.transport.messages import ClockGrant, Interrupt, TimeReport
@@ -265,6 +266,9 @@ class ReplayResult:
     reports: List[TimeReport] = field(default_factory=list)
     interrupts_delivered: int = 0
     data_ops_replayed: int = 0
+    #: The replay's span recorder (NULL_RECORDER unless the config
+    #: enabled tracing); compare via ``repro.obs.deterministic_view``.
+    obs: Any = None
 
     @property
     def clean(self) -> bool:
@@ -280,7 +284,8 @@ class ReplayResult:
 def replay_recording(recording: SessionRecording, board=None, config=None,
                      strict: bool = True,
                      runtime: Optional[CosimBoardRuntime] = None,
-                     board_factory=None) -> ReplayResult:
+                     board_factory=None,
+                     obs_targets=None) -> ReplayResult:
     """Re-execute a board against *recording* and compare as we go.
 
     The board must be freshly built with the same construction
@@ -292,6 +297,11 @@ def replay_recording(recording: SessionRecording, board=None, config=None,
     I/O.  The recording's ``threaded`` flag selects the same serve loop
     the live board used; in threaded replay the emulated network delay
     is forced to zero, so the loop never sleeps.
+
+    When ``config.tracing`` enables tracing, a fresh recorder is
+    installed on the board runtime (and on every object in
+    *obs_targets* — e.g. an ISS-backed verifier the factory built) and
+    returned on :attr:`ReplayResult.obs`.
     """
     endpoint = ReplayBoardEndpoint(
         recording, strict=strict,
@@ -303,6 +313,12 @@ def replay_recording(recording: SessionRecording, board=None, config=None,
         raise ReproError("replay_recording needs a board or board_factory")
     if runtime is None:
         runtime = CosimBoardRuntime(board, endpoint, config)
+    # Mirror the live session: the recorder goes in after runtime
+    # construction so the boot-time freeze is untraced in both runs.
+    obs = make_recorder(getattr(config, "tracing", None))
+    install_recorder(obs, runtime=runtime)
+    for target in obs_targets or ():
+        target.obs = obs
     if recording.meta.get("threaded"):
         saved_delay = config.emulated_network_delay_s
         config.emulated_network_delay_s = 0.0
@@ -337,6 +353,7 @@ def replay_recording(recording: SessionRecording, board=None, config=None,
         reports=endpoint.reports,
         interrupts_delivered=len(endpoint.delivered_interrupts),
         data_ops_replayed=len(endpoint.consumed_data_ops),
+        obs=obs,
     )
 
 

@@ -90,10 +90,17 @@ class RouterDriver(Device):
     def _access_cost(self):
         return CpuWork(self.latency.data_access_cycles)
 
+    def _trace_data(self, op: str, address: int) -> None:
+        obs = self.kernel.obs
+        if obs.enabled:
+            obs.event("board", f"data.{op}", sim=self.kernel.cycles,
+                      address=address)
+
     def read_status(self):
         """Read STATUS: returns ``(packet_ready, buffer_level)``."""
         yield self._access_cost()
         self.transactions += 1
+        self._trace_data("read", REG_STATUS)
         status = self.endpoint.data_read(REG_STATUS)
         return (bool(status & 1), status >> 8)
 
@@ -101,6 +108,7 @@ class RouterDriver(Device):
         """Read the current packet's raw bytes."""
         yield self._access_cost()
         self.transactions += 1
+        self._trace_data("read", REG_PACKET)
         raw = self.endpoint.data_read(REG_PACKET)
         return bytes(raw)
 
@@ -113,12 +121,14 @@ class RouterDriver(Device):
         """Device write: deliver the checksum verdict."""
         yield self._access_cost()
         self.transactions += 1
+        self._trace_data("write", REG_VERDICT)
         self.endpoint.data_write(REG_VERDICT, int(verdict))
 
     def read_forwarded_count(self):
         """Diagnostics: the router's forwarded-packet counter."""
         yield self._access_cost()
         self.transactions += 1
+        self._trace_data("read", REG_STATS)
         return self.endpoint.data_read(REG_STATS)
 
     def ioctl(self, request: str, *args, **kwargs):

@@ -288,6 +288,9 @@ def build_router_cosim(
     session.register_snapshotable("workload_stats", stats)
     session.register_snapshotable("checksum_app", app)
 
+    if app.verifier is not None:
+        app.verifier.obs = session.obs
+
     return RouterCosim(session, master, runtime, router, producers,
                        consumers, app, driver, stats, workload,
                        cleanup=cleanup)
@@ -377,11 +380,16 @@ def replay_router_recording(recording, strict: bool = True,
     config = config or CosimConfig(t_sync=meta.get("t_sync", 1000))
     board_config = board_config or BoardConfig()
 
+    obs_targets = []
+
     def factory(endpoint):
-        board, _driver, _app = build_router_board_side(
+        board, _driver, app = build_router_board_side(
             endpoint, config, board_config,
             iss_timing=bool(meta.get("iss_timing")))
+        if app.verifier is not None:
+            obs_targets.append(app.verifier)
         return board
 
     return replay_recording(recording, config=config, strict=strict,
-                            board_factory=factory)
+                            board_factory=factory,
+                            obs_targets=obs_targets)

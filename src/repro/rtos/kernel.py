@@ -25,6 +25,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import RtosError
+from repro.obs.recorder import NULL_RECORDER
 from repro.rtos.alarm import Alarm, AlarmQueue
 from repro.rtos.config import RtosConfig
 from repro.rtos.devices import DeviceTable
@@ -51,6 +52,9 @@ _MAX_ZERO_PROGRESS = 100_000
 
 class RtosKernel:
     """An eCos-like real-time kernel running on a virtual CPU."""
+
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
 
     def __init__(self, config: Optional[RtosConfig] = None,
                  name: str = "rtos") -> None:
@@ -302,6 +306,8 @@ class RtosKernel:
             return
         self.state = IDLE
         self.state_switches += 1
+        if self.obs.enabled:
+            self.obs.event("rtos", "freeze", sim=self._cycles)
         current = self.current
         if current is not None and current.state == RUNNING:
             # "The scheduler saves the context (in particular, the value
@@ -320,6 +326,8 @@ class RtosKernel:
             return
         self.state = NORMAL
         self.state_switches += 1
+        if self.obs.enabled:
+            self.obs.event("rtos", "thaw", sim=self._cycles)
         self.scheduler.idle_mode = False
         if self._saved_context is not None:
             thread, timeslice = self._saved_context
@@ -446,6 +454,24 @@ class RtosKernel:
         """Run the OS for *ticks* software ticks (one granted window)."""
         if ticks <= 0:
             raise RtosError(f"tick grant must be positive: {ticks}")
+        obs = self.obs
+        if not obs.enabled:
+            self._run_ticks(ticks)
+            return
+        switches = self.context_switches
+        idle = self.idle_cycles
+        kern = self.kernel_cycles
+        token = obs.begin("rtos", "run_ticks", sim=self._cycles,
+                          ticks=ticks)
+        try:
+            self._run_ticks(ticks)
+        finally:
+            obs.end(token, sim=self._cycles,
+                    context_switches=self.context_switches - switches,
+                    idle_cycles=self.idle_cycles - idle,
+                    kernel_cycles=self.kernel_cycles - kern)
+
+    def _run_ticks(self, ticks: int) -> None:
         target = self._sw_ticks + ticks
         while self._sw_ticks < target:
             self.run_until_cycle(self._next_tick_at)

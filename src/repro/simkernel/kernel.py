@@ -26,6 +26,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeltaOverflowError, SimulationError
+from repro.obs.recorder import NULL_RECORDER
 from repro.simkernel.events import _DELTA, _TIMED, Event
 from repro.simkernel.processes import Process
 from repro.simkernel.signals import Signal
@@ -37,6 +38,9 @@ _DEFAULT_NAME = re.compile(r"\b(signal|event)_[0-9a-f]{6,}\b")
 
 class Simulator:
     """A self-contained discrete-event simulation context."""
+
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
 
     def __init__(self, name: str = "sim", max_deltas: int = 10_000) -> None:
         self.name = name
@@ -189,6 +193,21 @@ class Simulator:
 
         On return ``now == t_end`` (unless :meth:`stop` was called).
         """
+        obs = self.obs
+        if not obs.enabled:
+            self._run_until(t_end)
+            return
+        deltas = self.delta_count
+        runs = self.process_runs
+        token = obs.begin("simkernel", "run_until", sim=self._now)
+        try:
+            self._run_until(t_end)
+        finally:
+            obs.end(token, sim=self._now,
+                    deltas=self.delta_count - deltas,
+                    process_runs=self.process_runs - runs)
+
+    def _run_until(self, t_end: int) -> None:
         self.elaborate()
         if t_end < self._now:
             raise SimulationError(

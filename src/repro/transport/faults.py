@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
+from repro.obs.recorder import NULL_RECORDER
 from repro.transport.channel import BoardEndpoint
 from repro.transport.messages import ClockGrant, Interrupt, TimeReport, Value
 
@@ -60,6 +61,9 @@ class FaultPlan:
 class FaultyBoardEndpoint(BoardEndpoint):
     """A board endpoint with a saboteur in the middle."""
 
+    #: Span recorder; replaced per-session when tracing is enabled.
+    obs = NULL_RECORDER
+
     def __init__(self, inner: BoardEndpoint, plan: FaultPlan) -> None:
         self.inner = inner
         self.plan = plan
@@ -78,29 +82,43 @@ class FaultyBoardEndpoint(BoardEndpoint):
             if grant.seq in self.plan.drop_grants:
                 self.plan.drop_grants.discard(grant.seq)
                 self.plan.grants_dropped += 1
+                if self.obs.enabled:
+                    self.obs.event("fault", "grant.drop", seq=grant.seq)
                 continue  # swallowed; look for the next one
             if grant.seq in self.plan.duplicate_grants:
                 self.plan.duplicate_grants.discard(grant.seq)
                 self.plan.grants_duplicated += 1
+                if self.obs.enabled:
+                    self.obs.event("fault", "grant.duplicate", seq=grant.seq)
                 self._pending_duplicate = grant
             port = self.plan.disconnect_after_grants.pop(grant.seq, None)
             if port is not None and hasattr(self.inner, "inject_disconnect"):
                 self.inner.inject_disconnect(port)
                 self.plan.disconnects_injected += 1
+                if self.obs.enabled:
+                    self.obs.event("fault", "disconnect", seq=grant.seq,
+                                   port=port)
             return grant
 
     def send_report(self, report: TimeReport) -> None:
         delay = self.plan.delay_reports.pop(report.seq, None)
         if delay is not None:
             self.plan.reports_delayed += 1
+            if self.obs.enabled:
+                self.obs.event("fault", "report.delay", seq=report.seq,
+                               delay_s=delay)
             time.sleep(delay)
         if report.seq in self.plan.drop_reports:
             self.plan.drop_reports.discard(report.seq)
             self.plan.reports_dropped += 1
+            if self.obs.enabled:
+                self.obs.event("fault", "report.drop", seq=report.seq)
             return
         if report.seq in self.plan.corrupt_reports:
             self.plan.corrupt_reports.discard(report.seq)
             self.plan.reports_corrupted += 1
+            if self.obs.enabled:
+                self.obs.event("fault", "report.corrupt", seq=report.seq)
             report = TimeReport(seq=report.seq,
                                 board_ticks=report.board_ticks + 1)
         self.inner.send_report(report)
@@ -114,6 +132,10 @@ class FaultyBoardEndpoint(BoardEndpoint):
             if self._interrupt_index in self.plan.drop_interrupts:
                 self.plan.drop_interrupts.discard(self._interrupt_index)
                 self.plan.interrupts_dropped += 1
+                if self.obs.enabled:
+                    self.obs.event("fault", "irq.drop",
+                                   index=self._interrupt_index,
+                                   vector=irq.vector)
                 continue
             return irq
 

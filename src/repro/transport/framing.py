@@ -127,7 +127,7 @@ def decode(body: bytes) -> Message:
             return Heartbeat(seq=_U64.unpack_from(body, 1)[0])
         if kind == _T_HEARTBEAT_ACK:
             return HeartbeatAck(seq=_U64.unpack_from(body, 1)[0])
-    except struct.error as exc:
+    except (struct.error, IndexError) as exc:
         raise TransportError(f"truncated frame of kind {kind}: {exc}") from exc
     raise TransportError(f"unknown frame kind {kind}")
 

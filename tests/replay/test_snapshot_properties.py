@@ -1,0 +1,118 @@
+"""Property-based tests for snapshot tree encoding (requires hypothesis)."""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.replay.snapshot import (  # noqa: E402
+    BYTES_KEY,
+    SnapshotError,
+    canonical_json,
+    decode_tree,
+    encode_tree,
+    plain_copy,
+    state_digest,
+)
+
+# Scalars that survive a snapshot tree unchanged.  NaN is excluded
+# (x != x breaks equality), as are ints outside what JSON round-trips
+# exactly -- the codec itself has no such limit.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 62), max_value=1 << 62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=32),
+    st.binary(max_size=64),
+)
+
+# Keys must avoid the reserved bytes marker.
+keys = st.text(max_size=16).filter(lambda k: k != BYTES_KEY)
+
+trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(keys, children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestEncodeDecodeRoundTrip:
+    @given(tree=trees)
+    def test_round_trips(self, tree):
+        assert decode_tree(encode_tree(tree)) == tree
+
+    @given(tree=trees)
+    def test_encoded_tree_is_json_safe(self, tree):
+        # The whole point of encode_tree: json.dumps never chokes, and
+        # the JSON round-trip composes with the tree round-trip.
+        text = json.dumps(encode_tree(tree))
+        assert decode_tree(json.loads(text)) == tree
+
+    @given(blob=st.binary(max_size=256))
+    def test_bytes_survive_json(self, blob):
+        tree = {"payload": blob, "nested": [blob, {"again": blob}]}
+        assert decode_tree(json.loads(json.dumps(encode_tree(tree)))) \
+            == tree
+
+
+class TestCanonicalForm:
+    @given(tree=trees)
+    def test_canonical_json_is_deterministic(self, tree):
+        assert canonical_json(tree) == canonical_json(tree)
+
+    @given(tree=trees)
+    def test_digest_is_stable_and_hex(self, tree):
+        digest = state_digest(tree)
+        assert digest == state_digest(tree)
+        assert len(digest) == 64
+        int(digest, 16)
+
+    @given(inner=st.dictionaries(keys, scalars, min_size=2, max_size=4))
+    def test_key_order_does_not_change_digest(self, inner):
+        reordered = dict(reversed(list(inner.items())))
+        assert state_digest({"a": inner}) == state_digest({"a": reordered})
+
+
+class TestPlainCopy:
+    @given(tree=trees)
+    def test_plain_copy_is_idempotent_on_plain_trees(self, tree):
+        copied = plain_copy(tree)
+        assert plain_copy(copied) == copied
+        assert decode_tree(encode_tree(copied)) == copied
+
+    @given(tree=trees)
+    def test_plain_copy_is_deep(self, tree):
+        copied = plain_copy({"tree": tree})
+        assert copied == {"tree": plain_copy(tree)}
+        if isinstance(tree, (dict, list)):
+            assert copied["tree"] is not tree
+
+
+class TestAdversarialTrees:
+    @given(value=scalars)
+    def test_reserved_key_rejected(self, value):
+        with pytest.raises(SnapshotError):
+            encode_tree({BYTES_KEY: value})
+
+    @given(tree=trees)
+    def test_reserved_key_rejected_at_depth(self, tree):
+        with pytest.raises(SnapshotError):
+            encode_tree({"outer": [tree, {BYTES_KEY: 1}]})
+
+    def test_non_plain_value_rejected(self):
+        with pytest.raises(SnapshotError):
+            plain_copy(object())
+
+    @given(text=st.text(max_size=32))
+    def test_marker_lookalike_dicts_are_not_corrupted(self, text):
+        # A dict with the marker key plus other keys is rejected on
+        # encode, so decode never sees an ambiguous marker.
+        with pytest.raises(SnapshotError):
+            encode_tree({BYTES_KEY: text, "other": 1})

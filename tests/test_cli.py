@@ -172,3 +172,48 @@ class TestLintCommand:
     def test_wcet_flag_reports_bounds(self, capsys):
         assert main(["lint", "--wcet", "bundled"]) == 0
         assert "ISS006" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_chrome_trace_output(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["profile", "router", "--t-sync", "200",
+                     "--packets", "6", "--interval", "150",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "spans=" in stdout
+        assert "trace events" in stdout
+        import json
+
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) > 0
+        assert doc["metadata"]["app"] == "router"
+
+    def test_text_report(self, capsys):
+        assert main(["profile", "--t-sync", "200", "--packets", "6",
+                     "--interval", "150", "--format", "text",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer" in out
+        assert "session" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        out = tmp_path / "spans.csv"
+        assert main(["profile", "--t-sync", "200", "--packets", "6",
+                     "--interval", "150", "--format", "csv",
+                     "--out", str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header.startswith("kind,cat,name")
+
+    def test_sampled_profile(self, tmp_path, capsys):
+        out = tmp_path / "sampled.json"
+        assert main(["profile", "--t-sync", "200", "--packets", "6",
+                     "--interval", "150", "--sample", "4",
+                     "--out", str(out)]) == 0
+        assert "trace events" in capsys.readouterr().out
+
+    def test_unknown_app_rejected(self, capsys):
+        assert main(["profile", "toaster"]) == 2
+        assert "unknown application" in capsys.readouterr().err

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.replay",
     "repro.staticcheck",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,132 @@
+"""Property-based tests for the wire codec (requires hypothesis)."""
+
+import struct
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import TransportError  # noqa: E402
+from repro.transport.framing import (  # noqa: E402
+    LENGTH_PREFIX_SIZE,
+    MAX_FRAME_SIZE,
+    decode,
+    encode,
+    frame_size,
+)
+from repro.transport.messages import (  # noqa: E402
+    ClockGrant,
+    DataRead,
+    DataReply,
+    DataWrite,
+    Heartbeat,
+    HeartbeatAck,
+    Interrupt,
+    Message,
+    TimeReport,
+)
+
+# Signed 64-bit, the codec's integer field width.
+i64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+values = st.one_of(i64, st.binary(max_size=512))
+
+messages = st.one_of(
+    st.builds(ClockGrant, seq=i64, ticks=i64),
+    st.builds(TimeReport, seq=i64, board_ticks=i64),
+    st.builds(Interrupt, vector=i64, master_cycle=i64),
+    st.builds(DataRead, seq=i64, address=i64),
+    st.builds(DataWrite, seq=i64, address=i64, value=values),
+    st.builds(DataReply, seq=i64, value=values),
+    st.builds(Heartbeat, seq=i64),
+    st.builds(HeartbeatAck, seq=i64),
+)
+
+
+def body_of(frame: bytes) -> bytes:
+    """Strip the u32 length prefix off an encoded frame."""
+    return frame[LENGTH_PREFIX_SIZE:]
+
+
+class TestRoundTrip:
+    @given(message=messages)
+    def test_encode_decode_round_trips(self, message):
+        assert decode(body_of(encode(message))) == message
+
+    @given(message=messages)
+    def test_length_prefix_matches_body(self, message):
+        frame = encode(message)
+        (length,) = struct.unpack(">I", frame[:LENGTH_PREFIX_SIZE])
+        assert length == len(frame) - LENGTH_PREFIX_SIZE
+        assert length <= MAX_FRAME_SIZE
+        assert frame_size(message) == len(frame)
+
+    @given(message=messages)
+    def test_encoding_is_deterministic(self, message):
+        assert encode(message) == encode(message)
+
+
+class TestAdversarialInput:
+    @given(blob=st.binary(max_size=256))
+    def test_decode_never_raises_anything_but_transport_error(self, blob):
+        # Arbitrary bytes either decode to some message or fail with
+        # the codec's own error type — never IndexError/struct.error.
+        try:
+            result = decode(blob)
+        except TransportError:
+            return
+        assert isinstance(result, Message)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(TransportError):
+            decode(b"")
+
+    @given(kind=st.integers(min_value=9, max_value=255))
+    def test_unknown_kind_rejected(self, kind):
+        with pytest.raises(TransportError):
+            decode(bytes([kind]) + b"\x00" * 16)
+
+    @given(
+        message=st.one_of(
+            st.builds(ClockGrant, seq=i64, ticks=i64),
+            st.builds(TimeReport, seq=i64, board_ticks=i64),
+            st.builds(Interrupt, vector=i64, master_cycle=i64),
+            st.builds(DataRead, seq=i64, address=i64),
+            st.builds(Heartbeat, seq=i64),
+            st.builds(HeartbeatAck, seq=i64),
+        ),
+        drop=st.integers(min_value=1, max_value=8),
+    )
+    def test_truncated_fixed_size_frames_rejected(self, message, drop):
+        # Fixed-layout bodies are all u64 fields; losing trailing bytes
+        # must surface as a TransportError, not a short unpack.
+        body = body_of(encode(message))
+        with pytest.raises(TransportError):
+            decode(body[:-drop])
+
+    @settings(max_examples=50)
+    @given(message=messages, extra=st.binary(min_size=1, max_size=16))
+    def test_trailing_garbage_is_ignored_or_rejected(self, message, extra):
+        # The codec reads fixed offsets, so appended garbage must never
+        # change the decoded fields.
+        body = body_of(encode(message))
+        try:
+            result = decode(body + extra)
+        except TransportError:
+            return
+        assert result == message
+
+    @given(value=st.binary(max_size=64), drop=st.integers(min_value=1,
+                                                          max_value=8))
+    def test_truncated_byte_value_never_round_trips_silently(self, value,
+                                                             drop):
+        # Chopping inside a bytes payload shortens the decoded value
+        # (Python slicing) — it must never equal the original message.
+        message = DataReply(seq=1, value=value)
+        body = body_of(encode(message))
+        try:
+            result = decode(body[:-drop])
+        except TransportError:
+            return
+        assert result != message
