@@ -13,6 +13,7 @@
     repro checkpoint --every N [--dir D] [--resume FILE.json]
     repro profile [router] [--format chrome|csv|text] [--out FILE]
                   [--sample N]            # traced run + span profile
+    repro fuzz [--seed N] [--runs K] [--out DIR]   # differential fuzzing
 
 (Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.)
@@ -367,6 +368,33 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.difftest import FuzzSpec, fuzz, run_spec
+
+    log = None if args.quiet else print
+    if args.spec:
+        spec = FuzzSpec.load(args.spec)
+        outcomes, mismatches = run_spec(spec, backends=args.backends)
+        print(f"spec {spec.describe()}: {len(outcomes)} backends")
+        for mismatch in mismatches:
+            print(f"  {mismatch}")
+        if not mismatches:
+            print("all oracles held")
+        return 0 if not mismatches else 1
+    report = fuzz(
+        args.seed, args.runs,
+        scenarios=args.scenarios,
+        backends=args.backends,
+        shrink=args.shrink,
+        out_dir=args.out,
+        max_failures=args.max_failures,
+        start_index=args.index,
+        log=log,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
@@ -545,6 +573,39 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the full per-window trace "
                                  "(fast-forward included)")
     checkpoint.set_defaults(fn=_cmd_checkpoint)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated workloads through multiple "
+             "backends, equivalence oracles, shrunk repro recordings")
+    fuzz.add_argument("--seed", type=int, default=42,
+                      help="base seed; case I derives its own seed from "
+                           "(seed, I)")
+    fuzz.add_argument("--runs", type=int, default=20,
+                      help="number of generated fuzz cases")
+    fuzz.add_argument("--index", type=int, default=0,
+                      help="first case index (resume a campaign)")
+    fuzz.add_argument("--scenarios", nargs="+", metavar="NAME",
+                      choices=["router", "iss", "adaptive", "multiboard"],
+                      help="restrict to these scenarios (default: all, "
+                           "round-robin)")
+    fuzz.add_argument("--backends", nargs="+", metavar="NAME",
+                      help="restrict to these backends (e.g. inproc rerun "
+                           "replay queue tcp); each scenario keeps its "
+                           "reference backend")
+    fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="report failures without minimizing them")
+    fuzz.add_argument("--out", metavar="DIR",
+                      help="write fail-N.workload.json and "
+                           "fail-N.recording.json artifacts here")
+    fuzz.add_argument("--max-failures", type=int, default=5,
+                      help="stop the campaign after this many failures")
+    fuzz.add_argument("--spec", metavar="FILE.json",
+                      help="re-run one saved workload spec instead of "
+                           "generating cases")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="only print the final summary")
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     profile = sub.add_parser(
         "profile",

@@ -9,7 +9,11 @@ from repro.cosim.board_runtime import CosimBoardRuntime
 from repro.cosim.config import CosimConfig
 from repro.cosim.master import CosimMaster, build_driver_sim
 from repro.cosim.metrics import CosimMetrics
-from repro.cosim.multiboard import BoardSlot, MultiBoardInprocSession
+from repro.cosim.multiboard import (
+    BoardSlot,
+    MultiBoardInprocSession,
+    MultiBoardThreadedSession,
+)
 from repro.cosim.protocol import (
     BoardProtocol,
     MasterProtocol,
@@ -34,6 +38,7 @@ __all__ = [
     "InprocSession",
     "MasterProtocol",
     "MultiBoardInprocSession",
+    "MultiBoardThreadedSession",
     "ProtocolTrace",
     "SHUTDOWN_TICKS",
     "ThreadedSession",

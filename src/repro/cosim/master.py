@@ -140,11 +140,16 @@ class CosimMaster:
             return None
         raise SimulationError(f"bad DATA operation {op!r}")
 
-    def _serve_pending_data(self) -> int:
-        """Drain queued DATA requests (threaded sessions); returns count."""
+    def _serve_pending_data(self, endpoint: Optional[MasterEndpoint] = None) -> int:
+        """Drain queued DATA requests (threaded sessions); returns count.
+
+        Multi-board sessions pass each board's *endpoint* in turn; the
+        default serves the master's primary endpoint.
+        """
+        endpoint = endpoint or self.endpoint
         served = 0
         while True:
-            request = self.endpoint.poll_data()
+            request = endpoint.poll_data()
             if request is None:
                 return served
             served += 1
@@ -155,7 +160,7 @@ class CosimMaster:
                                    sim=self.clock.cycles,
                                    address=request.address)
                 value = self.sim.external_read(request.address)
-                self.endpoint.send_reply(request.seq, value)
+                endpoint.send_reply(request.seq, value)
             elif isinstance(request, DataWrite):
                 self.data_writes_served += 1
                 if self.obs.enabled:

@@ -9,50 +9,61 @@ boards and waits for all time reports, so
 
     master cycles == board_i ticks        for every i, at every exchange
 
-which :class:`MultiBoardInprocSession` asserts.  Boards interact with
-the shared hardware through their own DATA ports (e.g. one board runs
-the checksum application while another monitors the router's counters).
+which both sessions assert.  Boards interact with the shared hardware
+through their own DATA ports (e.g. one board runs the checksum
+application while another monitors the router's counters).
+
+Two session flavours mirror the single-board ones:
+
+* :class:`MultiBoardInprocSession` — boards interleaved deterministically
+  in one thread over :class:`~repro.transport.inproc.InprocLink`s;
+* :class:`MultiBoardThreadedSession` — each board runtime serves in its
+  own OS thread behind a :class:`~repro.transport.queues.QueueLink` or a
+  TCP link, with the master servicing every board's DATA port while it
+  simulates.  Tick accounting is identical to the in-process session —
+  the differential fuzzer (:mod:`repro.difftest`) checks exactly that.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Optional, Sequence
 
 from repro.cosim.board_runtime import CosimBoardRuntime
 from repro.cosim.config import CosimConfig
 from repro.cosim.master import CosimMaster
 from repro.cosim.metrics import CosimMetrics
+from repro.cosim.protocol import make_shutdown
 from repro.cosim.session import DoneFn
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TransportError
 from repro.transport.channel import LinkStats
-from repro.transport.inproc import InprocLink
 
 
 class BoardSlot:
-    """One board's attachment to a multi-board session."""
+    """One board's attachment to a multi-board session.
 
-    def __init__(self, name: str, link: InprocLink,
-                 runtime: CosimBoardRuntime) -> None:
+    For in-process and queue links pass the *link* object (anything with
+    ``.master`` and ``.stats`` attributes).  For transports whose two
+    endpoints are created separately (TCP), pass ``link=None`` plus
+    explicit ``master_ep`` and ``stats``.
+    """
+
+    def __init__(self, name: str, link, runtime: CosimBoardRuntime,
+                 master_ep=None, stats: Optional[LinkStats] = None) -> None:
+        if link is None and (master_ep is None or stats is None):
+            raise ProtocolError(
+                f"board slot {name!r}: need a link, or master_ep + stats"
+            )
         self.name = name
         self.link = link
         self.runtime = runtime
+        self.master_ep = master_ep if master_ep is not None else link.master
+        self.stats = stats if stats is not None else link.stats
 
 
-class MultiBoardInprocSession:
-    """Deterministic session over one master and N boards.
-
-    The master needs one *link endpoint per board* for grants and
-    interrupts.  Construct with the shared master plus a list of
-    :class:`BoardSlot`; the master's protocol object tracks the grant
-    history once, and each board's protocol tracks its own sequence.
-
-    Interrupt routing: the master binds each device's interrupt signal
-    to a vector as usual, but sends the packet on *every* board's INT
-    port; each board attaches ISRs only for the vectors it owns, and
-    :meth:`CosimBoardRuntime.serve_window` schedules (and its kernel
-    then ignores) only attached vectors — so give each board's devices
-    distinct vectors.
-    """
+class _MultiBoardBase:
+    """Validation, report collection and metrics shared by both modes."""
 
     def __init__(self, master: CosimMaster, slots: Sequence[BoardSlot],
                  config: CosimConfig) -> None:
@@ -69,50 +80,29 @@ class MultiBoardInprocSession:
     def _grant_all(self, ticks: int) -> None:
         grant = self.master.protocol.make_grant(ticks)
         for slot in self.slots:
-            slot.link.master.send_grant(grant)
+            slot.master_ep.send_grant(grant)
 
-    def _serve_all(self) -> None:
-        for slot in self.slots:
-            slot.runtime.serve_window()
+    def _check_report(self, slot: BoardSlot, report) -> None:
+        self.master.protocol.check_report(report, self.master.clock.cycles)
 
-    def _collect_reports(self) -> None:
-        exchanges_before = self.master.protocol.exchanges
-        for slot in self.slots:
-            report = slot.link.master.recv_report()
-            if report is None:
-                raise ProtocolError(f"board {slot.name}: no time report")
-            self.master.protocol.check_report(
-                report, self.master.clock.cycles
+    def _window_ticks(self, max_cycles: Optional[int]) -> int:
+        ticks = self.config.t_sync
+        if max_cycles is not None:
+            ticks = min(ticks, max_cycles - self.master.clock.cycles)
+        return ticks
+
+    def _should_continue(self, windows: int, done: Optional[DoneFn],
+                         max_cycles: Optional[int]) -> bool:
+        if windows >= self.config.max_windows:
+            raise ProtocolError(
+                f"exceeded max_windows={self.config.max_windows}"
             )
-        # One logical exchange per window, however many boards answered.
-        self.master.protocol.exchanges = exchanges_before + 1
-
-    # ------------------------------------------------------------------
-    def run(self, max_cycles: Optional[int] = None,
-            done: Optional[DoneFn] = None) -> CosimMetrics:
-        if max_cycles is None and done is None:
-            raise ProtocolError("need max_cycles and/or a done() condition")
-        metrics = CosimMetrics(t_sync=self.config.t_sync)
-        while True:
-            if metrics.windows >= self.config.max_windows:
-                raise ProtocolError(
-                    f"exceeded max_windows={self.config.max_windows}"
-                )
-            if done is not None and done():
-                break
-            cycles = self.master.clock.cycles
-            if max_cycles is not None and cycles >= max_cycles:
-                break
-            ticks = self.config.t_sync
-            if max_cycles is not None:
-                ticks = min(ticks, max_cycles - cycles)
-            self._grant_all(ticks)
-            self.master.run_cycles(ticks)
-            self._serve_all()
-            self._collect_reports()
-            metrics.windows += 1
-            metrics.sync_exchanges += len(self.slots)
-        return self._finalize(metrics)
+        if done is not None and done():
+            return False
+        if max_cycles is not None \
+                and self.master.clock.cycles >= max_cycles:
+            return False
+        return True
 
     def _finalize(self, metrics: CosimMetrics) -> CosimMetrics:
         metrics.master_cycles = self.master.clock.cycles
@@ -125,7 +115,7 @@ class MultiBoardInprocSession:
         )
         combined = LinkStats()
         for slot in self.slots:
-            stats = slot.link.stats
+            stats = slot.stats
             combined.messages_sent += stats.messages_sent
             combined.bytes_sent += stats.bytes_sent
             combined.clock_messages += stats.clock_messages
@@ -140,3 +130,149 @@ class MultiBoardInprocSession:
         cycles = self.master.clock.cycles
         return all(slot.runtime.board.kernel.sw_ticks == cycles
                    for slot in self.slots)
+
+    def close(self) -> None:
+        """Release transport resources on every link."""
+        for slot in self.slots:
+            try:
+                slot.master_ep.close()
+            finally:
+                slot.runtime.endpoint.close()
+
+
+class MultiBoardInprocSession(_MultiBoardBase):
+    """Deterministic session over one master and N boards.
+
+    The master needs one *link endpoint per board* for grants and
+    interrupts.  Construct with the shared master plus a list of
+    :class:`BoardSlot`; the master's protocol object tracks the grant
+    history once, and each board's protocol tracks its own sequence.
+
+    Interrupt routing: the master binds each device's interrupt signal
+    to a vector as usual, but sends the packet on *every* board's INT
+    port; each board attaches ISRs only for the vectors it owns, and
+    :meth:`CosimBoardRuntime.serve_window` schedules (and its kernel
+    then ignores) only attached vectors — so give each board's devices
+    distinct vectors.
+    """
+
+    def _serve_all(self) -> None:
+        for slot in self.slots:
+            slot.runtime.serve_window()
+
+    def _collect_reports(self) -> None:
+        exchanges_before = self.master.protocol.exchanges
+        for slot in self.slots:
+            report = slot.master_ep.recv_report()
+            if report is None:
+                raise ProtocolError(f"board {slot.name}: no time report")
+            self._check_report(slot, report)
+        # One logical exchange per window, however many boards answered.
+        self.master.protocol.exchanges = exchanges_before + 1
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: Optional[int] = None,
+            done: Optional[DoneFn] = None) -> CosimMetrics:
+        if max_cycles is None and done is None:
+            raise ProtocolError("need max_cycles and/or a done() condition")
+        metrics = CosimMetrics(t_sync=self.config.t_sync)
+        while self._should_continue(metrics.windows, done, max_cycles):
+            ticks = self._window_ticks(max_cycles)
+            self._grant_all(ticks)
+            self.master.run_cycles(ticks)
+            self._serve_all()
+            self._collect_reports()
+            metrics.windows += 1
+            metrics.sync_exchanges += len(self.slots)
+        return self._finalize(metrics)
+
+
+class MultiBoardThreadedSession(_MultiBoardBase):
+    """N board runtimes in their own OS threads, one timed master.
+
+    Every window the master grants the same tick budget on every CLOCK
+    port, simulates its half cycle by cycle while draining each board's
+    DATA port, then blocks until *all* boards report — so the alignment
+    invariant ``master cycles == board_i ticks`` holds at every
+    exchange, exactly as in the in-process session.  Works over any
+    link whose board endpoint supports :meth:`serve_forever` blocking
+    receives (queue or TCP).
+    """
+
+    def run(self, max_cycles: Optional[int] = None,
+            done: Optional[DoneFn] = None) -> CosimMetrics:
+        if max_cycles is None and done is None:
+            raise ProtocolError("need max_cycles and/or a done() condition")
+        metrics = CosimMetrics(t_sync=self.config.t_sync)
+        threads = [
+            threading.Thread(
+                target=slot.runtime.serve_forever,
+                kwargs={"grant_timeout_s": self.config.report_timeout_s},
+                name=f"cosim-board-{slot.name}",
+                daemon=True,
+            )
+            for slot in self.slots
+        ]
+        for thread in threads:
+            thread.start()
+        start = time.perf_counter()
+        failed = True
+        try:
+            while self._should_continue(metrics.windows, done, max_cycles):
+                ticks = self._window_ticks(max_cycles)
+                self._grant_all(ticks)
+                period = self.master.clock.period
+                for _ in range(ticks):
+                    self._serve_all_data()
+                    self.master.sim.run_until(self.master.sim.now + period)
+                self._collect_reports()
+                metrics.windows += 1
+                metrics.sync_exchanges += len(self.slots)
+            failed = False
+        finally:
+            shutdown = make_shutdown(self.master.protocol.seq + 1)
+            for slot in self.slots:
+                try:
+                    slot.master_ep.send_grant(shutdown)
+                except TransportError:
+                    # Dead link; the board thread hits its own timeout.
+                    pass
+            for thread in threads:
+                thread.join(timeout=self.config.report_timeout_s)
+            if failed or any(t.is_alive() for t in threads):
+                try:
+                    self.close()
+                except Exception:
+                    pass
+        metrics.wall_seconds = time.perf_counter() - start
+        if any(t.is_alive() for t in threads):
+            for thread in threads:
+                thread.join(timeout=1.0)
+            if any(t.is_alive() for t in threads):
+                raise ProtocolError("board runtime failed to shut down")
+        return self._finalize(metrics)
+
+    # ------------------------------------------------------------------
+    def _serve_all_data(self) -> None:
+        for slot in self.slots:
+            self.master._serve_pending_data(slot.master_ep)
+
+    def _collect_reports(self) -> None:
+        exchanges_before = self.master.protocol.exchanges
+        deadline = time.monotonic() + self.config.report_timeout_s
+        pending = list(self.slots)
+        while pending:
+            slot = pending[0]
+            self._serve_all_data()
+            report = slot.master_ep.recv_report(timeout=0.0005)
+            if report is not None:
+                self._check_report(slot, report)
+                pending.pop(0)
+                continue
+            if time.monotonic() > deadline:
+                names = [s.name for s in pending]
+                raise ProtocolError(
+                    f"no time report from boards {names} within "
+                    f"{self.config.report_timeout_s}s"
+                )
+        self.master.protocol.exchanges = exchanges_before + 1

@@ -1,0 +1,36 @@
+"""Differential co-simulation fuzzing.
+
+Seed-driven generation of random-but-valid workloads, executed through
+multiple backends (in-process, rerun, record/replay, queue, TCP, ISS
+timing models, adaptive windows, multi-board), with equivalence oracles
+between them and greedy shrinking of failing workloads down to a
+replayable ``repro-recording/1`` artifact.
+
+Entry points: :func:`repro.difftest.harness.fuzz` and the ``repro
+fuzz`` CLI subcommand.
+"""
+
+from repro.difftest.backends import RunOutcome, run_backend, scenario_backends
+from repro.difftest.harness import FuzzFailure, FuzzReport, fuzz, run_spec
+from repro.difftest.oracles import Mismatch, run_oracles
+from repro.difftest.progbuilder import GeneratedProgram, build_program
+from repro.difftest.shrink import shrink_spec
+from repro.difftest.workload import SCENARIOS, FuzzSpec, generate_spec
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzSpec",
+    "GeneratedProgram",
+    "Mismatch",
+    "RunOutcome",
+    "SCENARIOS",
+    "build_program",
+    "fuzz",
+    "generate_spec",
+    "run_backend",
+    "run_oracles",
+    "run_spec",
+    "scenario_backends",
+    "shrink_spec",
+]

@@ -1,0 +1,97 @@
+"""Greedy workload shrinking.
+
+Given a failing spec and a predicate "does the same oracle still
+fail?", repeatedly tries simplifying transformations — fewer cycles,
+fewer packets, smaller payloads, pruned fault plans, fewer program
+fragments, fewer boards — and keeps each one that preserves the
+failure.  The result is a locally minimal spec: no single
+transformation can make it smaller without losing the bug.
+
+The predicate re-runs the full backend sweep per candidate, so the
+shrinker bounds its own work with ``max_steps``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Tuple
+
+from repro.difftest.workload import FuzzSpec
+
+StillFails = Callable[[FuzzSpec], bool]
+
+
+def _with(spec: FuzzSpec, **changes) -> FuzzSpec:
+    return dataclasses.replace(spec, **changes)
+
+
+def shrink_candidates(spec: FuzzSpec) -> Iterator[Tuple[str, FuzzSpec]]:
+    """Candidate simplifications of *spec*, most aggressive first.
+
+    Every candidate is a *valid* spec — shrinking must stay inside the
+    generator's envelope or a "shrunk" case could fail for a new,
+    unrelated reason.
+    """
+    floor_cycles = 2 * spec.t_sync
+    if spec.max_cycles > floor_cycles:
+        yield ("halve max_cycles",
+               _with(spec, max_cycles=max(floor_cycles,
+                                          spec.max_cycles // 2)))
+    if spec.scenario in ("router", "adaptive"):
+        if spec.packets_per_producer > 1:
+            yield ("halve packets",
+                   _with(spec, packets_per_producer=max(
+                       1, spec.packets_per_producer // 2)))
+        if spec.payload_size > 4:
+            yield ("halve payload",
+                   _with(spec, payload_size=max(4,
+                                                spec.payload_size // 2)))
+        if spec.corrupt_rate > 0:
+            yield ("drop corruption", _with(spec, corrupt_rate=0.0))
+        if spec.burst_size > 1 or spec.burst_gap_cycles:
+            yield ("flatten bursts",
+                   _with(spec, burst_size=1, burst_gap_cycles=0))
+        if spec.drop_interrupts:
+            yield ("clear fault plan", _with(spec, drop_interrupts=[]))
+            for index in range(len(spec.drop_interrupts)):
+                pruned = (spec.drop_interrupts[:index]
+                          + spec.drop_interrupts[index + 1:])
+                yield (f"drop fault #{index}",
+                       _with(spec, drop_interrupts=pruned))
+    if spec.scenario == "iss" and spec.fragments > 1:
+        yield ("halve fragments",
+               _with(spec, fragments=max(1, spec.fragments // 2)))
+        yield ("one fewer fragment",
+               _with(spec, fragments=spec.fragments - 1))
+    if spec.scenario == "multiboard":
+        if spec.num_boards > 2:
+            yield ("drop a board",
+                   _with(spec, num_boards=spec.num_boards - 1))
+        if spec.data_len > 1:
+            yield ("halve data",
+                   _with(spec, data_len=max(1, spec.data_len // 2)))
+
+
+def shrink_spec(spec: FuzzSpec, still_fails: StillFails,
+                max_steps: int = 40) -> Tuple[FuzzSpec, List[str]]:
+    """Greedily minimize *spec* while ``still_fails`` holds.
+
+    Returns the shrunk spec and the list of applied transformations.
+    ``still_fails(spec)`` must already be True on entry; the shrinker
+    never returns a spec for which it is False.
+    """
+    applied: List[str] = []
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for label, candidate in shrink_candidates(spec):
+            steps += 1
+            if steps > max_steps:
+                break
+            if still_fails(candidate):
+                spec = candidate
+                applied.append(label)
+                progress = True
+                break
+    return spec, applied

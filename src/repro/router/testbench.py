@@ -340,8 +340,18 @@ def finalize_router_recording(recording, cosim: RouterCosim,
         },
     }
     if cosim.session.trace is not None:
-        recording.trace_rows = [record.as_row()
-                                for record in cosim.session.trace.records]
+        rows = []
+        for index, record in enumerate(cosim.session.trace.records):
+            row = record.as_row()
+            # The live interrupt column counts packets the master *sent*;
+            # a replay can only ever observe packets the board *received*.
+            # Under a fault plan that drops interrupts the two differ, so
+            # the recording stores the board-visible count (its own
+            # stream) — otherwise a bit-clean replay of a faulted run
+            # would be reported as divergent.
+            row[4] = recording.interrupts_in_window(index)
+            rows.append(row)
+        recording.trace_rows = rows
 
 
 def workload_from_meta(meta: dict) -> RouterWorkload:

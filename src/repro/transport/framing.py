@@ -65,12 +65,28 @@ def _decode_value(payload: bytes, offset: int) -> Tuple[Value, int]:
     if kind == _V_BYTES:
         (length,) = _U32.unpack_from(payload, offset)
         offset += 4
+        if offset + length > len(payload):
+            # Python slicing would silently shorten the value; a frame
+            # whose declared length overruns the payload is corrupt.
+            raise TransportError(
+                f"truncated bytes value: declared {length} bytes, "
+                f"{len(payload) - offset} available"
+            )
         return payload[offset:offset + length], offset + length
     raise TransportError(f"unknown value kind {kind}")
 
 
 def encode(message: Message) -> bytes:
     """Serialize *message* to a length-prefixed frame."""
+    try:
+        return _encode(message)
+    except struct.error as exc:
+        # Field outside the wire format's 64-bit range: surface the
+        # codec's own error type, not a bare struct.error.
+        raise TransportError(f"cannot encode {message!r}: {exc}") from exc
+
+
+def _encode(message: Message) -> bytes:
     if isinstance(message, ClockGrant):
         body = bytes([_T_CLOCK_GRANT]) + _U64.pack(message.seq) + _U64.pack(message.ticks)
     elif isinstance(message, TimeReport):

@@ -1,4 +1,4 @@
-"""Tests for multi-board co-simulation."""
+"""Tests for multi-board co-simulation (in-process, queue and TCP)."""
 
 import pytest
 
@@ -9,6 +9,7 @@ from repro.cosim import (
     CosimConfig,
     CosimMaster,
     MultiBoardInprocSession,
+    MultiBoardThreadedSession,
     build_driver_sim,
 )
 from repro.devices import (
@@ -19,7 +20,8 @@ from repro.devices import (
 )
 from repro.errors import ProtocolError
 from repro.router.checksum import checksum16
-from repro.transport import InprocLink
+from repro.transport import InprocLink, QueueLink
+from repro.transport.tcp import TcpLinkServer, connect_board
 
 ACCEL_BASE, GPIO_BASE = 0x10, 0x30
 ACCEL_VECTOR, GPIO_VECTOR = 2, 4
@@ -27,9 +29,12 @@ ACCEL_VECTOR, GPIO_VECTOR = 2, 4
 
 class Rig:
     """One shared hardware model, two boards: board A drives the
-    accelerator, board B watches the GPIO bank."""
+    accelerator, board B watches the GPIO bank.  ``mode`` selects the
+    transport and session flavour: ``inproc`` (deterministic), ``queue``
+    or ``tcp`` (threaded board runtimes)."""
 
-    def __init__(self, t_sync=25):
+    def __init__(self, t_sync=25, mode="inproc"):
+        self.mode = mode
         self.config = CosimConfig(t_sync=t_sync)
         self.sim, self.clock = build_driver_sim("multi_hw",
                                                 config=self.config)
@@ -38,34 +43,64 @@ class Rig:
         self.accel.map_registers(self.sim, ACCEL_BASE)
         self.gpio.map_registers(self.sim, GPIO_BASE)
 
-        self.link_a = InprocLink()
-        self.link_b = InprocLink()
-        self.master = CosimMaster(self.sim, self.clock, self.link_a.master,
+        self._servers = []
+        (master_a, board_a_ep, self.link_a,
+         stats_a) = self._make_link("a")
+        (master_b, board_b_ep, self.link_b,
+         stats_b) = self._make_link("b")
+        self.master = CosimMaster(self.sim, self.clock, master_a,
                                   self.config)
         self.master.bind_interrupt(ACCEL_VECTOR, self.accel.done_irq,
-                                   endpoint=self.link_a.master)
+                                   endpoint=master_a)
         self.master.bind_interrupt(GPIO_VECTOR, self.gpio.irq,
-                                   endpoint=self.link_b.master)
-        self.link_a.install_data_server(self.master.serve_data)
-        self.link_b.install_data_server(self.master.serve_data)
+                                   endpoint=master_b)
+        if mode == "inproc":
+            self.link_a.install_data_server(self.master.serve_data)
+            self.link_b.install_data_server(self.master.serve_data)
 
         self.board_a = Board(name="board_a")
         self.board_b = Board(name="board_b")
         latency = self.config.latency
         self.accel_driver = AcceleratorDriver(
-            self.board_a.kernel, self.link_a.board, latency,
+            self.board_a.kernel, board_a_ep, latency,
             vector=ACCEL_VECTOR, base=ACCEL_BASE)
         self.gpio_driver = GpioDriver(
-            self.board_b.kernel, self.link_b.board, latency,
+            self.board_b.kernel, board_b_ep, latency,
             vector=GPIO_VECTOR, base=GPIO_BASE)
         self.slot_a = BoardSlot(
             "a", self.link_a,
-            CosimBoardRuntime(self.board_a, self.link_a.board, self.config))
+            CosimBoardRuntime(self.board_a, board_a_ep, self.config),
+            master_ep=master_a, stats=stats_a)
         self.slot_b = BoardSlot(
             "b", self.link_b,
-            CosimBoardRuntime(self.board_b, self.link_b.board, self.config))
-        self.session = MultiBoardInprocSession(
+            CosimBoardRuntime(self.board_b, board_b_ep, self.config),
+            master_ep=master_b, stats=stats_b)
+        session_cls = (MultiBoardInprocSession if mode == "inproc"
+                       else MultiBoardThreadedSession)
+        self.session = session_cls(
             self.master, [self.slot_a, self.slot_b], self.config)
+
+    def _make_link(self, name):
+        if self.mode == "inproc":
+            link = InprocLink()
+            return link.master, link.board, link, link.stats
+        if self.mode == "queue":
+            link = QueueLink()
+            return link.master, link.board, link, link.stats
+        server = TcpLinkServer()
+        self._servers.append(server)
+        board_ep = connect_board(server.addresses, stats=server.stats)
+        master_ep = server.accept()
+        return master_ep, board_ep, None, server.stats
+
+    def close(self):
+        if self.mode != "inproc":
+            try:
+                self.session.close()
+            except Exception:
+                pass
+        for server in self._servers:
+            server.close()
 
 
 @pytest.fixture
@@ -144,3 +179,69 @@ class TestMultiBoard:
     def test_needs_bound(self, rig):
         with pytest.raises(ProtocolError):
             rig.session.run()
+
+
+def _run_checksum(rig, max_cycles=200):
+    """Board A checksums a buffer via the shared accelerator."""
+    results = {}
+
+    def app_a():
+        value = yield from rig.accel_driver.checksum([b"multi"],
+                                                     wait_irq=True)
+        results["csum"] = value
+
+    rig.board_a.kernel.create_thread("a", app_a, 10)
+    metrics = rig.session.run(max_cycles=max_cycles)
+    return metrics, results
+
+
+class TestMultiBoardThreaded:
+    """Satellite: socket/queue-backed multi-board sessions must keep the
+    same tick accounting as the deterministic in-process session."""
+
+    @pytest.mark.parametrize("mode", ["queue", "tcp"])
+    def test_tick_accounting_matches_inproc(self, mode):
+        ref = Rig()
+        ref_metrics, ref_results = _run_checksum(ref)
+
+        rig = Rig(mode=mode)
+        try:
+            metrics, results = _run_checksum(rig)
+        finally:
+            rig.close()
+
+        # master cycles == board_i ticks for every board, both flavours.
+        assert rig.session.aligned()
+        assert ref.session.aligned()
+        assert metrics.master_cycles == ref_metrics.master_cycles == 200
+        assert rig.board_a.kernel.sw_ticks == ref.board_a.kernel.sw_ticks
+        assert rig.board_b.kernel.sw_ticks == ref.board_b.kernel.sw_ticks
+        assert metrics.windows == ref_metrics.windows
+        assert metrics.board_ticks == ref_metrics.board_ticks
+        assert results["csum"] == ref_results["csum"] == checksum16(b"multi")
+
+    @pytest.mark.parametrize("mode", ["queue", "tcp"])
+    def test_windows_follow_grant_schedule(self, mode):
+        rig = Rig(t_sync=30, mode=mode)
+        try:
+            metrics = rig.session.run(max_cycles=100)
+        finally:
+            rig.close()
+        assert rig.session.aligned()
+        # ceil(100 / 30) windows, final one truncated to 10 ticks.
+        assert metrics.windows == 4
+        assert metrics.master_cycles == 100
+        assert rig.board_a.kernel.sw_ticks == 100
+        assert rig.board_b.kernel.sw_ticks == 100
+
+    def test_threaded_interrupts_route_to_owning_board_only(self):
+        rig = Rig(mode="queue")
+        try:
+            _, results = _run_checksum(rig, max_cycles=300)
+        finally:
+            rig.close()
+        accel_vec = rig.board_a.kernel.interrupts._vectors[ACCEL_VECTOR]
+        gpio_vec = rig.board_b.kernel.interrupts._vectors[GPIO_VECTOR]
+        assert results["csum"] == checksum16(b"multi")
+        assert accel_vec.isr_count == 1
+        assert gpio_vec.isr_count == 0

@@ -1,0 +1,1 @@
+"""Differential fuzzer tests."""

@@ -1,0 +1,74 @@
+"""Property test: adaptive ``T_sync`` under generated fault plans.
+
+For any legal adaptive policy and any ``drop_interrupts`` fault plan,
+a full adaptive run must preserve the paper's core guarantees:
+
+* the **freeze invariant** — the RTOS is parked in IDLE whenever the
+  master holds the clock (probed at every window boundary);
+* **tick accounting** — ``master cycles == board sw_ticks`` at the end
+  of the run, faults or not (lost interrupts delay service, they never
+  corrupt time);
+* **grant bounds** — every window the controller chooses lies inside
+  ``[min_t_sync, max_t_sync]``.
+
+The run itself goes through the difftest ``adaptive`` backend, so this
+is also a standing check that the fuzzer's adaptive harness reports
+what really happened.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.difftest.backends import run_backend
+from repro.difftest.oracles import check_outcome
+from repro.difftest.workload import generate_spec
+
+
+@st.composite
+def adaptive_specs(draw):
+    """A valid adaptive FuzzSpec plus a generated fault plan."""
+    base = generate_spec(draw(st.integers(0, 2**20)), 0,
+                         scenarios=["adaptive"])
+    minimum = draw(st.integers(5, 40))
+    initial = minimum * draw(st.integers(1, 4))
+    maximum = initial * draw(st.integers(1, 6))
+    drops = draw(st.lists(st.integers(1, 8), max_size=3, unique=True))
+    return dataclasses.replace(
+        base,
+        t_sync=initial,
+        max_cycles=draw(st.integers(200, 1500)),
+        packets_per_producer=draw(st.integers(1, 4)),
+        interval_cycles=draw(st.integers(50, 300)),
+        adaptive_min=minimum,
+        adaptive_initial=initial,
+        adaptive_max=maximum,
+        adaptive_patience=draw(st.integers(1, 3)),
+        drop_interrupts=sorted(drops),
+    )
+
+
+class TestAdaptiveUnderFaults:
+    @given(adaptive_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_freeze_invariant_and_tick_accounting_hold(self, spec):
+        outcome = run_backend(spec, "adaptive")
+        assert outcome.ok, outcome.error
+
+        # Freeze invariant: never caught the kernel outside IDLE while
+        # the master held time.
+        assert outcome.extra["freeze_violations"] == []
+
+        # Tick accounting survives every fault plan.
+        assert outcome.aligned is True
+        assert outcome.master_cycles == outcome.board_ticks
+
+        # Every adaptively chosen window stays inside the policy band.
+        low = outcome.extra["policy_min"]
+        high = outcome.extra["policy_max"]
+        assert all(low <= size <= high
+                   for size in outcome.extra["window_sizes"])
+
+        # And the tier-1 oracles agree there is nothing to report.
+        assert check_outcome(spec, outcome) == []

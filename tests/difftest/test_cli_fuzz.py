@@ -1,0 +1,39 @@
+"""The ``repro fuzz`` command-line surface."""
+
+from repro.cli import main
+from repro.difftest import generate_spec
+
+
+class TestFuzzCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "42", "--runs", "2",
+                     "--scenarios", "iss", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles held" in out
+        assert "2 runs" in out
+
+    def test_progress_log_without_quiet(self, capsys):
+        assert main(["fuzz", "--seed", "42", "--runs", "1",
+                     "--scenarios", "iss"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   " in out
+
+    def test_spec_file_mode(self, tmp_path, capsys):
+        spec = generate_spec(42, 1, scenarios=["iss"])
+        path = tmp_path / "case.json"
+        spec.save(str(path))
+        assert main(["fuzz", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "all oracles held" in out
+        assert "iss" in out
+
+    def test_backend_filter(self, capsys):
+        assert main(["fuzz", "--seed", "42", "--runs", "1",
+                     "--scenarios", "router",
+                     "--backends", "inproc", "rerun", "--quiet"]) == 0
+        assert "backend executions" in capsys.readouterr().out
+
+    def test_index_offsets_the_corpus(self, capsys):
+        assert main(["fuzz", "--seed", "42", "--runs", "1",
+                     "--index", "5", "--scenarios", "iss"]) == 0
+        assert "[5]" in capsys.readouterr().out

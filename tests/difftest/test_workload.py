@@ -1,0 +1,79 @@
+"""FuzzSpec generation and serialization."""
+
+import pytest
+
+from repro.difftest.workload import SCENARIOS, FuzzSpec, generate_spec
+from repro.errors import ReproError
+
+
+class TestGeneration:
+    def test_generation_is_deterministic(self):
+        a = generate_spec(42, 3)
+        b = generate_spec(42, 3)
+        assert a == b
+
+    def test_indices_differ(self):
+        seeds = {generate_spec(42, index).seed for index in range(8)}
+        assert len(seeds) == 8
+
+    def test_scenarios_round_robin(self):
+        picked = [generate_spec(1, index).scenario for index in range(8)]
+        assert picked == list(SCENARIOS) * 2
+
+    def test_scenario_filter(self):
+        for index in range(6):
+            spec = generate_spec(1, index, scenarios=["router"])
+            assert spec.scenario == "router"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ReproError, match="unknown fuzz scenario"):
+            generate_spec(1, 0, scenarios=["bogus"])
+
+    def test_adaptive_policy_is_always_valid(self):
+        for index in range(0, 40, len(SCENARIOS)):
+            spec = generate_spec(7, index, scenarios=["adaptive"])
+            policy = spec.adaptive_policy()
+            assert 0 < policy.min_t_sync <= policy.initial_t_sync
+            assert policy.initial_t_sync <= policy.max_t_sync
+
+    def test_fault_plan_is_fresh_per_call(self):
+        spec = generate_spec(1, 0, scenarios=["router"])
+        spec.drop_interrupts = [2, 4]
+        plan_a = spec.fault_plan()
+        plan_b = spec.fault_plan()
+        assert plan_a is not plan_b
+        # Consuming one plan must not affect the next run's plan.
+        plan_a.drop_interrupts.discard(2)
+        assert plan_b.drop_interrupts == {2, 4}
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        spec = generate_spec(42, 0)
+        path = tmp_path / "spec.json"
+        spec.save(str(path))
+        assert FuzzSpec.load(str(path)) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown FuzzSpec fields"):
+            FuzzSpec.from_dict({"scenario": "router", "seed": 1,
+                                "bogus_knob": 3})
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ReproError, match="scenario and seed"):
+            FuzzSpec.from_dict({"t_sync": 100})
+
+    def test_unknown_scenario_value_rejected(self):
+        with pytest.raises(ReproError, match="unknown fuzz scenario"):
+            FuzzSpec(scenario="warp", seed=1)
+
+    def test_describe_names_scenario_and_index(self):
+        spec = generate_spec(42, 5)
+        text = spec.describe()
+        assert "[5]" in text
+        assert spec.scenario in text
+
+    def test_payload_bytes_deterministic(self):
+        spec = generate_spec(42, 3, scenarios=["multiboard"])
+        assert spec.payload_bytes() == spec.payload_bytes()
+        assert len(spec.payload_bytes()) == spec.data_len

@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.replay",
     "repro.staticcheck",
     "repro.obs",
+    "repro.difftest",
 ]
 
 

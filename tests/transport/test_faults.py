@@ -111,3 +111,51 @@ class TestGracefulDegradation:
             session.run(max_cycles=500)
         assert plan.grants_dropped == 1
         assert plan.total_faults() == 1
+
+
+class TestFaultedRecordings:
+    """Recording a faulted run must stay replayable.
+
+    Found by the differential fuzzer (``repro fuzz``): the finalized
+    recording used to embed the live trace rows, whose interrupt
+    column counts packets the master *sent* — but a replay can only
+    redeliver the packets the board *received*, so any run with a
+    ``drop_interrupts`` fault made a bit-clean replay look divergent.
+    """
+
+    def test_drop_interrupt_recording_replays_cleanly(self):
+        from repro.cosim import ProtocolTrace
+        from repro.replay import SessionRecording, find_divergence
+        from repro.router.testbench import (
+            RouterWorkload,
+            build_router_cosim,
+            finalize_router_recording,
+            replay_router_recording,
+        )
+
+        plan = FaultPlan(drop_interrupts={2})
+        recording = SessionRecording()
+        cosim = build_router_cosim(
+            CosimConfig(t_sync=300),
+            RouterWorkload(packets_per_producer=5, interval_cycles=300,
+                           corrupt_rate=0.2, seed=11),
+            mode="inproc", fault_plan=plan, recorder=recording)
+        trace = ProtocolTrace()
+        cosim.session.attach_trace(trace)
+        metrics = cosim.run()
+        finalize_router_recording(recording, cosim, metrics)
+
+        # The fault actually fired: the board saw one interrupt fewer
+        # than the master sent.
+        assert plan.interrupts_dropped == 1
+        sent = sum(record.interrupts for record in trace.records)
+        assert len(recording.interrupts) == sent - 1
+        # The embedded rows carry the board-visible count, not the
+        # master-side one.
+        assert (sum(row[4] for row in recording.trace_rows)
+                == len(recording.interrupts))
+
+        result = replay_router_recording(recording)
+        assert result.clean
+        report = find_divergence(recording, result)
+        assert report.clean, report.describe()

@@ -86,3 +86,32 @@ class TestErrors:
         frame[9] = 0x7F  # corrupt the value-kind byte
         with pytest.raises(TransportError, match="unknown value kind"):
             decode(bytes(frame))
+
+    # Regressions found by the differential fuzzer (repro.difftest) ----
+    def test_truncated_bytes_value_raises_not_shortens(self):
+        # A frame whose bytes-value is cut short used to decode to a
+        # silently *wrong* shorter value (b"abcdef" -> b"abc").
+        frame = encode(DataWrite(seq=1, address=2, value=b"abcdef"))[4:]
+        with pytest.raises(TransportError, match="truncated bytes value"):
+            decode(frame[:-3])
+
+    def test_truncated_bytes_reply_raises_not_shortens(self):
+        frame = encode(DataReply(seq=1, value=b"payload"))[4:]
+        with pytest.raises(TransportError, match="truncated bytes value"):
+            decode(frame[:-1])
+
+    def test_bytes_length_overrunning_payload_raises(self):
+        frame = bytearray(encode(DataReply(1, b"abcd"))[4:])
+        # Inflate the declared value length far past the payload end.
+        frame[10:14] = (1 << 20).to_bytes(4, "big")
+        with pytest.raises(TransportError, match="truncated bytes value"):
+            decode(bytes(frame))
+
+    def test_out_of_range_int_value_raises_transport_error(self):
+        # Used to leak a bare struct.error.
+        with pytest.raises(TransportError, match="cannot encode"):
+            encode(DataWrite(seq=1, address=2, value=1 << 70))
+
+    def test_out_of_range_seq_raises_transport_error(self):
+        with pytest.raises(TransportError, match="cannot encode"):
+            encode(ClockGrant(seq=1 << 70, ticks=1))
