@@ -18,7 +18,8 @@ from repro.cosim import CosimConfig
 from repro.router.testbench import RouterWorkload, build_router_cosim
 
 
-def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark, quick):
+def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark, quick,
+                                     bench):
     capacities = (5, 20) if quick else (5, 10, 20)
     packets = 10 if quick else 25
     sweep = ((250, 1000, 4000) if quick
@@ -37,6 +38,8 @@ def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark, quick):
         return rows
 
     rows = macro_benchmark(run)
+    bench.series("knee_vs_capacity", work=len(capacities) * len(sweep),
+                 unit="runs")
     emit("\n== accuracy knee vs buffer capacity ==")
     emit(format_table(["capacity", "predicted knee", "measured knee"], rows))
     knees = [measured for _, _, measured in rows]
@@ -48,7 +51,7 @@ def test_knee_tracks_buffer_capacity(macro_benchmark, benchmark, quick):
 
 
 def test_software_service_rate_sensitivity(macro_benchmark, benchmark,
-                                           quick):
+                                           quick, bench):
     """When the checksum code gets slower, the board can no longer
     drain a window's backlog within its granted ticks and accuracy
     collapses — an RTOS-timing effect the untimed and annotated
@@ -74,6 +77,7 @@ def test_software_service_rate_sensitivity(macro_benchmark, benchmark,
         return accuracies
 
     accuracies = macro_benchmark(run)
+    bench.series("service_rate", work=len(costs), unit="runs")
     emit("\n== accuracy vs SW checksum cost (T_sync=1000) ==")
     emit(format_table(["cycles/byte", "accuracy"],
                       [[c, f"{100 * a:.1f}%"] for c, a in accuracies]))
@@ -83,7 +87,8 @@ def test_software_service_rate_sensitivity(macro_benchmark, benchmark,
     assert values[-1] < 1.0, "a compute-bound board must drop packets"
 
 
-def test_latency_inflates_with_t_sync(macro_benchmark, benchmark, quick):
+def test_latency_inflates_with_t_sync(macro_benchmark, benchmark, quick,
+                                      bench):
     """The fidelity axis Figure 7 does not plot: even while accuracy is
     still 100%, loose synchronization inflates observed packet latency,
     because packets wait for window boundaries to be serviced."""
@@ -98,6 +103,7 @@ def test_latency_inflates_with_t_sync(macro_benchmark, benchmark, quick):
         return latency_vs_t_sync(sweep, workload=workload)
 
     points = macro_benchmark(run)
+    bench.series("latency_vs_tsync", work=len(sweep), unit="runs")
     emit("\n== packet latency vs T_sync (cycles) ==")
     emit(format_table(
         ["T_sync", "accuracy", "mean", "p50", "p95", "max"],
@@ -111,7 +117,8 @@ def test_latency_inflates_with_t_sync(macro_benchmark, benchmark, quick):
     assert means == sorted(means), "latency must inflate with T_sync"
 
 
-def test_measured_overhead_declines(macro_benchmark, benchmark, quick):
+def test_measured_overhead_declines(macro_benchmark, benchmark, quick,
+                                    bench):
     """Figure 6's decline, in genuinely measured wall-clock time."""
 
     sweep = (25, 1000) if quick else (25, 100, 1000)
@@ -131,6 +138,7 @@ def test_measured_overhead_declines(macro_benchmark, benchmark, quick):
         return rows
 
     rows = macro_benchmark(run)
+    bench.series("measured_overhead", work=len(sweep), unit="runs")
     emit("\n== measured wall time vs T_sync (queue link, 2 ms network) ==")
     emit(format_table(["T_sync", "wall [s]", "sync exchanges"],
                       [[t, f"{w:.3f}", s] for t, w, s in rows]))

@@ -49,12 +49,15 @@ def run_comparison(packets=20, include=None):
     return rows, results
 
 
-def test_adaptive_vs_static(macro_benchmark, benchmark, quick):
+def test_adaptive_vs_static(macro_benchmark, benchmark, quick, bench):
     if quick:
         rows, results = macro_benchmark(
             run_comparison, 5, {"static tight (T=200)", "adaptive"})
     else:
         rows, results = macro_benchmark(run_comparison)
+    bench.series("adaptive_vs_static",
+                 work=sum(c.stats.generated for c, _ in results.values()),
+                 unit="packets")
     emit("\n== adaptive vs static T_sync on bursty traffic ==")
     emit(format_table(
         ["configuration", "accuracy", "exchanges", "modeled [s]", "notes"],

@@ -28,25 +28,27 @@ def make_workload(packets=10):
                           payload_size=32, corrupt_rate=0.1, seed=17)
 
 
-def test_untimed_baseline(macro_benchmark, benchmark, quick):
+def test_untimed_baseline(macro_benchmark, benchmark, quick, bench):
     result = macro_benchmark(run_untimed,
                              make_workload(3 if quick else 10))
+    bench.series("untimed", work=result.stats.generated, unit="packets")
     emit(f"\nuntimed: {result.stats.summary()} "
          f"(wall {result.wall_seconds:.3f}s)")
     benchmark.extra_info["forwarded"] = result.stats.forwarded
     assert result.stats.handled_fraction() == 1.0
 
 
-def test_lockstep_reference(macro_benchmark, benchmark, quick):
+def test_lockstep_reference(macro_benchmark, benchmark, quick, bench):
     metrics, stats = macro_benchmark(run_lockstep,
                                      make_workload(3 if quick else 10))
+    bench.series("lockstep", work=stats.generated, unit="packets")
     emit(f"\nlockstep: {stats.summary()}")
     emit(f"          {metrics.summary()}")
     assert stats.handled_fraction() == 1.0
     assert metrics.sync_exchanges == metrics.master_cycles
 
 
-def test_virtual_tick_practical(macro_benchmark, benchmark, quick):
+def test_virtual_tick_practical(macro_benchmark, benchmark, quick, bench):
     def run():
         cosim = build_router_cosim(CosimConfig(t_sync=1000),
                                    make_workload(3 if quick else 10))
@@ -54,6 +56,8 @@ def test_virtual_tick_practical(macro_benchmark, benchmark, quick):
         return cosim, metrics
 
     cosim, metrics = macro_benchmark(run)
+    bench.series("virtual_tick", work=cosim.stats.generated,
+                 unit="packets")
     emit(f"\nvirtual tick (T=1000): {cosim.stats.summary()}")
     emit(f"          {metrics.summary()}")
     assert cosim.stats.handled_fraction() == 1.0
@@ -61,13 +65,14 @@ def test_virtual_tick_practical(macro_benchmark, benchmark, quick):
     assert metrics.sync_exchanges < metrics.master_cycles / 100
 
 
-def test_annotated_iss_baseline(macro_benchmark, benchmark, quick):
+def test_annotated_iss_baseline(macro_benchmark, benchmark, quick, bench):
     def run():
         annotated = build_annotated_router(make_workload(3 if quick else 10))
         stats = annotated.run()
         return annotated, stats
 
     annotated, stats = macro_benchmark(run)
+    bench.series("annotated_iss", work=stats.generated, unit="packets")
     emit(f"\nannotated ISS: {stats.summary()} "
          f"(annotated cycles {annotated.software.annotated_cycles_total})")
     # Functionally equivalent, but structurally blind to the RTOS:
@@ -77,7 +82,7 @@ def test_annotated_iss_baseline(macro_benchmark, benchmark, quick):
 
 
 def test_iss_executed_vs_modeled_software_timing(macro_benchmark,
-                                                 benchmark, quick):
+                                                 benchmark, quick, bench):
     """The third software-timing fidelity level: execute the checksum
     routine on the ISS inside the board thread, versus charging the
     coarse work-model cost.  Functional results agree; the cycle
@@ -95,6 +100,8 @@ def test_iss_executed_vs_modeled_software_timing(macro_benchmark,
         return model, iss, model_cycles, iss_cycles
 
     model, iss, model_cycles, iss_cycles = macro_benchmark(run)
+    bench.series("iss_vs_model", work=2 * model.stats.generated,
+                 unit="packets")
     ratio = model_cycles / max(1, iss_cycles)
     emit("\n== software timing: coarse model vs ISS execution ==")
     emit(format_table(
@@ -114,7 +121,8 @@ def test_iss_executed_vs_modeled_software_timing(macro_benchmark,
     assert 0.5 < ratio < 2.0
 
 
-def test_optimistic_rollback_overhead(macro_benchmark, benchmark, quick):
+def test_optimistic_rollback_overhead(macro_benchmark, benchmark, quick,
+                                      bench):
     lookaheads = (0, 1000) if quick else (0, 200, 1000, 5000)
     packet_count = 60 if quick else 300
 
@@ -130,6 +138,8 @@ def test_optimistic_rollback_overhead(macro_benchmark, benchmark, quick):
         return rows
 
     rows = macro_benchmark(run)
+    bench.series("optimistic_rollback", work=len(lookaheads) * packet_count,
+                 unit="packets")
     emit("\n== optimistic rollback: waste vs optimism window ==")
     emit(format_table(["lookahead", "rollbacks", "wasted units",
                        "efficiency"], rows))

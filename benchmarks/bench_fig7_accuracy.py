@@ -31,10 +31,15 @@ def run_figure7(t_sync_values=T_SYNC_VALUES, packet_counts=PACKET_COUNTS):
                             workload=make_workload())
 
 
-def test_fig7_accuracy_vs_t_sync(macro_benchmark, benchmark, quick):
+def test_fig7_accuracy_vs_t_sync(macro_benchmark, benchmark, quick, bench):
     t_sync_values = QUICK_T_SYNC if quick else T_SYNC_VALUES
     packet_counts = QUICK_PACKETS if quick else PACKET_COUNTS
     result = macro_benchmark(run_figure7, t_sync_values, packet_counts)
+
+    bench.config(t_sync_values=list(t_sync_values),
+                 packet_counts=list(packet_counts))
+    bench.series("fig7_sweep", work=len(t_sync_values) * sum(packet_counts),
+                 unit="packets", tier1=True)
 
     rows = []
     for t in t_sync_values:

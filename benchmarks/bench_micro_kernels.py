@@ -13,9 +13,11 @@ from repro.simkernel import Clock, Module, Signal, Simulator, ns
 from repro.transport import DataWrite, decode, encode
 
 
-def test_simkernel_clocked_methods(benchmark, quick):
+def test_simkernel_clocked_methods(benchmark, quick, bench):
     """Events per second through a 4-module clocked design."""
-    cycles = 200 if quick else 2000
+    # Tier-1 series: full size even in --quick so the recorded timing
+    # is stable enough for the 20% regression gate (still sub-second).
+    cycles = 2000
 
     def run():
         sim = Simulator()
@@ -38,13 +40,15 @@ def test_simkernel_clocked_methods(benchmark, quick):
         sim.run(ns(10) * cycles)
         return stages[0].count
 
-    count = benchmark(run)
+    count = benchmark(bench.wrap(run))
+    bench.series("simkernel_clocked", work=cycles, unit="cycles",
+                 tier1=True)
     assert count == cycles + 1  # edges at t = 0, 10 ns, ..., 20 us inclusive
 
 
-def test_simkernel_thread_pingpong(benchmark, quick):
+def test_simkernel_thread_pingpong(benchmark, quick, bench):
     """Thread-process wakeups through event ping-pong."""
-    rounds = 200 if quick else 2000
+    rounds = 2000
 
     def run():
         sim = Simulator()
@@ -78,13 +82,15 @@ def test_simkernel_thread_pingpong(benchmark, quick):
         sim.run(ns(1) * 2 * rounds)
         return state["count"]
 
-    count = benchmark(run)
+    count = benchmark(bench.wrap(run))
+    bench.series("simkernel_pingpong", work=rounds, unit="wakeups",
+                 tier1=True)
     assert count == rounds
 
 
-def test_rtos_context_switching(benchmark, quick):
+def test_rtos_context_switching(benchmark, quick, bench):
     """RTOS round-robin context switches."""
-    ticks = 10 if quick else 50
+    ticks = 50
 
     def run():
         kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
@@ -99,13 +105,15 @@ def test_rtos_context_switching(benchmark, quick):
         kernel.run_ticks(ticks)
         return kernel.context_switches
 
-    switches = benchmark(run)
+    switches = benchmark(bench.wrap(run))
+    bench.series("rtos_context_switch", work=switches, unit="switches",
+                 tier1=True)
     assert switches > 2 * ticks
 
 
-def test_iss_instruction_throughput(benchmark, quick):
+def test_iss_instruction_throughput(benchmark, quick, bench):
     """ISS instructions per second on the checksum inner loop."""
-    data = bytes(range(256)) * (1 if quick else 4)
+    data = bytes(range(256)) * 4
 
     def run():
         memory = Memory(0x1000)
@@ -116,21 +124,24 @@ def test_iss_instruction_throughput(benchmark, quick):
         cpu.run()
         return cpu.instructions_retired
 
-    retired = benchmark(run)
+    retired = benchmark(bench.wrap(run))
+    bench.series("iss_checksum", work=retired, unit="instructions",
+                 tier1=True)
     assert retired > len(data)
 
 
-def test_checksum_throughput(benchmark, quick):
+def test_checksum_throughput(benchmark, quick, bench):
     data = bytes(range(256)) * (2 if quick else 16)
 
     def run():
         return checksum16(data)
 
-    value = benchmark(run)
+    value = benchmark(bench.wrap(run))
+    bench.series("checksum16", work=len(data), unit="bytes")
     assert 0 <= value <= 0xFFFF
 
 
-def test_codec_roundtrip_throughput(benchmark, quick):
+def test_codec_roundtrip_throughput(benchmark, quick, bench):
     packet = Packet.build(1, 2, 3, bytes(64))
     message = DataWrite(seq=9, address=1, value=packet.to_bytes())
     rounds = 10 if quick else 100
@@ -141,11 +152,12 @@ def test_codec_roundtrip_throughput(benchmark, quick):
             decode(frame[4:])
         return frame
 
-    frame = benchmark(run)
+    frame = benchmark(bench.wrap(run))
+    bench.series("codec_roundtrip", work=rounds, unit="roundtrips")
     assert decode(frame[4:]) == message
 
 
-def test_packet_build_parse_throughput(benchmark, quick):
+def test_packet_build_parse_throughput(benchmark, quick, bench):
     payload = bytes(range(64))
     rounds = 10 if quick else 100
 
@@ -155,5 +167,6 @@ def test_packet_build_parse_throughput(benchmark, quick):
             Packet.from_bytes(packet.to_bytes())
         return packet
 
-    packet = benchmark(run)
+    packet = benchmark(bench.wrap(run))
+    bench.series("packet_build_parse", work=rounds, unit="roundtrips")
     assert packet.is_valid()

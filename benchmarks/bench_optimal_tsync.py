@@ -24,10 +24,15 @@ def run_sweep(t_sync_values=T_SYNC_VALUES, packets=25):
     return find_optimal_t_sync(t_sync_values, workload=workload)
 
 
-def test_optimal_t_sync(macro_benchmark, benchmark, quick):
+def test_optimal_t_sync(macro_benchmark, benchmark, quick, bench):
     t_sync_values = QUICK_T_SYNC if quick else T_SYNC_VALUES
-    result = macro_benchmark(run_sweep, t_sync_values,
-                             5 if quick else 25)
+    packets = 5 if quick else 25
+    result = macro_benchmark(run_sweep, t_sync_values, packets)
+
+    bench.config(t_sync_values=list(t_sync_values), packets=packets)
+    bench.series("optimal_sweep", work=len(t_sync_values) * packets * 4,
+                 unit="packets", tier1=True,
+                 optimal_t_sync=result.best.t_sync)
 
     rows = [
         [p.t_sync, format_percent(p.accuracy), f"{p.wall_seconds:.3f}",

@@ -11,11 +11,19 @@ CI smoke mode: ``pytest benchmarks/ --quick --benchmark-disable``
 shrinks every experiment to one tiny configuration and keeps only the
 assertions that survive the shrink — it proves the harnesses still
 *run*, not that the paper's curves still hold.
+
+Persisted trajectory: with ``--bench-json-dir DIR`` every module also
+writes a machine-readable ``BENCH_<name>.json`` (schema
+``repro-bench/1``) of what it measured; ``repro bench`` drives this and
+``repro bench --compare`` diffs two snapshots.  See
+``docs/BENCHMARKS.md``.
 """
 
 import sys
 
 import pytest
+
+from benchjson import BenchRecorder, module_bench_name
 
 
 def pytest_addoption(parser):
@@ -23,6 +31,9 @@ def pytest_addoption(parser):
         "--quick", action="store_true", default=False,
         help="benchmark smoke mode: one tiny config per experiment, "
              "paper-shape assertions relaxed")
+    parser.addoption(
+        "--bench-json-dir", default=None, metavar="DIR",
+        help="write one repro-bench/1 BENCH_<name>.json per module here")
 
 
 @pytest.fixture
@@ -38,12 +49,44 @@ def emit(text: str) -> None:
     sys.stdout.flush()
 
 
+def _recorders(config):
+    store = getattr(config, "_bench_recorders", None)
+    if store is None:
+        store = {}
+        config._bench_recorders = store
+    return store
+
+
 @pytest.fixture
-def macro_benchmark(benchmark):
-    """Run a macro experiment exactly once under the benchmark clock."""
+def bench(request):
+    """The module's :class:`BenchRecorder` for the JSON trajectory."""
+    store = _recorders(request.config)
+    name = module_bench_name(request.module.__name__)
+    recorder = store.get(name)
+    if recorder is None:
+        profile = "quick" if request.config.getoption("--quick") else "full"
+        recorder = BenchRecorder(name, profile)
+        store[name] = recorder
+    return recorder
+
+
+@pytest.fixture
+def macro_benchmark(benchmark, bench):
+    """Run a macro experiment exactly once under the benchmark clock
+    (and the trajectory clock: ``bench.last_seconds`` afterwards)."""
 
     def run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+        return benchmark.pedantic(bench.wrap(fn), args=args, kwargs=kwargs,
                                   rounds=1, iterations=1)
 
     return run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    directory = session.config.getoption("--bench-json-dir")
+    if not directory:
+        return
+    for recorder in _recorders(session.config).values():
+        if recorder.report.series:
+            path = recorder.write(directory)
+            print(f"wrote {path}")

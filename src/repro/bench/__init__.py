@@ -1,0 +1,42 @@
+"""Persisted benchmark trajectory (``repro-bench/1``).
+
+Every harness under ``benchmarks/`` emits one machine-readable
+``BENCH_<name>.json`` describing what it measured: the configuration it
+ran, one record per measured series (wall seconds, amount of work,
+derived throughput) and an environment fingerprint.  The committed
+files under ``benchmarks/results/`` form the repository's performance
+trajectory: one point per PR, comparable with ``repro bench --compare``.
+
+See ``docs/BENCHMARKS.md`` for the workflow and the regression-gate
+policy.
+"""
+
+from repro.bench.compare import (
+    CompareResult,
+    SeriesDelta,
+    compare_paths,
+    compare_reports,
+)
+from repro.bench.report import (
+    SCHEMA,
+    BenchReport,
+    BenchSeries,
+    BenchValidationError,
+    env_fingerprint,
+    load_report,
+    validate_report,
+)
+
+__all__ = [
+    "SCHEMA",
+    "BenchReport",
+    "BenchSeries",
+    "BenchValidationError",
+    "CompareResult",
+    "SeriesDelta",
+    "compare_paths",
+    "compare_reports",
+    "env_fingerprint",
+    "load_report",
+    "validate_report",
+]

@@ -1,0 +1,179 @@
+"""Trajectory comparison and the regression gate.
+
+``repro bench --compare OLD NEW`` loads two ``repro-bench/1`` documents
+(or two directories of ``BENCH_*.json``) and reports, per series, how
+throughput moved.  Tier-1 series whose throughput fell by more than the
+threshold (default 20%) fail the gate; series without a throughput fall
+back to wall seconds.  Exit codes follow the CLI conventions: 0 clean,
+1 regression, 2 usage/validation error.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bench.report import BenchReport, BenchValidationError, load_report
+
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass
+class SeriesDelta:
+    """Movement of one series between two reports."""
+
+    report: str
+    key: str
+    tier1: bool
+    old_wall: float
+    new_wall: float
+    old_throughput: Optional[float]
+    new_throughput: Optional[float]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """new/old throughput (or old/new wall when no throughput)."""
+        if self.old_throughput and self.new_throughput:
+            return self.new_throughput / self.old_throughput
+        if self.old_wall > 0 and self.new_wall > 0:
+            return self.old_wall / self.new_wall
+        return None
+
+    def regressed(self, threshold: float) -> bool:
+        speedup = self.speedup
+        if speedup is None:
+            return False
+        return speedup < 1.0 - threshold
+
+    def describe(self) -> str:
+        speedup = self.speedup
+        shift = "?" if speedup is None else f"{speedup:.2f}x"
+        rate = ""
+        if self.old_throughput and self.new_throughput:
+            rate = (f"  {self.old_throughput:,.1f} -> "
+                    f"{self.new_throughput:,.1f}/s")
+        return (f"{self.report}/{self.key}: {shift}"
+                f"  wall {self.old_wall:.3f}s -> {self.new_wall:.3f}s{rate}"
+                + ("  [tier1]" if self.tier1 else ""))
+
+
+@dataclass
+class CompareResult:
+    """Outcome of comparing OLD against NEW."""
+
+    threshold: float
+    deltas: List[SeriesDelta] = field(default_factory=list)
+    #: Series present in OLD but missing from NEW (report, key, tier1).
+    missing: List[Tuple[str, str, bool]] = field(default_factory=list)
+    #: Non-fatal notes (profile mismatch, new-only series, ...).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[SeriesDelta]:
+        return [d for d in self.deltas
+                if d.tier1 and d.regressed(self.threshold)]
+
+    @property
+    def missing_tier1(self) -> List[Tuple[str, str, bool]]:
+        return [m for m in self.missing if m[2]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_tier1
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def describe(self) -> str:
+        lines = []
+        for delta in self.deltas:
+            marker = ("REGRESSION "
+                      if delta.tier1 and delta.regressed(self.threshold)
+                      else "")
+            lines.append(f"  {marker}{delta.describe()}")
+        for report, key, tier1 in self.missing:
+            tag = " [tier1]" if tier1 else ""
+            lines.append(f"  MISSING {report}/{key}{tag}: "
+                         "present in OLD, absent from NEW")
+        lines.extend(f"  note: {note}" for note in self.notes)
+        if self.ok:
+            lines.append(
+                f"gate clean: no tier-1 series slowed by more than "
+                f"{self.threshold:.0%}")
+        else:
+            lines.append(
+                f"gate FAILED: {len(self.regressions)} tier-1 "
+                f"regression(s), {len(self.missing_tier1)} missing "
+                f"tier-1 series (threshold {self.threshold:.0%})")
+        return "\n".join(lines)
+
+
+def compare_reports(old: BenchReport, new: BenchReport,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    result: Optional[CompareResult] = None) -> CompareResult:
+    """Compare two reports of the same harness."""
+    if result is None:
+        result = CompareResult(threshold=threshold)
+    if old.name != new.name:
+        raise BenchValidationError(
+            f"cannot compare different harnesses: {old.name!r} vs "
+            f"{new.name!r}")
+    if old.profile != new.profile:
+        result.notes.append(
+            f"{old.name}: profile changed {old.profile!r} -> "
+            f"{new.profile!r}; deltas are not meaningful across profiles")
+        return result
+    old_keys = {entry.key for entry in old.series}
+    for entry in old.series:
+        counterpart = new.find(entry.key)
+        if counterpart is None:
+            result.missing.append((old.name, entry.key, entry.tier1))
+            continue
+        result.deltas.append(SeriesDelta(
+            report=old.name,
+            key=entry.key,
+            tier1=entry.tier1 or counterpart.tier1,
+            old_wall=entry.wall_seconds,
+            new_wall=counterpart.wall_seconds,
+            old_throughput=entry.throughput,
+            new_throughput=counterpart.throughput,
+        ))
+    for entry in new.series:
+        if entry.key not in old_keys:
+            result.notes.append(f"{new.name}/{entry.key}: new series")
+    return result
+
+
+def _collect(path: str) -> List[str]:
+    if os.path.isdir(path):
+        return sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    return [path]
+
+
+def compare_paths(old_path: str, new_path: str,
+                  threshold: float = DEFAULT_THRESHOLD) -> CompareResult:
+    """Compare two files, or two directories of ``BENCH_*.json``.
+
+    Directory comparison matches reports by harness name; a baseline
+    with no counterpart in NEW counts its tier-1 series as missing.
+    """
+    result = CompareResult(threshold=threshold)
+    old_reports = {r.name: r for r in map(load_report, _collect(old_path))}
+    new_reports = {r.name: r for r in map(load_report, _collect(new_path))}
+    if not old_reports:
+        raise BenchValidationError(f"no reports found under {old_path!r}")
+    if not new_reports:
+        raise BenchValidationError(f"no reports found under {new_path!r}")
+    for name, old in sorted(old_reports.items()):
+        new = new_reports.get(name)
+        if new is None:
+            for entry in old.series:
+                result.missing.append((name, entry.key, entry.tier1))
+            continue
+        compare_reports(old, new, threshold, result=result)
+    for name in sorted(set(new_reports) - set(old_reports)):
+        result.notes.append(f"{name}: new report (no baseline)")
+    return result

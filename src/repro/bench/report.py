@@ -1,0 +1,208 @@
+"""The ``repro-bench/1`` report: schema, round-trip and validation.
+
+A report is one benchmark harness's persisted measurement:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "name": "fig5_overhead",
+      "profile": "quick",
+      "created": "2026-08-08T12:00:00Z",
+      "config": {"t_sync_values": [1000], "packet_counts": [5, 10]},
+      "env": {"python": "3.12.3", "platform": "Linux-...", ...},
+      "series": [
+        {"key": "fig5_sweep", "wall_seconds": 1.234, "work": 15,
+         "unit": "packets", "throughput": 12.16, "tier1": true,
+         "extra": {}}
+      ]
+    }
+
+``tier1`` marks the series the CI regression gate enforces; everything
+else is recorded for the trajectory but advisory.  ``throughput`` is
+``work / wall_seconds`` in ``unit``/second — the quantity the ≥-3x
+optimization target and the >20% regression gate are defined over.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro._version import __version__
+
+SCHEMA = "repro-bench/1"
+
+PROFILES = ("quick", "full")
+
+
+class BenchValidationError(ValueError):
+    """A document does not conform to ``repro-bench/1``."""
+
+
+@dataclass
+class BenchSeries:
+    """One measured series of a harness."""
+
+    key: str
+    wall_seconds: float
+    #: Amount of work done during *wall_seconds* (packets, instructions,
+    #: cycles, ... — see *unit*).  ``None`` when only time is meaningful.
+    work: Optional[float] = None
+    unit: str = "ops"
+    #: Derived rate in *unit*/second; filled from work/wall when absent.
+    throughput: Optional[float] = None
+    #: Enforced by the CI regression gate.
+    tier1: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.throughput is None and self.work is not None:
+            if self.wall_seconds > 0:
+                self.throughput = self.work / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BenchSeries":
+        return cls(
+            key=doc["key"],
+            wall_seconds=doc["wall_seconds"],
+            work=doc.get("work"),
+            unit=doc.get("unit", "ops"),
+            throughput=doc.get("throughput"),
+            tier1=bool(doc.get("tier1", False)),
+            extra=dict(doc.get("extra", {})),
+        )
+
+
+@dataclass
+class BenchReport:
+    """One harness's ``repro-bench/1`` document."""
+
+    name: str
+    profile: str = "quick"
+    config: Dict[str, Any] = field(default_factory=dict)
+    env: Dict[str, Any] = field(default_factory=dict)
+    series: List[BenchSeries] = field(default_factory=list)
+    created: str = ""
+
+    def add_series(self, key: str, wall_seconds: float, *,
+                   work: Optional[float] = None, unit: str = "ops",
+                   throughput: Optional[float] = None, tier1: bool = False,
+                   **extra: Any) -> BenchSeries:
+        entry = BenchSeries(key=key, wall_seconds=wall_seconds, work=work,
+                            unit=unit, throughput=throughput, tier1=tier1,
+                            extra=extra)
+        self.series.append(entry)
+        return entry
+
+    def find(self, key: str) -> Optional[BenchSeries]:
+        for entry in self.series:
+            if entry.key == key:
+                return entry
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "profile": self.profile,
+            "created": self.created or _utc_now(),
+            "config": self.config,
+            "env": self.env or env_fingerprint(),
+            "series": [entry.to_dict() for entry in self.series],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "BenchReport":
+        validate_report(doc)
+        return cls(
+            name=doc["name"],
+            profile=doc["profile"],
+            config=dict(doc.get("config", {})),
+            env=dict(doc.get("env", {})),
+            series=[BenchSeries.from_dict(s) for s in doc["series"]],
+            created=doc.get("created", ""),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    @property
+    def filename(self) -> str:
+        return f"BENCH_{self.name}.json"
+
+
+def load_report(path: str) -> BenchReport:
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return BenchReport.from_dict(doc)
+
+
+def validate_report(doc: Any) -> None:
+    """Raise :class:`BenchValidationError` unless *doc* is a valid
+    ``repro-bench/1`` document."""
+    if not isinstance(doc, dict):
+        raise BenchValidationError("report must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise BenchValidationError(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    name = doc.get("name")
+    if not isinstance(name, str) or not name:
+        raise BenchValidationError("name must be a non-empty string")
+    profile = doc.get("profile")
+    if profile not in PROFILES:
+        raise BenchValidationError(
+            f"profile must be one of {PROFILES}, got {profile!r}")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        raise BenchValidationError("series must be a non-empty list")
+    seen = set()
+    for index, entry in enumerate(series):
+        where = f"series[{index}]"
+        if not isinstance(entry, dict):
+            raise BenchValidationError(f"{where} must be an object")
+        key = entry.get("key")
+        if not isinstance(key, str) or not key:
+            raise BenchValidationError(f"{where}.key must be a string")
+        if key in seen:
+            raise BenchValidationError(f"duplicate series key {key!r}")
+        seen.add(key)
+        wall = entry.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or wall < 0:
+            raise BenchValidationError(
+                f"{where}.wall_seconds must be a non-negative number")
+        for optional in ("work", "throughput"):
+            value = entry.get(optional)
+            if value is not None and not isinstance(value, (int, float)):
+                raise BenchValidationError(
+                    f"{where}.{optional} must be a number or null")
+    for mapping in ("config", "env"):
+        value = doc.get(mapping, {})
+        if not isinstance(value, dict):
+            raise BenchValidationError(f"{mapping} must be an object")
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Where a measurement was taken — enough to judge comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "repro_version": __version__,
+    }
+
+
+def _utc_now() -> str:
+    return (datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"))

@@ -14,6 +14,8 @@
     repro profile [router] [--format chrome|csv|text] [--out FILE]
                   [--sample N]            # traced run + span profile
     repro fuzz [--seed N] [--runs K] [--out DIR]   # differential fuzzing
+    repro bench [--full] [--out DIR]      # record the benchmark trajectory
+    repro bench --compare OLD NEW         # diff two trajectory snapshots
 
 (Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.)
@@ -395,6 +397,53 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import BenchValidationError, compare_paths
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            result = compare_paths(old_path, new_path,
+                                   threshold=args.threshold)
+        except (BenchValidationError, OSError, json.JSONDecodeError) as exc:
+            print(f"bench compare: {exc}", file=sys.stderr)
+            return 2
+        print(result.describe())
+        return result.exit_code
+
+    import os
+
+    try:
+        import pytest as pytest_mod
+    except ImportError:  # pragma: no cover - test extra not installed
+        print("repro bench requires pytest (pip install repro[test])",
+              file=sys.stderr)
+        return 2
+    bench_dir = args.dir
+    if not os.path.isdir(bench_dir):
+        print(f"benchmark directory {bench_dir!r} not found "
+              "(run from the repository root or pass --dir)",
+              file=sys.stderr)
+        return 2
+    out_dir = args.out
+    argv = [bench_dir, "-q", "-p", "no:cacheprovider",
+            "--benchmark-disable", f"--bench-json-dir={out_dir}",
+            "--override-ini=addopts="]
+    if not args.full:
+        argv.append("--quick")
+    if args.keyword:
+        argv.extend(["-k", args.keyword])
+    code = int(pytest_mod.main(argv))
+    if code != 0:
+        print(f"benchmark run failed (pytest exit {code})", file=sys.stderr)
+        return 1
+    print(f"trajectory written to {out_dir} "
+          f"({'full' if args.full else 'quick'} profile)")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
@@ -606,6 +655,31 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="only print the final summary")
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    bench = sub.add_parser(
+        "bench",
+        help="record the repro-bench/1 trajectory (runs the benchmark "
+             "harnesses), or compare two snapshots")
+    bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                       help="compare two BENCH_*.json files or two "
+                            "directories of them instead of recording")
+    bench.add_argument("--threshold", type=float, default=0.20,
+                       help="tier-1 regression gate: fail when throughput "
+                            "falls by more than this fraction (default "
+                            "0.20)")
+    bench.add_argument("--dir", default="benchmarks",
+                       help="benchmark harness directory (default: "
+                            "benchmarks)")
+    bench.add_argument("--out", default="benchmarks/results",
+                       help="directory for the BENCH_<name>.json files "
+                            "(default: benchmarks/results)")
+    bench.add_argument("--full", action="store_true",
+                       help="record the full paper-scale sweeps instead "
+                            "of the quick profile (minutes, not seconds)")
+    bench.add_argument("-k", dest="keyword", metavar="EXPR",
+                       help="restrict to harnesses matching this pytest "
+                            "keyword expression")
+    bench.set_defaults(fn=_cmd_bench)
 
     profile = sub.add_parser(
         "profile",
