@@ -35,13 +35,23 @@ class Memory:
     # Typed accessors
     # ------------------------------------------------------------------
     def load(self, address: int, width: int = 4) -> int:
-        offset = self._offset(address, width)
+        # Bounds check inlined: this is the ISS's ld/ldh/ldb hot path.
+        offset = address - self.base
+        if offset < 0 or offset + width > self.size:
+            self._offset(address, width)
         self.reads += 1
+        if width == 1:
+            return self._data[offset]
         return int.from_bytes(self._data[offset:offset + width], "little")
 
     def store(self, address: int, value: int, width: int = 4) -> None:
-        offset = self._offset(address, width)
+        offset = address - self.base
+        if offset < 0 or offset + width > self.size:
+            self._offset(address, width)
         self.writes += 1
+        if width == 1:
+            self._data[offset] = value & 0xFF
+            return
         self._data[offset:offset + width] = (value & ((1 << (8 * width)) - 1)) \
             .to_bytes(width, "little")
 

@@ -1,8 +1,21 @@
-"""The instruction-set simulator core."""
+"""The instruction-set simulator core.
+
+Programs are *pre-decoded*: :func:`_compile_program` turns every
+:class:`~repro.iss.isa.Instruction` into a specialized closure with its
+operand indices, immediate, successor pc and cycle cost already bound,
+so the per-instruction hot path does no string comparison, no
+``Instruction`` attribute access and no timing-table lookup.  Each
+closure returns the next pc (``None`` after ``halt``) and bumps a
+per-pc retired counter; ``instructions_retired`` and ``op_histogram``
+are materialized from those counters on demand instead of being paid
+per instruction.  The compiled form is cached on the
+:class:`~repro.iss.isa.Program` (keyed by the timing model's contents)
+— CPUs instantiated per packet reuse it.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import IssError
 from repro.iss.isa import ACCESS_WIDTH, BRANCHES, Instruction, NUM_REGS, Program
@@ -36,10 +49,16 @@ class IssCpu:
         self.regs: List[int] = [0] * NUM_REGS
         self.pc = 0
         self.halted = False
-        self.instructions_retired = 0
         self.cycles = 0
-        #: op -> retired count (profiling / annotation extraction).
-        self.op_histogram: Dict[str, int] = {}
+        #: Counter contributions carried across ``restore``.
+        self._retired_base = 0
+        self._histogram_base: Dict[str, int] = {}
+        #: Retired count per program index; ``instructions_retired`` and
+        #: ``op_histogram`` fold these on demand so the hot path pays
+        #: one list increment, not a string-keyed dict update plus an
+        #: attribute bump per instruction.
+        self._pc_counts: List[int] = [0] * len(program.instructions)
+        self._ops = _compile_program(program, self.timing)
         self._load_data()
 
     def _load_data(self) -> None:
@@ -63,6 +82,24 @@ class IssCpu:
             self.regs[index] = value & _MASK32
 
     # ------------------------------------------------------------------
+    # Accounting (materialized from the per-pc counters)
+    # ------------------------------------------------------------------
+    @property
+    def instructions_retired(self) -> int:
+        return self._retired_base + sum(self._pc_counts)
+
+    @property
+    def op_histogram(self) -> Dict[str, int]:
+        """op -> retired count (profiling / annotation extraction)."""
+        histogram = dict(self._histogram_base)
+        instructions = self.program.instructions
+        for index, count in enumerate(self._pc_counts):
+            if count:
+                op = instructions[index].op
+                histogram[op] = histogram.get(op, 0) + count
+        return histogram
+
+    # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
@@ -77,7 +114,7 @@ class IssCpu:
             "halted": self.halted,
             "instructions_retired": self.instructions_retired,
             "cycles": self.cycles,
-            "op_histogram": dict(self.op_histogram),
+            "op_histogram": self.op_histogram,
         }
 
     def restore(self, state: dict) -> None:
@@ -90,13 +127,17 @@ class IssCpu:
                 f"expected {NUM_REGS}"
             )
         self.regs = [value & _MASK32 for value in state["regs"]]
+        self.regs[0] = 0
         self.pc = state["pc"]
         self.halted = state["halted"]
-        self.instructions_retired = state.get("instructions_retired",
-                                              self.instructions_retired)
-        self.cycles = state.get("cycles", self.cycles)
-        self.op_histogram = dict(state.get("op_histogram",
-                                           self.op_histogram))
+        # Optional accounting keys default to the snapshot-era initial
+        # values, NOT this instance's current counters: restoring an
+        # old checkpoint into a used CPU must not leak post-checkpoint
+        # progress.
+        self._retired_base = state.get("instructions_retired", 0)
+        self.cycles = state.get("cycles", 0)
+        self._histogram_base = dict(state.get("op_histogram", {}))
+        self._pc_counts = [0] * len(self.program.instructions)
 
     # ------------------------------------------------------------------
     # Execution
@@ -105,14 +146,13 @@ class IssCpu:
         """Execute one instruction; returns it."""
         if self.halted:
             raise IssError("stepping a halted CPU")
-        if not 0 <= self.pc < len(self.program.instructions):
-            raise IssError(f"pc {self.pc} outside the program")
-        instr = self.program.instructions[self.pc]
-        taken = self._execute(instr)
-        self.instructions_retired += 1
-        self.cycles += self.timing.cost(instr.op, taken)
-        self.op_histogram[instr.op] = self.op_histogram.get(instr.op, 0) + 1
-        return instr
+        pc = self.pc
+        if not 0 <= pc < len(self._ops):
+            raise IssError(f"pc {pc} outside the program")
+        next_pc = self._ops[pc](self)
+        if next_pc is not None:
+            self.pc = next_pc
+        return self.program.instructions[pc]
 
     def run(self, max_instructions: int = 10_000_000) -> Tuple[int, int]:
         """Run until ``halt``; returns ``(instructions, cycles)``."""
@@ -131,97 +171,342 @@ class IssCpu:
             )
 
     def _run(self, max_instructions: int) -> Tuple[int, int]:
+        if self.halted:
+            return self.instructions_retired, self.cycles
+        ops = self._ops
+        size = len(ops)
         remaining = max_instructions
-        while not self.halted:
-            if remaining <= 0:
-                raise IssError(
-                    f"program did not halt within {max_instructions} "
-                    "instructions"
-                )
-            self.step()
-            remaining -= 1
+        pc: Optional[int] = self.pc
+        try:
+            while pc is not None:
+                if remaining <= 0:
+                    raise IssError(
+                        f"program did not halt within {max_instructions} "
+                        "instructions"
+                    )
+                if not 0 <= pc < size:
+                    raise IssError(f"pc {pc} outside the program")
+                pc = ops[pc](self)
+                remaining -= 1
+        finally:
+            # ``halt`` closures set pc themselves (and return None);
+            # everything else leaves the loop-local pc to write back —
+            # including mid-instruction faults, which must not advance.
+            if pc is not None:
+                self.pc = pc
         return self.instructions_retired, self.cycles
 
-    # ------------------------------------------------------------------
-    def _execute(self, instr: Instruction) -> bool:
-        """Returns True when a branch was taken."""
-        op = instr.op
-        ra = self.read_reg(instr.ra)
-        rb = self.read_reg(instr.rb)
-        next_pc = self.pc + 1
-        taken = False
 
+# ----------------------------------------------------------------------
+# Pre-decode: Instruction -> specialized closure
+# ----------------------------------------------------------------------
+
+def _compile_instruction(index: int, instr: Instruction,
+                         timing: TimingModel) -> Callable:
+    """One instruction at program index *index* as a closure.
+
+    Every closure charges its pre-looked-up cycle cost, bumps the
+    per-pc retired counter and returns the next pc (``None`` for
+    ``halt``, which also stores the final pc itself).
+    """
+    op = instr.op
+    rd, ra, rb, imm = instr.rd, instr.ra, instr.rb, instr.imm
+    cost = timing.cost(op, False)
+    next_pc = index + 1
+
+    # Register file invariant the closures rely on: every entry of
+    # ``cpu.regs`` is already masked to 32 bits and ``regs[0]`` is 0
+    # (writes to r0 are squashed, ``restore`` re-zeroes it).
+
+    if op in ("add", "sub", "addi"):
+        # The only ALU results that can leave the 32-bit range.
         if op == "add":
-            self.write_reg(instr.rd, ra + rb)
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = (regs[ra] + regs[rb]) & _MASK32
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
         elif op == "sub":
-            self.write_reg(instr.rd, ra - rb)
-        elif op == "and":
-            self.write_reg(instr.rd, ra & rb)
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = (regs[ra] - regs[rb]) & _MASK32
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+        else:
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = (regs[ra] + imm) & _MASK32
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+
+    elif op in ("and", "or", "xor"):
+        if op == "and":
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] & regs[rb]
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
         elif op == "or":
-            self.write_reg(instr.rd, ra | rb)
-        elif op == "xor":
-            self.write_reg(instr.rd, ra ^ rb)
-        elif op == "sltu":
-            self.write_reg(instr.rd, 1 if ra < rb else 0)
-        elif op == "slt":
-            self.write_reg(instr.rd, 1 if _signed(ra) < _signed(rb) else 0)
-        elif op == "addi":
-            self.write_reg(instr.rd, ra + instr.imm)
-        elif op == "andi":
-            self.write_reg(instr.rd, ra & instr.imm)
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] | regs[rb]
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+        else:
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] ^ regs[rb]
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+
+    elif op in ("sltu", "slt"):
+        if op == "sltu":
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = 1 if regs[ra] < regs[rb] else 0
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+        else:
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = (1 if _signed(regs[ra]) < _signed(regs[rb])
+                                else 0)
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+
+    elif op in ("andi", "ori", "xori"):
+        # imm is applied masked so the result stays in range.
+        masked_imm = imm & _MASK32
+        if op == "andi":
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] & masked_imm
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
         elif op == "ori":
-            self.write_reg(instr.rd, ra | instr.imm)
-        elif op == "xori":
-            self.write_reg(instr.rd, ra ^ instr.imm)
-        elif op == "shl":
-            self.write_reg(instr.rd, ra << (instr.imm & 31))
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] | masked_imm
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+        else:
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] ^ masked_imm
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+
+    elif op in ("shl", "shr", "sar"):
+        shift = imm & 31
+        if op == "shl":
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = (regs[ra] << shift) & _MASK32
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
         elif op == "shr":
-            self.write_reg(instr.rd, (ra & _MASK32) >> (instr.imm & 31))
-        elif op == "sar":
-            self.write_reg(instr.rd, _signed(ra) >> (instr.imm & 31))
-        elif op in ("ld", "ldh", "ldb"):
-            width = ACCESS_WIDTH[op]
-            self.write_reg(instr.rd, self.memory.load(ra + instr.imm, width))
-        elif op in ("st", "sth", "stb"):
-            width = ACCESS_WIDTH[op]
-            self.memory.store(rb + instr.imm, ra, width)
-        elif op in BRANCHES:
-            taken = self._branch_taken(op, ra, rb)
-            if taken:
-                next_pc = instr.imm
-        elif op == "jal":
-            self.write_reg(instr.rd, self.pc + 1)
-            next_pc = instr.imm
-            taken = True
-        elif op == "jr":
-            next_pc = ra
-            taken = True
-        elif op == "ldi":
-            self.write_reg(instr.rd, instr.imm)
-        elif op == "mov":
-            self.write_reg(instr.rd, ra)
-        elif op == "nop":
-            pass
-        elif op == "halt":
-            self.halted = True
-        else:  # pragma: no cover - isa validation makes this unreachable
-            raise IssError(f"unimplemented opcode {op!r}")
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = regs[ra] >> shift
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
+        else:
+            def execute(cpu):
+                regs = cpu.regs
+                if rd:
+                    regs[rd] = (_signed(regs[ra]) >> shift) & _MASK32
+                cpu.cycles += cost
+                cpu._pc_counts[index] += 1
+                return next_pc
 
-        self.pc = next_pc
-        return taken
+    elif op in ("ld", "ldh", "ldb"):
+        width = ACCESS_WIDTH[op]
 
-    @staticmethod
-    def _branch_taken(op: str, ra: int, rb: int) -> bool:
+        def execute(cpu):
+            regs = cpu.regs
+            # The load always happens (MMIO reads have side effects);
+            # only the writeback is squashed for rd = r0.
+            value = cpu.memory.load(regs[ra] + imm, width)
+            if rd:
+                regs[rd] = value & _MASK32
+            cpu.cycles += cost
+            cpu._pc_counts[index] += 1
+            return next_pc
+
+    elif op in ("st", "sth", "stb"):
+        width = ACCESS_WIDTH[op]
+
+        def execute(cpu):
+            regs = cpu.regs
+            cpu.memory.store(regs[rb] + imm, regs[ra], width)
+            cpu.cycles += cost
+            cpu._pc_counts[index] += 1
+            return next_pc
+
+    elif op in BRANCHES:
+        cost_taken = timing.cost(op, True)
         if op == "beq":
-            return ra == rb
-        if op == "bne":
-            return ra != rb
-        if op == "bltu":
-            return ra < rb
-        if op == "blt":
-            return _signed(ra) < _signed(rb)
-        if op == "bgeu":
-            return ra >= rb
-        if op == "bge":
-            return _signed(ra) >= _signed(rb)
-        raise IssError(f"not a branch: {op}")  # pragma: no cover
+            def execute(cpu):
+                regs = cpu.regs
+                cpu._pc_counts[index] += 1
+                if regs[ra] == regs[rb]:
+                    cpu.cycles += cost_taken
+                    return imm
+                cpu.cycles += cost
+                return next_pc
+        elif op == "bne":
+            def execute(cpu):
+                regs = cpu.regs
+                cpu._pc_counts[index] += 1
+                if regs[ra] != regs[rb]:
+                    cpu.cycles += cost_taken
+                    return imm
+                cpu.cycles += cost
+                return next_pc
+        elif op == "bltu":
+            def execute(cpu):
+                regs = cpu.regs
+                cpu._pc_counts[index] += 1
+                if regs[ra] < regs[rb]:
+                    cpu.cycles += cost_taken
+                    return imm
+                cpu.cycles += cost
+                return next_pc
+        elif op == "bgeu":
+            def execute(cpu):
+                regs = cpu.regs
+                cpu._pc_counts[index] += 1
+                if regs[ra] >= regs[rb]:
+                    cpu.cycles += cost_taken
+                    return imm
+                cpu.cycles += cost
+                return next_pc
+        elif op == "blt":
+            def execute(cpu):
+                regs = cpu.regs
+                cpu._pc_counts[index] += 1
+                if _signed(regs[ra]) < _signed(regs[rb]):
+                    cpu.cycles += cost_taken
+                    return imm
+                cpu.cycles += cost
+                return next_pc
+        else:  # bge
+            def execute(cpu):
+                regs = cpu.regs
+                cpu._pc_counts[index] += 1
+                if _signed(regs[ra]) >= _signed(regs[rb]):
+                    cpu.cycles += cost_taken
+                    return imm
+                cpu.cycles += cost
+                return next_pc
+
+    elif op == "jal":
+        cost_taken = timing.cost(op, True)
+        link = (index + 1) & _MASK32
+
+        def execute(cpu):
+            if rd:
+                cpu.regs[rd] = link
+            cpu.cycles += cost_taken
+            cpu._pc_counts[index] += 1
+            return imm
+
+    elif op == "jr":
+        cost_taken = timing.cost(op, True)
+
+        def execute(cpu):
+            cpu.cycles += cost_taken
+            cpu._pc_counts[index] += 1
+            return cpu.regs[ra]
+
+    elif op == "ldi":
+        value = imm & _MASK32
+
+        def execute(cpu):
+            if rd:
+                cpu.regs[rd] = value
+            cpu.cycles += cost
+            cpu._pc_counts[index] += 1
+            return next_pc
+
+    elif op == "mov":
+
+        def execute(cpu):
+            regs = cpu.regs
+            if rd:
+                regs[rd] = regs[ra]
+            cpu.cycles += cost
+            cpu._pc_counts[index] += 1
+            return next_pc
+
+    elif op == "nop":
+
+        def execute(cpu):
+            cpu.cycles += cost
+            cpu._pc_counts[index] += 1
+            return next_pc
+
+    elif op == "halt":
+
+        def execute(cpu):
+            cpu.halted = True
+            cpu.pc = next_pc
+            cpu.cycles += cost
+            cpu._pc_counts[index] += 1
+            return None
+
+    else:  # pragma: no cover - isa validation makes this unreachable
+        raise IssError(f"unimplemented opcode {op!r}")
+
+    return execute
+
+
+def _timing_key(timing: TimingModel) -> tuple:
+    return (tuple(sorted(timing.cycles.items())),
+            timing.branch_taken_penalty)
+
+
+def _compile_program(program: Program,
+                     timing: TimingModel) -> Tuple[Callable, ...]:
+    """Pre-decode *program*, cached on the program per timing model."""
+    key = _timing_key(timing)
+    cache = getattr(program, "_iss_compiled", None)
+    if cache is None:
+        cache = {}
+        try:
+            program._iss_compiled = cache
+        except AttributeError:  # pragma: no cover - exotic Program stand-in
+            cache = None
+    if cache is not None and key in cache:
+        return cache[key]
+    ops = tuple(_compile_instruction(index, instr, timing)
+                for index, instr in enumerate(program.instructions))
+    if cache is not None:
+        cache[key] = ops
+    return ops
