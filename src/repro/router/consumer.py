@@ -39,7 +39,9 @@ class Consumer(Module):
         self.received_count = 0
         self.invalid_count = 0
         self.misrouted_count = 0
-        self.thread(self._run, name="sink")
+        self._fifo = router.output_fifos[port_index]
+        self.method(self._drain, sensitive=[self._fifo.data_written],
+                    dont_initialize=True, name="sink")
 
     def snapshot(self) -> dict:
         """Checkpoint support: delivery counters (kept packets are
@@ -58,14 +60,13 @@ class Consumer(Module):
         self.invalid_count = state["invalid_count"]
         self.misrouted_count = state["misrouted_count"]
 
-    def _run(self):
-        fifo = self.router.output_fifos[self.port_index]
+    def _drain(self) -> None:
+        fifo = self._fifo
         period = self.clock.period
         while True:
             packet = fifo.try_get()
             if packet is None:
-                yield fifo.data_written
-                continue
+                return
             self.received_count += 1
             valid = packet.is_valid()
             if not valid:

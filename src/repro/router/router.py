@@ -92,10 +92,18 @@ class Router(Module):
         #: available after the register file was empty).
         self.irq = Signal(sim, f"{name}.irq", init=False)
 
-        # Processes.
-        for index in range(num_ports):
-            self.thread(self._make_input_process(index), name=f"input{index}")
-        self.thread(self._main_process, name="main")
+        # Processes.  The per-port input movers and the main
+        # packet-presentation logic all act once per clock cycle, in a
+        # fixed order (inputs 0..n-1, then main); running them as a
+        # single clocked method keeps that order while costing one
+        # kernel dispatch per cycle instead of five thread resumes.
+        self._main_proc = self.method(self._on_posedge,
+                                      sensitive=[clock.posedge],
+                                      dont_initialize=True, name="main")
+        # While fully idle the method parks on the input FIFOs' write
+        # events instead of the clock (see _on_posedge).
+        self._wake_events = [fifo.data_written for fifo in self.input_fifos]
+        self._parked = False
         driver_process(self, self._on_verdict, self.reg_verdict,
                        name="verdict")
 
@@ -112,6 +120,7 @@ class Router(Module):
                             for fifo in self.input_fifos],
             "output_fifos": [[p.to_bytes() for p in fifo.items()]
                              for fifo in self.output_fifos],
+            "parked": self._parked,
         }
 
     def restore(self, state: dict) -> None:
@@ -125,35 +134,50 @@ class Router(Module):
             fifo.load_items([Packet.from_bytes(p) for p in packets])
         for fifo, packets in zip(self.output_fifos, state["output_fifos"]):
             fifo.load_items([Packet.from_bytes(p) for p in packets])
+        # Snapshot-era default: snapshots that predate parking were
+        # always clocked.  The flag must round-trip exactly — a restored
+        # session replays the same delta schedule as the original.
+        parked = state.get("parked", False)
+        if parked != self._parked:
+            self._parked = parked
+            self._main_proc.set_static_sensitivity(
+                self._wake_events if parked else [self.clock.posedge])
 
     # ------------------------------------------------------------------
-    # Input side: move arriving packets into the internal buffer
+    # Clocked behaviour: inputs into the buffer, then the main logic
     # ------------------------------------------------------------------
-    def _make_input_process(self, index: int):
-        fifo = self.input_fifos[index]
-
-        def input_process():
-            while True:
-                yield self.clock.posedge
-                packet = fifo.try_get()
-                if packet is not None:
-                    if not self.buffer.offer(packet):
-                        self.stats.dropped_overflow += 1
-
-        input_process.__name__ = f"input{index}"
-        return input_process
-
-    # ------------------------------------------------------------------
-    # Main process: present buffered packets to the board
-    # ------------------------------------------------------------------
-    def _main_process(self):
-        while True:
-            yield self.clock.posedge
-            if self.irq.read():
-                self.irq.write(False)  # end of the one-cycle pulse
-            elif self._current is None and not self.buffer.is_empty:
-                self._load_next()
-                self.irq.write(True)
+    def _on_posedge(self) -> None:
+        if self._parked:
+            # Woken by a FIFO write while parked.  The packet landed
+            # mid-cycle (its data_written delta), so it must be taken
+            # at the *next* rising edge, exactly as when clocked: just
+            # re-arm on the clock and return.
+            self._parked = False
+            self._main_proc.set_static_sensitivity([self.clock.posedge])
+            return
+        # Input side: move arriving packets into the internal buffer.
+        buffer = self.buffer
+        idle = True
+        for fifo in self.input_fifos:
+            packet = fifo.try_get()
+            if packet is not None:
+                idle = False
+                if not buffer.offer(packet):
+                    self.stats.dropped_overflow += 1
+        # Main logic: present buffered packets to the board.
+        if self.irq.read():
+            self.irq.write(False)  # end of the one-cycle pulse
+        elif self._current is None and not buffer.is_empty:
+            self._load_next()
+            self.irq.write(True)
+            idle = False
+        if idle and (self._current is not None or buffer.is_empty):
+            # Nothing arrived, no pulse in flight, and the next edge
+            # would be a no-op too (a verdict chains combinationally
+            # without involving this method).  Park on the FIFO write
+            # events so idle clock cycles cost nothing here.
+            self._parked = True
+            self._main_proc.set_static_sensitivity(self._wake_events)
 
     def _load_next(self) -> None:
         packet = self.buffer.pop()

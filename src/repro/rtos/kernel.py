@@ -473,8 +473,19 @@ class RtosKernel:
 
     def _run_ticks(self, ticks: int) -> None:
         target = self._sw_ticks + ticks
+        config = self.config
         while self._sw_ticks < target:
-            self.run_until_cycle(self._next_tick_at)
+            # Run straight to the hardware tick that completes the
+            # target software tick: run_until_cycle fires every
+            # intermediate tick as it crosses the (fixed) tick grid,
+            # and a single large limit lets the idle fast-forward
+            # batch whole grants instead of one tick per call.
+            remaining_hw = ((target - self._sw_ticks)
+                            * config.hw_ticks_per_sw_tick
+                            - self._hw_tick_phase)
+            self.run_until_cycle(
+                self._next_tick_at
+                + (remaining_hw - 1) * config.cycles_per_hw_tick)
 
     def run_cycles(self, budget: int) -> None:
         """Run the OS for *budget* CPU cycles."""
@@ -490,6 +501,10 @@ class RtosKernel:
             self._schedule()
             thread = self.current
             if thread is None:
+                if (self.irq_pump is None and not self._external_irqs
+                        and self._fast_forward_idle(limit)):
+                    zero_progress = 0
+                    continue
                 self._run_idle_gap(limit)
             else:
                 self._run_thread_slice(thread, limit)
@@ -551,6 +566,60 @@ class RtosKernel:
         if scheduled is not None:
             bound = min(bound, max(scheduled, self._cycles))
         return bound
+
+    def _fast_forward_idle(self, limit: int) -> bool:
+        """Arithmetically batch quiescent hardware ticks.
+
+        When no thread is runnable and nothing can preempt — no pending
+        or due interrupts, no external injection path — each hardware
+        tick is pure bookkeeping: burn the idle gap, charge the timer
+        ISR, maybe count a software tick.  This folds a run of such
+        ticks into one arithmetic update, stopping one tick short of
+        the next deterministically scheduled interrupt, the next live
+        alarm's software tick, and the cycle *limit*, so those are
+        handled by the exact per-tick path.  Only called with
+        ``irq_pump`` unset (deterministic in-process sessions); the
+        threaded path polls the INT port every iteration and must keep
+        doing so.  Returns True if any ticks were skipped.
+        """
+        config = self.config
+        period = config.cycles_per_hw_tick
+        isr = config.timer_isr_cycles
+        if isr >= period:
+            return False  # back-to-back ticks; keep the exact loop
+        next_tick = self._next_tick_at
+        if self._cycles >= next_tick or limit < next_tick:
+            return False
+        if (self.scheduler.best_priority() is not None
+                or self.interrupts.has_work(self._cycles)):
+            return False
+        # Whole ticks that fit under the cycle limit.
+        ticks = (limit - next_tick) // period + 1
+        scheduled = self.interrupts.next_scheduled_cycle()
+        if scheduled is not None:
+            if scheduled < next_tick + isr:
+                return False
+            ticks = min(ticks, (scheduled - next_tick - isr) // period + 1)
+        alarm_tick = self._alarm_queue.next_tick()
+        if alarm_tick is not None:
+            per_sw = config.hw_ticks_per_sw_tick
+            until_alarm = ((alarm_tick - self._sw_ticks) * per_sw
+                           - self._hw_tick_phase)
+            ticks = min(ticks, until_alarm - 1)
+        if ticks <= 0:
+            return False
+        # Identical bookkeeping to `ticks` iterations of the exact loop:
+        # idle up to each tick boundary, then the timer ISR charge.
+        self.idle_cycles += (next_tick - self._cycles
+                             + (ticks - 1) * (period - isr))
+        self.kernel_cycles += ticks * isr
+        self._cycles = next_tick + (ticks - 1) * period + isr
+        self._next_tick_at = next_tick + ticks * period
+        self._hw_ticks += ticks
+        wraps, self._hw_tick_phase = divmod(
+            self._hw_tick_phase + ticks, config.hw_ticks_per_sw_tick)
+        self._sw_ticks += wraps
+        return True
 
     def _run_idle_gap(self, limit: int) -> None:
         """No runnable thread: burn cycles until something can happen."""

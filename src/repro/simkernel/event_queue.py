@@ -93,6 +93,7 @@ class _QueuePump:
     def __init__(self, queue: EventQueue) -> None:
         self.queue = queue
         self.terminated = False
+        self._queued = False
         self.kind = "method"
 
     def _triggered(self, event) -> bool:

@@ -79,6 +79,9 @@ class Process:
         self.dont_initialize = dont_initialize
         self.static_sensitivity: List[Event] = list(static_sensitivity)
         self.terminated = False
+        #: Set while the process sits in the kernel's runnable queue
+        #: (cheaper than a membership set in the dispatch hot path).
+        self._queued = False
         #: Statistics: number of activations.
         self.activations = 0
 
@@ -127,6 +130,22 @@ class Process:
             self._clear_dynamic_waits(satisfied_by=event)
             return True
         return False
+
+    def set_static_sensitivity(self, events: Iterable[Event]) -> None:
+        """Replace this process's static sensitivity list.
+
+        The SystemC ``next_trigger`` analogue for method processes: a
+        clocked method can park itself on a wake-up event while it has
+        no work, then re-arm on its clock when the wake-up fires.  Safe
+        to call from process code (the kernel never walks a sensitivity
+        list while user code runs); the change takes effect for the
+        next notification delivery.
+        """
+        for event in self.static_sensitivity:
+            event.static_sensitive.remove(self)
+        self.static_sensitivity = list(events)
+        for event in self.static_sensitivity:
+            event.static_sensitive.append(self)
 
     def _run(self, trigger: Optional[Event]) -> None:
         """Execute one activation (method call or thread resume)."""

@@ -101,12 +101,20 @@ class Signal:
             return
         self._current = new
         self.change_count += 1
-        if self._changed is not None:
-            self._changed.notify_delta()
+        # Only notify events somebody is actually waiting on.  By the
+        # update phase every process eligible for this notification has
+        # already registered (static lists are fixed, dynamic waits are
+        # armed during the preceding evaluate phase), so an event with
+        # no waiters here can only produce an empty delta cycle.
+        changed = self._changed
+        if changed is not None and (changed.static_sensitive
+                                    or changed.dynamic_waiters):
+            changed.notify_delta()
         was_high, is_high = _is_high(old), _is_high(new)
-        if not was_high and is_high and self._posedge is not None:
-            self._posedge.notify_delta()
-        if was_high and not is_high and self._negedge is not None:
-            self._negedge.notify_delta()
+        if was_high != is_high:
+            edge = self._posedge if is_high else self._negedge
+            if edge is not None and (edge.static_sensitive
+                                     or edge.dynamic_waiters):
+                edge.notify_delta()
         for fn in self._observers:
             fn(self, old, new)
