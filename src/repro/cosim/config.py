@@ -35,7 +35,20 @@ class CosimConfig:
     #: Safety bound on synchronization windows per run.
     max_windows: int = 2_000_000
     #: Seconds the master waits for a time report (threaded sessions).
+    #: The deadline is refreshed whenever the board shows life (DATA
+    #: traffic), so it bounds *silence*, not total window duration.
     report_timeout_s: float = 60.0
+    #: Initial CLOCK-port poll slice while waiting for a time report.
+    report_poll_s: float = 0.0005
+    #: The poll slice doubles while the link stays quiet (no DATA
+    #: traffic, no report) up to this cap, and snaps back to
+    #: ``report_poll_s`` at the first sign of traffic.
+    report_poll_max_s: float = 0.01
+    #: Threaded windows poll the DATA port every cycle only while
+    #: requests are arriving; on quiet cycles the stride between polls
+    #: doubles up to this many cycles (1 = poll every cycle, as the
+    #: paper's driver_simulate loop does).
+    data_poll_stride_max: int = 16
     #: Extra wall delay the board adds before each time report in
     #: threaded sessions, emulating the Ethernet + physical-board
     #: response latency of the paper's setup (0 = localhost only).
@@ -56,6 +69,18 @@ class CosimConfig:
             raise ProtocolError("clock period must be positive")
         if self.max_windows <= 0:
             raise ProtocolError("max_windows must be positive")
+        if self.report_poll_s <= 0:
+            raise ProtocolError("report_poll_s must be positive")
+        if self.report_poll_max_s < self.report_poll_s:
+            raise ProtocolError(
+                "report_poll_max_s must be >= report_poll_s"
+            )
+        if self.report_poll_s >= self.report_timeout_s:
+            raise ProtocolError(
+                "report_poll_s must be shorter than report_timeout_s"
+            )
+        if self.data_poll_stride_max < 1:
+            raise ProtocolError("data_poll_stride_max must be >= 1")
         if self.resilience.enabled:
             if self.resilience.liveness_window_s >= self.report_timeout_s:
                 raise ProtocolError(

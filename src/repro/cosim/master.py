@@ -143,33 +143,36 @@ class CosimMaster:
     def _serve_pending_data(self, endpoint: Optional[MasterEndpoint] = None) -> int:
         """Drain queued DATA requests (threaded sessions); returns count.
 
+        Requests are drained from the transport in batches and served in
+        arrival order (a write must be visible to the read behind it).
         Multi-board sessions pass each board's *endpoint* in turn; the
         default serves the master's primary endpoint.
         """
         endpoint = endpoint or self.endpoint
         served = 0
         while True:
-            request = endpoint.poll_data()
-            if request is None:
+            batch = endpoint.poll_data_batch()
+            if not batch:
                 return served
-            served += 1
-            if isinstance(request, DataRead):
-                self.data_reads_served += 1
-                if self.obs.enabled:
-                    self.obs.event("master", "data.read",
-                                   sim=self.clock.cycles,
-                                   address=request.address)
-                value = self.sim.external_read(request.address)
-                endpoint.send_reply(request.seq, value)
-            elif isinstance(request, DataWrite):
-                self.data_writes_served += 1
-                if self.obs.enabled:
-                    self.obs.event("master", "data.write",
-                                   sim=self.clock.cycles,
-                                   address=request.address)
-                self.sim.external_write(request.address, request.value)
-            else:  # pragma: no cover - endpoint type-checks already
-                raise ProtocolError(f"bad DATA request {request!r}")
+            served += len(batch)
+            for request in batch:
+                if isinstance(request, DataRead):
+                    self.data_reads_served += 1
+                    if self.obs.enabled:
+                        self.obs.event("master", "data.read",
+                                       sim=self.clock.cycles,
+                                       address=request.address)
+                    value = self.sim.external_read(request.address)
+                    endpoint.send_reply(request.seq, value)
+                elif isinstance(request, DataWrite):
+                    self.data_writes_served += 1
+                    if self.obs.enabled:
+                        self.obs.event("master", "data.write",
+                                       sim=self.clock.cycles,
+                                       address=request.address)
+                    self.sim.external_write(request.address, request.value)
+                else:  # pragma: no cover - endpoint type-checks already
+                    raise ProtocolError(f"bad DATA request {request!r}")
 
     # ------------------------------------------------------------------
     # Window execution
@@ -272,9 +275,23 @@ class CosimMaster:
             sim_token = obs.begin("master", "simulate",
                                   sim=self.clock.cycles, ticks=ticks)
         try:
-            for _ in range(ticks):
-                self._serve_pending_data()
-                self.sim.run_until(self.sim.now + period)
+            # Poll the DATA port every cycle only while the board is
+            # actually talking; on quiet cycles the stride between
+            # polls doubles (up to the configured cap) so long silent
+            # stretches cost one Python iteration per stride rather
+            # than one per cycle.  Wall-clock only — simulated timing
+            # of the window is identical either way.
+            stride_max = self.config.data_poll_stride_max
+            stride = 1
+            remaining = ticks
+            while remaining > 0:
+                if self._serve_pending_data():
+                    stride = 1
+                elif stride < stride_max:
+                    stride = min(stride * 2, stride_max)
+                step = min(stride, remaining)
+                self.sim.run_until(self.sim.now + step * period)
+                remaining -= step
         finally:
             if sim_token is not None:
                 obs.end(sim_token, sim=self.clock.cycles,
@@ -285,13 +302,21 @@ class CosimMaster:
             wait_token = obs.begin("transport", "report_wait",
                                    sim=self.clock.cycles, seq=grant.seq)
         polls = 0
-        deadline = time.monotonic() + self.config.report_timeout_s
+        timeout_s = self.config.report_timeout_s
+        poll_s = self.config.report_poll_s
+        poll_max_s = self.config.report_poll_max_s
+        # The deadline bounds *silence*, not total window duration: a
+        # slow board that keeps issuing DATA requests is alive, so each
+        # sign of progress pushes the deadline out again.
+        deadline = time.monotonic() + timeout_s
         try:
             while True:
-                self._serve_pending_data()
+                if self._serve_pending_data():
+                    deadline = time.monotonic() + timeout_s
+                    poll_s = self.config.report_poll_s
                 polls += 1
                 try:
-                    report = self.endpoint.recv_report(timeout=0.0005)
+                    report = self.endpoint.recv_report(timeout=poll_s)
                 except TransportError as exc:
                     # A resilient endpoint only raises once its
                     # reconnect / liveness budget is spent; that is a
@@ -302,10 +327,11 @@ class CosimMaster:
                     ) from exc
                 if report is not None:
                     break
+                poll_s = min(poll_s * 2, poll_max_s)
                 if time.monotonic() > deadline:
                     raise ProtocolError(
                         f"no time report for grant seq {grant.seq} "
-                        f"within {self.config.report_timeout_s}s"
+                        f"within {timeout_s}s of the last sign of life"
                     )
         finally:
             if wait_token is not None:

@@ -222,9 +222,19 @@ class MultiBoardThreadedSession(_MultiBoardBase):
                 ticks = self._window_ticks(max_cycles)
                 self._grant_all(ticks)
                 period = self.master.clock.period
-                for _ in range(ticks):
-                    self._serve_all_data()
-                    self.master.sim.run_until(self.master.sim.now + period)
+                # Same adaptive poll stride as the single-board master.
+                stride_max = self.config.data_poll_stride_max
+                stride = 1
+                remaining = ticks
+                while remaining > 0:
+                    if self._serve_all_data():
+                        stride = 1
+                    elif stride < stride_max:
+                        stride = min(stride * 2, stride_max)
+                    step = min(stride, remaining)
+                    self.master.sim.run_until(
+                        self.master.sim.now + step * period)
+                    remaining -= step
                 self._collect_reports()
                 metrics.windows += 1
                 metrics.sync_exchanges += len(self.slots)
@@ -253,26 +263,37 @@ class MultiBoardThreadedSession(_MultiBoardBase):
         return self._finalize(metrics)
 
     # ------------------------------------------------------------------
-    def _serve_all_data(self) -> None:
+    def _serve_all_data(self) -> int:
+        served = 0
         for slot in self.slots:
-            self.master._serve_pending_data(slot.master_ep)
+            served += self.master._serve_pending_data(slot.master_ep)
+        return served
 
     def _collect_reports(self) -> None:
         exchanges_before = self.master.protocol.exchanges
-        deadline = time.monotonic() + self.config.report_timeout_s
+        timeout_s = self.config.report_timeout_s
+        poll_s = self.config.report_poll_s
+        # As in the single-board master: the deadline bounds silence,
+        # so any board's DATA traffic (or a report) refreshes it.
+        deadline = time.monotonic() + timeout_s
         pending = list(self.slots)
         while pending:
             slot = pending[0]
-            self._serve_all_data()
-            report = slot.master_ep.recv_report(timeout=0.0005)
+            if self._serve_all_data():
+                deadline = time.monotonic() + timeout_s
+                poll_s = self.config.report_poll_s
+            report = slot.master_ep.recv_report(timeout=poll_s)
             if report is not None:
                 self._check_report(slot, report)
                 pending.pop(0)
+                deadline = time.monotonic() + timeout_s
+                poll_s = self.config.report_poll_s
                 continue
+            poll_s = min(poll_s * 2, self.config.report_poll_max_s)
             if time.monotonic() > deadline:
                 names = [s.name for s in pending]
                 raise ProtocolError(
                     f"no time report from boards {names} within "
-                    f"{self.config.report_timeout_s}s"
+                    f"{timeout_s}s of the last sign of life"
                 )
         self.master.protocol.exchanges = exchanges_before + 1

@@ -16,7 +16,7 @@ in the paper).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.transport.framing import frame_size
 from repro.transport.messages import (
@@ -96,6 +96,21 @@ class MasterEndpoint:
 
     def poll_data(self) -> Optional[DataRequest]:
         raise NotImplementedError
+
+    def poll_data_batch(self, limit: int = 64) -> "List[DataRequest]":
+        """Drain up to *limit* pending DATA requests in one call.
+
+        The master serves a whole window's backlog per visit instead of
+        re-entering the transport for every request; transports with a
+        cheaper bulk path may override this.
+        """
+        batch: List[DataRequest] = []
+        while len(batch) < limit:
+            request = self.poll_data()
+            if request is None:
+                break
+            batch.append(request)
+        return batch
 
     def send_reply(self, seq: int, value: Value) -> None:
         raise NotImplementedError

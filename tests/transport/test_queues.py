@@ -56,6 +56,21 @@ class TestDataRpc:
         thread.join(timeout=5)
         assert result["value"] == 123
 
+    def test_poll_data_batch_drains_in_arrival_order(self):
+        link = QueueLink()
+        for i in range(5):
+            link.board.data_write(i, bytes([i]))
+        batch = link.master.poll_data_batch()
+        assert [r.address for r in batch] == [0, 1, 2, 3, 4]
+        assert link.master.poll_data_batch() == []
+
+    def test_poll_data_batch_honours_limit(self):
+        link = QueueLink()
+        for i in range(5):
+            link.board.data_write(i, b"x")
+        assert len(link.master.poll_data_batch(limit=2)) == 2
+        assert len(link.master.poll_data_batch()) == 3
+
     def test_read_timeout(self):
         link = QueueLink()
         link.board.reply_timeout = 0.02
