@@ -85,8 +85,11 @@ class Memory:
                 f"memory snapshot is {len(data)} bytes, RAM is {self.size}"
             )
         self._data[:] = data
-        self.reads = state.get("reads", self.reads)
-        self.writes = state.get("writes", self.writes)
+        # Snapshots that predate the access counters were taken when
+        # the counters were always zero; falling back to the live
+        # values would leave a *used* object's stale counts behind.
+        self.reads = state.get("reads", 0)
+        self.writes = state.get("writes", 0)
 
     def __len__(self) -> int:
         return self.size

@@ -150,7 +150,9 @@ class MlqScheduler:
             self._queues[priority] = queue
             if queue:
                 self._bitmap |= 1 << priority
-        self.idle_mode = state.get("idle_mode", self.idle_mode)
+        # Snapshot-era default: idle_mode postdates early snapshots,
+        # which were all taken with the scheduler in normal mode.
+        self.idle_mode = state.get("idle_mode", False)
 
     def peers_ready(self, thread: Thread) -> bool:
         """Any eligible thread ready at *thread*'s own priority?"""

@@ -212,7 +212,9 @@ class Mutex(Waitable):
 
     def restore(self, state: dict) -> None:
         super().restore(state)
-        self.boosts = state.get("boosts", self.boosts)
+        # Snapshot-era default: boosts was zero before the counter
+        # existed, so never keep a used object's live value.
+        self.boosts = state.get("boosts", 0)
 
     def unlock(self) -> None:
         if self._owner is None:

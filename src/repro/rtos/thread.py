@@ -146,17 +146,18 @@ class Thread:
                 )
         self.state = state["state"]
         self.suspended = state["suspended"]
-        self.priority = state.get("priority", self.priority)
+        # Missing keys take their snapshot-era values, not the live
+        # object's: old snapshots predate priority inheritance (no
+        # thread ever ran boosted) and the activity counters (always
+        # zero), so a restore into a used thread must reset them.
         self.base_priority = state.get("base_priority",
                                        self.base_priority)
+        self.priority = state.get("priority", self.base_priority)
         self.work_remaining = state["work_remaining"]
         self.timeslice_left = state["timeslice_left"]
-        self.cycles_consumed = state.get("cycles_consumed",
-                                         self.cycles_consumed)
-        self.dispatch_count = state.get("dispatch_count",
-                                        self.dispatch_count)
-        self.syscall_count = state.get("syscall_count",
-                                       self.syscall_count)
+        self.cycles_consumed = state.get("cycles_consumed", 0)
+        self.dispatch_count = state.get("dispatch_count", 0)
+        self.syscall_count = state.get("syscall_count", 0)
 
     # ------------------------------------------------------------------
     # Kernel internals

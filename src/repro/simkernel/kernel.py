@@ -56,7 +56,6 @@ class Simulator:
         self.processes: List[Process] = []
 
         self._runnable: Deque[Tuple[Process, Optional[Event]]] = deque()
-        self._runnable_ids: Set[int] = set()
         self._update_queue: List[Signal] = []
         self._delta_events: List[Event] = []
         self._timed_queue: List[Tuple[int, int, Event]] = []
@@ -136,16 +135,22 @@ class Simulator:
 
     def _trigger_event(self, event: Event) -> None:
         """Fire *event* right now, making its waiters runnable."""
-        waiters = event.static_sensitive + event.dynamic_waiters
-        event.dynamic_waiters = []
+        if event.dynamic_waiters:
+            waiters = event.static_sensitive + event.dynamic_waiters
+            event.dynamic_waiters = []
+        else:
+            # Static sensitivity only changes from process code (see
+            # Process.set_static_sensitivity), never while this loop
+            # runs, so the list can be walked in place.
+            waiters = event.static_sensitive
         for proc in waiters:
             if proc._triggered(event):
                 self._make_runnable(proc, event)
 
     def _make_runnable(self, proc: Process, trigger: Optional[Event]) -> None:
-        if proc.terminated or id(proc) in self._runnable_ids:
+        if proc.terminated or proc._queued:
             return
-        self._runnable_ids.add(id(proc))
+        proc._queued = True
         self._runnable.append((proc, trigger))
 
     # ------------------------------------------------------------------
@@ -176,12 +181,15 @@ class Simulator:
         zero-time settlement used by ``driver_simulate`` to react to
         externally injected port writes without advancing the clock.
         """
-        self.elaborate()
+        if not self._elaborated:
+            self.elaborate()
         deltas = 0
+        max_deltas = self.max_deltas
+        one_delta = self._one_delta
         while self._runnable or self._update_queue or self._delta_events:
-            self._one_delta()
+            one_delta()
             deltas += 1
-            if deltas > self.max_deltas:
+            if deltas > max_deltas:
                 raise DeltaOverflowError(
                     f"{self.name}: > {self.max_deltas} delta cycles at "
                     f"time {self._now} (combinational loop?)"
@@ -343,8 +351,11 @@ class Simulator:
                     f"{self.name}: snapshot missing key {key!r}"
                 )
         self._now = state["now"]
-        self.delta_count = state.get("delta_count", self.delta_count)
-        self.process_runs = state.get("process_runs", self.process_runs)
+        # Snapshot-era defaults: snapshots that predate these counters
+        # were taken when both were zero; keeping the live values
+        # would leave a used kernel's stale counts in place.
+        self.delta_count = state.get("delta_count", 0)
+        self.process_runs = state.get("process_runs", 0)
         for name, (value, change_count) in state["signals"].items():
             signal = signals.get(name)
             if signal is None:
@@ -384,23 +395,30 @@ class Simulator:
         """One evaluate / update / delta-notify sweep."""
         self.delta_count += 1
         # Evaluate phase.  Immediate notifications may extend the queue.
-        while self._runnable:
-            proc, trigger = self._runnable.popleft()
-            self._runnable_ids.discard(id(proc))
-            self.process_runs += 1
-            proc._run(trigger)
+        runnable = self._runnable
+        runs = 0
+        try:
+            while runnable:
+                proc, trigger = runnable.popleft()
+                proc._queued = False
+                runs += 1
+                proc._run(trigger)
+        finally:
+            self.process_runs += runs
         # Update phase.
         updates = self._update_queue
-        self._update_queue = []
-        for signal in updates:
-            signal._update()
+        if updates:
+            self._update_queue = []
+            for signal in updates:
+                signal._update()
         # Delta notification phase.
         pending = self._delta_events
-        self._delta_events = []
-        for event in pending:
-            if event._pending_kind == _DELTA:
-                event._fired()
-                self._trigger_event(event)
+        if pending:
+            self._delta_events = []
+            for event in pending:
+                if event._pending_kind == _DELTA:
+                    event._fired()
+                    self._trigger_event(event)
 
     def _peek_timed(self) -> Optional[Tuple[int, int, Event]]:
         """Earliest live timed notification, skipping stale entries."""

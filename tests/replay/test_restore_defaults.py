@@ -1,0 +1,117 @@
+"""Restoring era-stripped snapshots into *used* objects.
+
+Snapshot schemas grow over time: newer code adds optional keys (access
+counters, priority-inheritance state, idle mode...).  When an old
+snapshot — one taken before a key existed — is restored into an object
+that has since been used, the missing key must take its *snapshot-era*
+value (what the field held back when such snapshots were taken: zero,
+base priority, normal mode), never the used object's live value.
+Falling back to the live value silently keeps stale state and breaks
+digest equality between "restore into fresh" and "restore into used".
+"""
+
+import pytest
+
+from repro.board.memory import Memory
+from repro.replay.snapshot import state_digest
+from repro.rtos import Mutex, RtosConfig, RtosKernel, Sleep
+from repro.simkernel.kernel import Simulator
+from repro.simkernel.signals import Signal
+
+
+def _strip(snapshot: dict, *keys):
+    out = dict(snapshot)
+    for key in keys:
+        out.pop(key, None)
+    return out
+
+
+class TestMemoryDefaults:
+    def test_missing_counters_reset_on_used_object(self):
+        mem = Memory(64)
+        mem.store(0, 0xDEAD)
+        mem.load(0)
+        old = _strip(mem.snapshot(), "reads", "writes")
+
+        used = Memory(64)
+        for _ in range(5):
+            used.store(8, 1)
+            used.load(8)
+        used.restore(old)
+
+        fresh = Memory(64)
+        fresh.restore(old)
+        assert (used.reads, used.writes) == (0, 0)
+        assert state_digest(used.snapshot()) == state_digest(fresh.snapshot())
+
+
+class TestSimKernelDefaults:
+    def _settled_sim(self):
+        sim = Simulator("t")
+        Signal(sim, "s", init=False)
+        sim.elaborate()
+        sim.run_until(0)
+        return sim
+
+    def test_missing_counters_reset_on_used_kernel(self):
+        sim = self._settled_sim()
+        old = _strip(sim.snapshot(), "delta_count", "process_runs")
+
+        used = self._settled_sim()
+        used.delta_count, used.process_runs = 100, 200
+        used.restore(old)
+
+        fresh = self._settled_sim()
+        fresh.restore(old)
+        assert (used.delta_count, used.process_runs) == (0, 0)
+        assert state_digest(used.snapshot()) == state_digest(fresh.snapshot())
+
+
+def _mutex_kernel():
+    kernel = RtosKernel(RtosConfig(cycles_per_hw_tick=1000))
+    mutex = Mutex(kernel, "m")
+
+    def worker():
+        while True:
+            yield mutex.lock()
+            yield Sleep(1)
+            mutex.unlock()
+            yield Sleep(1)
+
+    kernel.create_thread("w", worker, priority=10)
+    return kernel, mutex
+
+
+class TestRtosDefaults:
+    def test_thread_counters_and_priority_reset(self):
+        kernel, _ = _mutex_kernel()
+        kernel.run_ticks(4)
+        thread = next(t for t in kernel.threads if t.name == "w")
+        old = _strip(thread.snapshot(), "priority", "base_priority",
+                     "cycles_consumed", "dispatch_count", "syscall_count")
+
+        kernel.run_ticks(4)  # keep using the thread
+        thread.priority = 3  # pretend a boost is in effect
+        thread.restore(old)
+
+        assert thread.priority == thread.base_priority
+        assert thread.cycles_consumed == 0
+        assert thread.dispatch_count == 0
+        assert thread.syscall_count == 0
+
+    def test_mutex_boosts_reset(self):
+        kernel, mutex = _mutex_kernel()
+        kernel.run_ticks(4)
+        old = _strip(mutex.snapshot(), "boosts")
+        mutex.boosts = 7
+        mutex.restore(old)
+        assert mutex.boosts == 0
+
+    def test_scheduler_idle_mode_resets(self):
+        kernel, _ = _mutex_kernel()
+        kernel.run_ticks(2)
+        old = _strip(kernel.scheduler.snapshot(), "idle_mode")
+        kernel.scheduler.idle_mode = True
+        threads = {t.name: t for t in kernel.threads}
+        kernel.scheduler.restore(old, threads)
+        assert kernel.scheduler.idle_mode is False
