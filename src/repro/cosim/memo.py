@@ -1,0 +1,293 @@
+"""Window-digest memoization for deterministic in-process sessions.
+
+A deterministic window is a pure function of (pre-window session state,
+granted ticks).  Steady stretches — drain tails, idle gaps between
+device activity — repeat the *same* window over and over, differing
+only in absolute time and monotonic counters.  This module recognizes
+such repeats and installs the memoized post-state instead of
+re-executing the window.
+
+State classification drives both the cache key and the replay:
+
+========  ==========================================================
+exact     Semantically meaningful state (buffers, registers, RNGs,
+          thread states).  Part of the key; a hit requires a verbatim
+          match, and the recorded post value is installed as-is.
+counter   Monotonic statistics (message counts, delta counts, cycle
+          totals).  Excluded from the key; recorded and replayed as a
+          delta against the pre-state.
+time      Absolute timestamps (kernel ``now``, tick boundaries).
+          Mechanically identical to ``counter`` — rebased by delta —
+          but kept distinct for self-documentation.
+log       Append-only sequences (protocol history).  Excluded from
+          the key; recorded as the appended suffix.
+========  ==========================================================
+
+Unlisted paths default to ``exact`` — misclassifying a new field can
+only ever *prevent* cache hits, never corrupt a replay.  The timed
+event queue and RTOS alarm/interrupt schedules hold absolute times
+inside list entries; they are rebased against their owning clock so
+two windows at different absolute times can still match.
+
+The memo is only sound where session snapshots are (see
+``Simulator.snapshot``): *everything* that influences a window must be
+in the snapshot tree.  Generator frames are not captured, so state
+that evolves only inside a generator must be mirrored in some
+snapshotted field; likewise anything stateful wrapped around the link
+— fault injectors consuming a drop schedule, recording endpoints —
+makes identical snapshots behave differently and must not be combined
+with a memo.  ``WindowMemo(verify=True)`` re-executes every hit and
+raises :class:`MemoDivergence` on mismatch; the differential fuzzer
+additionally runs a memoized backend against the reference execution
+to keep the optimization honest.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import OrderedDict
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.replay.snapshot import state_digest
+
+EXACT = "exact"
+COUNTER = "counter"
+TIME = "time"
+LOG = "log"
+#: A ``[value, change_count]`` signal snapshot: the value is exact,
+#: the change count is a counter.
+SIGNAL = "signal"
+
+#: (path regex, kind).  First match wins; no match means ``exact``.
+#: Paths are "/"-joined dict keys from the session snapshot root.
+DEFAULT_RULES: List[Tuple[str, str]] = [
+    # Master / protocol bookkeeping.
+    (r"^/master/protocol/(seq|ticks_granted|exchanges)$", COUNTER),
+    (r"^/master/protocol/history$", LOG),
+    (r"^/master/(interrupts_sent|data_reads_served|data_writes_served)$",
+     COUNTER),
+    # Simulation kernel.
+    (r"^/master/sim/now$", TIME),
+    (r"^/master/sim/(delta_count|process_runs)$", COUNTER),
+    (r"^/master/sim/signals/[^/]+$", SIGNAL),
+    (r"^/master/sim/modules/[^/]+/cycles$", COUNTER),
+    (r"^/master/sim/driver/port_counts/", COUNTER),
+    # Board runtime / RTOS kernel.
+    (r"^/board_runtime/protocol/(last_seq|ticks_run)$", COUNTER),
+    (r"^/board_runtime/(windows_served|interrupts_received)$", COUNTER),
+    (r"^/board_runtime/board/kernel/(cycles|next_tick_at)$", TIME),
+    (r"^/board_runtime/board/kernel/(hw_ticks|sw_ticks|idle_cycles"
+     r"|kernel_cycles|context_switches|state_switches"
+     r"|idle_service_count)$", COUNTER),
+    (r"^/board_runtime/board/kernel/threads/[^/]+/"
+     r"(cycles_consumed|dispatch_count|syscall_count)$", COUNTER),
+    (r"^/board_runtime/board/kernel/devices/.*/(isr_count|transactions)$",
+     COUNTER),
+    (r"^/board_runtime/board/memory/(reads|writes)$", COUNTER),
+    (r"^/board_runtime/board/bus/accesses$", COUNTER),
+    # Transport statistics.
+    (r"^/link/", COUNTER),
+]
+
+#: Paths whose *list entries* embed absolute times: (path regex,
+#: index of the time field inside each entry, path of the clock the
+#: times are relative to).
+REBASE_LISTS: List[Tuple[str, int, str]] = [
+    (r"^/master/sim/timed$", 0, "/master/sim/now"),
+    (r"^/board_runtime/board/kernel/interrupts/scheduled$", 0,
+     "/board_runtime/board/kernel/cycles"),
+]
+
+
+class MemoDivergence(ReproError):
+    """A verified memo hit did not match actual re-execution."""
+
+
+def _lookup_path(tree: Any, path: str) -> Any:
+    node = tree
+    for key in path.strip("/").split("/"):
+        node = node[key]
+    return node
+
+
+class _Rules:
+    def __init__(self, rules, rebase_lists) -> None:
+        self._rules = [(re.compile(p), kind) for p, kind in rules]
+        self._rebase = [(re.compile(p), idx, clock)
+                        for p, idx, clock in rebase_lists]
+
+    def kind(self, path: str) -> str:
+        for pattern, kind in self._rules:
+            if pattern.search(path):
+                return kind
+        return EXACT
+
+    def rebase_spec(self, path: str) -> Optional[Tuple[int, str]]:
+        for pattern, idx, clock in self._rebase:
+            if pattern.search(path):
+                return idx, clock
+        return None
+
+
+class WindowMemo:
+    """Cache of (normalized pre-state, ticks) -> window effect."""
+
+    def __init__(self, max_entries: int = 64, verify: bool = False,
+                 rules=None, rebase_lists=None) -> None:
+        if max_entries <= 0:
+            raise ReproError("memo max_entries must be positive")
+        self.max_entries = max_entries
+        #: Re-execute hits and check the memoized post-state (slow;
+        #: used by tests and the differential fuzzer).
+        self.verify = verify
+        self._rules = _Rules(DEFAULT_RULES if rules is None else rules,
+                             REBASE_LISTS if rebase_lists is None
+                             else rebase_lists)
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        # (id(pre), ticks) -> key of the last lookup, so the miss ->
+        # record sequence normalizes the pre-state only once.
+        self._last_key: Optional[Tuple[int, int, str]] = None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+    def key(self, state: dict, ticks: int) -> str:
+        """Digest of the normalized pre-state plus the grant size."""
+        return state_digest({"ticks": ticks,
+                             "state": self._normalize(state, "", state)})
+
+    def _normalize(self, node: Any, path: str, root: dict) -> Any:
+        spec = self._rules.rebase_spec(path)
+        if spec is not None:
+            idx, clock = spec
+            base = _lookup_path(root, clock)
+            return [_rebased(entry, idx, base) for entry in node]
+        kind = self._rules.kind(path)
+        if kind in (COUNTER, TIME, LOG):
+            return None
+        if kind == SIGNAL:
+            return [node[0], None]
+        if isinstance(node, dict):
+            return {key: self._normalize(value, f"{path}/{key}", root)
+                    for key, value in node.items()}
+        return node
+
+    # ------------------------------------------------------------------
+    # Record / lookup / apply
+    # ------------------------------------------------------------------
+    def record(self, pre: dict, ticks: int, post: dict) -> None:
+        """Memoize the window that transformed *pre* into *post*."""
+        entry = {"effect": self._diff(pre, post, "", pre, post),
+                 "ticks": ticks}
+        if self._last_key is not None \
+                and self._last_key[:2] == (id(pre), ticks):
+            key = self._last_key[2]
+        else:
+            key = self.key(pre, ticks)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def lookup(self, pre: dict, ticks: int) -> Optional[dict]:
+        """The memo entry matching *pre*, or None."""
+        key = self.key(pre, ticks)
+        self._last_key = (id(pre), ticks, key)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def apply(self, pre: dict, entry: dict) -> dict:
+        """Reconstruct the post-state for *pre* from a memo *entry*."""
+        return self._apply(pre, entry["effect"], "", pre)
+
+    def check(self, pre: dict, entry: dict, actual_post: dict) -> None:
+        """Verify a hit against an actual re-execution (verify mode)."""
+        predicted = self.apply(pre, entry)
+        if state_digest(predicted) != state_digest(actual_post):
+            raise MemoDivergence(
+                "memoized window diverged from re-execution; "
+                f"predicted {state_digest(predicted)[:16]} != actual "
+                f"{state_digest(actual_post)[:16]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Effect trees: ("same",) | ("abs", v) | ("delta", n) |
+    # ("suffix", items) | ("rebase", entries) | ("dict", {...})
+    # ------------------------------------------------------------------
+    def _diff(self, pre: Any, post: Any, path: str,
+              pre_root: dict, post_root: dict) -> tuple:
+        spec = self._rules.rebase_spec(path)
+        if spec is not None:
+            idx, clock = spec
+            # Store the post entries relative to the *post* clock.  The
+            # pre entries (rebased to the pre clock) are part of the
+            # key, so a hit guarantees the same starting queue; apply
+            # re-anchors on the new run's post clock.
+            post_base = _lookup_path(post_root, clock)
+            return ("rebase", idx, clock,
+                    post_base - _lookup_path(pre_root, clock),
+                    [_rebased(entry, idx, post_base) for entry in post])
+        kind = self._rules.kind(path)
+        if kind in (COUNTER, TIME):
+            if isinstance(pre, (int, float)) and isinstance(post, type(pre)) \
+                    and not isinstance(pre, bool):
+                return ("delta", post - pre)
+            return ("abs", post)
+        if kind == SIGNAL:
+            return ("signal", post[0], post[1] - pre[1])
+        if kind == LOG:
+            if (isinstance(pre, list) and isinstance(post, list)
+                    and post[:len(pre)] == pre):
+                return ("suffix", post[len(pre):])
+            return ("abs", post)
+        if isinstance(pre, dict) and isinstance(post, dict) \
+                and pre.keys() == post.keys():
+            return ("dict", {key: self._diff(pre[key], post[key],
+                                             f"{path}/{key}",
+                                             pre_root, post_root)
+                             for key in pre})
+        if pre == post:
+            return ("same",)
+        return ("abs", post)
+
+    def _apply(self, pre: Any, effect: tuple, path: str, root: dict) -> Any:
+        tag = effect[0]
+        if tag == "same":
+            return pre
+        if tag == "abs":
+            return effect[1]
+        if tag == "delta":
+            return pre + effect[1]
+        if tag == "suffix":
+            return list(pre) + list(effect[1])
+        if tag == "signal":
+            return [effect[1], pre[1] + effect[2]]
+        if tag == "rebase":
+            _, idx, clock, clock_delta, entries_rel = effect
+            # The owning clock advances by the recorded delta in this
+            # run too (its scalar carries a matching ("delta", ...)
+            # effect), so the new post clock is pre clock + delta.
+            new_base = _lookup_path(root, clock) + clock_delta
+            return [_rebased(entry, idx, -new_base)
+                    for entry in entries_rel]
+        if tag == "dict":
+            return {key: self._apply(pre[key], sub, f"{path}/{key}", root)
+                    for key, sub in effect[1].items()}
+        raise ReproError(f"bad memo effect {effect!r}")
+
+
+def _rebased(entry: Any, idx: int, base: Any) -> Any:
+    out = list(entry)
+    out[idx] = out[idx] - base
+    return out

@@ -45,6 +45,9 @@ class CosimMetrics:
     checkpoints_taken: int = 0
     restores: int = 0
     windows_replayed: int = 0
+    #: Windows satisfied from the window-digest memo (see
+    #: repro.cosim.memo) instead of being re-executed.
+    windows_memoized: int = 0
     # Observability counters (zero unless tracing was enabled).
     spans_recorded: int = 0
     span_events: int = 0
@@ -110,5 +113,6 @@ class CosimMetrics:
             f"checkpoints={self.checkpoints_taken} "
             f"restores={self.restores} "
             f"windows_replayed={self.windows_replayed} "
+            f"memoized={self.windows_memoized} "
             f"spans={self.spans_recorded}"
         )

@@ -19,6 +19,7 @@ of the accuracy loss the paper measures for large ``T_sync``.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from typing import Callable, Optional
@@ -58,6 +59,9 @@ class _SessionBase:
         self.checkpoints_taken = 0
         self.restores = 0
         self.windows_replayed = 0
+        #: Window-digest memo (InprocSession only; see attach_memo).
+        self.memo = None
+        self.windows_memoized = 0
 
     def attach_trace(self, trace) -> None:
         """Record every window into *trace* (a ProtocolTrace)."""
@@ -165,6 +169,7 @@ class _SessionBase:
         metrics.checkpoints_taken = self.checkpoints_taken
         metrics.restores = self.restores
         metrics.windows_replayed = self.windows_replayed
+        metrics.windows_memoized = self.windows_memoized
         metrics.absorb_link_stats(self.link_stats)
         if self.obs.enabled:
             metrics.spans_recorded = self.obs.span_count
@@ -200,6 +205,27 @@ class _SessionBase:
 class InprocSession(_SessionBase):
     """Deterministic, single-thread co-simulation."""
 
+    def attach_memo(self, memo) -> None:
+        """Skip re-executing repeated windows via *memo* (a
+        :class:`~repro.cosim.memo.WindowMemo`).
+
+        Sound only here: the in-process session is deterministic, so a
+        window really is a pure function of (snapshot state, ticks).
+        Each window boundary snapshots the session; when the normalized
+        pre-state matches a recorded window, the memoized post-state is
+        installed instead of simulating.  With ``memo.verify`` set the
+        window is executed anyway and the prediction is checked —
+        the differential fuzzer runs that mode as an oracle.
+        """
+        self.memo = memo
+
+    def _memo_snapshot(self) -> dict:
+        # Deep-copied so neither cached entries nor the live objects
+        # that a later restore() may adopt references from can alias
+        # the tree we keep (snapshot/restore promise plain data, not
+        # freshly-copied leaves).
+        return copy.deepcopy(self.snapshot())
+
     def run(self, max_cycles: Optional[int] = None,
             done: Optional[DoneFn] = None,
             max_windows: Optional[int] = None) -> CosimMetrics:
@@ -208,11 +234,26 @@ class InprocSession(_SessionBase):
                 "need max_cycles, max_windows, and/or a done() condition"
             )
         metrics = self._new_metrics()
+        pre = None
         while self._should_continue(metrics.windows, done, max_cycles,
                                     max_windows):
             ticks = self._window_ticks(max_cycles)
             ints_before = self.master.interrupts_sent
             data_before = self.link_stats.data_messages
+            entry = None
+            if self.memo is not None:
+                if pre is None:
+                    pre = self._memo_snapshot()
+                entry = self.memo.lookup(pre, ticks)
+                if entry is not None and not self.memo.verify:
+                    post = self.memo.apply(pre, entry)
+                    self.restore(copy.deepcopy(post))
+                    self.windows_memoized += 1
+                    metrics.windows += 1
+                    metrics.sync_exchanges += 1
+                    self._after_window(ticks, ints_before, data_before)
+                    pre = post
+                    continue
             token = None
             if self.obs.enabled:
                 token = self.obs.begin("session", "window",
@@ -232,6 +273,15 @@ class InprocSession(_SessionBase):
             metrics.windows += 1
             metrics.sync_exchanges += 1
             self._after_window(ticks, ints_before, data_before)
+            if self.memo is not None:
+                post = self._memo_snapshot()
+                if entry is not None:
+                    # verify mode: the window ran anyway — check the
+                    # memoized prediction against reality.
+                    self.memo.check(pre, entry, post)
+                else:
+                    self.memo.record(pre, ticks, post)
+                pre = post
         return self._finalize(metrics)
 
 

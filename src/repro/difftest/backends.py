@@ -50,7 +50,7 @@ from repro.transport.queues import QueueLink
 
 #: Backends per scenario; the first entry is the reference backend.
 SCENARIO_BACKENDS: Dict[str, List[str]] = {
-    "router": ["inproc", "rerun", "replay", "queue", "tcp"],
+    "router": ["inproc", "rerun", "replay", "memo", "queue", "tcp"],
     "iss": ["iss-default", "iss-unit"],
     "adaptive": ["adaptive", "adaptive-rerun"],
     "multiboard": ["multi-inproc", "multi-threaded"],
@@ -117,7 +117,7 @@ def run_backend(spec: FuzzSpec, backend: str,
     a finding rather than an abort of the whole fuzz loop.
     """
     try:
-        if backend in ("inproc", "rerun", "queue", "tcp"):
+        if backend in ("inproc", "rerun", "memo", "queue", "tcp"):
             return _run_router(spec, backend)
         if backend == "replay":
             return _run_replay(spec, recording)
@@ -137,21 +137,39 @@ def run_backend(spec: FuzzSpec, backend: str,
 # Router scenario
 # ----------------------------------------------------------------------
 def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
-    mode = "inproc" if backend in ("inproc", "rerun") else backend
-    # Both deterministic flavours record: the finalized recording's
-    # trace rows carry *board-visible* interrupt counts (a fault plan
-    # can drop packets the master sent), which is the representation
-    # the replay backend reconstructs — comparing raw live rows
-    # against a replay would flag every dropped interrupt as a
-    # divergence.  Only the reference ``inproc`` recording is handed
-    # onward to the replay backend.
-    record = backend in ("inproc", "rerun")
+    mode = "inproc" if backend in ("inproc", "rerun", "memo") else backend
+    # The memo backend exercises the real skip path on fault-free
+    # specs: repeated windows are satisfied from the cache, and the
+    # cross-backend oracles then hold the final digest and trace to
+    # the reference run's — any normalization bug becomes a finding.
+    # Fault plans carry hidden state outside the session snapshot
+    # (drop schedules indexed by message count), which breaks the
+    # memo's purity requirement — those specs run as a plain second
+    # inproc execution instead.
+    use_memo = backend == "memo" and spec.fault_plan() is None
+    # Deterministic flavours record: the finalized recording's trace
+    # rows carry *board-visible* interrupt counts (a fault plan can
+    # drop packets the master sent), which is the representation the
+    # replay backend reconstructs — comparing raw live rows against a
+    # replay would flag every dropped interrupt as a divergence.  A
+    # memoized run cannot record (skipped windows exchange no
+    # messages), but then it never runs under faults, so its live rows
+    # equal the board-visible ones.  Only the reference ``inproc``
+    # recording is handed onward to the replay backend.
+    record = backend in ("inproc", "rerun") or (backend == "memo"
+                                                and not use_memo)
     recording = SessionRecording() if record else None
     cosim = build_router_cosim(
         spec.cosim_config(), spec.router_workload(), mode=mode,
         fault_plan=spec.fault_plan(), recorder=recording)
     trace = ProtocolTrace()
     cosim.session.attach_trace(trace)
+    memo = None
+    if use_memo:
+        from repro.cosim.memo import WindowMemo
+
+        memo = WindowMemo()
+        cosim.session.attach_memo(memo)
     # Fixed cycle budget, no drain condition: every backend covers the
     # exact same window schedule, which the cross-backend oracles need.
     metrics = cosim.run(max_cycles=spec.max_cycles, await_drain=False)
@@ -171,6 +189,9 @@ def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
         deterministic=(mode == "inproc"),
         recording=recording if backend == "inproc" else None,
     )
+    if memo is not None:
+        outcome.extra["memo_hits"] = memo.hits
+        outcome.extra["memo_misses"] = memo.misses
     if mode == "inproc":
         outcome.digest = state_digest({
             "board": board_state_summary(cosim.runtime.board),

@@ -1,0 +1,133 @@
+"""Window-digest memoization (repro.cosim.memo)."""
+
+import pytest
+
+from repro.cosim.config import CosimConfig
+from repro.cosim.memo import MemoDivergence, WindowMemo
+from repro.errors import ReproError
+from repro.replay.snapshot import state_digest
+from repro.router.testbench import RouterWorkload, build_router_cosim
+
+
+def _run(t_sync=200, max_cycles=30_000, memo=None):
+    config = CosimConfig(t_sync=t_sync)
+    workload = RouterWorkload(packets_per_producer=5, interval_cycles=1000,
+                              payload_size=16, corrupt_rate=0.0,
+                              buffer_capacity=20)
+    cosim = build_router_cosim(config, workload, mode="inproc")
+    if memo is not None:
+        cosim.session.attach_memo(memo)
+    metrics = cosim.session.run(max_cycles=max_cycles)
+    return cosim, metrics
+
+
+class TestWindowMemo:
+    def test_idle_windows_hit_and_state_is_identical(self):
+        ref, _ = _run()
+        reference_digest = state_digest(ref.session.snapshot())
+
+        memo = WindowMemo()
+        cosim, metrics = _run(memo=memo)
+
+        # The workload is done after ~9k cycles; the remaining idle
+        # windows must be served from the cache.
+        assert memo.hits > 0
+        assert metrics.windows_memoized == memo.hits
+        assert state_digest(cosim.session.snapshot()) == reference_digest
+        assert cosim.stats.snapshot() == ref.stats.snapshot()
+
+    def test_verify_mode_executes_and_checks_every_hit(self):
+        ref, _ = _run()
+        reference_digest = state_digest(ref.session.snapshot())
+
+        memo = WindowMemo(verify=True)
+        cosim, metrics = _run(memo=memo)
+        assert memo.hits > 0
+        # verify mode re-executes, so nothing is skipped...
+        assert metrics.windows_memoized == 0
+        # ...and the final state is untouched by the checking.
+        assert state_digest(cosim.session.snapshot()) == reference_digest
+
+    def test_metrics_summary_reports_memoized_windows(self):
+        memo = WindowMemo()
+        _, metrics = _run(memo=memo)
+        assert f"memoized={memo.hits}" in metrics.summary()
+
+    def test_cache_is_bounded_lru(self):
+        memo = WindowMemo(max_entries=3)
+        _run(memo=memo)
+        assert len(memo) <= 3
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ReproError):
+            WindowMemo(max_entries=0)
+
+
+class TestNormalization:
+    """Unit-level behaviour of the effect trees."""
+
+    def _flat_memo(self):
+        # No rebase lists, simple rules keyed on obvious names.
+        return WindowMemo(rules=[("^/count$", "counter"),
+                                 ("^/log$", "log"),
+                                 ("^/sig$", "signal")],
+                          rebase_lists=[("^/timed$", 0, "/count")])
+
+    def test_counter_is_delta_rebased_and_off_key(self):
+        memo = self._flat_memo()
+        pre1 = {"count": 100, "x": 1}
+        post1 = {"count": 130, "x": 1}
+        memo.record(pre1, 5, post1)
+        # Same exact state, different counter value: still a hit.
+        pre2 = {"count": 700, "x": 1}
+        entry = memo.lookup(pre2, 5)
+        assert entry is not None
+        assert memo.apply(pre2, entry) == {"count": 730, "x": 1}
+
+    def test_exact_state_is_part_of_the_key(self):
+        memo = self._flat_memo()
+        memo.record({"count": 0, "x": 1}, 5, {"count": 1, "x": 2})
+        assert memo.lookup({"count": 0, "x": 99}, 5) is None
+        assert memo.lookup({"count": 0, "x": 1}, 6) is None
+
+    def test_log_gets_the_recorded_suffix_appended(self):
+        memo = self._flat_memo()
+        memo.record({"log": [1, 2], "x": 0}, 1, {"log": [1, 2, 3], "x": 0})
+        entry = memo.lookup({"log": [7], "x": 0}, 1)
+        assert entry is not None
+        assert memo.apply({"log": [7], "x": 0}, entry) == {
+            "log": [7, 3], "x": 0}
+
+    def test_signal_pairs_keep_value_exact_and_count_rebased(self):
+        memo = self._flat_memo()
+        memo.record({"sig": [True, 10], "x": 0}, 1,
+                    {"sig": [False, 12], "x": 0})
+        # Different change count, same value: hit.
+        entry = memo.lookup({"sig": [True, 400], "x": 0}, 1)
+        assert entry is not None
+        assert memo.apply({"sig": [True, 400], "x": 0}, entry) == {
+            "sig": [False, 402], "x": 0}
+        # Different *value*: part of the key, no hit.
+        assert memo.lookup({"sig": [False, 10], "x": 0}, 1) is None
+
+    def test_timed_queue_entries_are_rebased_on_their_clock(self):
+        memo = self._flat_memo()
+        pre1 = {"count": 1000, "timed": [[1010, "a"], [1050, "b"]]}
+        post1 = {"count": 1100, "timed": [[1110, "a"]]}
+        memo.record(pre1, 1, post1)
+        pre2 = {"count": 5000, "timed": [[5010, "a"], [5050, "b"]]}
+        entry = memo.lookup(pre2, 1)
+        assert entry is not None
+        assert memo.apply(pre2, entry) == {
+            "count": 5100, "timed": [[5110, "a"]]}
+        # Same shape at different relative offsets must not match.
+        assert memo.lookup(
+            {"count": 5000, "timed": [[5011, "a"], [5050, "b"]]}, 1) is None
+
+    def test_check_raises_on_divergence(self):
+        memo = self._flat_memo()
+        pre = {"count": 0, "x": 1}
+        memo.record(pre, 1, {"count": 1, "x": 1})
+        entry = memo.lookup(pre, 1)
+        with pytest.raises(MemoDivergence):
+            memo.check(pre, entry, {"count": 1, "x": 2})
