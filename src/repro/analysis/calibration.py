@@ -66,9 +66,11 @@ class CalibrationResult:
 
     def predict(self, sync_exchanges: int, master_cycles: int,
                 messages: int) -> float:
-        return (self.per_sync_exchange * sync_exchanges
-                + self.per_master_cycle * master_cycles
-                + self.per_message * messages)
+        # Clamped at zero: fits over near-instant runs are noise-bound
+        # and can produce slightly negative coefficients.
+        return max(0.0, self.per_sync_exchange * sync_exchanges
+                   + self.per_master_cycle * master_cycles
+                   + self.per_message * messages)
 
 
 def fit_samples(samples: Sequence[CalibrationSample]) -> CalibrationResult:
