@@ -374,6 +374,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.difftest import FuzzSpec, fuzz, run_spec
 
     log = None if args.quiet else print
+    if args.lint_concurrency:
+        # Pre-flight: a fuzz campaign over a protocol or locking bug
+        # wastes its whole budget rediscovering what the static layer
+        # already proves; fail fast instead.
+        from repro.staticcheck import run_lint
+
+        preflight = run_lint(["protocol", "concurrency", "purity"])
+        if preflight.exit_code(strict=True) != 0:
+            print(preflight.render_text(), file=sys.stderr)
+            print("fuzz: concurrency pre-flight failed; fix the lint "
+                  "findings (or run without --lint-concurrency)",
+                  file=sys.stderr)
+            return 2
+        if log is not None:
+            log("fuzz: concurrency pre-flight clean "
+                "(protocol, concurrency, purity)")
     if args.spec:
         spec = FuzzSpec.load(args.spec)
         outcomes, mismatches = run_spec(spec, backends=args.backends)
@@ -652,6 +668,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--spec", metavar="FILE.json",
                       help="re-run one saved workload spec instead of "
                            "generating cases")
+    fuzz.add_argument("--lint-concurrency", action="store_true",
+                      help="pre-flight the protocol/concurrency/purity "
+                           "lint passes and refuse to fuzz while they "
+                           "report findings")
     fuzz.add_argument("--quiet", action="store_true",
                       help="only print the final summary")
     fuzz.set_defaults(fn=_cmd_fuzz)

@@ -25,7 +25,13 @@ from typing import List
 
 from repro.board.board import Board
 from repro.cosim.config import CosimConfig
-from repro.cosim.protocol import BoardProtocol, is_shutdown
+from repro.cosim.protocol import (
+    BOARD_INITIAL,
+    BOARD_WINDOW_TABLE,
+    BoardProtocol,
+    WindowFsm,
+    is_shutdown,
+)
 from repro.errors import ProtocolError
 from repro.obs.recorder import NULL_RECORDER
 from repro.transport.channel import BoardEndpoint
@@ -43,6 +49,9 @@ class CosimBoardRuntime:
         self.endpoint = endpoint
         self.config = config
         self.protocol = BoardProtocol()
+        #: Window-phase tracker; every phase change is validated against
+        #: the declarative BOARD_WINDOW_TABLE (see repro.cosim.protocol).
+        self.fsm = WindowFsm("board", BOARD_WINDOW_TABLE, BOARD_INITIAL)
         self.windows_served = 0
         self.interrupts_received = 0
         # Boot directly into the frozen state: nothing runs before the
@@ -68,6 +77,8 @@ class CosimBoardRuntime:
             if key not in state:
                 raise ProtocolError(f"board runtime snapshot missing {key!r}")
         self.protocol.restore(state["protocol"])
+        # Restores happen at window boundaries: the board is frozen.
+        self.fsm.reset()
         self.windows_served = state["windows_served"]
         self.interrupts_received = state["interrupts_received"]
         self.board.restore(state["board"])
@@ -119,6 +130,7 @@ class CosimBoardRuntime:
         grant = self.endpoint.recv_grant()
         if grant is None:
             raise ProtocolError("no clock grant pending for the board")
+        self.fsm.step("recv_grant")
         ticks = self.protocol.accept_grant(grant)
         kernel = self.board.kernel
         window_start_master = self.protocol.ticks_run - ticks
@@ -138,7 +150,9 @@ class CosimBoardRuntime:
             if token is not None:
                 self.obs.end(token, sim=kernel.cycles,
                              interrupts=scheduled)
+        self.fsm.step("window_done")
         self.windows_served += 1
+        self.fsm.step("send_report")
         self.endpoint.send_report(self.protocol.make_report(kernel.sw_ticks))
 
     # ------------------------------------------------------------------
@@ -170,7 +184,9 @@ class CosimBoardRuntime:
                         f"no clock grant within {grant_timeout_s}s"
                     )
                 if is_shutdown(grant):
+                    self.fsm.step("recv_shutdown")
                     return
+                self.fsm.step("recv_grant")
                 ticks = self.protocol.accept_grant(grant)
                 token = None
                 if self.obs.enabled:
@@ -191,9 +207,11 @@ class CosimBoardRuntime:
                 finally:
                     if token is not None:
                         self.obs.end(token, sim=kernel.cycles)
+                self.fsm.step("window_done")
                 self.windows_served += 1
                 if self.config.emulated_network_delay_s > 0:
                     time.sleep(self.config.emulated_network_delay_s)
+                self.fsm.step("send_report")
                 self.endpoint.send_report(
                     self.protocol.make_report(kernel.sw_ticks)
                 )

@@ -21,7 +21,12 @@ import time
 from typing import Optional
 
 from repro.cosim.config import CosimConfig
-from repro.cosim.protocol import MasterProtocol
+from repro.cosim.protocol import (
+    MASTER_INITIAL,
+    MASTER_WINDOW_TABLE,
+    MasterProtocol,
+    WindowFsm,
+)
 from repro.errors import ProtocolError, SimulationError, TransportError
 from repro.obs.recorder import NULL_RECORDER
 from repro.simkernel.clock import Clock
@@ -50,13 +55,19 @@ class CosimMaster:
         self.endpoint = endpoint
         self.config = config
         self.protocol = MasterProtocol()
+        #: Window-phase tracker; every phase change is validated against
+        #: the declarative MASTER_WINDOW_TABLE (see repro.cosim.protocol).
+        self.fsm = WindowFsm("master", MASTER_WINDOW_TABLE, MASTER_INITIAL)
         self.interrupts_sent = 0
         self.data_reads_served = 0
         self.data_writes_served = 0
-        self._bound_vectors = set()
+        # Structural binding registry, not simulated state; rebuilt
+        # by construction, never by restore.
+        self._bound_vectors = set()  # lint: disable=SNAP001
         #: When set, an interrupt edge stops the running window early
-        #: (used by reactive/adaptive sessions).
-        self._stop_on_activity = False
+        #: (used by reactive/adaptive sessions).  Transient within
+        #: one call (reset in a finally), never spans a boundary.
+        self._stop_on_activity = False  # lint: disable=SNAP001
         if interrupt_signal is not None:
             self.bind_interrupt(config.remote_vector, interrupt_signal)
 
@@ -115,6 +126,9 @@ class CosimMaster:
             if key not in state:
                 raise ProtocolError(f"master snapshot missing {key!r}")
         self.protocol.restore(state["protocol"])
+        # Restores happen at window boundaries, where the master sits in
+        # the FSM's initial state; the phase is not serialized.
+        self.fsm.reset()
         self.interrupts_sent = state["interrupts_sent"]
         self.data_reads_served = state["data_reads_served"]
         self.data_writes_served = state["data_writes_served"]
@@ -187,6 +201,7 @@ class CosimMaster:
         The caller (the session) afterwards steps the board and collects
         the time report through :meth:`finish_window_inproc`.
         """
+        self.fsm.step("send_grant")
         grant = self.protocol.make_grant(ticks)
         if self.obs.enabled:
             self.obs.event("transport", "grant.send",
@@ -194,6 +209,7 @@ class CosimMaster:
                            ticks=ticks)
         self.endpoint.send_grant(grant)
         self._run_cycles_traced(ticks)
+        self.fsm.step("window_simulated")
 
     def finish_window_inproc(self, report: TimeReport) -> None:
         if self.obs.enabled:
@@ -201,6 +217,7 @@ class CosimMaster:
                            sim=self.clock.cycles, seq=report.seq,
                            board_ticks=report.board_ticks)
         self.protocol.check_report(report, self.clock.cycles)
+        self.fsm.step("recv_report")
 
     def _run_cycles_traced(self, ticks: int) -> None:
         """One window's worth of hardware simulation, under a
@@ -251,16 +268,21 @@ class CosimMaster:
         finally:
             if token is not None:
                 self.obs.end(token, sim=self.clock.cycles)
+        # Reactive windows simulate first and size the grant after the
+        # fact, so both phase changes land at the send.
+        self.fsm.step("send_grant")
         grant = self.protocol.make_grant(ticks)
         if self.obs.enabled:
             self.obs.event("transport", "grant.send", sim=self.clock.cycles,
                            seq=grant.seq, ticks=ticks)
         self.endpoint.send_grant(grant)
+        self.fsm.step("window_simulated")
         return ticks
 
     def run_window_threaded(self, ticks: int) -> None:
         """Threaded sessions: grant, simulate cycle by cycle while
         servicing the DATA port, then block for the time report."""
+        self.fsm.step("send_grant")
         grant = self.protocol.make_grant(ticks)
         obs = self.obs
         if obs.enabled:
@@ -297,6 +319,7 @@ class CosimMaster:
                 obs.end(sim_token, sim=self.clock.cycles,
                         deltas=self.sim.delta_count - deltas,
                         process_runs=self.sim.process_runs - runs)
+        self.fsm.step("window_simulated")
         wait_token = None
         if obs.enabled:
             wait_token = obs.begin("transport", "report_wait",
@@ -337,6 +360,7 @@ class CosimMaster:
             if wait_token is not None:
                 obs.end(wait_token, sim=self.clock.cycles, polls=polls)
         self.protocol.check_report(report, self.clock.cycles)
+        self.fsm.step("recv_report")
 
 
 def build_driver_sim(name: str = "cosim_hw",

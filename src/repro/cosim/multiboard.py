@@ -78,6 +78,9 @@ class _MultiBoardBase:
 
     # ------------------------------------------------------------------
     def _grant_all(self, ticks: int) -> None:
+        # One grant per window fans out to every board: a single
+        # send_grant phase change, however many slots receive it.
+        self.master.fsm.step("send_grant")
         grant = self.master.protocol.make_grant(ticks)
         for slot in self.slots:
             slot.master_ep.send_grant(grant)
@@ -169,6 +172,7 @@ class MultiBoardInprocSession(_MultiBoardBase):
             self._check_report(slot, report)
         # One logical exchange per window, however many boards answered.
         self.master.protocol.exchanges = exchanges_before + 1
+        self.master.fsm.step("recv_report")
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: Optional[int] = None,
@@ -180,6 +184,7 @@ class MultiBoardInprocSession(_MultiBoardBase):
             ticks = self._window_ticks(max_cycles)
             self._grant_all(ticks)
             self.master.run_cycles(ticks)
+            self.master.fsm.step("window_simulated")
             self._serve_all()
             self._collect_reports()
             metrics.windows += 1
@@ -235,11 +240,17 @@ class MultiBoardThreadedSession(_MultiBoardBase):
                     self.master.sim.run_until(
                         self.master.sim.now + step * period)
                     remaining -= step
+                self.master.fsm.step("window_simulated")
                 self._collect_reports()
                 metrics.windows += 1
                 metrics.sync_exchanges += len(self.slots)
             failed = False
         finally:
+            if not failed:
+                # A mid-window failure leaves the FSM wherever the
+                # error struck; only the clean path claims a legal
+                # idle -> closed shutdown transition.
+                self.master.fsm.step("send_shutdown")
             shutdown = make_shutdown(self.master.protocol.seq + 1)
             for slot in self.slots:
                 try:
@@ -297,3 +308,4 @@ class MultiBoardThreadedSession(_MultiBoardBase):
                     f"{timeout_s}s of the last sign of life"
                 )
         self.master.protocol.exchanges = exchanges_before + 1
+        self.master.fsm.step("recv_report")

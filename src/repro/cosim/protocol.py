@@ -15,10 +15,100 @@ the pair of invariants this module enforces on every exchange:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.errors import ProtocolError
 from repro.transport.messages import ClockGrant, TimeReport
+
+# ----------------------------------------------------------------------
+# Declarative window state machines
+# ----------------------------------------------------------------------
+# These tables are the single source of truth for the per-window
+# handshake.  Two consumers keep each other honest:
+#
+# * the runtime loops (:class:`repro.cosim.master.CosimMaster`,
+#   :class:`repro.cosim.board_runtime.CosimBoardRuntime`, the
+#   multi-board sessions) consult them through :class:`WindowFsm` on
+#   every phase change — an illegal transition raises
+#   :class:`~repro.errors.ProtocolError` at the exact step that broke
+#   the protocol;
+# * the protocol model checker
+#   (:mod:`repro.staticcheck.protocol_rules`) composes the same tables
+#   over bounded message channels and exhaustively explores every
+#   DATA/IRQ interleaving for deadlock, lost wake-ups and liveness.
+#
+# Self-loop events (DATA servicing, IRQ delivery) are listed for the
+# model checker but not stepped by the hot runtime paths — only phase
+# *changes* pay the table lookup.
+
+#: Master window phases: (state, event) -> successor state.
+MASTER_WINDOW_TABLE: Dict[Tuple[str, str], str] = {
+    ("idle", "send_grant"): "simulating",
+    ("simulating", "send_irq"): "simulating",
+    ("simulating", "serve_data"): "simulating",
+    ("simulating", "window_simulated"): "awaiting_report",
+    ("awaiting_report", "serve_data"): "awaiting_report",
+    ("awaiting_report", "recv_report"): "idle",
+    ("idle", "send_shutdown"): "closed",
+}
+MASTER_INITIAL = "idle"
+#: States in which a master may legally end a session.
+MASTER_ACCEPTING = ("idle", "closed")
+
+#: Board window phases: (state, event) -> successor state.  The board
+#: freezes between windows; the channel thread keeps consuming IRQs in
+#: the frozen state ("the communication thread cannot be halted when
+#: the OS is in the idle state, otherwise some events can be lost").
+BOARD_WINDOW_TABLE: Dict[Tuple[str, str], str] = {
+    ("frozen", "recv_grant"): "running",
+    ("frozen", "recv_irq"): "frozen",
+    ("frozen", "recv_shutdown"): "closed",
+    ("running", "recv_irq"): "running",
+    ("running", "send_data_request"): "awaiting_data",
+    ("awaiting_data", "recv_data_reply"): "running",
+    ("running", "window_done"): "reporting",
+    ("reporting", "send_report"): "frozen",
+}
+BOARD_INITIAL = "frozen"
+#: States in which a board may legally end a session.
+BOARD_ACCEPTING = ("frozen", "closed")
+
+
+class WindowFsm:
+    """Runtime view of a declarative window state machine.
+
+    The session layers drive their loops as before; every phase change
+    is *validated* against the table, so a reordered handshake (a grant
+    issued before the previous report arrived, a report sent while the
+    board never ran its window) fails loudly at the exact illegal step
+    instead of corrupting tick accounting downstream.
+    """
+
+    __slots__ = ("name", "table", "initial", "state")
+
+    def __init__(self, name: str, table: Dict[Tuple[str, str], str],
+                 initial: str) -> None:
+        self.name = name
+        self.table = table
+        self.initial = initial
+        self.state = initial
+
+    def step(self, event: str) -> str:
+        """Advance on *event*; raises ProtocolError when illegal."""
+        next_state = self.table.get((self.state, event))
+        if next_state is None:
+            allowed = sorted(e for (s, e) in self.table if s == self.state)
+            raise ProtocolError(
+                f"{self.name} window protocol violation: event {event!r} "
+                f"is illegal in state {self.state!r} (allowed: {allowed})"
+            )
+        self.state = next_state
+        return next_state
+
+    def reset(self) -> None:
+        """Back to the initial state (session restore happens at window
+        boundaries, where both machines sit in their initial state)."""
+        self.state = self.initial
 
 
 @dataclass

@@ -32,6 +32,7 @@ from repro.cosim.protocol import make_shutdown
 from repro.errors import ProtocolError, ReproError, TransportError
 from repro.obs.recorder import install_recorder, make_recorder
 from repro.transport.channel import LinkStats
+from repro.transport.faults import FaultyBoardEndpoint
 
 DoneFn = Callable[[], bool]
 
@@ -44,9 +45,11 @@ class _SessionBase:
         self.link_stats = link_stats
         self.config = config
         #: Optional per-window recorder (see repro.cosim.trace).
-        self.trace = None
+        # Attachment points (trace/checkpointer) are wiring, not
+        # simulated state; checkpoints deliberately omit them.
+        self.trace = None  # lint: disable=SNAP001
         #: Optional periodic checkpointer (see repro.replay.checkpoint).
-        self.checkpointer = None
+        self.checkpointer = None  # lint: disable=SNAP001
         #: Extra checkpointed objects, name -> Snapshotable-like.
         self.snapshotables = {}
         #: Span recorder (NULL_RECORDER unless config.tracing enables
@@ -54,7 +57,7 @@ class _SessionBase:
         self.obs = make_recorder(getattr(config, "tracing", None))
         install_recorder(self.obs, master=master, runtime=runtime)
         #: Windows completed over the session's lifetime (across runs).
-        self.windows_completed = 0
+        self.windows_completed = 0  # lint: disable=SNAP001
         # Checkpoint/restore accounting, copied into the metrics.
         self.checkpoints_taken = 0
         self.restores = 0
@@ -216,7 +219,23 @@ class InprocSession(_SessionBase):
         installed instead of simulating.  With ``memo.verify`` set the
         window is executed anyway and the prediction is checked —
         the differential fuzzer runs that mode as an oracle.
+
+        Raises :class:`~repro.errors.ProtocolError` when the board link
+        carries a fault injector: fault plans hold off-snapshot state
+        (drop/duplicate/corruption schedules), so a window is *not* a
+        pure function of the session snapshot and memo hits would
+        silently skip scheduled faults.
         """
+        endpoint = self.runtime.endpoint
+        while endpoint is not None:
+            if isinstance(endpoint, FaultyBoardEndpoint):
+                raise ProtocolError(
+                    "cannot attach a window memo to a fault-injected "
+                    "session: the fault plan's drop/corruption schedule "
+                    "lives outside the session snapshot, so memoized "
+                    "windows would silently skip scheduled faults"
+                )
+            endpoint = getattr(endpoint, "inner", None)
         self.memo = memo
 
     def _memo_snapshot(self) -> dict:
@@ -324,6 +343,11 @@ class ThreadedSession(_SessionBase):
                 self._after_window(ticks, ints_before, data_before)
             failed = False
         finally:
+            if not failed:
+                # A mid-window failure leaves the FSM wherever the
+                # error struck; only the clean path claims a legal
+                # idle -> closed shutdown transition.
+                self.master.fsm.step("send_shutdown")
             try:
                 self.master.endpoint.send_grant(
                     make_shutdown(self.master.protocol.seq + 1)

@@ -69,7 +69,9 @@ class AlarmQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Alarm]] = []
-        self._seq = 0
+        # Heap tie-break only; restore re-pushes live alarms in
+        # deterministic order, so the counter need not round-trip.
+        self._seq = 0  # lint: disable=SNAP001
 
     def push(self, alarm: Alarm) -> None:
         assert alarm.trigger_tick is not None

@@ -67,7 +67,8 @@ class RtosKernel:
         self.threads: List[Thread] = []
         self.current: Optional[Thread] = None
         self._last_thread: Optional[Thread] = None
-        self._started = False
+        # Lifecycle latch; re-execution restore re-runs start().
+        self._started = False  # lint: disable=SNAP001
         #: Names of threads declared as *communication threads* — the
         #: only threads Section 5.3 permits to run while the OS is
         #: frozen in the IDLE state (``repro lint`` checks this against

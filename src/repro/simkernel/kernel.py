@@ -46,9 +46,11 @@ class Simulator:
         self.name = name
         self.max_deltas = max_deltas
         self._now = 0
-        self._running = False
-        self._stop_requested = False
-        self._elaborated = False
+        # Scheduler-transient flags (run loop + elaboration latch);
+        # never live across a window boundary snapshot.
+        self._running = False  # lint: disable=SNAP001
+        self._stop_requested = False  # lint: disable=SNAP001
+        self._elaborated = False  # lint: disable=SNAP001
 
         self.modules: List[Any] = []
         self.signals: List[Signal] = []

@@ -18,6 +18,17 @@ This package checks all three statically and reports findings as
 rule IDs, severities and source locations.  See
 ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the JSON report
 schema.
+
+The concurrency-verification layer adds three more pass families:
+
+* a bounded explicit-state **protocol model checker** over the
+  declarative window transition tables (PROTO001–PROTO005);
+* a **lock-order / blocking-call** AST analysis of the repository's
+  own sources (CONC001–CONC004), paired with an opt-in runtime
+  sanitizer (:mod:`repro.staticcheck.sanitizer`);
+* a **snapshot-purity** pass that diffs ``__init__`` state against
+  ``snapshot()``/``restore()`` for every Snapshotable class
+  (SNAP001–SNAP003).
 """
 
 from repro.staticcheck.cfg import (
@@ -27,6 +38,10 @@ from repro.staticcheck.cfg import (
     block_cycle_bounds,
     build_cfg,
     loop_free_wcet,
+)
+from repro.staticcheck.concurrency_rules import (
+    canonical_lock_order,
+    check_concurrency,
 )
 from repro.staticcheck.diagnostics import (
     ERROR,
@@ -38,7 +53,10 @@ from repro.staticcheck.diagnostics import (
     Rule,
 )
 from repro.staticcheck.iss_rules import check_program, parse_directives
+from repro.staticcheck.model import ModelConfig, explore
 from repro.staticcheck.netlist_rules import check_netlist
+from repro.staticcheck.protocol_rules import check_protocol_model
+from repro.staticcheck.purity_rules import check_snapshot_purity
 from repro.staticcheck.replay_rules import check_snapshotability
 from repro.staticcheck.rtos_rules import check_cosim_config, check_kernel
 from repro.staticcheck.runner import (
@@ -47,6 +65,11 @@ from repro.staticcheck.runner import (
     lint_paths,
     lint_router_design,
     run_lint,
+)
+from repro.staticcheck.sanitizer import (
+    SANITIZER,
+    LockOrderSanitizer,
+    LockOrderViolation,
 )
 
 __all__ = [
@@ -57,16 +80,25 @@ __all__ = [
     "EXIT",
     "INFO",
     "LintReport",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "ModelConfig",
     "RULES",
     "Rule",
+    "SANITIZER",
     "WARNING",
     "block_cycle_bounds",
     "build_cfg",
+    "canonical_lock_order",
+    "check_concurrency",
     "check_cosim_config",
     "check_kernel",
     "check_netlist",
     "check_program",
+    "check_protocol_model",
+    "check_snapshot_purity",
     "check_snapshotability",
+    "explore",
     "lint_asm_file",
     "lint_bundled_programs",
     "lint_paths",

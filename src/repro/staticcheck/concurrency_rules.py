@@ -1,0 +1,540 @@
+"""Lock-order and blocking-call analysis (rules CONC001–CONC004).
+
+An AST pass over the repository's own Python sources (``src/repro`` by
+default) that reconstructs, per class and per module:
+
+* which attributes hold locks (``self.x = threading.Lock()`` and
+  friends, plus module-level ``LOCK = threading.Lock()``);
+* where those locks are acquired (``with self.x:`` blocks and
+  imperative ``.acquire()`` calls);
+* which ``self`` methods each method calls (the intra-class call
+  closure), so nested acquisitions through helpers are seen;
+* which methods run on spawned threads
+  (``threading.Thread(target=self.method)``).
+
+From that it reports:
+
+* ``CONC001`` — a cycle in the global lock-acquisition graph: two code
+  paths that take the same locks in opposite orders can deadlock
+  (ABBA);
+* ``CONC002`` — a blocking call (``recv*``, ``join``, ``wait``,
+  ``sleep``, ``accept``, ``connect``, queue ``get``) made while a lock
+  is held — the classic way a lock-order cycle recruits its second
+  thread;
+* ``CONC003`` — an attribute written both by a spawned-thread method
+  and by other methods with no common lock across all write sites;
+* ``CONC004`` — an imperative ``.acquire()`` whose enclosing function
+  has no ``try/finally`` releasing the same lock (leak on exception).
+
+Findings can be waived per line with a trailing
+``# lint: disable=CONC002`` comment (comma-separated rule IDs), the
+same syntax the assembly passes use.
+
+The same analysis yields :func:`canonical_lock_order` — a topological
+order of the acquisition graph — which the runtime sanitizer
+(:mod:`repro.staticcheck.sanitizer`) asserts during soak and fuzz
+runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.staticcheck.diagnostics import LintReport
+
+#: Constructors whose result is treated as a lock object.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                  "BoundedSemaphore"}
+
+#: Attribute-call names considered blocking.  ``get`` is only counted
+#: for queue-ish receivers or calls carrying ``timeout=``/``block=``
+#: (a bare dict ``.get`` is not blocking).
+BLOCKING_CALLS = {"join", "wait", "sleep", "accept", "connect", "recv",
+                  "recv_grant", "recv_report", "recv_reply", "select",
+                  "serve_forever"}
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)")
+
+
+def _line_suppressions(source: str) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            out[lineno] = {r.strip() for r in match.group(1).split(",")
+                           if r.strip()}
+    return out
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in LOCK_FACTORIES
+    return False
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _receiver_name(node: ast.AST) -> str:
+    """Dotted best-effort name of a call receiver, for heuristics."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_blocking_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    if name is None:
+        return None
+    if name in BLOCKING_CALLS:
+        return name
+    if name == "get" and isinstance(func, ast.Attribute):
+        receiver = _receiver_name(func.value).lower()
+        kwargs = {kw.arg for kw in node.keywords}
+        if "queue" in receiver or receiver.endswith(("q", "mbox")) \
+                or "timeout" in kwargs or "block" in kwargs:
+            return "get"
+    return None
+
+
+@dataclass
+class _MethodFacts:
+    name: str
+    #: Locks acquired anywhere in the body (with-blocks).
+    locks: Set[str] = field(default_factory=set)
+    #: self.method() call names.
+    calls: Set[str] = field(default_factory=set)
+    #: (held_lock, inner_lock, line) from lexically nested with-blocks.
+    nested: List[Tuple[str, str, int]] = field(default_factory=list)
+    #: (held_lock, call_name, line) — self-calls made under a lock.
+    calls_under_lock: List[Tuple[str, str, int]] = field(
+        default_factory=list)
+    #: (held_lock, blocking_name, line).
+    blocking_under_lock: List[Tuple[str, str, int]] = field(
+        default_factory=list)
+    #: (attr, line, frozenset(locks held)) attribute writes.
+    writes: List[Tuple[str, int, frozenset]] = field(default_factory=list)
+    #: (lock, line) imperative acquires lacking try/finally release.
+    unbalanced: List[Tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class _ClassFacts:
+    qualname: str       # module-relative, e.g. "obs/recorder.py:Recorder"
+    lock_attrs: Dict[str, int] = field(default_factory=dict)
+    methods: Dict[str, _MethodFacts] = field(default_factory=dict)
+    #: Methods used as threading.Thread targets (with line numbers).
+    thread_targets: Dict[str, int] = field(default_factory=dict)
+
+
+class _FileAnalyzer(ast.NodeVisitor):
+    """Collects lock and threading facts for one source file."""
+
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.classes: List[_ClassFacts] = []
+        self.module_locks: Dict[str, int] = {}
+        self._module_body_seen = False
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) \
+                    and _is_lock_factory(stmt.value):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        self.module_locks[tgt.id] = stmt.lineno
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        facts = _ClassFacts(qualname=f"{self.rel_path}:{node.name}")
+        # Pass 1: lock attributes assigned anywhere in the class body.
+        for item in ast.walk(node):
+            if isinstance(item, ast.Assign) \
+                    and _is_lock_factory(item.value):
+                for tgt in item.targets:
+                    attr = _self_attr(tgt)
+                    if attr is not None:
+                        facts.lock_attrs[attr] = item.lineno
+        # Pass 2: per-method facts.
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                facts.methods[item.name] = self._analyze_method(
+                    item, facts)
+        self.classes.append(facts)
+        # Nested classes are rare here; don't recurse into them twice.
+
+    # ------------------------------------------------------------------
+    def _lock_name(self, node: ast.AST,
+                   facts: _ClassFacts) -> Optional[str]:
+        attr = _self_attr(node)
+        if attr is not None and attr in facts.lock_attrs:
+            return f"{facts.qualname}.{attr}"
+        if isinstance(node, ast.Name) and node.id in self.module_locks:
+            return f"{self.rel_path}:{node.id}"
+        return None
+
+    def _analyze_method(self, func, facts: _ClassFacts) -> _MethodFacts:
+        method = _MethodFacts(name=func.name)
+        rel = self.rel_path
+
+        def walk(node: ast.AST, held: Tuple[str, ...]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.Lambda, ast.ClassDef)):
+                    continue
+                new_held = held
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    acquired = []
+                    for item in child.items:
+                        lock = self._lock_name(item.context_expr, facts)
+                        if lock is None and isinstance(
+                                item.context_expr, ast.Call):
+                            lock = self._lock_name(
+                                item.context_expr.func, facts)
+                        if lock is not None:
+                            acquired.append(lock)
+                    for lock in acquired:
+                        method.locks.add(lock)
+                        if held:
+                            method.nested.append(
+                                (held[-1], lock, child.lineno))
+                    new_held = held + tuple(acquired)
+                elif isinstance(child, ast.Call):
+                    self._analyze_call(child, held, method, facts)
+                walk(child, new_held)
+
+        def _unreleased_acquires(node: ast.AST) -> None:
+            # CONC004: .acquire() with no try/finally .release() for
+            # the same lock anywhere in the function.
+            released: Set[str] = set()
+            for item in ast.walk(func):
+                if isinstance(item, ast.Try):
+                    for fin in item.finalbody:
+                        for call in ast.walk(fin):
+                            if isinstance(call, ast.Call) \
+                                    and isinstance(call.func,
+                                                   ast.Attribute) \
+                                    and call.func.attr == "release":
+                                lock = self._lock_name(
+                                    call.func.value, facts)
+                                if lock is not None:
+                                    released.add(lock)
+            for item in ast.walk(func):
+                if isinstance(item, ast.Call) \
+                        and isinstance(item.func, ast.Attribute) \
+                        and item.func.attr == "acquire":
+                    lock = self._lock_name(item.func.value, facts)
+                    if lock is not None and lock not in released:
+                        method.unbalanced.append((lock, item.lineno))
+
+        walk(func, ())
+        _unreleased_acquires(func)
+
+        # Attribute writes need the held-lock context too; a second
+        # lexical walk keeps the main one readable.
+        def walk_writes(node: ast.AST, held: Tuple[str, ...]) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef,
+                                      ast.Lambda, ast.ClassDef)):
+                    continue
+                new_held = held
+                if isinstance(child, (ast.With, ast.AsyncWith)):
+                    acquired = []
+                    for item in child.items:
+                        lock = self._lock_name(item.context_expr, facts)
+                        if lock is not None:
+                            acquired.append(lock)
+                    new_held = held + tuple(acquired)
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = child.targets \
+                        if isinstance(child, ast.Assign) \
+                        else [child.target]
+                    for tgt in targets:
+                        attr = _self_attr(tgt)
+                        if attr is not None:
+                            method.writes.append(
+                                (attr, child.lineno, frozenset(new_held)))
+                walk_writes(child, new_held)
+
+        walk_writes(func, ())
+        return method
+
+    def _analyze_call(self, node: ast.Call, held: Tuple[str, ...],
+                      method: _MethodFacts, facts: _ClassFacts) -> None:
+        func = node.func
+        # threading.Thread(target=self.method)
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if callee == "Thread":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    attr = _self_attr(kw.value)
+                    if attr is not None:
+                        facts.thread_targets[attr] = node.lineno
+        # self.method() calls, for the intra-class closure.
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id == "self":
+                method.calls.add(func.attr)
+                if held:
+                    method.calls_under_lock.append(
+                        (held[-1], func.attr, node.lineno))
+        if held:
+            blocking = _is_blocking_call(node)
+            if blocking is not None:
+                method.blocking_under_lock.append(
+                    (held[-1], blocking, node.lineno))
+
+
+# ----------------------------------------------------------------------
+# Whole-tree analysis
+# ----------------------------------------------------------------------
+def default_root() -> pathlib.Path:
+    """The repro package's own source tree."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+@dataclass
+class ConcurrencyAnalysis:
+    """Merged facts across every analyzed file."""
+
+    #: lock -> lock edges with one witness site each.
+    edges: Dict[Tuple[str, str], Tuple[str, int]] = field(
+        default_factory=dict)
+    locks: Set[str] = field(default_factory=set)
+    classes: List[_ClassFacts] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    suppressions: Dict[str, Dict[int, Set[str]]] = field(
+        default_factory=dict)
+
+
+def _method_closure(facts: _ClassFacts, entry: str) -> Set[str]:
+    seen: Set[str] = set()
+    frontier = [entry]
+    while frontier:
+        name = frontier.pop()
+        if name in seen or name not in facts.methods:
+            continue
+        seen.add(name)
+        frontier.extend(facts.methods[name].calls)
+    return seen
+
+
+def _closure_locks(facts: _ClassFacts, entry: str) -> Set[str]:
+    locks: Set[str] = set()
+    for name in _method_closure(facts, entry):
+        locks |= facts.methods[name].locks
+    return locks
+
+
+def analyze(root: Optional[pathlib.Path] = None) -> ConcurrencyAnalysis:
+    """Parse every ``.py`` file under *root* and merge the lock facts."""
+    root = pathlib.Path(root) if root is not None else default_root()
+    analysis = ConcurrencyAnalysis()
+    if root.is_file():
+        files = [root]
+        base = root.parent
+    else:
+        files = sorted(root.rglob("*.py"))
+        base = root
+    for path in files:
+        rel = str(path.relative_to(base))
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        analyzer = _FileAnalyzer(rel)
+        analyzer.visit(tree)
+        analysis.files.append(rel)
+        analysis.suppressions[rel] = _line_suppressions(source)
+        for name in analyzer.module_locks:
+            analysis.locks.add(f"{rel}:{name}")
+        for facts in analyzer.classes:
+            analysis.classes.append(facts)
+            for attr in facts.lock_attrs:
+                analysis.locks.add(f"{facts.qualname}.{attr}")
+            for method in facts.methods.values():
+                for held, inner, line in method.nested:
+                    analysis.edges.setdefault(
+                        (held, inner), (rel, line))
+                for held, callee, line in method.calls_under_lock:
+                    for inner in _closure_locks(facts, callee):
+                        if inner != held:
+                            analysis.edges.setdefault(
+                                (held, inner), (rel, line))
+    return analysis
+
+
+def _find_cycle(edges) -> Optional[List[str]]:
+    graph: Dict[str, List[str]] = {}
+    for (src, dst) in edges:
+        graph.setdefault(src, []).append(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+
+    def dfs(node: str) -> Optional[List[str]]:
+        color[node] = GREY
+        stack.append(node)
+        for succ in graph.get(node, ()):
+            if color.get(succ, WHITE) == GREY:
+                return stack[stack.index(succ):] + [succ]
+            if color.get(succ, WHITE) == WHITE:
+                cycle = dfs(succ)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(graph):
+        if color.get(node, WHITE) == WHITE:
+            cycle = dfs(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def canonical_lock_order(
+        root: Optional[pathlib.Path] = None,
+        analysis: Optional[ConcurrencyAnalysis] = None) -> List[str]:
+    """Topological order of the lock-acquisition graph.
+
+    This is the order the runtime sanitizer asserts: a thread may only
+    acquire a lock that ranks *after* every lock it already holds.
+    Raises ``ValueError`` when the graph is cyclic (CONC001 territory —
+    no consistent order exists).
+    """
+    analysis = analysis if analysis is not None else analyze(root)
+    graph: Dict[str, Set[str]] = {lock: set() for lock in analysis.locks}
+    indeg: Dict[str, int] = {lock: 0 for lock in analysis.locks}
+    for (src, dst) in analysis.edges:
+        graph.setdefault(src, set())
+        indeg.setdefault(src, 0)
+        indeg.setdefault(dst, 0)
+        if dst not in graph[src]:
+            graph[src].add(dst)
+            indeg[dst] += 1
+    order: List[str] = []
+    ready = sorted(lock for lock, deg in indeg.items() if deg == 0)
+    while ready:
+        lock = ready.pop(0)
+        order.append(lock)
+        for succ in sorted(graph.get(lock, ())):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    if len(order) != len(indeg):
+        raise ValueError("lock-acquisition graph is cyclic; "
+                         "no canonical order exists")
+    return order
+
+
+# ----------------------------------------------------------------------
+# Lint entry point
+# ----------------------------------------------------------------------
+def check_concurrency(report: LintReport,
+                      root: Optional[pathlib.Path] = None,
+                      target: str = "concurrency") -> ConcurrencyAnalysis:
+    """Run CONC001–CONC004 over *root* (``src/repro`` by default)."""
+    analysis = analyze(root)
+    report.begin_target(target)
+
+    def suppressed(rel: str, line: int) -> Set[str]:
+        return analysis.suppressions.get(rel, {}).get(line, set())
+
+    cycle = _find_cycle(analysis.edges)
+    if cycle is not None:
+        witness_rel, witness_line = analysis.edges[
+            (cycle[0], cycle[1])]
+        report.add(
+            "CONC001",
+            f"lock-acquisition cycle: {' -> '.join(cycle)} "
+            f"(witness acquisition at {witness_rel}:{witness_line})",
+            target,
+        )
+
+    for facts in analysis.classes:
+        rel = facts.qualname.split(":", 1)[0]
+        for method in facts.methods.values():
+            for held, blocking, line in method.blocking_under_lock:
+                report.add(
+                    "CONC002",
+                    f"{facts.qualname}.{method.name} calls blocking "
+                    f"{blocking}() while holding {held}",
+                    rel, line,
+                    extra_suppress=suppressed(rel, line),
+                )
+            for lock, line in method.unbalanced:
+                report.add(
+                    "CONC004",
+                    f"{facts.qualname}.{method.name} acquires {lock} "
+                    f"with no try/finally release on the same path",
+                    rel, line,
+                    extra_suppress=suppressed(rel, line),
+                )
+        # CONC003: shared-attribute writes from spawned threads.
+        if not facts.thread_targets:
+            continue
+        thread_methods: Set[str] = set()
+        for entry in facts.thread_targets:
+            thread_methods |= _method_closure(facts, entry)
+        flagged: Set[str] = set()
+        for name in sorted(thread_methods):
+            if name not in facts.methods:
+                continue
+            for attr, line, held in facts.methods[name].writes:
+                if attr in flagged:
+                    continue
+                others = [
+                    (m.name, w_line, w_held)
+                    for m in facts.methods.values()
+                    if m.name not in thread_methods
+                    and m.name != "__init__"
+                    for (w_attr, w_line, w_held) in m.writes
+                    if w_attr == attr
+                ]
+                if not others:
+                    continue
+                common = frozenset(held)
+                for (_m, _l, w_held) in others:
+                    common &= w_held
+                if not common:
+                    flagged.add(attr)
+                    other_name, other_line, _h = others[0]
+                    report.add(
+                        "CONC003",
+                        f"{facts.qualname}.{attr} is written by "
+                        f"thread-target method {name}() (line {line}) "
+                        f"and by {other_name}() (line {other_line}) "
+                        f"with no common lock",
+                        rel, line,
+                        extra_suppress=suppressed(rel, line),
+                    )
+    return analysis

@@ -95,6 +95,48 @@ RULES: Dict[str, Rule] = {
              "enabled session does not implement the Snapshotable "
              "protocol (its state is silently omitted from "
              "checkpoints)"),
+        # Protocol model-checking pass -----------------------------------
+        Rule("PROTO001", "protocol-deadlock", ERROR,
+             "a reachable state of the composed window protocol has no "
+             "enabled transition and no message in flight (both sides "
+             "wait forever)"),
+        Rule("PROTO002", "lost-wakeup", ERROR,
+             "the protocol gets stuck with a message still in flight "
+             "that its receiver can no longer consume"),
+        Rule("PROTO003", "protocol-non-progress", ERROR,
+             "a reachable state can never reach the shut-down "
+             "configuration (livelock)"),
+        Rule("PROTO004", "sequence-violation", ERROR,
+             "a stale or gapped grant/report reaches a window FSM "
+             "(resilience-layer seq-dedup broken or disabled)"),
+        Rule("PROTO005", "protocol-table-inconsistency", ERROR,
+             "a window transition table is structurally defective or "
+             "the bounded exploration was not exhaustive"),
+        # Concurrency pass -----------------------------------------------
+        Rule("CONC001", "lock-order-cycle", ERROR,
+             "the static lock-acquisition graph contains a cycle "
+             "(potential ABBA deadlock)"),
+        Rule("CONC002", "blocking-call-under-lock", WARNING,
+             "a blocking call (recv/join/get/wait/sleep/...) is "
+             "reachable while a lock is held"),
+        Rule("CONC003", "unlocked-shared-write", WARNING,
+             "an attribute is written both from a spawned thread and "
+             "from other methods with no common lock"),
+        Rule("CONC004", "unbalanced-acquire", WARNING,
+             "a lock is acquired imperatively without a with-block or "
+             "try/finally release on the same path"),
+        # Snapshot-purity pass -------------------------------------------
+        Rule("SNAP001", "hidden-mutable-state", WARNING,
+             "a Snapshotable class mutates an __init__-assigned "
+             "attribute that neither snapshot() captures nor "
+             "restore() re-establishes (silent checkpoint drift)"),
+        Rule("SNAP002", "snapshot-restore-asymmetry", ERROR,
+             "snapshot() captures a key that restore() never applies, "
+             "or restore() reads a key snapshot() never writes"),
+        Rule("SNAP003", "aliased-snapshot-state", WARNING,
+             "snapshot() returns a mutable attribute by reference "
+             "instead of copying it (later mutation corrupts the "
+             "checkpoint)"),
     )
 }
 

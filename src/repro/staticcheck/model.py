@@ -1,0 +1,526 @@
+"""Bounded explicit-state exploration of the window protocol.
+
+The declarative transition tables in :mod:`repro.cosim.protocol` say
+which phase changes are *legal*; this module answers the stronger
+question of whether the composed system — one master, *N* boards, FIFO
+message channels between them — can ever get stuck.  The explorer
+enumerates every reachable global state of a bounded configuration
+(windows, IRQs and DATA round-trips per window are capped, sequence
+numbers are bounded by the window budget) and classifies what it finds:
+
+* **deadlock** — a non-final state with no enabled transition and no
+  message in flight: both sides are waiting on each other;
+* **lost wake-up** — a non-final state with no enabled transition but a
+  message still sitting in a channel that its receiver can no longer
+  consume (e.g. a report sent before the grant was registered);
+* **non-progress** — a state from which no interleaving reaches the
+  fully-shut-down final configuration (livelock);
+* **sequence violations** — a grant or report whose sequence number is
+  stale or gapped reaches the window FSM (only possible when the
+  resilience layer's seq-dedup is modelled as disabled).
+
+The INT port is fire-and-forget by design ("the communication thread
+cannot be halted ... otherwise some events can be lost" concerns the
+*receiving* side staying alive; an interrupt raised after shutdown is
+discardable), so leftover IRQ messages never count as lost wake-ups.
+
+Reconnect is modelled the way the resilient transport behaves after a
+drop: the last delivered grant is replayed once onto the clock channel;
+with seq-dedup on the duplicate dies in the transport, with dedup off
+it reaches the FSM and is convicted.
+
+Everything is parameterised — tables, board count, bounds, dedup — so
+the mutation self-tests can inject a defective table and prove the
+explorer convicts it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cosim.protocol import (
+    BOARD_INITIAL,
+    BOARD_WINDOW_TABLE,
+    MASTER_INITIAL,
+    MASTER_WINDOW_TABLE,
+)
+
+Table = Dict[Tuple[str, str], str]
+
+#: Events the explorer knows how to execute, per role.  A table entry
+#: whose event is not listed here is a table inconsistency (PROTO005).
+MASTER_EVENTS = frozenset({
+    "send_grant", "send_irq", "serve_data", "window_simulated",
+    "recv_report", "send_shutdown",
+})
+BOARD_EVENTS = frozenset({
+    "recv_grant", "recv_irq", "recv_shutdown", "send_data_request",
+    "recv_data_reply", "window_done", "send_report",
+})
+
+#: Message tags on the per-board clock / report channels.
+_GRANT = "G"
+_SHUTDOWN = "SD"
+_REPORT = "R"
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One bounded configuration to explore exhaustively."""
+
+    name: str
+    boards: int = 1
+    windows: int = 2
+    irqs_per_window: int = 1
+    data_per_window: int = 1
+    #: Replay the last delivered grant once (resilience reconnect).
+    reconnect: bool = False
+    #: Model the transport's sequence dedup (the shipped behaviour).
+    dedup: bool = True
+    channel_depth: int = 3
+    max_states: int = 200_000
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One counterexample found by the explorer."""
+
+    kind: str           # deadlock | lost-wakeup | non-progress | sequence
+    message: str
+    trace: Tuple[str, ...]
+
+    def render_trace(self, limit: int = 12) -> str:
+        steps = self.trace
+        prefix = ""
+        if len(steps) > limit:
+            prefix = f"... {len(steps) - limit} earlier step(s) ... "
+            steps = steps[-limit:]
+        return prefix + " -> ".join(steps) if steps else "<initial state>"
+
+
+@dataclass
+class ExplorationResult:
+    """What the explorer saw for one :class:`ModelConfig`."""
+
+    config: ModelConfig
+    states: int = 0
+    complete: bool = True
+    final_states: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.complete and not self.violations
+
+
+# ----------------------------------------------------------------------
+# Static table sanity
+# ----------------------------------------------------------------------
+def table_inconsistencies(table: Table, initial: str,
+                          accepting: Tuple[str, ...],
+                          known_events: FrozenSet[str],
+                          role: str) -> List[str]:
+    """Purely structural defects: unknown events, unreachable states,
+    non-accepting states with no way out."""
+    problems = []
+    states = {initial} | {s for (s, _e) in table} | set(table.values())
+    for (state, event) in sorted(table):
+        if event not in known_events:
+            problems.append(
+                f"{role} table: event {event!r} in state {state!r} has "
+                f"no execution semantics"
+            )
+    # Reachability over the table digraph.
+    reached = {initial}
+    frontier = [initial]
+    while frontier:
+        state = frontier.pop()
+        for (src, _event), dst in table.items():
+            if src == state and dst not in reached:
+                reached.add(dst)
+                frontier.append(dst)
+    for state in sorted(states - reached):
+        problems.append(f"{role} table: state {state!r} is unreachable "
+                        f"from {initial!r}")
+    outgoing = {s for (s, _e) in table}
+    for state in sorted(states):
+        if state not in outgoing and state not in accepting:
+            problems.append(
+                f"{role} table: non-accepting state {state!r} has no "
+                f"outgoing transition"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Global state
+# ----------------------------------------------------------------------
+# master: (phase, granted, irqs_left)
+# board:  (phase, last_seq, data_left)            -- one tuple per board
+# chan:   (clock, report, irq, dreq, drep)        -- one tuple per board
+#         clock/report are tuples of (tag, seq); irq/dreq/drep are ints
+# replay_left: int
+_State = Tuple
+
+
+def _initial_state(cfg: ModelConfig, m_init: str, b_init: str) -> _State:
+    master = (m_init, 0, 0)
+    boards = tuple((b_init, 0, 0) for _ in range(cfg.boards))
+    chans = tuple(((), (), 0, 0, 0) for _ in range(cfg.boards))
+    return (master, boards, chans, 1 if cfg.reconnect else 0)
+
+
+class _Explorer:
+    def __init__(self, cfg: ModelConfig, master_table: Table,
+                 board_table: Table, m_init: str, b_init: str) -> None:
+        self.cfg = cfg
+        self.mt = master_table
+        self.bt = board_table
+        self.m_init = m_init
+        self.b_init = b_init
+        # Fully-shut-down phases; fall back to the conventional names if
+        # a mutated table dropped the shutdown transitions entirely.
+        self.m_final = master_table.get(("idle", "send_shutdown"), "closed")
+        self.b_final = board_table.get(("frozen", "recv_shutdown"), "closed")
+
+    # ------------------------------------------------------------------
+    def _is_final(self, state: _State) -> bool:
+        (m_phase, granted, _irqs), boards, chans, _replay = state
+        if m_phase != self.m_final or granted != self.cfg.windows:
+            return False
+        if any(phase != self.b_final for (phase, _s, _d) in boards):
+            return False
+        # IRQs are fire-and-forget; every other channel must be drained.
+        return all(not clock and not rep and dreq == 0 and drep == 0
+                   for (clock, rep, _irq, dreq, drep) in chans)
+
+    # ------------------------------------------------------------------
+    def successors(self, state: _State):
+        """Yield (label, next_state, violation_message_or_None)."""
+        cfg = self.cfg
+        (m_phase, granted, irqs_left), boards, chans, replay = state
+
+        # ---- master ---------------------------------------------------
+        succ = self.mt.get((m_phase, "send_grant"))
+        if succ is not None and granted < cfg.windows \
+                and all(len(c[0]) < cfg.channel_depth for c in chans):
+            seq = granted + 1
+            new_chans = tuple(
+                (clock + ((_GRANT, seq),), rep, irq, dreq, drep)
+                for (clock, rep, irq, dreq, drep) in chans
+            )
+            yield (f"master.send_grant(seq={seq})",
+                   ((succ, granted + 1, cfg.irqs_per_window),
+                    boards, new_chans, replay), None)
+
+        succ = self.mt.get((m_phase, "send_shutdown"))
+        if succ is not None and granted == cfg.windows \
+                and all(len(c[0]) < cfg.channel_depth for c in chans):
+            new_chans = tuple(
+                (clock + ((_SHUTDOWN, granted + 1),), rep, irq, dreq, drep)
+                for (clock, rep, irq, dreq, drep) in chans
+            )
+            yield ("master.send_shutdown",
+                   ((succ, granted, irqs_left), boards, new_chans, replay),
+                   None)
+
+        succ = self.mt.get((m_phase, "send_irq"))
+        if succ is not None and irqs_left > 0:
+            for b in range(cfg.boards):
+                clock, rep, irq, dreq, drep = chans[b]
+                if irq >= cfg.channel_depth:
+                    continue
+                new_chans = _replace(chans, b,
+                                     (clock, rep, irq + 1, dreq, drep))
+                yield (f"master.send_irq(board={b})",
+                       ((succ, granted, irqs_left - 1), boards, new_chans,
+                        replay), None)
+
+        succ = self.mt.get((m_phase, "serve_data"))
+        if succ is not None:
+            for b in range(cfg.boards):
+                clock, rep, irq, dreq, drep = chans[b]
+                if dreq == 0 or drep >= cfg.channel_depth:
+                    continue
+                new_chans = _replace(chans, b,
+                                     (clock, rep, irq, dreq - 1, drep + 1))
+                yield (f"master.serve_data(board={b})",
+                       ((succ, granted, irqs_left), boards, new_chans,
+                        replay), None)
+
+        succ = self.mt.get((m_phase, "window_simulated"))
+        if succ is not None:
+            yield ("master.window_simulated",
+                   ((succ, granted, irqs_left), boards, chans, replay),
+                   None)
+
+        succ = self.mt.get((m_phase, "recv_report"))
+        if succ is not None and all(c[1] for c in chans):
+            violation = None
+            new_chans = []
+            for b, (clock, rep, irq, dreq, drep) in enumerate(chans):
+                tag, seq = rep[0]
+                if seq != granted and violation is None:
+                    violation = (
+                        f"board {b} reported seq {seq} while the master "
+                        f"expected {granted} (stale/gapped report "
+                        f"reached the FSM)"
+                    )
+                new_chans.append((clock, rep[1:], irq, dreq, drep))
+            yield ("master.recv_report",
+                   ((succ, granted, irqs_left), boards, tuple(new_chans),
+                    replay), violation)
+
+        # ---- boards ---------------------------------------------------
+        for b in range(cfg.boards):
+            b_phase, last_seq, data_left = boards[b]
+            clock, rep, irq, dreq, drep = chans[b]
+
+            if clock:
+                tag, seq = clock[0]
+                if tag == _GRANT:
+                    if cfg.dedup and seq <= last_seq:
+                        # The resilience layer drops replayed grants
+                        # before they ever reach the window FSM.
+                        new_chans = _replace(
+                            chans, b, (clock[1:], rep, irq, dreq, drep))
+                        yield (f"board{b}.dedup_stale_grant(seq={seq})",
+                               ((m_phase, granted, irqs_left), boards,
+                                new_chans, replay), None)
+                    else:
+                        succ = self.bt.get((b_phase, "recv_grant"))
+                        if succ is not None:
+                            violation = None
+                            if seq <= last_seq:
+                                violation = (
+                                    f"board {b}: replayed grant seq {seq} "
+                                    f"reached the FSM (last_seq="
+                                    f"{last_seq}, dedup disabled)"
+                                )
+                            elif seq != last_seq + 1:
+                                violation = (
+                                    f"board {b}: grant seq {seq} skips "
+                                    f"ahead of last_seq={last_seq}"
+                                )
+                            new_boards = _replace(
+                                boards, b,
+                                (succ, max(last_seq, seq),
+                                 cfg.data_per_window))
+                            new_chans = _replace(
+                                chans, b,
+                                (clock[1:], rep, irq, dreq, drep))
+                            yield (f"board{b}.recv_grant(seq={seq})",
+                                   ((m_phase, granted, irqs_left),
+                                    new_boards, new_chans, replay),
+                                   violation)
+                elif tag == _SHUTDOWN:
+                    succ = self.bt.get((b_phase, "recv_shutdown"))
+                    if succ is not None:
+                        new_boards = _replace(
+                            boards, b, (succ, last_seq, data_left))
+                        new_chans = _replace(
+                            chans, b, (clock[1:], rep, irq, dreq, drep))
+                        yield (f"board{b}.recv_shutdown",
+                               ((m_phase, granted, irqs_left), new_boards,
+                                new_chans, replay), None)
+
+            succ = self.bt.get((b_phase, "recv_irq"))
+            if succ is not None and irq > 0:
+                new_boards = _replace(boards, b, (succ, last_seq, data_left))
+                new_chans = _replace(chans, b,
+                                     (clock, rep, irq - 1, dreq, drep))
+                yield (f"board{b}.recv_irq",
+                       ((m_phase, granted, irqs_left), new_boards,
+                        new_chans, replay), None)
+
+            succ = self.bt.get((b_phase, "send_data_request"))
+            if succ is not None and data_left > 0 \
+                    and dreq < cfg.channel_depth:
+                new_boards = _replace(boards, b,
+                                      (succ, last_seq, data_left - 1))
+                new_chans = _replace(chans, b,
+                                     (clock, rep, irq, dreq + 1, drep))
+                yield (f"board{b}.send_data_request",
+                       ((m_phase, granted, irqs_left), new_boards,
+                        new_chans, replay), None)
+
+            succ = self.bt.get((b_phase, "recv_data_reply"))
+            if succ is not None and drep > 0:
+                new_boards = _replace(boards, b, (succ, last_seq, data_left))
+                new_chans = _replace(chans, b,
+                                     (clock, rep, irq, dreq, drep - 1))
+                yield (f"board{b}.recv_data_reply",
+                       ((m_phase, granted, irqs_left), new_boards,
+                        new_chans, replay), None)
+
+            succ = self.bt.get((b_phase, "window_done"))
+            if succ is not None:
+                new_boards = _replace(boards, b, (succ, last_seq, data_left))
+                yield (f"board{b}.window_done",
+                       ((m_phase, granted, irqs_left), new_boards, chans,
+                        replay), None)
+
+            succ = self.bt.get((b_phase, "send_report"))
+            if succ is not None and len(rep) < cfg.channel_depth:
+                new_boards = _replace(boards, b, (succ, last_seq, data_left))
+                new_chans = _replace(
+                    chans, b,
+                    (clock, rep + ((_REPORT, last_seq),), irq, dreq, drep))
+                yield (f"board{b}.send_report(seq={last_seq})",
+                       ((m_phase, granted, irqs_left), new_boards,
+                        new_chans, replay), None)
+
+            # ---- resilience reconnect: replay the last delivered
+            # grant once, exactly as redelivery after a drop does.
+            if replay > 0 and last_seq >= 1 \
+                    and len(clock) < cfg.channel_depth:
+                new_chans = _replace(
+                    chans, b,
+                    (clock + ((_GRANT, last_seq),), rep, irq, dreq, drep))
+                yield (f"link{b}.replay_grant(seq={last_seq})",
+                       ((m_phase, granted, irqs_left), boards, new_chans,
+                        replay - 1), None)
+
+    # ------------------------------------------------------------------
+    def explore(self) -> ExplorationResult:
+        cfg = self.cfg
+        result = ExplorationResult(config=cfg)
+        init = _initial_state(cfg, self.m_init, self.b_init)
+        parents: Dict[_State, Optional[Tuple[_State, str]]] = {init: None}
+        edges: Dict[_State, List[_State]] = {}
+        queue = deque([init])
+        sequence_seen = set()
+        while queue:
+            if len(parents) > cfg.max_states:
+                result.complete = False
+                break
+            state = queue.popleft()
+            succs = []
+            for label, nxt, violation in self.successors(state):
+                succs.append(nxt)
+                if violation is not None and violation not in sequence_seen:
+                    sequence_seen.add(violation)
+                    result.violations.append(Violation(
+                        "sequence", violation,
+                        self._trace(parents, state) + (label,)))
+                if nxt not in parents:
+                    parents[nxt] = (state, label)
+                    queue.append(nxt)
+            edges[state] = succs
+        result.states = len(parents)
+        if not result.complete:
+            return result
+
+        finals = {s for s in parents if self._is_final(s)}
+        result.final_states = len(finals)
+
+        # Terminal analysis: deadlock vs lost wake-up.
+        for state in parents:
+            if edges.get(state):
+                continue
+            if state in finals:
+                continue
+            trace = self._trace(parents, state)
+            stuck = self._stuck_messages(state)
+            if stuck:
+                result.violations.append(Violation(
+                    "lost-wakeup",
+                    f"undeliverable message(s) {stuck} in a stuck "
+                    f"state {self._describe(state)}", trace))
+            else:
+                result.violations.append(Violation(
+                    "deadlock",
+                    f"no transition enabled in non-final state "
+                    f"{self._describe(state)}", trace))
+
+        # Liveness: every state must be able to reach a final state.
+        if finals:
+            co_reach = set(finals)
+            reverse: Dict[_State, List[_State]] = {}
+            for src, dsts in edges.items():
+                for dst in dsts:
+                    reverse.setdefault(dst, []).append(src)
+            frontier = list(finals)
+            while frontier:
+                state = frontier.pop()
+                for pred in reverse.get(state, ()):
+                    if pred not in co_reach:
+                        co_reach.add(pred)
+                        frontier.append(pred)
+            for state in parents:
+                if state not in co_reach and edges.get(state):
+                    result.violations.append(Violation(
+                        "non-progress",
+                        f"state {self._describe(state)} can never reach "
+                        f"the shut-down configuration",
+                        self._trace(parents, state)))
+                    break  # one exemplar is enough
+        elif not result.violations:
+            result.violations.append(Violation(
+                "non-progress",
+                "no interleaving reaches the shut-down configuration",
+                ()))
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stuck_messages(state: _State) -> List[str]:
+        (_m, _g, _i), _boards, chans, _replay = state
+        stuck = []
+        for b, (clock, rep, _irq, dreq, drep) in enumerate(chans):
+            for tag, seq in clock:
+                stuck.append(f"board{b}<-{tag}({seq})")
+            for tag, seq in rep:
+                stuck.append(f"master<-{tag}({seq})")
+            if dreq:
+                stuck.append(f"master<-DATA_REQ x{dreq}")
+            if drep:
+                stuck.append(f"board{b}<-DATA_REP x{drep}")
+        return stuck
+
+    @staticmethod
+    def _describe(state: _State) -> str:
+        (m_phase, granted, _irqs), boards, _chans, _replay = state
+        phases = ",".join(phase for (phase, _s, _d) in boards)
+        return f"(master={m_phase}, boards=[{phases}], windows={granted})"
+
+    @staticmethod
+    def _trace(parents, state) -> Tuple[str, ...]:
+        labels = []
+        while True:
+            entry = parents.get(state)
+            if entry is None:
+                break
+            state, label = entry
+            labels.append(label)
+        return tuple(reversed(labels))
+
+
+def _replace(items: tuple, index: int, value) -> tuple:
+    return items[:index] + (value,) + items[index + 1:]
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def explore(config: ModelConfig,
+            master_table: Optional[Table] = None,
+            board_table: Optional[Table] = None,
+            master_initial: str = MASTER_INITIAL,
+            board_initial: str = BOARD_INITIAL) -> ExplorationResult:
+    """Exhaustively explore one bounded configuration.
+
+    Tables default to the shipped ones in :mod:`repro.cosim.protocol`;
+    the mutation self-tests pass defective copies instead.
+    """
+    explorer = _Explorer(
+        config,
+        dict(master_table if master_table is not None
+             else MASTER_WINDOW_TABLE),
+        dict(board_table if board_table is not None
+             else BOARD_WINDOW_TABLE),
+        master_initial, board_initial,
+    )
+    return explorer.explore()

@@ -21,6 +21,13 @@ neither is reported only for sessions where checkpointing is enabled
 (a :class:`~repro.replay.checkpoint.Checkpointer` is attached) or when
 the caller passes ``assume_enabled=True`` — the ``repro lint router``
 sweep does, so gaps surface before anyone attaches a checkpointer.
+
+A memo-attached session whose board link carries a fault injector is
+reported as an *error*: the fault plan's drop/corruption schedule
+lives outside the session snapshot, so memoized windows would silently
+skip scheduled faults (the defect PR 6's fuzzer found dynamically —
+``InprocSession.attach_memo`` now refuses the combination at runtime,
+and this rule catches sessions assembled around that guard).
 """
 
 from __future__ import annotations
@@ -69,6 +76,17 @@ def _check_object(report: LintReport, target: str, kind: str, name: str,
         )
 
 
+def _fault_injector(session: "_SessionBase"):
+    """The fault-injecting endpoint wrapper on the board link, if any."""
+    endpoint = session.runtime.endpoint
+    while endpoint is not None:
+        if getattr(endpoint, "plan", None) is not None \
+                and hasattr(endpoint, "inner"):
+            return endpoint
+        endpoint = getattr(endpoint, "inner", None)
+    return None
+
+
 def check_snapshotability(
     session: "_SessionBase",
     target: str = "cosim:checkpoint",
@@ -84,6 +102,18 @@ def check_snapshotability(
     report.begin_target(target)
     before = len(report.diagnostics)
     enabled = assume_enabled or session.checkpointer is not None
+
+    injector = _fault_injector(session)
+    if session.memo is not None and injector is not None:
+        report.add(
+            "COSIM005",
+            f"session has a window memo attached while the board link "
+            f"carries a fault injector ({_describe(injector)}); the "
+            f"fault plan's schedule is off-snapshot state, so memoized "
+            f"windows silently skip scheduled faults",
+            target,
+            severity="error",
+        )
 
     sim = session.master.sim
     for index, module in enumerate(sim.modules):

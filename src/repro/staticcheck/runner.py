@@ -8,7 +8,14 @@ Targets understood by :func:`run_lint` (and the ``repro lint`` CLI):
 * ``bundled`` — the reference programs in :mod:`repro.iss.programs`;
 * ``router`` — the full Section 6 router design: the master netlist,
   the board RTOS (freeze invariant, interrupt context) and the
-  co-simulation configuration, checked cross-layer.
+  co-simulation configuration, checked cross-layer;
+* ``protocol`` — the window protocol model checker: bounded
+  exhaustive exploration of the declarative master/board transition
+  tables (rules PROTO001–PROTO005);
+* ``concurrency`` — the lock-order / blocking-call AST pass over
+  ``src/repro`` itself (rules CONC001–CONC004);
+* ``purity`` — the snapshot-purity AST pass over every Snapshotable
+  class (rules SNAP001–SNAP003).
 """
 
 from __future__ import annotations
@@ -20,15 +27,21 @@ from typing import Iterable, List, Optional, Set
 from repro.errors import AssemblerError
 from repro.iss.assembler import assemble
 from repro.iss.timing import TimingModel
+from repro.staticcheck.concurrency_rules import check_concurrency
 from repro.staticcheck.diagnostics import LintReport
 from repro.staticcheck.iss_rules import check_program
 from repro.staticcheck.netlist_rules import check_netlist
+from repro.staticcheck.protocol_rules import check_protocol_model
+from repro.staticcheck.purity_rules import check_snapshot_purity
 from repro.staticcheck.replay_rules import check_snapshotability
 from repro.staticcheck.rtos_rules import check_cosim_config, check_kernel
 
 #: Special (non-path) target names.
 BUNDLED = "bundled"
 ROUTER = "router"
+PROTOCOL = "protocol"
+CONCURRENCY = "concurrency"
+PURITY = "purity"
 
 _LINE_PREFIX_RE = re.compile(r"^line \d+: ")
 
@@ -125,13 +138,17 @@ def run_lint(targets: Iterable[str],
              memory_size: Optional[int] = None,
              timing: Optional[TimingModel] = None,
              include_cycle_bounds: bool = False) -> LintReport:
-    """Lint *targets* (paths, ``bundled``, ``router``); returns the report.
+    """Lint *targets* (paths or the special names ``bundled``,
+    ``router``, ``protocol``, ``concurrency``, ``purity``); returns
+    the report.
 
-    With no targets the default sweep covers ``bundled`` and
-    ``router`` — everything the repository ships.
+    With no targets the default sweep covers every special target —
+    everything the repository ships, including the repository's own
+    concurrency and snapshot discipline.
     """
     report = LintReport(suppress=suppress)
-    targets = list(targets) or [BUNDLED, ROUTER]
+    targets = list(targets) or [BUNDLED, ROUTER, PROTOCOL, CONCURRENCY,
+                                PURITY]
     paths = []
     for target in targets:
         if target == BUNDLED:
@@ -139,6 +156,12 @@ def run_lint(targets: Iterable[str],
                                   include_cycle_bounds=include_cycle_bounds)
         elif target == ROUTER:
             lint_router_design(report)
+        elif target == PROTOCOL:
+            check_protocol_model(report, target=PROTOCOL)
+        elif target == CONCURRENCY:
+            check_concurrency(report, target=CONCURRENCY)
+        elif target == PURITY:
+            check_snapshot_purity(report, target=PURITY)
         else:
             paths.append(target)
     if paths:

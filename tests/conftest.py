@@ -42,3 +42,22 @@ def cosim_config():
 @pytest.fixture
 def board_config():
     return BoardConfig()
+
+
+@pytest.fixture(autouse=True, scope="session")
+def lock_order_sanitizer():
+    """Opt-in runtime lock-order checking for soak/fuzz CI runs.
+
+    Set ``REPRO_LOCK_SANITIZER=1`` to run the whole session under the
+    statically derived canonical lock order; by default the sanitizer
+    stays off so the benchmark-sensitive tests see its zero-cost path.
+    """
+    import os
+
+    if os.environ.get("REPRO_LOCK_SANITIZER") != "1":
+        yield None
+        return
+    from repro.staticcheck import sanitizer
+
+    with sanitizer.enabled() as active:
+        yield active

@@ -131,3 +131,50 @@ class TestNormalization:
         entry = memo.lookup(pre, 1)
         with pytest.raises(MemoDivergence):
             memo.check(pre, entry, {"count": 1, "x": 2})
+
+
+class TestMemoRefusesFaultInjection:
+    """PR 6's fuzzer found memoized windows skipping scheduled faults:
+    the fault plan lives outside the snapshot, so a cache hit replayed
+    a window the plan meant to corrupt.  attach_memo must refuse the
+    combination outright."""
+
+    def _faulted_session(self):
+        from repro.board import Board
+        from repro.cosim import (
+            CosimBoardRuntime,
+            CosimMaster,
+            InprocSession,
+            build_driver_sim,
+        )
+        from repro.devices import AcceleratorDriver, ChecksumAccelerator
+        from repro.transport import InprocLink
+        from repro.transport.faults import FaultPlan, FaultyBoardEndpoint
+
+        config = CosimConfig(t_sync=20)
+        link = InprocLink()
+        sim, clock = build_driver_sim("memo_fault_hw", config=config)
+        accel = ChecksumAccelerator(sim, "accel", clock)
+        accel.map_registers(sim, 0x10)
+        master = CosimMaster(sim, clock, link.master, config)
+        master.bind_interrupt(2, accel.done_irq)
+        link.install_data_server(master.serve_data)
+
+        board = Board()
+        faulty = FaultyBoardEndpoint(link.board, FaultPlan(drop_grants={2}))
+        AcceleratorDriver(board.kernel, faulty, config.latency,
+                          vector=2, base=0x10)
+        runtime = CosimBoardRuntime(board, faulty, config)
+        return InprocSession(master, runtime, link.stats, config)
+
+    def test_attach_memo_raises_under_a_fault_plan(self):
+        from repro.errors import ProtocolError
+
+        session = self._faulted_session()
+        with pytest.raises(ProtocolError, match="fault"):
+            session.attach_memo(WindowMemo())
+        assert session.memo is None
+
+    def test_attach_memo_still_works_without_faults(self):
+        cosim, metrics = _run(memo=WindowMemo())
+        assert metrics.windows > 0

@@ -1,0 +1,20 @@
+"""Seeded defect: classic ABBA lock-order inversion (CONC001)."""
+
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+        self.value = 0
+
+    def forward(self):
+        with self.a:
+            with self.b:
+                self.value += 1
+
+    def backward(self):
+        with self.b:
+            with self.a:
+                self.value -= 1

@@ -1,0 +1,19 @@
+"""Seeded defect: blocking call while holding a lock (CONC002)."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.samples = []
+
+    def poll(self, worker):
+        with self.lock:
+            time.sleep(0.1)
+            self.samples.append(worker)
+
+    def drain(self, worker):
+        with self.lock:
+            worker.join()

@@ -1,0 +1,26 @@
+"""Clean fixture: consistent lock order, no blocking under a lock,
+spawned-thread writes share the instance lock."""
+
+import threading
+
+
+class Disciplined:
+    def __init__(self):
+        self.a = threading.Lock()
+        self.b = threading.Lock()
+        self.count = 0
+        self.thread = threading.Thread(target=self.worker)
+
+    def worker(self):
+        with self.a:
+            self.count += 1
+
+    def both(self):
+        with self.a:
+            with self.b:
+                self.count = 0
+
+    def also_both(self):
+        with self.a:
+            with self.b:
+                self.count = 2

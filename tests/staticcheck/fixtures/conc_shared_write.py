@@ -1,0 +1,17 @@
+"""Seeded defect: attribute written by a spawned thread and the main
+thread with no common lock (CONC003)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.count = 0
+        self.thread = threading.Thread(target=self.worker)
+
+    def worker(self):
+        self.count += 1
+
+    def reset(self):
+        self.count = 0

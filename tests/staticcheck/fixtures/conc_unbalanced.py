@@ -1,0 +1,14 @@
+"""Seeded defect: bare acquire() with no try/finally release (CONC004)."""
+
+import threading
+
+
+class Leaky:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.state = None
+
+    def update(self, value):
+        self.lock.acquire()
+        self.state = value
+        self.lock.release()

@@ -1,0 +1,16 @@
+"""Seeded defect: snapshot() returns a live reference to a mutable
+container (SNAP003) — later mutations silently rewrite the checkpoint."""
+
+
+class Queue:
+    def __init__(self):
+        self.items = []
+
+    def push(self, item):
+        self.items.append(item)
+
+    def snapshot(self):
+        return {"items": self.items}
+
+    def restore(self, state):
+        self.items = list(state["items"])

@@ -1,0 +1,13 @@
+"""Seeded defect: snapshot()/restore() key sets disagree (SNAP002)."""
+
+
+class Skewed:
+    def __init__(self):
+        self.level = 0
+        self.mode = "idle"
+
+    def snapshot(self):
+        return {"level": self.level, "mode": self.mode}
+
+    def restore(self, state):
+        self.level = state["level"]

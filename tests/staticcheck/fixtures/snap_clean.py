@@ -1,0 +1,19 @@
+"""Clean fixture: every mutated attribute is captured, key sets match,
+containers are copied on the way out."""
+
+
+class Tidy:
+    def __init__(self):
+        self.counter = 0
+        self.items = []
+
+    def tick(self, item):
+        self.counter += 1
+        self.items.append(item)
+
+    def snapshot(self):
+        return {"counter": self.counter, "items": list(self.items)}
+
+    def restore(self, state):
+        self.counter = state["counter"]
+        self.items = list(state["items"])

@@ -1,0 +1,18 @@
+"""Seeded defect: mutable run state the snapshot never captures
+(SNAP001) — a restore would resurrect the pre-snapshot value."""
+
+
+class Device:
+    def __init__(self):
+        self.counter = 0
+        self.pending = 0
+
+    def tick(self):
+        self.counter += 1
+        self.pending += 1
+
+    def snapshot(self):
+        return {"counter": self.counter}
+
+    def restore(self, state):
+        self.counter = state["counter"]

@@ -1,0 +1,19 @@
+"""Waiver fixture: the hidden attribute carries an inline waiver, so
+SNAP001 must stay quiet and count as suppressed."""
+
+
+class Cached:
+    def __init__(self):
+        self.value = 0
+        # Derived cache, rebuilt lazily after restore.
+        self.memo = None  # lint: disable=SNAP001
+
+    def bump(self):
+        self.value += 1
+        self.memo = None
+
+    def snapshot(self):
+        return {"value": self.value}
+
+    def restore(self, state):
+        self.value = state["value"]

@@ -1,0 +1,129 @@
+"""Lock-order / blocking-call analysis (CONC001-CONC004).
+
+The seeded-defect fixtures under ``fixtures/`` each carry exactly one
+classic concurrency bug; the analyzer must convict each by rule ID and
+stay quiet on the disciplined fixture and on the shipped sources.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.staticcheck import LintReport, canonical_lock_order
+from repro.staticcheck.concurrency_rules import (
+    analyze,
+    check_concurrency,
+    default_root,
+)
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(name):
+    """Analyze a single fixture file in isolation via a tmp-free root."""
+    report = LintReport()
+    check_concurrency(report, root=FIXTURES, target="concurrency")
+    return [d for d in report.diagnostics if name in (d.target or "")
+            or name in d.message]
+
+
+def rules_for(report, fragment):
+    return sorted({d.rule for d in report.diagnostics
+                   if fragment in d.message})
+
+
+@pytest.fixture(scope="module")
+def fixture_report():
+    report = LintReport()
+    check_concurrency(report, root=FIXTURES)
+    return report
+
+
+class TestSeededDefects:
+    def test_abba_inversion_is_a_lock_order_cycle(self, fixture_report):
+        assert "CONC001" in rules_for(fixture_report, "conc_abba")
+        cycles = [d for d in fixture_report.diagnostics
+                  if d.rule == "CONC001"]
+        # The message names both locks of the inverted pair.
+        assert any("Worker.a" in d.message and "Worker.b" in d.message
+                   for d in cycles)
+
+    def test_blocking_calls_under_lock(self, fixture_report):
+        findings = [d for d in fixture_report.diagnostics
+                    if d.rule == "CONC002"]
+        messages = " ".join(d.message for d in findings)
+        assert "sleep" in messages
+        assert "join" in messages
+
+    def test_unlocked_shared_write_from_thread_root(self, fixture_report):
+        findings = [d for d in fixture_report.diagnostics
+                    if d.rule == "CONC003"]
+        assert any("count" in d.message for d in findings)
+
+    def test_unbalanced_acquire(self, fixture_report):
+        assert "CONC004" in rules_for(fixture_report, "Leaky")
+
+    def test_clean_fixture_stays_clean(self, fixture_report):
+        assert rules_for(fixture_report, "Disciplined") == []
+        assert rules_for(fixture_report, "conc_clean") == []
+
+
+class TestSuppression:
+    def test_inline_waiver_silences_and_counts(self, tmp_path):
+        src = tmp_path / "waived.py"
+        src.write_text(
+            "import threading\n"
+            "import time\n\n\n"
+            "class Waived:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n\n"
+            "    def slow(self):\n"
+            "        with self.lock:\n"
+            "            time.sleep(0.1)  # lint: disable=CONC002\n"
+        )
+        report = LintReport()
+        check_concurrency(report, root=tmp_path)
+        assert report.diagnostics == []
+        assert report.suppressed.get("CONC002") == 1
+
+
+class TestCanonicalOrder:
+    def test_shipped_sources_admit_a_canonical_order(self):
+        order = canonical_lock_order()
+        assert order, "expected the shipped tree to declare locks"
+        assert len(order) == len(set(order))
+
+    def test_cyclic_graph_has_no_order(self):
+        with pytest.raises(ValueError, match="cyclic"):
+            canonical_lock_order(FIXTURES)
+
+    def test_order_respects_observed_nesting(self, tmp_path):
+        src = tmp_path / "nested.py"
+        src.write_text(
+            "import threading\n\n\n"
+            "class Outerer:\n"
+            "    def __init__(self):\n"
+            "        self.outer = threading.Lock()\n"
+            "        self.inner = threading.Lock()\n\n"
+            "    def both(self):\n"
+            "        with self.outer:\n"
+            "            with self.inner:\n"
+            "                pass\n"
+        )
+        order = canonical_lock_order(tmp_path)
+        outer = next(n for n in order if n.endswith(".outer"))
+        inner = next(n for n in order if n.endswith(".inner"))
+        assert order.index(outer) < order.index(inner)
+
+
+class TestShippedTree:
+    def test_repro_sources_are_conc_clean(self):
+        report = LintReport()
+        check_concurrency(report)
+        assert report.diagnostics == []
+
+    def test_analysis_sees_the_known_locks(self):
+        analysis = analyze(default_root())
+        names = " ".join(sorted(analysis.locks))
+        assert "done_sem" in names
+        assert "rx_sem" in names

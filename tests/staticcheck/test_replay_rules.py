@@ -84,3 +84,38 @@ class TestCheckSnapshotability:
         diagnostics = check_snapshotability(session, assume_enabled=True)
         assert len(diagnostics) == 1
         assert "sneaky" in diagnostics[0].message
+
+
+class TestMemoWithFaultInjection:
+    """A memo-attached session must not hide a fault plan's schedule."""
+
+    def _inject_faults(self, session):
+        from repro.transport.faults import FaultPlan, FaultyBoardEndpoint
+
+        session.runtime.endpoint = FaultyBoardEndpoint(
+            session.runtime.endpoint, FaultPlan(drop_grants={2}))
+
+    def test_memo_plus_fault_plan_is_an_error(self, session):
+        from repro.cosim.memo import WindowMemo
+
+        self._inject_faults(session)
+        # Bypass the runtime guard the way a hand-assembled harness
+        # could: the lint pass is the backstop for exactly this.
+        session.memo = WindowMemo()
+        diagnostics = check_snapshotability(session, assume_enabled=True)
+        assert len(diagnostics) == 1
+        diagnostic = diagnostics[0]
+        assert diagnostic.rule == "COSIM005"
+        assert diagnostic.severity == "error"
+        assert "fault injector" in diagnostic.message
+        assert "FaultyBoardEndpoint" in diagnostic.message
+
+    def test_fault_plan_without_memo_is_fine(self, session):
+        self._inject_faults(session)
+        assert check_snapshotability(session, assume_enabled=True) == []
+
+    def test_memo_without_fault_plan_is_fine(self, session):
+        from repro.cosim.memo import WindowMemo
+
+        session.attach_memo(WindowMemo())
+        assert check_snapshotability(session, assume_enabled=True) == []

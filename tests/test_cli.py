@@ -217,3 +217,24 @@ class TestProfileCommand:
     def test_unknown_app_rejected(self, capsys):
         assert main(["profile", "toaster"]) == 2
         assert "unknown application" in capsys.readouterr().err
+
+
+class TestFuzzPreflight:
+    def test_lint_concurrency_preflight_passes_and_fuzzes(self, capsys):
+        assert main(["fuzz", "--seed", "42", "--runs", "1",
+                     "--lint-concurrency"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-flight clean" in out
+
+    def test_preflight_failure_aborts_before_fuzzing(self, monkeypatch,
+                                                     capsys):
+        import repro.staticcheck.protocol_rules as protocol_rules
+
+        mutated = dict(protocol_rules.BOARD_WINDOW_TABLE)
+        del mutated[("reporting", "send_report")]
+        monkeypatch.setattr(protocol_rules, "BOARD_WINDOW_TABLE", mutated)
+        assert main(["fuzz", "--seed", "42", "--runs", "1",
+                     "--lint-concurrency", "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "pre-flight failed" in err
+        assert "PROTO001" in err
