@@ -13,9 +13,14 @@
     repro checkpoint --every N [--dir D] [--resume FILE.json]
     repro profile [router] [--format chrome|csv|text] [--out FILE]
                   [--sample N]            # traced run + span profile
-    repro fuzz [--seed N] [--runs K] [--out DIR]   # differential fuzzing
+    repro fuzz [--seed N] [--runs K] [--out DIR] [--jobs N]
+                                          # differential fuzzing
     repro bench [--full] [--out DIR]      # record the benchmark trajectory
     repro bench --compare OLD NEW         # diff two trajectory snapshots
+    repro serve [--port N] [--workers N] [--results DIR]
+                                          # multi-tenant co-simulation farm
+    repro submit JOB.json [--wait]        # submit a job to a farm server
+    repro jobs [--tenant T] [--follow]    # list / stream farm jobs
 
 (Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.)
@@ -399,16 +404,31 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         if not mismatches:
             print("all oracles held")
         return 0 if not mismatches else 1
-    report = fuzz(
-        args.seed, args.runs,
-        scenarios=args.scenarios,
-        backends=args.backends,
-        shrink=args.shrink,
-        out_dir=args.out,
-        max_failures=args.max_failures,
-        start_index=args.index,
-        log=log,
-    )
+    if args.jobs > 1:
+        from repro.farm import fuzz_parallel
+
+        report = fuzz_parallel(
+            args.seed, args.runs,
+            jobs=args.jobs,
+            scenarios=args.scenarios,
+            backends=args.backends,
+            shrink=args.shrink,
+            out_dir=args.out,
+            max_failures=args.max_failures,
+            start_index=args.index,
+            log=log,
+        )
+    else:
+        report = fuzz(
+            args.seed, args.runs,
+            scenarios=args.scenarios,
+            backends=args.backends,
+            shrink=args.shrink,
+            out_dir=args.out,
+            max_failures=args.max_failures,
+            start_index=args.index,
+            log=log,
+        )
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -458,6 +478,139 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"trajectory written to {out_dir} "
           f"({'full' if args.full else 'quick'} profile)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.farm import Farm, TenantQuota
+    from repro.farm.server import serve
+
+    if os.environ.get("REPRO_LOCK_SANITIZER") == "1":
+        # Soak profile: assert the statically derived lock order on
+        # every instrumented acquisition for the server's lifetime.
+        from repro.staticcheck import sanitizer
+        from repro.staticcheck.concurrency_rules import (
+            canonical_lock_order,
+        )
+
+        sanitizer.SANITIZER.configure(canonical_lock_order())
+        sanitizer.SANITIZER.active = True
+    quota = TenantQuota(max_in_flight=args.quota_jobs,
+                        max_total_windows=args.quota_windows)
+    farm = Farm(
+        workers=args.workers,
+        results_dir=args.results,
+        default_quota=quota,
+        job_timeout_s=args.job_timeout,
+    )
+    return serve(farm, host=args.host, port=args.port,
+                 port_file=args.port_file,
+                 drain_timeout_s=args.drain_timeout,
+                 verbose=args.verbose)
+
+
+def _parse_server(args: argparse.Namespace):
+    host, _, port = args.server.partition(":")
+    if not port:
+        print(f"--server must be HOST:PORT, got {args.server!r}",
+              file=sys.stderr)
+        return None
+    from repro.farm import FarmClient
+
+    return FarmClient(host or "127.0.0.1", int(port))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FarmError, QuotaExceeded
+
+    client = _parse_server(args)
+    if client is None:
+        return 2
+    if args.job:
+        with open(args.job, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    else:
+        payload = json.loads(args.payload) if args.payload else {}
+        doc = {"schema": "repro-job/1", "tenant": args.tenant,
+               "kind": args.kind, "payload": payload,
+               "priority": args.priority, "seed": args.seed}
+        if args.name:
+            doc["name"] = args.name
+    try:
+        submitted = client.submit(doc)
+    except QuotaExceeded as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 3
+    except (FarmError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    job_id = submitted["job_id"]
+    print(f"submitted {job_id} (tenant={submitted['tenant']} "
+          f"kind={submitted['kind']} state={submitted['state']})")
+    if not args.wait:
+        return 0
+    try:
+        if args.follow:
+            for event in client.stream(job_id=job_id,
+                                       timeout_s=args.timeout):
+                print(f"  {event['event']}: state={event['state']}"
+                      + (f" error={event['error']}"
+                         if event.get("error") else ""))
+        final = client.wait(job_id, timeout_s=args.timeout)
+    except (FarmError, OSError) as exc:
+        print(f"wait failed: {exc}", file=sys.stderr)
+        return 1
+    state = final["state"]
+    print(f"{job_id}: {state}"
+          + (f" ({final['error']})" if final.get("error") else ""))
+    if state == "done" and final.get("result") is not None:
+        print(f"  result: {json.dumps(final['result'], sort_keys=True)}")
+    return 0 if state == "done" else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import format_table
+    from repro.errors import FarmError
+
+    client = _parse_server(args)
+    if client is None:
+        return 2
+    try:
+        if args.cancel:
+            ok = client.cancel(args.cancel)
+            print(f"{args.cancel}: "
+                  f"{'cancelled' if ok else 'not cancellable'}")
+            return 0 if ok else 1
+        if args.follow:
+            for event in client.stream(cursor=args.cursor,
+                                       timeout_s=args.timeout):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        jobs = client.jobs(tenant=args.tenant)
+        if not jobs:
+            print("no jobs")
+        else:
+            print(format_table(
+                ["job", "tenant", "kind", "name", "prio", "state",
+                 "error"],
+                [[j["job_id"][:12], j["tenant"], j["kind"], j["name"],
+                  j["priority"], j["state"], j.get("error", "")[:40]]
+                 for j in jobs],
+            ))
+        metrics = client.metrics()
+        print(f"queue_depth={metrics['queue_depth']} "
+              f"in_flight={metrics['in_flight']} "
+              f"workers_busy={metrics['workers_busy']}/"
+              f"{metrics['workers']}")
+        return 0
+    except (FarmError, OSError) as exc:
+        print(f"jobs query failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -674,6 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "report findings")
     fuzz.add_argument("--quiet", action="store_true",
                       help="only print the final summary")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan the campaign across N farm worker "
+                           "processes; results and artifacts are "
+                           "identical to the serial run (default: 1)")
     fuzz.set_defaults(fn=_cmd_fuzz)
 
     bench = sub.add_parser(
@@ -700,6 +857,82 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict to harnesses matching this pytest "
                             "keyword expression")
     bench.set_defaults(fn=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant co-simulation farm: a job queue, "
+             "worker pool and streaming status over HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0 picks a free one; see "
+                            "--port-file)")
+    serve.add_argument("--port-file", metavar="FILE",
+                       help="write the bound port here once listening")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes in the pool (default: 2)")
+    serve.add_argument("--results", metavar="DIR", default="farm-results",
+                       help="results directory (job documents, "
+                            "artifacts, index.json)")
+    serve.add_argument("--quota-jobs", type=int, default=4,
+                       metavar="N",
+                       help="per-tenant max in-flight jobs (default: 4)")
+    serve.add_argument("--quota-windows", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant cumulative window budget "
+                            "(default: unlimited)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill any job running longer than this")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="graceful-shutdown bound: how long the "
+                            "first SIGINT/SIGTERM waits for in-flight "
+                            "jobs (default: 30)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a repro-job/1 job to a farm server")
+    submit.add_argument("job", nargs="?", metavar="JOB.json",
+                        help="job document to submit (omit to build "
+                             "one from the flags below)")
+    submit.add_argument("--server", default="127.0.0.1:8642",
+                        metavar="HOST:PORT")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant to submit as (default: default)")
+    submit.add_argument("--kind", choices=["fuzz_case", "router"],
+                        default="router")
+    submit.add_argument("--payload", metavar="JSON",
+                        help="kind-specific payload as inline JSON")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--name", default="",
+                        help="job name; (tenant, kind, name, seed) "
+                             "determines the job id")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal")
+    submit.add_argument("--follow", action="store_true",
+                        help="with --wait: stream the job's events")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait bound in seconds (default: 300)")
+    submit.set_defaults(fn=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list, stream or cancel jobs on a farm server")
+    jobs.add_argument("--server", default="127.0.0.1:8642",
+                      metavar="HOST:PORT")
+    jobs.add_argument("--tenant", help="only this tenant's jobs")
+    jobs.add_argument("--follow", action="store_true",
+                      help="stream the live event feed (NDJSON)")
+    jobs.add_argument("--cursor", type=int, default=0,
+                      help="with --follow: resume after this event "
+                           "sequence number")
+    jobs.add_argument("--timeout", type=float, default=None,
+                      help="with --follow: stop after this many seconds")
+    jobs.add_argument("--cancel", metavar="JOB_ID",
+                      help="cancel one job instead of listing")
+    jobs.set_defaults(fn=_cmd_jobs)
 
     profile = sub.add_parser(
         "profile",

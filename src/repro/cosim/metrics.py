@@ -52,6 +52,14 @@ class CosimMetrics:
     spans_recorded: int = 0
     span_events: int = 0
     spans_dropped: int = 0
+    # Farm counters (zero outside a farm run; see repro.farm).
+    farm_jobs: int = 0
+    farm_jobs_done: int = 0
+    farm_jobs_failed: int = 0
+    farm_queue_depth_peak: int = 0
+    farm_workers_busy_peak: int = 0
+    farm_crashes: int = 0
+    farm_timeouts: int = 0
     #: Measured host seconds (threaded sessions) or None.
     wall_seconds: Optional[float] = None
     #: Modeled host seconds (always filled, from the wall-cost model).
@@ -114,5 +122,8 @@ class CosimMetrics:
             f"restores={self.restores} "
             f"windows_replayed={self.windows_replayed} "
             f"memoized={self.windows_memoized} "
-            f"spans={self.spans_recorded}"
+            f"spans={self.spans_recorded} "
+            f"farm_jobs={self.farm_jobs} "
+            f"farm_queue_peak={self.farm_queue_depth_peak} "
+            f"farm_busy_peak={self.farm_workers_busy_peak}"
         )

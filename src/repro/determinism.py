@@ -58,6 +58,17 @@ def derive_seed(base_seed: int, *namespace: Union[str, int]) -> int:
     return int.from_bytes(digest.digest()[:8], "big") >> 1
 
 
+def derive_token(base_seed: int, *namespace: Union[str, int],
+                 width: int = 16) -> str:
+    """A stable hex identifier for ``(base_seed, *namespace)``.
+
+    The :func:`derive_seed` mix rendered as a fixed-width hex string —
+    used for deterministic, collision-resistant ids (farm job ids)
+    that must be identical across processes and platforms.
+    """
+    return format(derive_seed(base_seed, *namespace), f"0{width}x")[-width:]
+
+
 def rng_state_snapshot(rng: random.Random) -> list:
     """The RNG's internal state as JSON-able nested lists."""
     return _listify(rng.getstate())

@@ -11,7 +11,14 @@ fuzz`` CLI subcommand.
 """
 
 from repro.difftest.backends import RunOutcome, run_backend, scenario_backends
-from repro.difftest.harness import FuzzFailure, FuzzReport, fuzz, run_spec
+from repro.difftest.harness import (
+    FuzzFailure,
+    FuzzReport,
+    analyze_failure,
+    fuzz,
+    run_spec,
+    write_failure_artifacts,
+)
 from repro.difftest.oracles import Mismatch, run_oracles
 from repro.difftest.progbuilder import GeneratedProgram, build_program
 from repro.difftest.shrink import shrink_spec
@@ -25,6 +32,7 @@ __all__ = [
     "Mismatch",
     "RunOutcome",
     "SCENARIOS",
+    "analyze_failure",
     "build_program",
     "fuzz",
     "generate_spec",
@@ -33,4 +41,5 @@ __all__ = [
     "run_spec",
     "scenario_backends",
     "shrink_spec",
+    "write_failure_artifacts",
 ]

@@ -43,6 +43,10 @@ class FuzzFailure:
     workload_path: Optional[str] = None
     recording_path: Optional[str] = None
     repro_commands: List[str] = field(default_factory=list)
+    #: Message-stream recording of the shrunk failing run (when the
+    #: reference backend produced one) — the artifact source.
+    recording: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
 
     def describe(self) -> str:
         lines = [f"FAIL {self.spec.describe()}"]
@@ -140,10 +144,17 @@ def fuzz(base_seed: int, runs: int,
     return report
 
 
-def _handle_failure(spec: FuzzSpec, outcomes: Dict[str, RunOutcome],
-                    mismatches: List[Mismatch], shrink: bool,
-                    backends: Optional[Sequence[str]],
-                    out_dir: Optional[str]) -> FuzzFailure:
+def analyze_failure(spec: FuzzSpec, outcomes: Dict[str, RunOutcome],
+                    mismatches: List[Mismatch], shrink: bool = True,
+                    backends: Optional[Sequence[str]] = None
+                    ) -> FuzzFailure:
+    """Shrink one failing case; no I/O.
+
+    Pure function of its inputs (shrinking deterministically re-runs
+    candidate specs), so a farm worker and the serial loop produce
+    identical :class:`FuzzFailure` values for the same case — the
+    property the ``--jobs N`` equivalence guarantee rests on.
+    """
     target_ids = _mismatch_ids(mismatches)
     shrunk, steps = spec, []
     shrunk_outcomes = outcomes
@@ -161,21 +172,36 @@ def _handle_failure(spec: FuzzSpec, outcomes: Dict[str, RunOutcome],
     failure = FuzzFailure(index=spec.index, spec=spec,
                           mismatches=shrunk_mismatches or mismatches,
                           shrunk=shrunk, shrink_steps=steps)
+    failure.recording = next(
+        (o.recording for o in shrunk_outcomes.values()
+         if o.recording is not None), None)
+    return failure
+
+
+def write_failure_artifacts(failure: FuzzFailure, out_dir: str) -> None:
+    """Emit ``fail-<index>.workload.json`` (and the recording, when one
+    exists) under *out_dir*; stamps paths and repro commands onto the
+    failure."""
+    os.makedirs(out_dir, exist_ok=True)
+    workload_path = os.path.join(
+        out_dir, f"fail-{failure.index}.workload.json")
+    failure.shrunk.save(workload_path)
+    failure.workload_path = workload_path
+    failure.repro_commands.append(f"repro fuzz --spec {workload_path}")
+    if failure.recording is not None:
+        recording_path = os.path.join(
+            out_dir, f"fail-{failure.index}.recording.json")
+        failure.recording.save(recording_path)
+        failure.recording_path = recording_path
+        failure.repro_commands.append(f"repro replay {recording_path}")
+
+
+def _handle_failure(spec: FuzzSpec, outcomes: Dict[str, RunOutcome],
+                    mismatches: List[Mismatch], shrink: bool,
+                    backends: Optional[Sequence[str]],
+                    out_dir: Optional[str]) -> FuzzFailure:
+    failure = analyze_failure(spec, outcomes, mismatches, shrink=shrink,
+                              backends=backends)
     if out_dir is not None:
-        os.makedirs(out_dir, exist_ok=True)
-        workload_path = os.path.join(
-            out_dir, f"fail-{spec.index}.workload.json")
-        shrunk.save(workload_path)
-        failure.workload_path = workload_path
-        failure.repro_commands.append(f"repro fuzz --spec {workload_path}")
-        recording = next(
-            (o.recording for o in shrunk_outcomes.values()
-             if o.recording is not None), None)
-        if recording is not None:
-            recording_path = os.path.join(
-                out_dir, f"fail-{spec.index}.recording.json")
-            recording.save(recording_path)
-            failure.recording_path = recording_path
-            failure.repro_commands.append(
-                f"repro replay {recording_path}")
+        write_failure_artifacts(failure, out_dir)
     return failure

@@ -49,6 +49,11 @@ class Mismatch:
         return {"oracle": self.oracle, "backend": self.backend,
                 "detail": self.detail}
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Mismatch":
+        return cls(oracle=doc["oracle"], backend=doc["backend"],
+                   detail=doc["detail"])
+
     def __str__(self) -> str:
         return f"[{self.oracle}] {self.backend}: {self.detail}"
 

@@ -33,6 +33,14 @@ class IssError(ReproError):
     """An error raised by the instruction-set simulator."""
 
 
+class FarmError(ReproError):
+    """An error raised by the co-simulation farm (job server)."""
+
+
+class QuotaExceeded(FarmError):
+    """A tenant's submission would exceed its farm quota."""
+
+
 class AssemblerError(IssError):
     """One or more errors raised while assembling a program.
 

@@ -1,0 +1,63 @@
+"""A multi-tenant co-simulation farm.
+
+The farm turns the repository's single-shot co-simulation harnesses
+into a shared service: clients submit versioned ``repro-job/1`` jobs
+(differential-fuzz cases, router sessions) for named tenants; a
+priority scheduler with per-tenant quotas and fair round-robin feeds a
+crash-isolated process pool running the existing difftest backends;
+results, artifacts and per-job metrics persist under a results
+directory with an atomic index.
+
+Layers (each independently testable):
+
+* :mod:`repro.farm.job` — the job model and wire schema;
+* :mod:`repro.farm.scheduler` — queues, quotas, fairness (pure data);
+* :mod:`repro.farm.pool` — the worker process pool (crash isolation,
+  per-job timeouts, cancellation);
+* :mod:`repro.farm.runner` — worker-side job execution;
+* :mod:`repro.farm.store` — persistent results and artifacts;
+* :mod:`repro.farm.core` — the :class:`Farm` facade gluing them;
+* :mod:`repro.farm.server` / :mod:`repro.farm.client` — the stdlib
+  HTTP front end (``repro serve`` / ``repro submit`` / ``repro jobs``)
+  with a streaming status feed;
+* :mod:`repro.farm.fuzzfan` — the first farm client: ``repro fuzz
+  --jobs N`` fanning a campaign across the pool with unchanged
+  deterministic semantics.
+
+See ``docs/FARM.md`` for the job schema, quota semantics and the
+failure/cancellation model.
+"""
+
+from repro.farm.client import FarmClient
+from repro.farm.core import Farm
+from repro.farm.fuzzfan import fuzz_parallel
+from repro.farm.job import (
+    JOB_KINDS,
+    JOB_SCHEMA,
+    TERMINAL_STATES,
+    Job,
+    job_id_for,
+    validate_job_dict,
+)
+from repro.farm.pool import WorkerPool
+from repro.farm.scheduler import Scheduler, TenantQuota
+from repro.farm.server import FarmServer, serve
+from repro.farm.store import ResultStore
+
+__all__ = [
+    "Farm",
+    "FarmClient",
+    "FarmServer",
+    "JOB_KINDS",
+    "JOB_SCHEMA",
+    "Job",
+    "ResultStore",
+    "Scheduler",
+    "TERMINAL_STATES",
+    "TenantQuota",
+    "WorkerPool",
+    "fuzz_parallel",
+    "job_id_for",
+    "serve",
+    "validate_job_dict",
+]

@@ -1,0 +1,139 @@
+"""A small stdlib HTTP client for the farm server.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI and by the farm's
+own tests; third-party clients can speak the same five endpoints with
+any HTTP library (see "writing a farm client" in ``docs/FARM.md``).
+
+Each call opens a fresh :class:`http.client.HTTPConnection`, which
+keeps the client trivially usable from multiple threads.  The
+streaming feed (:meth:`FarmClient.stream`) holds its connection open
+and yields one decoded event dict per NDJSON line.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import FarmError, QuotaExceeded
+from repro.farm.job import TERMINAL_STATES, Job
+
+
+class FarmClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read().decode("utf-8")
+            try:
+                doc = json.loads(raw) if raw else {}
+            except ValueError:
+                doc = {"error": raw}
+            if response.status == 429:
+                raise QuotaExceeded(doc.get("error", "quota exceeded"))
+            if response.status >= 400:
+                raise FarmError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{doc.get('error', raw)}")
+            return doc
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> bool:
+        """True when the server answers its liveness probe."""
+        return bool(self._request("GET", "/health").get("ok"))
+
+    def metrics(self) -> Dict[str, Any]:
+        """The farm's status counters and metrics summary line."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, job: Any) -> Dict[str, Any]:
+        """Submit a :class:`~repro.farm.Job` (or a ``repro-job/1``
+        dict); returns the server's job document."""
+        doc = job.to_dict() if isinstance(job, Job) else dict(job)
+        return self._request("POST", "/jobs", body=doc)
+
+    def jobs(self, tenant: Optional[str] = None
+             ) -> List[Dict[str, Any]]:
+        """All job documents (optionally filtered to one tenant)."""
+        path = "/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path).get("jobs", [])
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """One job document."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The full worker result document for a terminal job."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True when the job was still live."""
+        doc = self._request("POST", f"/jobs/{job_id}/cancel")
+        return bool(doc.get("cancelled"))
+
+    def wait(self, job_id: str, timeout_s: float = 60.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll until *job_id* reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            doc = self.job(job_id)
+            if doc.get("state") in TERMINAL_STATES:
+                return doc
+            if time.monotonic() >= deadline:
+                raise FarmError(
+                    f"job {job_id!r} still {doc.get('state')!r} after "
+                    f"{timeout_s:.0f}s")
+            time.sleep(poll_s)
+
+    def stream(self, job_id: Optional[str] = None, cursor: int = 0,
+               timeout_s: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield live events from the server's NDJSON feed.
+
+        With *job_id* the feed is scoped to that job and ends when it
+        reaches a terminal state; without, it runs until the server
+        stops or *timeout_s* elapses.
+        """
+        path = (f"/jobs/{job_id}/stream" if job_id else "/stream")
+        path += f"?cursor={cursor}"
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout_s if timeout_s is not None
+            else self.timeout_s)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise FarmError(f"GET {path} -> {response.status}")
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except ValueError:
+                    continue
+        finally:
+            conn.close()

@@ -1,0 +1,289 @@
+"""A crash-isolated process pool for farm jobs.
+
+Each worker is a separate OS process connected by a pipe; the pool
+dispatches one task at a time per worker and collects results with
+:func:`multiprocessing.connection.wait`, which also wakes on a worker's
+*sentinel* — so a worker that dies mid-job (segfault, ``os._exit``,
+OOM-kill) is detected immediately, fails **only its own job**, and is
+replaced by a fresh process.  Per-task deadlines are enforced from the
+parent: an overrunning worker is terminated (the only reliable way to
+stop arbitrary simulation code) and respawned.
+
+Threading discipline: the pool is **single-consumer** — exactly one
+thread (the farm's manager thread) may call :meth:`dispatch`,
+:meth:`poll`, :meth:`cancel` and :meth:`shutdown`.  That invariant is
+what lets the pool hold no locks at all; the farm serializes access.
+
+The start method prefers ``fork`` (cheap, and child processes inherit
+the parent's loaded modules — including any test instrumentation),
+falling back to the platform default where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import FarmError
+
+#: Result kinds yielded by :meth:`WorkerPool.poll`.
+EVENT_DONE = "done"
+EVENT_CRASHED = "crashed"
+EVENT_TIMEOUT = "timeout"
+
+
+def _worker_main(conn, initializer) -> None:
+    """Worker loop: receive a task dict, execute, send the result.
+
+    Runs in the child process.  ``None`` is the shutdown pill.  The
+    runner never lets workload exceptions escape — they come back as
+    ``ok=False`` results — so this loop only exits on the pill or a
+    hard crash (which the parent observes via the sentinel).
+    """
+    from repro.farm.runner import execute_task
+
+    if initializer is not None:
+        initializer()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        conn.send(execute_task(task))
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    def __init__(self, ctx, initializer) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn, initializer),
+            name="farm-worker", daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.busy_key: Optional[str] = None
+        self.deadline: Optional[float] = None
+        self.dispatched_at: float = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_key is None
+
+    def discard(self) -> None:
+        """Terminate the process and release parent-side resources."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
+class WorkerPool:
+    """A fixed-size pool of single-task worker processes."""
+
+    def __init__(self, size: int,
+                 initializer: Optional[Callable[[], None]] = None,
+                 job_timeout_s: Optional[float] = None,
+                 start_method: Optional[str] = None) -> None:
+        if size < 1:
+            raise FarmError("worker pool size must be at least 1")
+        self.size = size
+        self.job_timeout_s = job_timeout_s
+        self._initializer = initializer
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self._workers: List[_Worker] = []
+        self._started = False
+        # -- counters ---------------------------------------------------
+        self.tasks_dispatched = 0
+        self.tasks_completed = 0
+        self.crashes = 0
+        self.timeouts = 0
+        self.busy_peak = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._workers = [_Worker(self._ctx, self._initializer)
+                         for _ in range(self.size)]
+        self._started = True
+
+    @property
+    def busy(self) -> int:
+        return sum(1 for w in self._workers if not w.idle)
+
+    @property
+    def idle_workers(self) -> int:
+        return sum(1 for w in self._workers if w.idle)
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live worker processes (for orphan-detection tests)."""
+        return [w.process.pid for w in self._workers
+                if w.process.is_alive() and w.process.pid is not None]
+
+    # ------------------------------------------------------------------
+    def dispatch(self, key: str, task: Dict[str, Any],
+                 timeout_s: Optional[float] = None) -> None:
+        """Send *task* to an idle worker; *key* names it in results."""
+        if not self._started:
+            raise FarmError("pool not started")
+        for worker in self._workers:
+            if worker.idle:
+                worker.busy_key = key
+                worker.dispatched_at = time.monotonic()
+                limit = timeout_s if timeout_s is not None \
+                    else self.job_timeout_s
+                worker.deadline = (worker.dispatched_at + limit
+                                   if limit is not None else None)
+                worker.conn.send(task)
+                self.tasks_dispatched += 1
+                self.busy_peak = max(self.busy_peak, self.busy)
+                return
+        raise FarmError("no idle worker available")
+
+    def cancel(self, key: str) -> bool:
+        """Kill the worker currently running *key* (and respawn it).
+
+        Returns False when *key* is not running on any worker."""
+        for index, worker in enumerate(self._workers):
+            if worker.busy_key == key:
+                self._replace(index)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def poll(self, timeout_s: float = 0.05
+             ) -> List[Tuple[str, str, Dict[str, Any]]]:
+        """Collect finished/crashed/overdue tasks.
+
+        Returns ``(event, key, payload)`` tuples: ``done`` carries the
+        worker's result dict; ``crashed``/``timeout`` carry a detail
+        dict.  Blocks at most *timeout_s* (less if a deadline is
+        nearer).  Dead or overdue workers are respawned before
+        returning, so the pool always recovers its full size.
+        """
+        events: List[Tuple[str, str, Dict[str, Any]]] = []
+        now = time.monotonic()
+        nearest = None
+        waitables: List[Any] = []
+        by_waitable: Dict[Any, Tuple[int, str]] = {}
+        for index, worker in enumerate(self._workers):
+            waitables.append(worker.conn)
+            by_waitable[worker.conn] = (index, "conn")
+            waitables.append(worker.process.sentinel)
+            by_waitable[worker.process.sentinel] = (index, "sentinel")
+            if worker.deadline is not None and not worker.idle:
+                remaining = worker.deadline - now
+                nearest = remaining if nearest is None \
+                    else min(nearest, remaining)
+        wait_s = timeout_s if nearest is None \
+            else max(0.0, min(timeout_s, nearest))
+        ready = multiprocessing.connection.wait(waitables,
+                                                timeout=wait_s)
+        handled: set = set()
+        for item in ready:
+            index, kind = by_waitable[item]
+            if index in handled:
+                continue
+            worker = self._workers[index]
+            if kind == "conn":
+                try:
+                    result = worker.conn.recv()
+                except (EOFError, OSError):
+                    continue  # the sentinel path will classify this
+                key = worker.busy_key or "?"
+                worker.busy_key = None
+                worker.deadline = None
+                self.tasks_completed += 1
+                events.append((EVENT_DONE, key, result))
+                handled.add(index)
+            else:
+                # Worker process died.  Fail its job (if any) and
+                # replace the corpse with a fresh process.  The
+                # sentinel can fire a beat before the child is
+                # reapable (the pipe closes during exit processing),
+                # so join first — otherwise exitcode reads None.
+                key = worker.busy_key
+                worker.process.join(timeout=5.0)
+                exitcode = worker.process.exitcode
+                self._replace(index)
+                self.crashes += 1
+                if key is not None:
+                    events.append((EVENT_CRASHED, key, {
+                        "error": f"worker crashed (exit code "
+                                 f"{exitcode})"}))
+                handled.add(index)
+        # Deadline enforcement for workers that neither finished nor
+        # crashed this round.
+        now = time.monotonic()
+        for index, worker in enumerate(self._workers):
+            if index in handled or worker.idle:
+                continue
+            if worker.deadline is not None and now >= worker.deadline:
+                key = worker.busy_key
+                elapsed = now - worker.dispatched_at
+                self._replace(index)
+                self.timeouts += 1
+                events.append((EVENT_TIMEOUT, key or "?", {
+                    "error": f"job timed out after {elapsed:.1f}s"}))
+        return events
+
+    def _replace(self, index: int) -> None:
+        """Discard worker *index* and put a fresh process in its slot."""
+        self._workers[index].discard()
+        self._workers[index] = _Worker(self._ctx, self._initializer)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout_s: float = 5.0) -> None:
+        """Stop every worker: pills to the idle, termination for the
+        busy, then join all — no orphan processes survive."""
+        if not self._started:
+            return
+        deadline = time.monotonic() + timeout_s
+        for worker in self._workers:
+            if worker.idle:
+                try:
+                    worker.conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+            else:
+                worker.process.terminate()
+        for worker in self._workers:
+            remaining = max(0.1, deadline - time.monotonic())
+            worker.process.join(timeout=remaining)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.kill()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._workers = []
+        self._started = False
+        # Reap any zombies the platform left behind (best-effort).
+        try:
+            while True:
+                pid, _status = os.waitpid(-1, os.WNOHANG)
+                if pid == 0:
+                    break
+        except (ChildProcessError, OSError):
+            pass

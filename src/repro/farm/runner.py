@@ -1,0 +1,185 @@
+"""Worker-side job execution.
+
+:func:`execute_task` is the single entry point a pool worker runs per
+task.  It never raises: workload failures, oracle findings and crashes
+inside a backend all come back as a structured result dict (crashes of
+the *worker process itself* are handled one layer up, by the pool's
+sentinel watch).
+
+Two job kinds:
+
+* ``fuzz_case`` — one differential-fuzz case: a
+  :class:`~repro.difftest.workload.FuzzSpec` swept through its
+  backends under the oracle tiers, shrunk on failure, exactly as the
+  serial ``repro fuzz`` loop would (the same
+  :func:`repro.difftest.harness.analyze_failure` code path runs in
+  both, which is what makes ``--jobs N`` campaigns reproduce serial
+  results bit-for-bit).
+* ``router`` — one user-style router co-simulation session
+  (``difftest.workload`` traffic knobs, selectable transport, optional
+  emulated network latency), the shape a hosted tenant submits.
+
+Results are plain JSON-able dicts so they cross the process boundary
+and serialize into the :class:`~repro.farm.store.ResultStore`
+unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Optional
+
+#: Result-format version stamped on every worker result.
+RESULT_SCHEMA = "repro-job-result/1"
+
+
+def execute_task(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one task dict (``{"job": <repro-job/1>, "artifacts_dir"}``)."""
+    started = time.perf_counter()
+    job = task.get("job", {})
+    kind = job.get("kind", "fuzz_case")
+    artifacts_dir = task.get("artifacts_dir")
+    try:
+        if kind == "fuzz_case":
+            result = _run_fuzz_case(job.get("payload", {}))
+        elif kind == "router":
+            result = _run_router(job.get("payload", {}), artifacts_dir)
+        else:
+            result = {"ok": False,
+                      "error": f"unknown job kind {kind!r}"}
+    except Exception as exc:  # noqa: BLE001 - any crash is a result
+        result = {"ok": False,
+                  "error": f"{type(exc).__name__}: {exc}"}
+    result.setdefault("schema", RESULT_SCHEMA)
+    result.setdefault("kind", kind)
+    result["wall_s"] = time.perf_counter() - started
+    result["worker_pid"] = os.getpid()
+    return result
+
+
+# ----------------------------------------------------------------------
+# fuzz_case
+# ----------------------------------------------------------------------
+def _spec_from_payload(payload: Dict[str, Any]):
+    from repro.difftest import FuzzSpec, generate_spec
+
+    spec_doc = payload.get("spec")
+    if spec_doc is not None:
+        return FuzzSpec.from_dict(dict(spec_doc))
+    return generate_spec(int(payload["base_seed"]),
+                         int(payload["index"]),
+                         scenarios=payload.get("scenarios"))
+
+
+def _run_fuzz_case(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.difftest import analyze_failure, run_spec
+
+    spec = _spec_from_payload(payload)
+    backends = payload.get("backends")
+    outcomes, mismatches = run_spec(spec, backends=backends)
+    result: Dict[str, Any] = {
+        "ok": not mismatches,
+        "scenario": spec.scenario,
+        "index": spec.index,
+        "describe": spec.describe(),
+        "windows": sum(o.windows for o in outcomes.values()),
+        "backend_runs": len(outcomes),
+        "mismatches": [m.to_dict() for m in mismatches],
+    }
+    if mismatches:
+        failure = analyze_failure(spec, outcomes, mismatches,
+                                  shrink=bool(payload.get("shrink", True)),
+                                  backends=backends)
+        result["failure"] = failure_to_doc(failure)
+    return result
+
+
+def failure_to_doc(failure) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.difftest.FuzzFailure` (sans paths)."""
+    return {
+        "index": failure.index,
+        "spec": failure.spec.to_dict(),
+        "shrunk": failure.shrunk.to_dict(),
+        "shrink_steps": list(failure.shrink_steps),
+        "mismatches": [m.to_dict() for m in failure.mismatches],
+        "recording": (failure.recording.to_dict()
+                      if failure.recording is not None else None),
+    }
+
+
+def failure_from_doc(doc: Dict[str, Any]):
+    """Rebuild the :class:`~repro.difftest.FuzzFailure` a worker sent."""
+    from repro.difftest import FuzzFailure, FuzzSpec, Mismatch
+    from repro.replay import SessionRecording
+
+    failure = FuzzFailure(
+        index=doc["index"],
+        spec=FuzzSpec.from_dict(dict(doc["spec"])),
+        mismatches=[Mismatch.from_dict(m) for m in doc["mismatches"]],
+        shrunk=FuzzSpec.from_dict(dict(doc["shrunk"])),
+        shrink_steps=list(doc["shrink_steps"]),
+    )
+    if doc.get("recording") is not None:
+        failure.recording = SessionRecording.from_dict(doc["recording"])
+    return failure
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+#: Transports a hosted router job may request (no raw sockets from
+#: unvetted payloads; TCP mode stays an operator-side decision).
+_ROUTER_MODES = ("inproc", "queue")
+
+
+def _run_router(payload: Dict[str, Any],
+                artifacts_dir: Optional[str]) -> Dict[str, Any]:
+    from repro.cosim import CosimConfig, ProtocolTrace
+    from repro.router.testbench import RouterWorkload, build_router_cosim
+
+    mode = payload.get("mode", "inproc")
+    if mode not in _ROUTER_MODES:
+        return {"ok": False,
+                "error": f"router mode must be one of "
+                         f"{list(_ROUTER_MODES)}, got {mode!r}"}
+    config = CosimConfig(
+        t_sync=int(payload.get("t_sync", 100)),
+        emulated_network_delay_s=float(
+            payload.get("emulated_network_delay_s", 0.0)),
+    )
+    workload = RouterWorkload(
+        packets_per_producer=int(payload.get("packets_per_producer", 2)),
+        interval_cycles=int(payload.get("interval_cycles", 200)),
+        payload_size=int(payload.get("payload_size", 16)),
+        corrupt_rate=float(payload.get("corrupt_rate", 0.0)),
+        buffer_capacity=int(payload.get("buffer_capacity", 8)),
+        num_ports=int(payload.get("num_ports", 4)),
+        seed=int(payload.get("seed", 1)),
+    )
+    cosim = build_router_cosim(config, workload, mode=mode)
+    trace = None
+    if payload.get("trace") and mode == "inproc":
+        trace = ProtocolTrace()
+        cosim.session.attach_trace(trace)
+    max_cycles = payload.get("max_cycles")
+    metrics = cosim.run(
+        max_cycles=int(max_cycles) if max_cycles else None,
+        await_drain=bool(payload.get("await_drain", True)))
+    artifacts = []
+    if trace is not None and artifacts_dir:
+        os.makedirs(artifacts_dir, exist_ok=True)
+        trace_path = os.path.join(artifacts_dir, "trace.csv")
+        trace.to_csv(trace_path)
+        artifacts.append("trace.csv")
+    stats = cosim.stats
+    return {
+        "ok": True,
+        "windows": metrics.windows,
+        "master_cycles": metrics.master_cycles,
+        "board_ticks": metrics.board_ticks,
+        "sync_exchanges": metrics.sync_exchanges,
+        "stats": stats.snapshot(),
+        "accuracy": stats.handled_fraction(),
+        "artifacts": artifacts,
+    }

@@ -1,0 +1,182 @@
+"""Multi-tenant job scheduling: priority queues, quotas, fairness.
+
+The :class:`Scheduler` is a pure data structure — it owns no threads
+and does no I/O, which keeps every scheduling decision unit-testable
+and deterministic.  The farm's manager thread drives it under the
+farm lock.
+
+Three policies compose:
+
+* **Priority** — within one tenant, higher :attr:`Job.priority` runs
+  first; ties break FIFO by submission sequence.
+* **Quotas** — each tenant has a :class:`TenantQuota`: at most
+  ``max_in_flight`` jobs running at once, and (optionally) a
+  cumulative budget of synchronization windows
+  (``max_total_windows``) charged at submission from
+  :attr:`Job.windows_requested`.  Cancelling a still-queued job
+  refunds its windows.
+* **Fair round-robin** — dispatch rotates over tenants in first-seen
+  order, skipping tenants that are quota-blocked or idle, so one
+  tenant flooding the queue cannot starve the others: with N active
+  tenants each gets every N-th dispatch slot regardless of queue
+  depths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FarmError, QuotaExceeded
+from repro.farm.job import Job
+
+
+@dataclass
+class TenantQuota:
+    """Per-tenant admission and concurrency limits."""
+
+    #: Jobs a tenant may have running simultaneously.
+    max_in_flight: int = 4
+    #: Cumulative window budget across accepted jobs; ``None`` = no cap.
+    max_total_windows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise FarmError("max_in_flight must be at least 1")
+        if self.max_total_windows is not None \
+                and self.max_total_windows < 1:
+            raise FarmError("max_total_windows must be positive or None")
+
+
+@dataclass
+class _TenantState:
+    quota: TenantQuota
+    #: Min-heap of ``(-priority, submit_seq, job)``.
+    queue: List[tuple] = field(default_factory=list)
+    in_flight: int = 0
+    windows_charged: int = 0
+    jobs_accepted: int = 0
+
+
+class Scheduler:
+    """Priority job queue with per-tenant quotas and fair rotation."""
+
+    def __init__(self, default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Dict[str, TenantQuota]] = None) -> None:
+        self.default_quota = default_quota or TenantQuota()
+        self._overrides = dict(quotas or {})
+        self._tenants: Dict[str, _TenantState] = {}
+        #: Tenant rotation in first-seen order; the cursor walks it.
+        self._rotation: List[str] = []
+        self._cursor = 0
+        self._seq = 0
+        self.depth_peak = 0
+
+    # ------------------------------------------------------------------
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            quota = self._overrides.get(name, self.default_quota)
+            state = _TenantState(quota=quota)
+            self._tenants[name] = state
+            self._rotation.append(name)
+        return state
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Admit *job*: charge its window budget and enqueue it.
+
+        Raises :class:`QuotaExceeded` when the tenant's cumulative
+        window budget would be blown; the job is not enqueued.
+        """
+        state = self._tenant(job.tenant)
+        budget = state.quota.max_total_windows
+        if budget is not None \
+                and state.windows_charged + job.windows_requested > budget:
+            raise QuotaExceeded(
+                f"tenant {job.tenant!r} window budget exhausted: "
+                f"{state.windows_charged} charged + "
+                f"{job.windows_requested} requested > {budget}")
+        job.submit_seq = self._seq
+        self._seq += 1
+        state.windows_charged += job.windows_requested
+        state.jobs_accepted += 1
+        heapq.heappush(state.queue,
+                       (-job.priority, job.submit_seq, job))
+        self.depth_peak = max(self.depth_peak, self.depth)
+        return job
+
+    def next_job(self) -> Optional[Job]:
+        """The next job to dispatch, honouring quotas and fairness.
+
+        Returns ``None`` when every queued job belongs to a tenant at
+        its in-flight limit (or the queue is empty).  The chosen job
+        is moved from queued to in-flight.
+        """
+        if not self._rotation:
+            return None
+        for offset in range(len(self._rotation)):
+            index = (self._cursor + offset) % len(self._rotation)
+            state = self._tenants[self._rotation[index]]
+            if not state.queue \
+                    or state.in_flight >= state.quota.max_in_flight:
+                continue
+            _, _, job = heapq.heappop(state.queue)
+            state.in_flight += 1
+            self._cursor = (index + 1) % len(self._rotation)
+            return job
+        return None
+
+    def job_finished(self, job: Job) -> None:
+        """Release *job*'s in-flight slot (any terminal outcome)."""
+        state = self._tenants.get(job.tenant)
+        if state is not None and state.in_flight > 0:
+            state.in_flight -= 1
+
+    def cancel_queued(self, job_id: str) -> Optional[Job]:
+        """Remove a still-queued job; refunds its window charge.
+
+        Returns the job, or ``None`` if it is not queued (already
+        running, finished, or unknown)."""
+        for state in self._tenants.values():
+            for entry in state.queue:
+                if entry[2].job_id == job_id:
+                    state.queue.remove(entry)
+                    heapq.heapify(state.queue)
+                    state.windows_charged = max(
+                        0, state.windows_charged
+                        - entry[2].windows_requested)
+                    return entry[2]
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs queued (not yet dispatched)."""
+        return sum(len(s.queue) for s in self._tenants.values())
+
+    @property
+    def in_flight(self) -> int:
+        """Jobs dispatched and not yet finished."""
+        return sum(s.in_flight for s in self._tenants.values())
+
+    def queued_jobs(self) -> List[Job]:
+        """Every queued job, in dispatch-independent (seq) order."""
+        jobs = [entry[2] for state in self._tenants.values()
+                for entry in state.queue]
+        return sorted(jobs, key=lambda j: j.submit_seq)
+
+    def tenant_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant counters for status endpoints and metrics."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name in self._rotation:
+            state = self._tenants[name]
+            out[name] = {
+                "queued": len(state.queue),
+                "in_flight": state.in_flight,
+                "windows_charged": state.windows_charged,
+                "jobs_accepted": state.jobs_accepted,
+                "max_in_flight": state.quota.max_in_flight,
+            }
+        return out

@@ -1,0 +1,155 @@
+"""Persistent results: per-job documents, artifacts, and an index.
+
+Layout under the results root::
+
+    index.json                    # repro-farm-index/1 summary of every job
+    jobs/<job_id>/job.json        # the terminal repro-job/1 document
+    jobs/<job_id>/result.json     # the worker's repro-job-result/1 dict
+    jobs/<job_id>/artifacts/      # trace CSVs, recordings, fail-N workloads
+
+The index is rewritten atomically (temp file + ``os.replace``) on every
+flush, so a reader — or a server restarted onto the same directory —
+never observes a torn document.  On construction an existing index is
+reloaded, which is how a restarted ``repro serve`` keeps serving
+results for completed jobs.
+
+Thread discipline: all *writes* come from the farm's manager thread
+(the same single-consumer contract the worker pool has); reads are
+plain file reads of documents that are complete before the job's state
+turns terminal, so status endpoints may read without coordination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.farm.job import Job
+
+#: Wire-format version tag of ``index.json``.
+INDEX_SCHEMA = "repro-farm-index/1"
+
+
+def _dump_json(doc: Any, path: str) -> None:
+    """Write *doc* atomically: temp file in the same directory, fsync,
+    then ``os.replace`` over the target."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Result persistence rooted at one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.jobs_dir = os.path.join(root, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        #: job_id -> summary dict, mirrored into ``index.json``.
+        self.index: Dict[str, Dict[str, Any]] = {}
+        self._load_existing_index()
+
+    def _load_existing_index(self) -> None:
+        path = self.index_path
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if isinstance(doc, dict) and doc.get("schema") == INDEX_SCHEMA:
+            jobs = doc.get("jobs")
+            if isinstance(jobs, dict):
+                self.index = jobs
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def index_path(self) -> str:
+        """Location of the atomic ``index.json`` summary."""
+        return os.path.join(self.root, "index.json")
+
+    def job_dir(self, job_id: str) -> str:
+        """The per-job directory (created on demand)."""
+        path = os.path.join(self.jobs_dir, job_id)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def artifacts_dir(self, job_id: str) -> str:
+        """Where a job's artifacts (traces, recordings, workloads) go."""
+        path = os.path.join(self.job_dir(job_id), "artifacts")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    # -- writes (manager thread only) ----------------------------------
+    def _summarize(self, job: Job) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "state": job.state,
+            "tenant": job.tenant,
+            "kind": job.kind,
+            "name": job.name,
+            "priority": job.priority,
+            "windows_requested": job.windows_requested,
+        }
+        if job.error:
+            entry["error"] = job.error
+        if job.result is not None:
+            entry["ok"] = bool(job.result.get("ok"))
+            if "windows" in job.result:
+                entry["windows"] = job.result["windows"]
+            if "wall_s" in job.result:
+                entry["wall_s"] = round(job.result["wall_s"], 6)
+        return entry
+
+    def record(self, job: Job, flush: bool = True) -> None:
+        """Persist *job* (and, when present, its result document)."""
+        job_dir = self.job_dir(job.job_id)
+        job.save(os.path.join(job_dir, "job.json"))
+        if job.result is not None:
+            _dump_json(job.result, os.path.join(job_dir, "result.json"))
+        self.index[job.job_id] = self._summarize(job)
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite ``index.json`` from the in-memory index."""
+        _dump_json({"schema": INDEX_SCHEMA, "jobs": self.index},
+                   self.index_path)
+
+    # -- reads ---------------------------------------------------------
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The stored worker result for *job_id*, or ``None``."""
+        path = os.path.join(self.jobs_dir, job_id, "result.json")
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def job_doc(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The stored ``repro-job/1`` document for *job_id*."""
+        path = os.path.join(self.jobs_dir, job_id, "job.json")
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def artifacts(self, job_id: str) -> List[str]:
+        """Names of the artifacts stored for *job_id* (sorted)."""
+        path = os.path.join(self.jobs_dir, job_id, "artifacts")
+        if not os.path.isdir(path):
+            return []
+        return sorted(os.listdir(path))

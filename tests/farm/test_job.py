@@ -1,0 +1,88 @@
+"""The ``repro-job/1`` wire format: deterministic ids, round-trips,
+validation."""
+
+import pytest
+
+from repro.errors import FarmError
+from repro.farm import JOB_SCHEMA, Job, job_id_for, validate_job_dict
+
+
+class TestDeterministicIds:
+    def test_same_identity_same_id(self):
+        a = Job(tenant="alice", kind="router", name="run-1", seed=7)
+        b = Job(tenant="alice", kind="router", name="run-1", seed=7,
+                payload={"t_sync": 999}, priority=3)
+        # Payload and priority are not part of the identity.
+        assert a.job_id == b.job_id == job_id_for(7, "alice", "router",
+                                                  "run-1")
+
+    @pytest.mark.parametrize("other", [
+        Job(tenant="bob", kind="router", name="run-1", seed=7),
+        Job(tenant="alice", kind="fuzz_case", name="run-1", seed=7),
+        Job(tenant="alice", kind="router", name="run-2", seed=7),
+        Job(tenant="alice", kind="router", name="run-1", seed=8),
+    ])
+    def test_any_identity_field_changes_the_id(self, other):
+        base = Job(tenant="alice", kind="router", name="run-1", seed=7)
+        assert other.job_id != base.job_id
+
+    def test_fuzz_case_name_defaults_to_campaign_index(self):
+        job = Job(tenant="fuzz", kind="fuzz_case",
+                  payload={"spec": {"index": 17}})
+        assert job.name == "case-17"
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        job = Job(tenant="alice", kind="router", name="nightly",
+                  payload={"mode": "queue", "t_sync": 250}, priority=2,
+                  seed=11)
+        doc = job.to_dict()
+        assert doc["schema"] == JOB_SCHEMA
+        clone = Job.from_dict(doc)
+        assert clone == job
+
+    def test_file_round_trip(self, tmp_path):
+        job = Job(tenant="alice", kind="fuzz_case",
+                  payload={"base_seed": 42, "index": 3})
+        path = str(tmp_path / "job.json")
+        job.save(path)
+        assert Job.load(path) == job
+
+    def test_forged_job_id_rejected(self):
+        doc = Job(tenant="alice", kind="router", name="x").to_dict()
+        doc["job_id"] = "deadbeef" * 4
+        with pytest.raises(FarmError, match="deterministic id"):
+            Job.from_dict(doc)
+
+    def test_windows_estimated_from_payload_shape(self):
+        job = Job(tenant="alice", kind="router",
+                  payload={"t_sync": 100, "max_cycles": 1000})
+        assert job.windows_requested == 10
+        nested = Job(tenant="fuzz", kind="fuzz_case",
+                     payload={"spec": {"index": 0, "t_sync": 50,
+                                       "max_cycles": 500}})
+        assert nested.windows_requested == 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize("doc,message", [
+        ("not a dict", "JSON object"),
+        ({"schema": "repro-job/999", "tenant": "a"}, "schema"),
+        ({"tenant": ""}, "tenant"),
+        ({"tenant": "a", "kind": "bogus"}, "kind"),
+        ({"tenant": "a", "payload": []}, "payload"),
+        ({"tenant": "a", "priority": "high"}, "priority"),
+        ({"tenant": "a", "state": "exploded"}, "state"),
+        ({"tenant": "a", "kind": "fuzz_case",
+          "payload": {"spec": "nope"}}, "spec"),
+    ])
+    def test_malformed_documents_rejected(self, doc, message):
+        with pytest.raises(FarmError, match=message):
+            validate_job_dict(doc)
+
+    def test_constructor_validates_too(self):
+        with pytest.raises(FarmError):
+            Job(tenant="")
+        with pytest.raises(FarmError):
+            Job(tenant="a", kind="bogus")

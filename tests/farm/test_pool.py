@@ -1,0 +1,157 @@
+"""The crash-isolated worker pool: completion, crashes, timeouts,
+cancellation, respawn.
+
+Crash and hang behaviours are injected by monkeypatching
+``repro.farm.runner.execute_task`` *before* the pool starts: workers
+are forked, so they inherit the patched module — the same inheritance
+the fuzz-mutation parity tests rely on.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro.farm.runner as runner_mod
+from repro.errors import FarmError
+from repro.farm import WorkerPool
+from repro.farm.pool import EVENT_CRASHED, EVENT_DONE, EVENT_TIMEOUT
+
+
+def _poll_until(pool, want, timeout_s=10.0):
+    """Poll the pool until *want* events arrived (or fail the test)."""
+    events = []
+    deadline = time.monotonic() + timeout_s
+    while len(events) < want:
+        assert time.monotonic() < deadline, \
+            f"only {len(events)}/{want} events before timeout: {events}"
+        events.extend(pool.poll(0.1))
+    return events
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(2)
+    yield pool
+    pool.shutdown()
+
+
+ROUTER_TASK = {
+    "job": {"kind": "router",
+            "payload": {"mode": "inproc", "t_sync": 200,
+                        "packets_per_producer": 1,
+                        "interval_cycles": 100, "num_ports": 2}},
+    "artifacts_dir": None,
+}
+
+
+class TestHappyPath:
+    def test_dispatch_and_collect(self, pool):
+        pool.start()
+        pool.dispatch("job-1", dict(ROUTER_TASK))
+        events = _poll_until(pool, 1)
+        kind, key, payload = events[0]
+        assert (kind, key) == (EVENT_DONE, "job-1")
+        assert payload["ok"] and payload["windows"] > 0
+        assert payload["worker_pid"] in pool.worker_pids()
+        assert pool.tasks_completed == 1
+
+    def test_workload_error_is_a_done_event(self, pool):
+        pool.start()
+        pool.dispatch("bad", {"job": {"kind": "router",
+                                      "payload": {"mode": "tcp"}}})
+        kind, _key, payload = _poll_until(pool, 1)[0]
+        # The runner catches workload errors: the worker survives.
+        assert kind == EVENT_DONE
+        assert not payload["ok"] and "mode" in payload["error"]
+
+    def test_no_idle_worker_raises(self, pool):
+        pool.start()
+        pool.dispatch("a", dict(ROUTER_TASK))
+        pool.dispatch("b", dict(ROUTER_TASK))
+        with pytest.raises(FarmError, match="no idle worker"):
+            pool.dispatch("c", dict(ROUTER_TASK))
+        assert pool.busy == 2 and pool.busy_peak == 2
+
+
+class TestCrashIsolation:
+    def test_worker_death_fails_only_its_job(self, monkeypatch):
+        def die_on_marker(task):
+            if task["job"]["payload"].get("die"):
+                os._exit(17)
+            return {"ok": True}
+
+        monkeypatch.setattr(runner_mod, "execute_task", die_on_marker)
+        pool = WorkerPool(2)
+        try:
+            pool.start()
+            pool.dispatch("victim", {"job": {"payload": {"die": True}}})
+            pool.dispatch("healthy", {"job": {"payload": {}}})
+            events = dict(
+                (key, (kind, payload))
+                for kind, key, payload in _poll_until(pool, 2))
+            kind, payload = events["victim"]
+            assert kind == EVENT_CRASHED
+            assert "exit code 17" in payload["error"]
+            assert events["healthy"][0] == EVENT_DONE
+            # The corpse was replaced: the pool is back to full size.
+            assert len(pool.worker_pids()) == 2
+            assert pool.crashes == 1
+        finally:
+            pool.shutdown()
+
+    def test_timeout_kills_and_respawns(self, monkeypatch):
+        def hang(task):
+            time.sleep(60)
+            return {"ok": True}
+
+        monkeypatch.setattr(runner_mod, "execute_task", hang)
+        pool = WorkerPool(1, job_timeout_s=0.3)
+        try:
+            pool.start()
+            before = pool.worker_pids()
+            pool.dispatch("slow", {"job": {"payload": {}}})
+            kind, key, payload = _poll_until(pool, 1)[0]
+            assert (kind, key) == (EVENT_TIMEOUT, "slow")
+            assert "timed out" in payload["error"]
+            assert pool.timeouts == 1
+            after = pool.worker_pids()
+            assert len(after) == 1 and after != before
+        finally:
+            pool.shutdown()
+
+    def test_cancel_running_task(self, monkeypatch):
+        def hang(task):
+            time.sleep(60)
+            return {"ok": True}
+
+        monkeypatch.setattr(runner_mod, "execute_task", hang)
+        pool = WorkerPool(1)
+        try:
+            pool.start()
+            pool.dispatch("doomed", {"job": {"payload": {}}})
+            assert pool.cancel("doomed") is True
+            assert pool.cancel("doomed") is False  # already gone
+            # Respawned worker accepts new work.
+            pool.dispatch("next", dict(ROUTER_TASK))
+        finally:
+            pool.shutdown()
+
+
+class TestShutdown:
+    def test_shutdown_leaves_no_processes(self):
+        pool = WorkerPool(3)
+        pool.start()
+        pids = pool.worker_pids()
+        assert len(pids) == 3
+        pool.shutdown()
+        assert pool.worker_pids() == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+
+    def test_shutdown_idempotent_and_size_validated(self):
+        pool = WorkerPool(1)
+        pool.shutdown()  # never started: no-op
+        with pytest.raises(FarmError):
+            WorkerPool(0)

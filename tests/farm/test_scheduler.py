@@ -1,0 +1,138 @@
+"""Scheduling policy: priority, FIFO ties, quotas, fair rotation.
+
+The scheduler is a pure data structure, so every policy decision is
+tested deterministically with no threads or processes involved.
+"""
+
+import pytest
+
+from repro.errors import FarmError, QuotaExceeded
+from repro.farm import Job, Scheduler, TenantQuota
+
+
+def _job(tenant, name, priority=0, windows=None):
+    payload = {}
+    if windows is not None:
+        payload = {"t_sync": 1, "max_cycles": windows}
+    return Job(tenant=tenant, kind="router", name=name,
+               priority=priority, payload=payload)
+
+
+def _drain(scheduler):
+    order = []
+    while True:
+        job = scheduler.next_job()
+        if job is None:
+            return order
+        order.append(job.name)
+        scheduler.job_finished(job)
+
+
+class TestPriority:
+    def test_higher_priority_dispatches_first(self):
+        sched = Scheduler()
+        for name, priority in [("low", 0), ("high", 5), ("mid", 2)]:
+            sched.submit(_job("alice", name, priority))
+        assert _drain(sched) == ["high", "mid", "low"]
+
+    def test_ties_break_fifo(self):
+        sched = Scheduler()
+        for name in ["first", "second", "third"]:
+            sched.submit(_job("alice", name, priority=1))
+        assert _drain(sched) == ["first", "second", "third"]
+
+
+class TestFairRotation:
+    def test_flooding_tenant_cannot_starve_others(self):
+        sched = Scheduler()
+        for index in range(6):
+            sched.submit(_job("flood", f"flood-{index}"))
+        sched.submit(_job("small", "small-0"))
+        order = _drain(sched)
+        # The small tenant is served within the first rotation, not
+        # after the flood drains.
+        assert order.index("small-0") <= 1
+
+    def test_round_robin_alternates_tenants(self):
+        sched = Scheduler()
+        for index in range(3):
+            sched.submit(_job("a", f"a-{index}"))
+            sched.submit(_job("b", f"b-{index}"))
+        order = _drain(sched)
+        tenants = [name[0] for name in order]
+        assert tenants == ["a", "b", "a", "b", "a", "b"]
+
+
+class TestQuotas:
+    def test_in_flight_cap_blocks_dispatch(self):
+        sched = Scheduler(default_quota=TenantQuota(max_in_flight=1))
+        sched.submit(_job("alice", "one"))
+        sched.submit(_job("alice", "two"))
+        first = sched.next_job()
+        assert first.name == "one"
+        # At the cap: nothing further dispatches until `one` finishes.
+        assert sched.next_job() is None
+        sched.job_finished(first)
+        assert sched.next_job().name == "two"
+
+    def test_window_budget_rejects_at_submission(self):
+        quota = TenantQuota(max_in_flight=4, max_total_windows=10)
+        sched = Scheduler(default_quota=quota)
+        sched.submit(_job("alice", "a", windows=8))
+        with pytest.raises(QuotaExceeded, match="window budget"):
+            sched.submit(_job("alice", "b", windows=8))
+        # Another tenant has its own budget.
+        sched.submit(_job("bob", "c", windows=8))
+
+    def test_cancel_refunds_window_charge(self):
+        quota = TenantQuota(max_in_flight=4, max_total_windows=10)
+        sched = Scheduler(default_quota=quota)
+        job = sched.submit(_job("alice", "a", windows=8))
+        assert sched.cancel_queued(job.job_id) is job
+        # The refund makes room for the next job.
+        sched.submit(_job("alice", "b", windows=8))
+
+    def test_cancel_unknown_or_running_returns_none(self):
+        sched = Scheduler()
+        job = sched.submit(_job("alice", "a"))
+        assert sched.cancel_queued("nope") is None
+        assert sched.next_job() is job
+        # Running jobs are not queued any more.
+        assert sched.cancel_queued(job.job_id) is None
+
+    def test_per_tenant_override_beats_default(self):
+        sched = Scheduler(
+            default_quota=TenantQuota(max_in_flight=4),
+            quotas={"locked": TenantQuota(max_in_flight=1)})
+        sched.submit(_job("locked", "x"))
+        sched.submit(_job("locked", "y"))
+        assert sched.next_job().name == "x"
+        assert sched.next_job() is None
+
+    def test_quota_validation(self):
+        with pytest.raises(FarmError):
+            TenantQuota(max_in_flight=0)
+        with pytest.raises(FarmError):
+            TenantQuota(max_total_windows=0)
+
+
+class TestCounters:
+    def test_depth_and_in_flight_track_lifecycle(self):
+        sched = Scheduler()
+        sched.submit(_job("alice", "a"))
+        sched.submit(_job("bob", "b"))
+        assert sched.depth == 2 and sched.in_flight == 0
+        job = sched.next_job()
+        assert sched.depth == 1 and sched.in_flight == 1
+        sched.job_finished(job)
+        assert sched.in_flight == 0
+        assert sched.depth_peak == 2
+
+    def test_tenant_snapshot_lists_first_seen_order(self):
+        sched = Scheduler()
+        sched.submit(_job("beta", "b"))
+        sched.submit(_job("alpha", "a"))
+        snap = sched.tenant_snapshot()
+        assert list(snap) == ["beta", "alpha"]
+        assert snap["beta"]["queued"] == 1
+        assert snap["beta"]["jobs_accepted"] == 1

@@ -1,0 +1,165 @@
+"""The HTTP front end and client: routes, status codes, streaming,
+multi-tenant listing."""
+
+import json
+
+import pytest
+
+from repro.errors import FarmError, QuotaExceeded
+from repro.farm import Farm, FarmClient, FarmServer, Job, TenantQuota
+
+ROUTER_PAYLOAD = {"mode": "inproc", "t_sync": 200,
+                  "packets_per_producer": 1, "interval_cycles": 100,
+                  "num_ports": 2}
+
+
+@pytest.fixture
+def served():
+    """A started farm server plus a client bound to its real port."""
+    farm = Farm(workers=2)
+    with FarmServer(farm) as server:
+        host, port = server.address
+        yield farm, FarmClient(host=host, port=port)
+
+
+def _job(name, tenant="alice", **overrides):
+    payload = dict(ROUTER_PAYLOAD, **overrides.pop("payload", {}))
+    return Job(tenant=tenant, kind="router", payload=payload,
+               name=name, **overrides)
+
+
+class TestEndpoints:
+    def test_health_and_metrics(self, served):
+        _farm, client = served
+        assert client.health() is True
+        metrics = client.metrics()
+        assert metrics["workers"] == 2
+        assert "farm_jobs=" in metrics["summary"]
+
+    def test_submit_wait_result_roundtrip(self, served):
+        _farm, client = served
+        job = _job("round")
+        doc = client.submit(job)
+        assert doc["job_id"] == job.job_id
+        final = client.wait(job.job_id, timeout_s=30)
+        assert final["state"] == "done"
+        result = client.result(job.job_id)
+        assert result["ok"] and result["windows"] > 0
+
+    def test_submit_plain_dict(self, served):
+        _farm, client = served
+        doc = client.submit({"tenant": "bob", "kind": "router",
+                             "payload": dict(ROUTER_PAYLOAD),
+                             "name": "dict-born"})
+        assert client.wait(doc["job_id"], timeout_s=30)["state"] == "done"
+
+    def test_jobs_listing_filters_by_tenant(self, served):
+        _farm, client = served
+        client.submit(_job("a1", tenant="alice"))
+        client.submit(_job("b1", tenant="bob"))
+        assert len(client.jobs()) == 2
+        bobs = client.jobs(tenant="bob")
+        assert [j["tenant"] for j in bobs] == ["bob"]
+
+    def test_cancel_endpoint(self, served):
+        farm, client = served
+        # Saturate both workers so the victim stays queued.
+        for index in range(2):
+            client.submit(Job(
+                tenant="alice", kind="router", name=f"block-{index}",
+                payload=dict(ROUTER_PAYLOAD, packets_per_producer=4,
+                             emulated_network_delay_s=0.05)))
+        victim = _job("victim")
+        client.submit(victim)
+        assert client.cancel(victim.job_id) is True
+        assert client.job(victim.job_id)["state"] == "cancelled"
+        farm.wait(timeout_s=30)
+
+
+class TestErrorCodes:
+    def test_unknown_job_404(self, served):
+        _farm, client = served
+        with pytest.raises(FarmError, match="404"):
+            client.job("doesnotexist")
+        with pytest.raises(FarmError, match="404"):
+            client.result("doesnotexist")
+
+    def test_result_before_terminal_404(self, served):
+        _farm, client = served
+        job = _job("early",
+                   payload={"emulated_network_delay_s": 0.05,
+                            "packets_per_producer": 4})
+        client.submit(job)
+        with pytest.raises(FarmError, match="no result yet"):
+            client.result(job.job_id)
+        client.wait(job.job_id, timeout_s=30)
+
+    def test_malformed_job_400(self, served):
+        _farm, client = served
+        with pytest.raises(FarmError, match="400"):
+            client.submit({"tenant": "", "kind": "router"})
+        with pytest.raises(FarmError, match="400"):
+            client.submit({"tenant": "a", "kind": "bogus"})
+
+    def test_quota_blown_429(self):
+        quota = TenantQuota(max_in_flight=1, max_total_windows=2)
+        farm = Farm(workers=1, default_quota=quota)
+        with FarmServer(farm) as server:
+            host, port = server.address
+            client = FarmClient(host=host, port=port)
+            client.submit(_job("fits", payload={"max_cycles": 300}))
+            with pytest.raises(QuotaExceeded):
+                client.submit(_job("blown",
+                                   payload={"max_cycles": 4000}))
+            farm.wait(timeout_s=30)
+
+    def test_unknown_route_404(self, served):
+        _farm, client = served
+        with pytest.raises(FarmError, match="404"):
+            client._request("GET", "/nope")
+        with pytest.raises(FarmError, match="404"):
+            client._request("POST", "/jobs/x/promote")
+
+
+class TestStreaming:
+    def test_job_stream_ends_at_terminal_state(self, served):
+        _farm, client = served
+        job = _job("streamed")
+        client.submit(job)
+        events = list(client.stream(job_id=job.job_id, timeout_s=30))
+        kinds = [e["event"] for e in events]
+        assert kinds == ["submitted", "started", "done"]
+        assert all(e["job_id"] == job.job_id for e in events)
+
+    def test_stream_cursor_resumes(self, served):
+        _farm, client = served
+        job = _job("cursored")
+        client.submit(job)
+        client.wait(job.job_id, timeout_s=30)
+        first = list(client.stream(job_id=job.job_id, timeout_s=10))
+        # Resuming past the first event yields only the remainder.
+        rest = list(client.stream(job_id=job.job_id,
+                                  cursor=first[0]["seq"],
+                                  timeout_s=10))
+        assert [e["seq"] for e in rest] == \
+            [e["seq"] for e in first[1:]]
+
+    def test_stream_is_valid_ndjson(self, served):
+        _farm, client = served
+        job = _job("ndjson")
+        client.submit(job)
+        import http.client
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", f"/jobs/{job.job_id}/stream")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.headers["Content-Type"] == \
+                "application/x-ndjson"
+            lines = [line for line in response.read().splitlines()
+                     if line.strip()]
+            parsed = [json.loads(line) for line in lines]
+            assert parsed[-1]["state"] == "done"
+        finally:
+            conn.close()

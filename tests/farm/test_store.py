@@ -1,0 +1,93 @@
+"""Result persistence: layout, atomic index, restart reload."""
+
+import json
+import os
+
+from repro.farm import Job, ResultStore
+from repro.farm.store import INDEX_SCHEMA
+
+
+def _done_job(name="run", result=None):
+    job = Job(tenant="alice", kind="router", name=name)
+    job.state = "done"
+    job.result = result if result is not None else {
+        "ok": True, "windows": 7, "wall_s": 0.1234567}
+    return job
+
+
+class TestLayout:
+    def test_record_writes_job_result_and_index(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = _done_job()
+        store.record(job)
+
+        assert store.job_doc(job.job_id)["state"] == "done"
+        assert store.result(job.job_id)["windows"] == 7
+        with open(store.index_path, encoding="utf-8") as handle:
+            index = json.load(handle)
+        assert index["schema"] == INDEX_SCHEMA
+        entry = index["jobs"][job.job_id]
+        assert entry["state"] == "done"
+        assert entry["ok"] is True
+        assert entry["windows"] == 7
+        assert entry["wall_s"] == round(0.1234567, 6)
+
+    def test_failed_job_records_error(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = Job(tenant="alice", kind="router", name="boom")
+        job.state = "failed"
+        job.error = "worker crashed (exit code 9)"
+        store.record(job)
+        entry = store.index[job.job_id]
+        assert entry["error"] == "worker crashed (exit code 9)"
+        assert store.result(job.job_id) is None
+
+    def test_artifacts_listing(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        job = _done_job()
+        directory = store.artifacts_dir(job.job_id)
+        for name in ("trace.csv", "a.json"):
+            with open(os.path.join(directory, name), "w",
+                      encoding="utf-8") as handle:
+                handle.write("x\n")
+        assert store.artifacts(job.job_id) == ["a.json", "trace.csv"]
+        assert store.artifacts("unknown") == []
+
+
+class TestAtomicityAndRestart:
+    def test_index_never_torn(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        for index in range(5):
+            store.record(_done_job(name=f"run-{index}"))
+            # Every intermediate flush is a complete, parseable doc.
+            with open(store.index_path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            assert len(doc["jobs"]) == index + 1
+        # No stray temp files survive the atomic replaces.
+        leftovers = [n for n in os.listdir(str(tmp_path))
+                     if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_restart_reloads_index(self, tmp_path):
+        first = ResultStore(str(tmp_path))
+        job = _done_job()
+        first.record(job)
+
+        reopened = ResultStore(str(tmp_path))
+        assert job.job_id in reopened.index
+        assert reopened.result(job.job_id)["ok"] is True
+
+    def test_corrupt_index_starts_fresh(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.record(_done_job())
+        with open(store.index_path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        recovered = ResultStore(str(tmp_path))
+        assert recovered.index == {}
+
+    def test_deferred_flush(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.record(_done_job(name="a"), flush=False)
+        assert not os.path.exists(store.index_path)
+        store.flush()
+        assert os.path.exists(store.index_path)

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.staticcheck",
     "repro.obs",
     "repro.difftest",
+    "repro.farm",
 ]
 
 
