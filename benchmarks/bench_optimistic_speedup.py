@@ -1,0 +1,125 @@
+"""Optimistic speculation throughput vs conservative lock-step.
+
+The paper's conservative protocol pays a full synchronization exchange
+plus event-driven master simulation for every ``T_sync`` window — even
+when nothing happens in it.  On the idle-heavy regime (the Figure 7
+knee at ``T_sync = 5000``, packets tens of thousands of cycles apart)
+almost every window is pure idle time, and that is exactly where
+``speculation_depth`` pays: the board batches idle windows while the
+master catches up with the simkernel's analytic clock leap.
+
+Two scenarios:
+
+* **idle-heavy** — ``t_sync=5000``, packets 50k cycles apart: the
+  acceptance bar, **>= 2x** windows/s over conservative inproc (the
+  measured win is far larger because the catch-up pass leaps instead
+  of event-stepping).
+* **rollback-heavy** — ``t_sync=1000``, packets every 2k cycles: the
+  honesty check.  Interrupts land in speculated windows, the session
+  rolls back repeatedly, and it must still *converge to identical
+  results* (same trace rows, same final snapshot digest) — speedup is
+  reported, not asserted, because conflicts genuinely cost.
+
+Both scenarios diff the optimistic run against the conservative
+reference row-by-row and digest-by-digest, so the trajectory file
+doubles as an equivalence witness.
+"""
+
+from dataclasses import replace
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.cosim import CosimConfig, ProtocolTrace
+from repro.replay.snapshot import state_digest
+from repro.router.testbench import RouterWorkload, build_router_cosim
+
+DEPTH = 8
+
+
+def _timed_run(config, workload, max_cycles, bench):
+    cosim = build_router_cosim(config, workload)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+    box = {}
+
+    def go():
+        box["metrics"] = cosim.run(max_cycles=max_cycles,
+                                   await_drain=False)
+
+    bench.measure(go)
+    return {
+        "metrics": box["metrics"],
+        "rows": [r.as_row() for r in trace.records],
+        "digest": state_digest(cosim.session.snapshot()),
+        "wall": bench.last_seconds,
+    }
+
+
+def _scenario(name, t_sync, workload, max_cycles, bench, tier1):
+    base = CosimConfig(t_sync=t_sync)
+    conservative = _timed_run(base, workload, max_cycles, bench)
+    optimistic = _timed_run(replace(base, speculation_depth=DEPTH),
+                            workload, max_cycles, bench)
+
+    # Equivalence first: a fast wrong answer is not a speedup.
+    assert optimistic["rows"] == conservative["rows"], \
+        f"{name}: optimistic trace diverged from conservative"
+    assert optimistic["digest"] == conservative["digest"], \
+        f"{name}: optimistic final state diverged from conservative"
+
+    metrics = optimistic["metrics"]
+    windows = conservative["metrics"].windows
+    assert metrics.windows == windows
+    bench.series(f"windows_per_s_conservative_{name}",
+                 seconds=conservative["wall"], work=windows,
+                 unit="windows", t_sync=t_sync)
+    bench.series(f"windows_per_s_optimistic_{name}",
+                 seconds=optimistic["wall"], work=windows,
+                 unit="windows", tier1=tier1, t_sync=t_sync,
+                 depth=DEPTH,
+                 windows_speculated=metrics.windows_speculated,
+                 rollbacks=metrics.rollbacks,
+                 rollback_depth_max=metrics.rollback_depth_max)
+    speedup = conservative["wall"] / optimistic["wall"]
+    return windows, metrics, speedup, conservative["wall"], \
+        optimistic["wall"]
+
+
+def test_optimistic_speedup(benchmark, quick, bench):
+    cycles_idle = 100_000 if quick else 250_000
+    cycles_busy = 10_000 if quick else 20_000
+    rows = []
+
+    # Idle-heavy: the Figure 7 knee regime, packets far apart.
+    idle = RouterWorkload(packets_per_producer=2 if quick else 4,
+                          interval_cycles=50_000, corrupt_rate=0.0)
+    windows, metrics, idle_speedup, cons_wall, opt_wall = _scenario(
+        "idle", 5000, idle, cycles_idle, bench, tier1=True)
+    assert metrics.windows_speculated > 0
+    rows.append(["idle t=5000", windows, metrics.windows_speculated,
+                 metrics.rollbacks, f"{cons_wall:.3f}",
+                 f"{opt_wall:.3f}", f"{idle_speedup:.2f}x"])
+
+    # Rollback-heavy: frequent interrupts force conflicts.
+    busy = RouterWorkload(packets_per_producer=5, interval_cycles=2000,
+                          corrupt_rate=0.0)
+    windows, metrics, busy_speedup, cons_wall, opt_wall = _scenario(
+        "rollback", 1000, busy, cycles_busy, bench, tier1=False)
+    assert metrics.rollbacks > 0, \
+        "the rollback scenario must actually roll back"
+    rows.append(["busy t=1000", windows, metrics.windows_speculated,
+                 metrics.rollbacks, f"{cons_wall:.3f}",
+                 f"{opt_wall:.3f}", f"{busy_speedup:.2f}x"])
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    bench.config(depth=DEPTH, idle_speedup=round(idle_speedup, 3),
+                 rollback_speedup=round(busy_speedup, 3))
+
+    emit("\n== optimistic speculation vs conservative inproc ==")
+    emit(format_table(
+        ["scenario", "windows", "speculated", "rollbacks",
+         "conservative [s]", "optimistic [s]", "speedup"], rows))
+    assert idle_speedup >= 2.0, (
+        f"speculation must win on idle-heavy t_sync=5000: got only "
+        f"{idle_speedup:.2f}x (need >= 2x)")

@@ -14,6 +14,7 @@ from repro.cosim.multiboard import (
     MultiBoardInprocSession,
     MultiBoardThreadedSession,
 )
+from repro.cosim.optimistic import OptimisticSession
 from repro.cosim.protocol import (
     BoardProtocol,
     MasterProtocol,
@@ -39,6 +40,7 @@ __all__ = [
     "MasterProtocol",
     "MultiBoardInprocSession",
     "MultiBoardThreadedSession",
+    "OptimisticSession",
     "ProtocolTrace",
     "SHUTDOWN_TICKS",
     "ThreadedSession",

@@ -24,6 +24,11 @@ class CosimConfig:
 
     #: Clock cycles (== SW ticks) granted per synchronization exchange.
     t_sync: int = 1000
+    #: Windows the board may run ahead of the simulator before the
+    #: master catches up (Time-Warp-style speculation; see
+    #: :class:`repro.cosim.optimistic.OptimisticSession`).  0 keeps the
+    #: paper's strictly conservative lock-step protocol.
+    speculation_depth: int = 0
     #: Master clock period in picoseconds (the tick-rate clock).
     clock_period_ps: int = ns(10)
     #: Interrupt vector of the virtual device on the board.
@@ -65,6 +70,8 @@ class CosimConfig:
     def __post_init__(self) -> None:
         if self.t_sync <= 0:
             raise ProtocolError("t_sync must be positive")
+        if self.speculation_depth < 0:
+            raise ProtocolError("speculation_depth cannot be negative")
         if self.clock_period_ps <= 0:
             raise ProtocolError("clock period must be positive")
         if self.max_windows <= 0:

@@ -195,6 +195,18 @@ class CosimMaster:
         """Advance the hardware simulation by *cycles* clock cycles."""
         self.sim.run_until(self.sim.now + cycles * self.clock.period)
 
+    def run_cycles_leaping(self, cycles: int) -> int:
+        """:meth:`run_cycles`, analytically skipping stretches where the
+        tick-rate clock is the only live activity (see
+        :meth:`~repro.simkernel.kernel.Simulator.run_until_leaping`).
+        Returns the number of clock edges applied analytically.  Used
+        by the optimistic session's catchup phase, where whole windows
+        are often pure clock ticking."""
+        return self.sim.run_until_leaping(
+            self.sim.now + cycles * self.clock.period,
+            clocks=(self.clock,),
+        )
+
     def run_window_inproc(self, ticks: int) -> None:
         """Deterministic sessions: grant, then simulate the window.
 

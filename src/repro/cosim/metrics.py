@@ -48,6 +48,14 @@ class CosimMetrics:
     #: Windows satisfied from the window-digest memo (see
     #: repro.cosim.memo) instead of being re-executed.
     windows_memoized: int = 0
+    # Optimistic-synchronization counters (see repro.cosim.optimistic).
+    #: Board windows executed speculatively, ahead of the simulator
+    #: (committed and later-discarded windows both count).
+    windows_speculated: int = 0
+    #: Conflicts that forced a checkpoint rollback.
+    rollbacks: int = 0
+    #: Deepest single rollback (speculative windows discarded at once).
+    rollback_depth_max: int = 0
     # Observability counters (zero unless tracing was enabled).
     spans_recorded: int = 0
     span_events: int = 0
@@ -122,6 +130,9 @@ class CosimMetrics:
             f"restores={self.restores} "
             f"windows_replayed={self.windows_replayed} "
             f"memoized={self.windows_memoized} "
+            f"speculated={self.windows_speculated} "
+            f"rollbacks={self.rollbacks} "
+            f"rollback_depth_max={self.rollback_depth_max} "
             f"spans={self.spans_recorded} "
             f"farm_jobs={self.farm_jobs} "
             f"farm_queue_peak={self.farm_queue_depth_peak} "

@@ -42,6 +42,16 @@ from repro.transport.messages import ClockGrant, TimeReport
 # *changes* pay the table lookup.
 
 #: Master window phases: (state, event) -> successor state.
+#:
+#: The ``spec_*`` / ``catching_up`` / ``validating`` rows are the
+#: optimistic extension (:mod:`repro.cosim.optimistic`): the master may
+#: issue up to ``speculation_depth`` grants in a row without simulating
+#: (the board runs ahead), then catches its own simulation up window by
+#: window, validating each stashed report — committing it, or rolling
+#: the board back and replaying the divergent window conservatively.
+#: Speculation is a master-side scheduling policy: the board walks the
+#: unchanged :data:`BOARD_WINDOW_TABLE` for speculative, replayed and
+#: conservative windows alike.
 MASTER_WINDOW_TABLE: Dict[Tuple[str, str], str] = {
     ("idle", "send_grant"): "simulating",
     ("simulating", "send_irq"): "simulating",
@@ -50,6 +60,21 @@ MASTER_WINDOW_TABLE: Dict[Tuple[str, str], str] = {
     ("awaiting_report", "serve_data"): "awaiting_report",
     ("awaiting_report", "recv_report"): "idle",
     ("idle", "send_shutdown"): "closed",
+    # -- optimistic synchronization (speculate past T_sync) ------------
+    ("idle", "spec_grant"): "speculating",
+    ("speculating", "spec_grant"): "speculating",
+    ("speculating", "recv_spec_report"): "speculating",
+    ("speculating", "serve_data"): "speculating",
+    ("speculating", "begin_catchup"): "catching_up",
+    ("catching_up", "send_irq"): "catching_up",
+    ("catching_up", "serve_data"): "catching_up",
+    ("catching_up", "recv_spec_report"): "catching_up",
+    ("catching_up", "catchup_simulated"): "validating",
+    ("validating", "recv_spec_report"): "validating",
+    ("validating", "serve_data"): "validating",
+    ("validating", "commit_window"): "catching_up",
+    ("validating", "rollback"): "catching_up",
+    ("catching_up", "round_done"): "idle",
 }
 MASTER_INITIAL = "idle"
 #: States in which a master may legally end a session.

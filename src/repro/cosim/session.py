@@ -52,6 +52,10 @@ class _SessionBase:
         self.checkpointer = None  # lint: disable=SNAP001
         #: Extra checkpointed objects, name -> Snapshotable-like.
         self.snapshotables = {}
+        #: Which half of the co-simulation owns each extra snapshotable
+        #: ("master" or "board") — the optimistic session rolls the two
+        #: sides back independently.  Wiring, not simulated state.
+        self.snapshotable_sides = {}  # lint: disable=SNAP001
         #: Span recorder (NULL_RECORDER unless config.tracing enables
         #: it), installed across master, board and transport wrappers.
         self.obs = make_recorder(getattr(config, "tracing", None))
@@ -65,6 +69,10 @@ class _SessionBase:
         #: Window-digest memo (InprocSession only; see attach_memo).
         self.memo = None
         self.windows_memoized = 0
+        # Speculation accounting (OptimisticSession; zero elsewhere).
+        self.windows_speculated = 0
+        self.rollbacks = 0
+        self.rollback_depth_max = 0
 
     def attach_trace(self, trace) -> None:
         """Record every window into *trace* (a ProtocolTrace)."""
@@ -75,9 +83,19 @@ class _SessionBase:
         (an object with an ``on_window(session)`` hook)."""
         self.checkpointer = checkpointer
 
-    def register_snapshotable(self, name: str, obj) -> None:
+    def register_snapshotable(self, name: str, obj,
+                              side: str = "master") -> None:
         """Include *obj* (``snapshot()``/``restore(state)``) in session
-        checkpoints under ``extra/<name>``."""
+        checkpoints under ``extra/<name>``.
+
+        *side* says which half of the co-simulation mutates the object:
+        ``"master"`` for state driven by the hardware simulation (e.g.
+        workload stats fed by the model), ``"board"`` for state driven
+        by board software (e.g. an application on the RTOS).  The
+        conservative sessions ignore the distinction; the optimistic
+        session relies on it to checkpoint and roll back each side at
+        its own point in time.
+        """
         if not (callable(getattr(obj, "snapshot", None))
                 and callable(getattr(obj, "restore", None))):
             raise ReproError(
@@ -85,7 +103,13 @@ class _SessionBase:
             )
         if name in self.snapshotables:
             raise ReproError(f"snapshotable {name!r} already registered")
+        if side not in ("master", "board"):
+            raise ReproError(
+                f"snapshotable {name!r}: side must be 'master' or "
+                f"'board', not {side!r}"
+            )
         self.snapshotables[name] = obj
+        self.snapshotable_sides[name] = side
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -173,6 +197,9 @@ class _SessionBase:
         metrics.restores = self.restores
         metrics.windows_replayed = self.windows_replayed
         metrics.windows_memoized = self.windows_memoized
+        metrics.windows_speculated = self.windows_speculated
+        metrics.rollbacks = self.rollbacks
+        metrics.rollback_depth_max = self.rollback_depth_max
         metrics.absorb_link_stats(self.link_stats)
         if self.obs.enabled:
             metrics.spans_recorded = self.obs.span_count
@@ -224,8 +251,19 @@ class InprocSession(_SessionBase):
         carries a fault injector: fault plans hold off-snapshot state
         (drop/duplicate/corruption schedules), so a window is *not* a
         pure function of the session snapshot and memo hits would
-        silently skip scheduled faults.
+        silently skip scheduled faults.  Likewise refused when the
+        session speculates (``config.speculation_depth > 0``): memo and
+        speculation both skip re-execution, and a memo hit installed at
+        a speculative boundary would be rolled back as if it had been
+        simulated.  Lint rule COSIM005 flags both combinations.
         """
+        if self.config.speculation_depth > 0:
+            raise ProtocolError(
+                "cannot attach a window memo to a speculating session "
+                f"(speculation_depth={self.config.speculation_depth}): "
+                "memoized windows skip the very re-execution the "
+                "rollback engine relies on"
+            )
         endpoint = self.runtime.endpoint
         while endpoint is not None:
             if isinstance(endpoint, FaultyBoardEndpoint):

@@ -50,7 +50,8 @@ from repro.transport.queues import QueueLink
 
 #: Backends per scenario; the first entry is the reference backend.
 SCENARIO_BACKENDS: Dict[str, List[str]] = {
-    "router": ["inproc", "rerun", "replay", "memo", "queue", "tcp"],
+    "router": ["inproc", "rerun", "replay", "memo", "optimistic",
+               "queue", "tcp"],
     "iss": ["iss-default", "iss-unit"],
     "adaptive": ["adaptive", "adaptive-rerun"],
     "multiboard": ["multi-inproc", "multi-threaded"],
@@ -117,7 +118,8 @@ def run_backend(spec: FuzzSpec, backend: str,
     a finding rather than an abort of the whole fuzz loop.
     """
     try:
-        if backend in ("inproc", "rerun", "memo", "queue", "tcp"):
+        if backend in ("inproc", "rerun", "memo", "optimistic", "queue",
+                       "tcp"):
             return _run_router(spec, backend)
         if backend == "replay":
             return _run_replay(spec, recording)
@@ -137,7 +139,8 @@ def run_backend(spec: FuzzSpec, backend: str,
 # Router scenario
 # ----------------------------------------------------------------------
 def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
-    mode = "inproc" if backend in ("inproc", "rerun", "memo") else backend
+    mode = ("inproc" if backend in ("inproc", "rerun", "memo",
+                                    "optimistic") else backend)
     # The memo backend exercises the real skip path on fault-free
     # specs: repeated windows are satisfied from the cache, and the
     # cross-backend oracles then hold the final digest and trace to
@@ -147,6 +150,14 @@ def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
     # memo's purity requirement — those specs run as a plain second
     # inproc execution instead.
     use_memo = backend == "memo" and spec.fault_plan() is None
+    # The optimistic backend speculates with a spec-derived depth and
+    # must land on bit-identical trace rows and digests — the oracles
+    # are exactly the ≥2x-throughput claim's correctness half.  Fault
+    # plans are hidden off-snapshot state a rollback cannot rewind
+    # (OptimisticSession refuses the combination), so faulted specs run
+    # as a plain second conservative execution instead, like memo.
+    use_optimistic = (backend == "optimistic"
+                      and spec.fault_plan() is None)
     # Deterministic flavours record: the finalized recording's trace
     # rows carry *board-visible* interrupt counts (a fault plan can
     # drop packets the master sent), which is the representation the
@@ -156,11 +167,18 @@ def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
     # messages), but then it never runs under faults, so its live rows
     # equal the board-visible ones.  Only the reference ``inproc``
     # recording is handed onward to the replay backend.
-    record = backend in ("inproc", "rerun") or (backend == "memo"
-                                                and not use_memo)
+    record = (backend in ("inproc", "rerun")
+              or (backend == "memo" and not use_memo)
+              or (backend == "optimistic" and not use_optimistic))
     recording = SessionRecording() if record else None
+    config = spec.cosim_config()
+    if use_optimistic:
+        from dataclasses import replace
+
+        config = replace(config,
+                         speculation_depth=1 + spec.seed % 8)
     cosim = build_router_cosim(
-        spec.cosim_config(), spec.router_workload(), mode=mode,
+        config, spec.router_workload(), mode=mode,
         fault_plan=spec.fault_plan(), recorder=recording)
     trace = ProtocolTrace()
     cosim.session.attach_trace(trace)
@@ -192,6 +210,11 @@ def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
     if memo is not None:
         outcome.extra["memo_hits"] = memo.hits
         outcome.extra["memo_misses"] = memo.misses
+    if use_optimistic:
+        outcome.extra["speculation_depth"] = config.speculation_depth
+        outcome.extra["windows_speculated"] = metrics.windows_speculated
+        outcome.extra["rollbacks"] = metrics.rollbacks
+        outcome.extra["rollback_depth_max"] = metrics.rollback_depth_max
     if mode == "inproc":
         outcome.digest = state_digest({
             "board": board_state_summary(cosim.runtime.board),

@@ -162,3 +162,13 @@ class MlqScheduler:
 
     def ready_count(self) -> int:
         return sum(len(q) for q in self._queues)
+
+    def has_runnable(self) -> bool:
+        """Any non-suspended ready thread, ignoring the idle-mode filter.
+
+        The optimistic session's quiescence probe asks what would run
+        once the OS thaws for the next window, so the IDLE-state
+        eligibility restriction must not hide parked threads.
+        """
+        return any(not thread.suspended
+                   for queue in self._queues for thread in queue)

@@ -43,7 +43,10 @@ class Clock(Module):
         #: Number of rising edges that have occurred.
         self.cycles = 0
         self._tick = Event(sim, f"{name}.tick")
-        self.method(self._toggle, sensitive=[self._tick], dont_initialize=True)
+        # Kept for Simulator.run_until_leaping: the leap is sound only
+        # while this process is the tick's sole consumer.
+        self._toggle_proc = self.method(
+            self._toggle, sensitive=[self._tick], dont_initialize=True)
         # Schedule the first rising edge.
         if start_time == 0:
             self._tick.notify_delta()

@@ -239,6 +239,133 @@ class Simulator:
         finally:
             self._running = False
 
+    def run_until_leaping(self, t_end: int, clocks=()) -> int:
+        """:meth:`run_until`, with an analytic fast path over quiet
+        clock stretches.
+
+        Whenever the model is provably quiescent — the only live timed
+        notifications before the next foreign event belong to one of
+        *clocks*, and nothing observes or waits on that clock's signal —
+        the stretch of pure clock edges is applied in closed form
+        instead of being simulated edge by edge.  The resulting kernel
+        state (time, signal level, ``cycles``, ``delta_count``,
+        ``process_runs``, ``change_count``, pending tick) is
+        bit-identical to conservative execution; only wall-clock time
+        and the unsnapshotted heap sequence numbers differ.
+
+        Returns the number of edges applied analytically.
+        """
+        self.elaborate()
+        if t_end < self._now:
+            raise SimulationError(
+                f"run_until_leaping({t_end}) is in the past "
+                f"(now={self._now})"
+            )
+        leapt = 0
+        self._stop_requested = False
+        self._running = True
+        try:
+            while not self._stop_requested:
+                self.settle()
+                if self._stop_requested:
+                    break
+                entry = self._peek_timed()
+                if entry is None or entry[0] > t_end:
+                    break
+                edges = 0
+                for clock in clocks:
+                    limit = self._quiet_limit(clock, t_end)
+                    if limit is not None:
+                        edges = self._leap_clock(clock, limit)
+                        if edges:
+                            break
+                if edges:
+                    leapt += edges
+                    continue
+                self._advance_to(entry[0])
+            if not self._stop_requested and t_end > self._now:
+                self._now = t_end
+        finally:
+            self._running = False
+        return leapt
+
+    def _quiet_limit(self, clock, t_end: int) -> Optional[int]:
+        """Latest time up to which *clock* may leap, or None.
+
+        A leap is sound only when the clock's tick is the sole live
+        timed notification in the stretch, the tick drives exactly the
+        clock's own toggle process, and nothing can react to the
+        signal's edges (no observers, no waiters on its lazily-created
+        edge events).  Under those conditions no other process can run
+        during the stretch, so the edge-by-edge outcome is closed-form.
+        """
+        tick = clock._tick
+        if tick._pending_kind != _TIMED or tick._pending_time is None:
+            return None
+        if tick.dynamic_waiters or len(tick.static_sensitive) != 1:
+            return None
+        proc = tick.static_sensitive[0]
+        if proc is not clock._toggle_proc or proc.terminated:
+            return None
+        sig = clock.signal
+        if sig._observers or sig._update_pending:
+            return None
+        for event in (sig._changed, sig._posedge, sig._negedge):
+            if event is not None and (event.static_sensitive
+                                      or event.dynamic_waiters):
+                return None
+        # Stop strictly before the earliest live foreign notification:
+        # events coincident with a clock edge must run conservatively so
+        # same-timestamp ordering matches edge-by-edge execution.
+        limit = t_end
+        for when, _seq, event in self._timed_queue:
+            if event is tick:
+                continue
+            if event._pending_kind == _TIMED and event._pending_time == when:
+                if when - 1 < limit:
+                    limit = when - 1
+        return limit
+
+    def _leap_clock(self, clock, limit: int) -> int:
+        """Apply *clock*'s edges up to *limit* analytically.
+
+        Per conservative edge the kernel runs exactly one delta cycle
+        (one process run, one signal commit); a rising edge additionally
+        increments ``clock.cycles``.  Edge times form two arithmetic
+        series with stride ``period``: series 0 at the pending tick time
+        (transitioning away from the current level), series 1 offset by
+        the first edge's gap (transitioning back).
+        """
+        tick = clock._tick
+        e0 = tick._pending_time
+        if e0 is None or e0 > limit:
+            return 0
+        level = bool(clock.signal._current)
+        period = clock.period
+        # Gap scheduled *after* an edge depends on the level it wrote.
+        gap0 = clock._low_time if level else clock._high_time
+        n0 = (limit - e0) // period + 1
+        e1 = e0 + gap0
+        n1 = (limit - e1) // period + 1 if e1 <= limit else 0
+        total = n0 + n1
+        if total < 2:
+            return 0  # a lone edge is cheaper to run conservatively
+        rising = n1 if level else n0
+        last0 = e0 + (n0 - 1) * period
+        t_last = last0 if n1 == 0 else max(last0, e1 + (n1 - 1) * period)
+        final_level = level if total % 2 == 0 else not level
+        self.delta_count += total
+        self.process_runs += total
+        sig = clock.signal
+        sig.change_count += total
+        sig._current = final_level
+        sig._next = final_level
+        clock.cycles += rising
+        self._now = t_last
+        tick.cancel()
+        tick.notify(clock._high_time if final_level else clock._low_time)
+        return total
+
     def run(self, duration: Optional[int] = None) -> None:
         """Run for *duration* picoseconds, or until no activity remains."""
         if duration is not None:

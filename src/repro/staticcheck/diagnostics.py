@@ -96,6 +96,9 @@ RULES: Dict[str, Rule] = {
              "protocol (its state is silently omitted from "
              "checkpoints)"),
         # Protocol model-checking pass -----------------------------------
+        Rule("PROTO000", "model-exploration", INFO,
+             "bounded-exploration coverage report: states visited and "
+             "final states reached for one model configuration"),
         Rule("PROTO001", "protocol-deadlock", ERROR,
              "a reachable state of the composed window protocol has no "
              "enabled transition and no message in flight (both sides "

@@ -54,6 +54,9 @@ Table = Dict[Tuple[str, str], str]
 MASTER_EVENTS = frozenset({
     "send_grant", "send_irq", "serve_data", "window_simulated",
     "recv_report", "send_shutdown",
+    # Optimistic synchronization (repro.cosim.optimistic).
+    "spec_grant", "recv_spec_report", "begin_catchup",
+    "catchup_simulated", "commit_window", "rollback", "round_done",
 })
 BOARD_EVENTS = frozenset({
     "recv_grant", "recv_irq", "recv_shutdown", "send_data_request",
@@ -75,6 +78,9 @@ class ModelConfig:
     windows: int = 2
     irqs_per_window: int = 1
     data_per_window: int = 1
+    #: Maximum windows the master may grant ahead of its own simulation
+    #: (0 disables the optimistic ``spec_grant``/catch-up machinery).
+    speculation_depth: int = 0
     #: Replay the last delivered grant once (resilience reconnect).
     reconnect: bool = False
     #: Model the transport's sequence dedup (the shipped behaviour).
@@ -157,7 +163,11 @@ def table_inconsistencies(table: Table, initial: str,
 # ----------------------------------------------------------------------
 # Global state
 # ----------------------------------------------------------------------
-# master: (phase, granted, irqs_left)
+# master: (phase, granted, irqs_left, spec, stashed)
+#         granted counts grants sent; spec counts grants issued ahead of
+#         the master's own simulation (0 outside speculative rounds);
+#         stashed counts speculative reports consumed but not yet
+#         validated.  Committed windows = granted - spec.
 # board:  (phase, last_seq, data_left)            -- one tuple per board
 # chan:   (clock, report, irq, dreq, drep)        -- one tuple per board
 #         clock/report are tuples of (tag, seq); irq/dreq/drep are ints
@@ -166,7 +176,7 @@ _State = Tuple
 
 
 def _initial_state(cfg: ModelConfig, m_init: str, b_init: str) -> _State:
-    master = (m_init, 0, 0)
+    master = (m_init, 0, 0, 0, 0)
     boards = tuple((b_init, 0, 0) for _ in range(cfg.boards))
     chans = tuple(((), (), 0, 0, 0) for _ in range(cfg.boards))
     return (master, boards, chans, 1 if cfg.reconnect else 0)
@@ -187,8 +197,11 @@ class _Explorer:
 
     # ------------------------------------------------------------------
     def _is_final(self, state: _State) -> bool:
-        (m_phase, granted, _irqs), boards, chans, _replay = state
+        (m_phase, granted, _irqs, spec, stashed), boards, chans, \
+            _replay = state
         if m_phase != self.m_final or granted != self.cfg.windows:
+            return False
+        if spec != 0 or stashed != 0:
             return False
         if any(phase != self.b_final for (phase, _s, _d) in boards):
             return False
@@ -200,7 +213,8 @@ class _Explorer:
     def successors(self, state: _State):
         """Yield (label, next_state, violation_message_or_None)."""
         cfg = self.cfg
-        (m_phase, granted, irqs_left), boards, chans, replay = state
+        (m_phase, granted, irqs_left, spec, stashed), boards, chans, \
+            replay = state
 
         # ---- master ---------------------------------------------------
         succ = self.mt.get((m_phase, "send_grant"))
@@ -212,7 +226,7 @@ class _Explorer:
                 for (clock, rep, irq, dreq, drep) in chans
             )
             yield (f"master.send_grant(seq={seq})",
-                   ((succ, granted + 1, cfg.irqs_per_window),
+                   ((succ, granted + 1, cfg.irqs_per_window, spec, stashed),
                     boards, new_chans, replay), None)
 
         succ = self.mt.get((m_phase, "send_shutdown"))
@@ -223,8 +237,8 @@ class _Explorer:
                 for (clock, rep, irq, dreq, drep) in chans
             )
             yield ("master.send_shutdown",
-                   ((succ, granted, irqs_left), boards, new_chans, replay),
-                   None)
+                   ((succ, granted, irqs_left, spec, stashed), boards,
+                    new_chans, replay), None)
 
         succ = self.mt.get((m_phase, "send_irq"))
         if succ is not None and irqs_left > 0:
@@ -235,8 +249,8 @@ class _Explorer:
                 new_chans = _replace(chans, b,
                                      (clock, rep, irq + 1, dreq, drep))
                 yield (f"master.send_irq(board={b})",
-                       ((succ, granted, irqs_left - 1), boards, new_chans,
-                        replay), None)
+                       ((succ, granted, irqs_left - 1, spec, stashed),
+                        boards, new_chans, replay), None)
 
         succ = self.mt.get((m_phase, "serve_data"))
         if succ is not None:
@@ -247,14 +261,14 @@ class _Explorer:
                 new_chans = _replace(chans, b,
                                      (clock, rep, irq, dreq - 1, drep + 1))
                 yield (f"master.serve_data(board={b})",
-                       ((succ, granted, irqs_left), boards, new_chans,
-                        replay), None)
+                       ((succ, granted, irqs_left, spec, stashed), boards,
+                        new_chans, replay), None)
 
         succ = self.mt.get((m_phase, "window_simulated"))
         if succ is not None:
             yield ("master.window_simulated",
-                   ((succ, granted, irqs_left), boards, chans, replay),
-                   None)
+                   ((succ, granted, irqs_left, spec, stashed), boards,
+                    chans, replay), None)
 
         succ = self.mt.get((m_phase, "recv_report"))
         if succ is not None and all(c[1] for c in chans):
@@ -270,8 +284,75 @@ class _Explorer:
                     )
                 new_chans.append((clock, rep[1:], irq, dreq, drep))
             yield ("master.recv_report",
-                   ((succ, granted, irqs_left), boards, tuple(new_chans),
-                    replay), violation)
+                   ((succ, granted, irqs_left, spec, stashed), boards,
+                    tuple(new_chans), replay), violation)
+
+        # ---- master: optimistic speculation ---------------------------
+        # Counters mirror repro.cosim.optimistic: `spec` windows granted
+        # ahead of the simulation, `stashed` reports consumed but not
+        # yet validated; committed = granted - spec.
+        succ = self.mt.get((m_phase, "spec_grant"))
+        if succ is not None and granted < cfg.windows \
+                and spec < cfg.speculation_depth \
+                and all(len(c[0]) < cfg.channel_depth for c in chans):
+            seq = granted + 1
+            new_chans = tuple(
+                (clock + ((_GRANT, seq),), rep, irq, dreq, drep)
+                for (clock, rep, irq, dreq, drep) in chans
+            )
+            yield (f"master.spec_grant(seq={seq})",
+                   ((succ, granted + 1, irqs_left, spec + 1, stashed),
+                    boards, new_chans, replay), None)
+
+        succ = self.mt.get((m_phase, "recv_spec_report"))
+        if succ is not None and all(c[1] for c in chans):
+            expected = granted - spec + stashed + 1
+            violation = None
+            new_chans = []
+            for b, (clock, rep, irq, dreq, drep) in enumerate(chans):
+                tag, seq = rep[0]
+                if seq != expected and violation is None:
+                    violation = (
+                        f"board {b} reported seq {seq} during "
+                        f"speculation while the master expected "
+                        f"{expected} (stale/gapped report reached the "
+                        f"FSM)"
+                    )
+                new_chans.append((clock, rep[1:], irq, dreq, drep))
+            yield ("master.recv_spec_report",
+                   ((succ, granted, irqs_left, spec, stashed + 1), boards,
+                    tuple(new_chans), replay), violation)
+
+        succ = self.mt.get((m_phase, "begin_catchup"))
+        if succ is not None and spec > 0:
+            # Entering the catch-up pass arms the per-window IRQ budget:
+            # the master only discovers interrupts while simulating.
+            yield ("master.begin_catchup",
+                   ((succ, granted, cfg.irqs_per_window, spec, stashed),
+                    boards, chans, replay), None)
+
+        succ = self.mt.get((m_phase, "catchup_simulated"))
+        if succ is not None and spec > 0:
+            yield ("master.catchup_simulated",
+                   ((succ, granted, irqs_left, spec, stashed), boards,
+                    chans, replay), None)
+
+        for event in ("commit_window", "rollback"):
+            succ = self.mt.get((m_phase, event))
+            if succ is not None and spec > 0 and stashed > 0:
+                # A rollback replays the window in the same in-process
+                # call sequence a commit validates, so master-locally
+                # both retire one speculated window and re-arm the IRQ
+                # budget for the next catch-up window.
+                yield (f"master.{event}",
+                       ((succ, granted, cfg.irqs_per_window, spec - 1,
+                         stashed - 1), boards, chans, replay), None)
+
+        succ = self.mt.get((m_phase, "round_done"))
+        if succ is not None and spec == 0 and stashed == 0:
+            yield ("master.round_done",
+                   ((succ, granted, irqs_left, spec, stashed), boards,
+                    chans, replay), None)
 
         # ---- boards ---------------------------------------------------
         for b in range(cfg.boards):
@@ -287,7 +368,7 @@ class _Explorer:
                         new_chans = _replace(
                             chans, b, (clock[1:], rep, irq, dreq, drep))
                         yield (f"board{b}.dedup_stale_grant(seq={seq})",
-                               ((m_phase, granted, irqs_left), boards,
+                               ((m_phase, granted, irqs_left, spec, stashed), boards,
                                 new_chans, replay), None)
                     else:
                         succ = self.bt.get((b_phase, "recv_grant"))
@@ -312,7 +393,7 @@ class _Explorer:
                                 chans, b,
                                 (clock[1:], rep, irq, dreq, drep))
                             yield (f"board{b}.recv_grant(seq={seq})",
-                                   ((m_phase, granted, irqs_left),
+                                   ((m_phase, granted, irqs_left, spec, stashed),
                                     new_boards, new_chans, replay),
                                    violation)
                 elif tag == _SHUTDOWN:
@@ -323,7 +404,7 @@ class _Explorer:
                         new_chans = _replace(
                             chans, b, (clock[1:], rep, irq, dreq, drep))
                         yield (f"board{b}.recv_shutdown",
-                               ((m_phase, granted, irqs_left), new_boards,
+                               ((m_phase, granted, irqs_left, spec, stashed), new_boards,
                                 new_chans, replay), None)
 
             succ = self.bt.get((b_phase, "recv_irq"))
@@ -332,7 +413,7 @@ class _Explorer:
                 new_chans = _replace(chans, b,
                                      (clock, rep, irq - 1, dreq, drep))
                 yield (f"board{b}.recv_irq",
-                       ((m_phase, granted, irqs_left), new_boards,
+                       ((m_phase, granted, irqs_left, spec, stashed), new_boards,
                         new_chans, replay), None)
 
             succ = self.bt.get((b_phase, "send_data_request"))
@@ -343,7 +424,7 @@ class _Explorer:
                 new_chans = _replace(chans, b,
                                      (clock, rep, irq, dreq + 1, drep))
                 yield (f"board{b}.send_data_request",
-                       ((m_phase, granted, irqs_left), new_boards,
+                       ((m_phase, granted, irqs_left, spec, stashed), new_boards,
                         new_chans, replay), None)
 
             succ = self.bt.get((b_phase, "recv_data_reply"))
@@ -352,14 +433,14 @@ class _Explorer:
                 new_chans = _replace(chans, b,
                                      (clock, rep, irq, dreq, drep - 1))
                 yield (f"board{b}.recv_data_reply",
-                       ((m_phase, granted, irqs_left), new_boards,
+                       ((m_phase, granted, irqs_left, spec, stashed), new_boards,
                         new_chans, replay), None)
 
             succ = self.bt.get((b_phase, "window_done"))
             if succ is not None:
                 new_boards = _replace(boards, b, (succ, last_seq, data_left))
                 yield (f"board{b}.window_done",
-                       ((m_phase, granted, irqs_left), new_boards, chans,
+                       ((m_phase, granted, irqs_left, spec, stashed), new_boards, chans,
                         replay), None)
 
             succ = self.bt.get((b_phase, "send_report"))
@@ -369,7 +450,7 @@ class _Explorer:
                     chans, b,
                     (clock, rep + ((_REPORT, last_seq),), irq, dreq, drep))
                 yield (f"board{b}.send_report(seq={last_seq})",
-                       ((m_phase, granted, irqs_left), new_boards,
+                       ((m_phase, granted, irqs_left, spec, stashed), new_boards,
                         new_chans, replay), None)
 
             # ---- resilience reconnect: replay the last delivered
@@ -380,7 +461,7 @@ class _Explorer:
                     chans, b,
                     (clock + ((_GRANT, last_seq),), rep, irq, dreq, drep))
                 yield (f"link{b}.replay_grant(seq={last_seq})",
-                       ((m_phase, granted, irqs_left), boards, new_chans,
+                       ((m_phase, granted, irqs_left, spec, stashed), boards, new_chans,
                         replay - 1), None)
 
     # ------------------------------------------------------------------
@@ -467,7 +548,7 @@ class _Explorer:
     # ------------------------------------------------------------------
     @staticmethod
     def _stuck_messages(state: _State) -> List[str]:
-        (_m, _g, _i), _boards, chans, _replay = state
+        (_m, _g, _i, _sp, _st), _boards, chans, _replay = state
         stuck = []
         for b, (clock, rep, _irq, dreq, drep) in enumerate(chans):
             for tag, seq in clock:
@@ -482,9 +563,12 @@ class _Explorer:
 
     @staticmethod
     def _describe(state: _State) -> str:
-        (m_phase, granted, _irqs), boards, _chans, _replay = state
+        (m_phase, granted, _irqs, spec, _stashed), boards, _chans, \
+            _replay = state
         phases = ",".join(phase for (phase, _s, _d) in boards)
-        return f"(master={m_phase}, boards=[{phases}], windows={granted})"
+        ahead = f", spec={spec}" if spec else ""
+        return (f"(master={m_phase}, boards=[{phases}], "
+                f"windows={granted}{ahead})")
 
     @staticmethod
     def _trace(parents, state) -> Tuple[str, ...]:

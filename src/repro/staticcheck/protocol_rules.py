@@ -19,11 +19,13 @@ counterexamples into diagnostics:
   non-accepting states with no way out) or an exploration that blew
   the state bound and is therefore not exhaustive.
 
-The default sweep (``repro lint protocol``) explores three bounded
+The default sweep (``repro lint protocol``) explores four bounded
 configurations: single-board with DATA and IRQ traffic, a two-board
-multiboard topology, and a single-board run with one resilience-layer
-reconnect replay.  All three are exhaustive — every interleaving the
-bounds admit is visited.
+multiboard topology, a single-board run with one resilience-layer
+reconnect replay, and a single-board run speculating two windows ahead
+(the optimistic extension's ``spec_grant``/catch-up/validate states).
+All four are exhaustive — every interleaving the bounds admit is
+visited.
 """
 
 from __future__ import annotations
@@ -55,6 +57,9 @@ DEFAULT_CONFIGS = (
                 irqs_per_window=1, data_per_window=1),
     ModelConfig(name="1-board-reconnect", boards=1, windows=2,
                 irqs_per_window=1, data_per_window=1, reconnect=True),
+    ModelConfig(name="1-board-speculative", boards=1, windows=2,
+                irqs_per_window=1, data_per_window=1,
+                speculation_depth=2),
 )
 
 _KIND_TO_RULE = {
@@ -107,6 +112,12 @@ def check_protocol_model(report: LintReport,
                 target,
             )
             continue
+        report.add(
+            "PROTO000",
+            f"config {config.name!r}: {result.states} states explored "
+            f"exhaustively, {result.final_states} final",
+            target,
+        )
         for violation in result.violations:
             report.add(
                 _KIND_TO_RULE[violation.kind],

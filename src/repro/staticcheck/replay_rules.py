@@ -27,7 +27,11 @@ reported as an *error*: the fault plan's drop/corruption schedule
 lives outside the session snapshot, so memoized windows would silently
 skip scheduled faults (the defect PR 6's fuzzer found dynamically —
 ``InprocSession.attach_memo`` now refuses the combination at runtime,
-and this rule catches sessions assembled around that guard).
+and this rule catches sessions assembled around that guard).  The same
+severity applies to a memo attached to a session configured for
+optimistic speculation (``speculation_depth > 0``): memo and
+speculation both skip re-execution, and a memo hit at a speculative
+boundary would be rolled back as if it had been simulated.
 """
 
 from __future__ import annotations
@@ -111,6 +115,20 @@ def check_snapshotability(
             f"carries a fault injector ({_describe(injector)}); the "
             f"fault plan's schedule is off-snapshot state, so memoized "
             f"windows silently skip scheduled faults",
+            target,
+            severity="error",
+        )
+
+    depth = getattr(session.config, "speculation_depth", 0)
+    if session.memo is not None and depth > 0:
+        report.add(
+            "COSIM005",
+            f"session has a window memo attached while "
+            f"speculation_depth={depth}; memo and speculation both "
+            f"skip re-execution, and a memo hit at a speculative "
+            f"boundary would be rolled back as if it had been "
+            f"simulated (attach_memo refuses this combination at "
+            f"runtime)",
             target,
             severity="error",
         )

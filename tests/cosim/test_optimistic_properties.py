@@ -1,0 +1,103 @@
+"""Hypothesis properties: optimistic speculation is observationally
+equivalent to conservative lock-step.
+
+The tentpole's correctness claim, quantified over workload shape and
+``speculation_depth``: for any fault-free router workload and any depth
+in 1..8, the optimistic session must land on bit-identical trace rows,
+retired-instruction-driven execution counts and full snapshot digests —
+and a workload with no interrupt traffic must never roll back (there is
+nothing to conflict with).
+
+Each example runs the same workload twice (conservative reference and
+speculating candidate) on a fixed cycle budget with no drain probe, the
+same regime the difftest ``optimistic`` backend uses, so a property
+failure here is a shrunken version of what the fuzzer would find.
+"""
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cosim import CosimConfig, ProtocolTrace
+from repro.replay.snapshot import state_digest
+from repro.router.testbench import RouterWorkload, build_router_cosim
+
+
+def run_once(config, workload, max_cycles, iss_timing=False):
+    cosim = build_router_cosim(config, workload, iss_timing=iss_timing)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+    metrics = cosim.run(max_cycles=max_cycles, await_drain=False)
+    return {
+        "rows": [r.as_row() for r in trace.records],
+        "digest": state_digest(cosim.session.snapshot()),
+        "schedule": (metrics.windows, metrics.master_cycles,
+                     metrics.board_ticks),
+        "stats": cosim.stats.snapshot(),
+        "iss_cycles": (cosim.app.verifier.cycles_executed
+                       if cosim.app.verifier is not None else None),
+        "metrics": metrics,
+    }
+
+
+class TestEquivalenceProperty:
+    @given(depth=st.integers(min_value=1, max_value=8),
+           t_sync=st.sampled_from([200, 500, 1000]),
+           packets=st.integers(min_value=1, max_value=3),
+           interval=st.integers(min_value=800, max_value=3000))
+    @settings(max_examples=12, deadline=None)
+    def test_optimistic_matches_conservative(self, depth, t_sync,
+                                             packets, interval):
+        workload = RouterWorkload(packets_per_producer=packets,
+                                  interval_cycles=interval,
+                                  corrupt_rate=0.0)
+        config = CosimConfig(t_sync=t_sync)
+        max_cycles = 12_000
+        reference = run_once(config, workload, max_cycles)
+        candidate = run_once(replace(config, speculation_depth=depth),
+                             workload, max_cycles)
+        assert candidate["rows"] == reference["rows"]
+        assert candidate["schedule"] == reference["schedule"]
+        assert candidate["stats"] == reference["stats"]
+        # The full state tree — kernel, scheduler, devices, netlist,
+        # link counters — is bit-identical at the final boundary.
+        assert candidate["digest"] == reference["digest"]
+
+    @given(depth=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=6, deadline=None)
+    def test_iss_retirement_counts_match(self, depth):
+        """With ``iss_timing`` the checksum routine *executes* on the
+        bundled ISS, charging cycles per retired instruction — those
+        measured totals must be identical under speculation."""
+        workload = RouterWorkload(packets_per_producer=2,
+                                  interval_cycles=1500,
+                                  corrupt_rate=0.0)
+        config = CosimConfig(t_sync=500)
+        reference = run_once(config, workload, 10_000, iss_timing=True)
+        candidate = run_once(replace(config, speculation_depth=depth),
+                             workload, 10_000, iss_timing=True)
+        assert reference["iss_cycles"] is not None
+        assert candidate["iss_cycles"] == reference["iss_cycles"]
+        assert candidate["digest"] == reference["digest"]
+
+
+class TestNoInterruptsNoRollbacks:
+    @given(depth=st.integers(min_value=1, max_value=8),
+           t_sync=st.sampled_from([250, 1000, 5000]))
+    @settings(max_examples=10, deadline=None)
+    def test_idle_workload_never_rolls_back(self, depth, t_sync):
+        """No packets => no interrupts => nothing ever conflicts: the
+        session speculates essentially every window and the rollback
+        counters stay at zero."""
+        workload = RouterWorkload(packets_per_producer=0)
+        config = CosimConfig(t_sync=t_sync, speculation_depth=depth)
+        outcome = run_once(config, workload, 20_000)
+        metrics = outcome["metrics"]
+        assert metrics.rollbacks == 0
+        assert metrics.rollback_depth_max == 0
+        assert metrics.windows_speculated > 0
+        reference = run_once(CosimConfig(t_sync=t_sync), workload,
+                             20_000)
+        assert outcome["rows"] == reference["rows"]
+        assert outcome["digest"] == reference["digest"]

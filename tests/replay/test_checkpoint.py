@@ -203,3 +203,56 @@ class TestSessionSnapshotApi:
         with pytest.raises(ReproError):
             cosim.session.register_snapshotable("workload_stats",
                                                 cosim.stats)
+
+
+class TestOptimisticCheckpoints:
+    """Checkpoint/restore across optimistic speculation (ROADMAP 3).
+
+    Periodic checkpoints land on committed *speculative* boundaries:
+    the live board has already run ahead, so the checkpointer reads the
+    session's composed boundary state.  Those checkpoints must still
+    digest-verify on restore-by-re-execution — the re-executed fresh
+    session re-speculates but commits the very same boundaries.
+    """
+
+    def _build(self, depth):
+        config = CosimConfig(t_sync=400, speculation_depth=depth)
+        workload = RouterWorkload(packets_per_producer=3,
+                                  interval_cycles=1200,
+                                  corrupt_rate=0.0, seed=11)
+        cosim = build_router_cosim(config, workload, mode="inproc")
+        trace = ProtocolTrace()
+        cosim.session.attach_trace(trace)
+        return cosim, trace, config, workload
+
+    def test_disk_checkpoints_mid_speculation_verify_and_resume(
+            self, tmp_path):
+        budget = 12_000
+        # Uninterrupted reference run.
+        ref, ref_trace, _config, _workload = self._build(depth=3)
+        ref_metrics = ref.run(max_cycles=budget, await_drain=False)
+        assert ref_metrics.windows_speculated > 0
+        ref_rows = [r.as_row() for r in ref_trace.records]
+
+        # Same run, checkpointed to disk every third window.
+        first, _trace, config, workload = self._build(depth=3)
+        checkpointer = Checkpointer(
+            every=3, directory=str(tmp_path),
+            meta=router_run_meta(config, workload))
+        first.session.attach_checkpointer(checkpointer)
+        first.run(max_cycles=budget, await_drain=False)
+        assert checkpointer.paths, "expected on-disk checkpoints"
+
+        # Restore from the file (strict: every leaf digest-verified
+        # against the re-executed, re-speculated fresh session), then
+        # resume to the end of the budget.
+        checkpoint = Checkpoint.load(checkpointer.paths[1])
+        resumed, resumed_trace, _c, _w = self._build(depth=3)
+        restore_session(resumed.session, checkpoint)
+        assert resumed.session.windows_completed == checkpoint.window
+        metrics = resumed.run(max_cycles=budget, await_drain=False)
+        assert metrics.restores == 1
+        assert [r.as_row() for r in resumed_trace.records] == ref_rows
+        assert metrics.master_cycles == ref_metrics.master_cycles
+        assert metrics.board_ticks == ref_metrics.board_ticks
+        assert resumed.stats.snapshot() == ref.stats.snapshot()

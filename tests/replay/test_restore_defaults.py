@@ -10,10 +10,14 @@ Falling back to the live value silently keeps stale state and breaks
 digest equality between "restore into fresh" and "restore into used".
 """
 
+import copy
+
 import pytest
 
 from repro.board.memory import Memory
+from repro.cosim import CosimConfig
 from repro.replay.snapshot import state_digest
+from repro.router.testbench import RouterWorkload, build_router_cosim
 from repro.rtos import Mutex, RtosConfig, RtosKernel, Sleep
 from repro.simkernel.kernel import Simulator
 from repro.simkernel.signals import Signal
@@ -115,3 +119,51 @@ class TestRtosDefaults:
         threads = {t.name: t for t in kernel.threads}
         kernel.scheduler.restore(old, threads)
         assert kernel.scheduler.idle_mode is False
+
+
+def _optimistic_cosim(depth=4):
+    """An idle-heavy optimistic session: every window speculates."""
+    config = CosimConfig(t_sync=400, speculation_depth=depth)
+    return build_router_cosim(config,
+                              RouterWorkload(packets_per_producer=0))
+
+
+class TestSpeculativeCheckpointDefaults:
+    """The optimistic session's in-memory rollback checkpoints travel
+    through the same ``snapshot()/restore()`` trees as disk
+    checkpoints, so era-stripped optional keys must take snapshot-era
+    defaults there too.  Restoring the same old tree into two sessions
+    with *different* live histories must converge on one digest —
+    falling back to live values would keep each session's own stale
+    counters and the digests would differ."""
+
+    def test_era_stripped_tree_restores_into_speculated_sessions(self):
+        donor = _optimistic_cosim()
+        metrics = donor.run(max_cycles=4000, await_drain=False)
+        assert metrics.windows_speculated > 0, \
+            "the donor snapshot must come from a speculating session"
+        old = donor.session.snapshot()
+        # Age the tree: drop the optional keys newer schemas added.
+        old["master"]["sim"] = _strip(old["master"]["sim"],
+                                      "delta_count", "process_runs")
+        board = old["board_runtime"]["board"]
+        board["memory"] = _strip(board["memory"], "reads", "writes")
+        board["kernel"]["scheduler"] = _strip(
+            board["kernel"]["scheduler"], "idle_mode")
+
+        short = _optimistic_cosim()
+        short.run(max_cycles=2000, await_drain=False)
+        short.session.restore(copy.deepcopy(old))
+
+        long = _optimistic_cosim(depth=2)  # different speculative history
+        long.run(max_cycles=8000, await_drain=False)
+        long.session.restore(copy.deepcopy(old))
+
+        for cosim in (short, long):
+            assert cosim.master.sim.delta_count == 0
+            assert cosim.master.sim.process_runs == 0
+            assert cosim.runtime.board.memory.reads == 0
+            assert cosim.runtime.board.memory.writes == 0
+            assert cosim.runtime.board.kernel.scheduler.idle_mode is False
+        assert state_digest(short.session.snapshot()) == \
+            state_digest(long.session.snapshot())

@@ -119,3 +119,42 @@ class TestMemoWithFaultInjection:
 
         session.attach_memo(WindowMemo())
         assert check_snapshotability(session, assume_enabled=True) == []
+
+
+class TestMemoPlusSpeculation:
+    """Memo and speculation both skip re-execution; the combination is
+    refused at runtime (attach_memo / OptimisticSession.run) and COSIM005
+    is the lint backstop for hand-assembled sessions."""
+
+    def _speculating_session(self):
+        cosim = build_router_cosim(
+            CosimConfig(t_sync=300, speculation_depth=3),
+            RouterWorkload(packets_per_producer=2, interval_cycles=300,
+                           corrupt_rate=0.0, seed=3),
+            mode="inproc")
+        return cosim.session
+
+    def test_memo_plus_speculation_is_an_error(self):
+        from repro.cosim.memo import WindowMemo
+
+        session = self._speculating_session()
+        # Bypass the runtime guard the way a hand-assembled harness
+        # could: the lint pass is the backstop for exactly this.
+        session.memo = WindowMemo()
+        diagnostics = check_snapshotability(session, assume_enabled=True)
+        assert len(diagnostics) == 1
+        diagnostic = diagnostics[0]
+        assert diagnostic.rule == "COSIM005"
+        assert diagnostic.severity == "error"
+        assert "speculation_depth=3" in diagnostic.message
+        assert "memo" in diagnostic.message
+
+    def test_speculation_without_memo_is_fine(self):
+        session = self._speculating_session()
+        assert check_snapshotability(session, assume_enabled=True) == []
+
+    def test_memo_without_speculation_is_fine(self, session):
+        from repro.cosim.memo import WindowMemo
+
+        session.attach_memo(WindowMemo())
+        assert check_snapshotability(session, assume_enabled=True) == []

@@ -39,7 +39,10 @@ class TestSelfCheck:
 
     def test_default_sweep_is_clean_and_exits_zero(self):
         report = run_lint([])
-        assert report.diagnostics == []
+        # Info-level coverage reports (PROTO000 exploration counts) are
+        # expected; anything actionable is not.
+        assert report.errors == []
+        assert report.warnings == []
         assert report.exit_code() == 0
         assert report.exit_code(strict=True) == 0
         # The sweep must cover the concurrency-verification targets too.
