@@ -15,6 +15,9 @@
                   [--sample N]            # traced run + span profile
     repro fuzz [--seed N] [--runs K] [--out DIR] [--jobs N]
                                           # differential fuzzing
+    repro fmi check PLUGIN [--seed N] [--out FILE.json]
+                                          # plugin conformance kit
+    repro fmi list                        # registered FMI plugins
     repro bench [--full] [--out DIR]      # record the benchmark trajectory
     repro bench --compare OLD NEW         # diff two trajectory snapshots
     repro serve [--port N] [--workers N] [--results DIR]
@@ -378,6 +381,11 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.difftest import FuzzSpec, fuzz, run_spec
 
+    if args.backends:
+        # Accept both "--backends inproc fmu" and "--backends inproc,fmu".
+        args.backends = [name
+                         for token in args.backends
+                         for name in token.split(",") if name]
     log = None if args.quiet else print
     if args.lint_concurrency:
         # Pre-flight: a fuzz campaign over a protocol or locking bug
@@ -431,6 +439,44 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         )
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _cmd_fmi(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import FmiError
+    from repro.fmi.conformance import check_spec, format_report
+    from repro.fmi.registry import SUBPROCESS_PREFIX, available, load_class
+
+    if args.action == "list":
+        for name, spec in sorted(available().items()):
+            print(f"{name:24s} {spec}")
+        print(f"{'subprocess:<spec>':24s} any of the above, hosted in "
+              "a child process")
+        return 0
+
+    try:
+        # Validate the spec up front: a typo is a usage error (exit 2),
+        # not a conformance failure.  Per-rule crashes of a *valid*
+        # plugin still land in the report.
+        inner = args.plugin
+        if inner.startswith(SUBPROCESS_PREFIX):
+            inner = inner[len(SUBPROCESS_PREFIX):]
+        load_class(inner)
+        report = check_spec(args.plugin, seed=args.seed,
+                            step_timeout_s=args.step_timeout)
+    except FmiError as exc:
+        print(f"fmi check: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0 if report.passed else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -832,6 +878,35 @@ def build_parser() -> argparse.ArgumentParser:
                            "processes; results and artifacts are "
                            "identical to the serial run (default: 1)")
     fuzz.set_defaults(fn=_cmd_fuzz)
+
+    fmi = sub.add_parser(
+        "fmi",
+        help="FMI-style plugin boundary: run the conformance kit "
+             "against a plugin, or list the registered ones")
+    fmi_sub = fmi.add_subparsers(dest="action", required=True)
+    fmi_check = fmi_sub.add_parser(
+        "check",
+        help="run the seven-rule conformance kit (FMI001..FMI007) "
+             "against a plugin spec")
+    fmi_check.add_argument("plugin", metavar="PLUGIN",
+                           help="registry name (see 'repro fmi list'), "
+                                "'module:Class', or 'subprocess:<spec>'")
+    fmi_check.add_argument("--seed", type=int, default=2005,
+                           help="base seed for the scripted session "
+                                "(default: 2005)")
+    fmi_check.add_argument("--step-timeout", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="per-call timeout for subprocess "
+                                "plugins (default: 10)")
+    fmi_check.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    fmi_check.add_argument("--out", metavar="FILE.json",
+                           help="also write the JSON report here "
+                                "(repro-fmi-conformance/1)")
+    fmi_check.set_defaults(fn=_cmd_fmi)
+    fmi_list = fmi_sub.add_parser(
+        "list", help="list the registered plugin specs")
+    fmi_list.set_defaults(fn=_cmd_fmi)
 
     bench = sub.add_parser(
         "bench",

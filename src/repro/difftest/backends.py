@@ -51,7 +51,7 @@ from repro.transport.queues import QueueLink
 #: Backends per scenario; the first entry is the reference backend.
 SCENARIO_BACKENDS: Dict[str, List[str]] = {
     "router": ["inproc", "rerun", "replay", "memo", "optimistic",
-               "queue", "tcp"],
+               "fmu", "queue", "tcp"],
     "iss": ["iss-default", "iss-unit"],
     "adaptive": ["adaptive", "adaptive-rerun"],
     "multiboard": ["multi-inproc", "multi-threaded"],
@@ -123,6 +123,8 @@ def run_backend(spec: FuzzSpec, backend: str,
             return _run_router(spec, backend)
         if backend == "replay":
             return _run_replay(spec, recording)
+        if backend == "fmu":
+            return _run_fmu(spec)
         if backend in ("iss-default", "iss-unit"):
             return _run_iss(spec, backend)
         if backend in ("adaptive", "adaptive-rerun"):
@@ -221,6 +223,46 @@ def _run_router(spec: FuzzSpec, backend: str) -> RunOutcome:
             "stats": cosim.stats.snapshot(),
         })
     return outcome
+
+
+def _run_fmu(spec: FuzzSpec) -> RunOutcome:
+    """Run the spec with the behavioral-router plugin mounted through
+    the FMI-style boundary (:mod:`repro.fmi`).
+
+    The plugin is a clean-room behavioral model of the router netlist;
+    holding its digest and trace rows to the ``inproc`` reference run's
+    convicts either a boundary bug (adapter, clock domain crossing,
+    DATA forwarding) or a divergence between the two models.  The run
+    always records so faulted specs compare board-visible rows, same as
+    the deterministic netlist flavours.
+    """
+    from repro.fmi import build_fmu_router_cosim
+
+    recording = SessionRecording()
+    cosim = build_fmu_router_cosim(
+        spec.cosim_config(), spec.router_workload(),
+        fault_plan=spec.fault_plan(), recorder=recording)
+    trace = ProtocolTrace()
+    cosim.session.attach_trace(trace)
+    metrics = cosim.run(max_cycles=spec.max_cycles, await_drain=False)
+    finalize_router_recording(recording, cosim, metrics)
+    stats = cosim.stats.snapshot()
+    return RunOutcome(
+        backend="fmu",
+        windows=metrics.windows,
+        master_cycles=metrics.master_cycles,
+        board_ticks=metrics.board_ticks,
+        state_switches=metrics.state_switches,
+        aligned=(metrics.master_cycles
+                 == cosim.runtime.board.kernel.sw_ticks),
+        trace_rows=list(recording.trace_rows),
+        stats=stats,
+        digest=state_digest({
+            "board": board_state_summary(cosim.runtime.board),
+            "stats": stats,
+        }),
+        deterministic=True,
+    )
 
 
 def _run_replay(spec: FuzzSpec,

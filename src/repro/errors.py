@@ -33,6 +33,22 @@ class IssError(ReproError):
     """An error raised by the instruction-set simulator."""
 
 
+class FmiError(ReproError):
+    """A violation of the FMI-style plugin contract (repro.fmi)."""
+
+
+class FmiPluginCrashed(FmiError):
+    """A subprocess plugin died mid-call (EOF/killed on the wire)."""
+
+
+class FmiTimeoutError(FmiError):
+    """A plugin call exceeded its step timeout and was killed."""
+
+
+class FmiWireError(TransportError):
+    """Malformed frame on the plugin wire (repro.fmi.wire)."""
+
+
 class FarmError(ReproError):
     """An error raised by the co-simulation farm (job server)."""
 

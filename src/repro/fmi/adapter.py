@@ -1,0 +1,323 @@
+"""Mount a conforming plugin as the HW side of a cosim session.
+
+:class:`FmuMasterAdapter` presents the :class:`~repro.cosim.master.
+CosimMaster` surface — protocol/FSM stepping, DATA service counters,
+snapshot/restore — while delegating every tick of hardware behaviour to
+a plugin speaking the :mod:`repro.fmi.protocol` contract.  A session
+built by :func:`build_fmu_router_cosim` is a drop-in sibling of
+``build_router_cosim(mode="inproc")``: same window protocol, same
+``CosimMetrics``, same recording/fault wrapping, and — for the
+reference plugins — bit-identical traces and digests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.board.board import BoardConfig
+from repro.cosim.board_runtime import CosimBoardRuntime
+from repro.cosim.config import CosimConfig
+from repro.cosim.protocol import (
+    MASTER_INITIAL,
+    MASTER_WINDOW_TABLE,
+    MasterProtocol,
+    WindowFsm,
+)
+from repro.cosim.session import InprocSession
+from repro.errors import FmiError, SimulationError
+from repro.fmi.protocol import (
+    DATA_ADDR_KEY,
+    DATA_OP_KEY,
+    DATA_VALUE_KEY,
+    check_surface,
+)
+from repro.obs.recorder import NULL_RECORDER
+from repro.replay.snapshot import is_snapshotable
+from repro.router.testbench import (
+    RouterCosim,
+    RouterWorkload,
+    build_router_board_side,
+    router_run_meta,
+)
+from repro.transport.faults import FaultPlan, FaultyBoardEndpoint
+from repro.transport.inproc import InprocLink
+from repro.transport.messages import Interrupt
+
+
+class _PluginClock:
+    """Master-cycle counter standing in for the simkernel clock."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+
+
+class _PluginHost:
+    """Stands in for the master's simulator: carries the recorder hook
+    (``install_recorder`` assigns ``master.sim.obs``) and an empty
+    module list for tools that walk the hardware tree."""
+
+    def __init__(self) -> None:
+        self.obs = NULL_RECORDER
+        self.modules = []
+
+
+class FmuMasterAdapter:
+    """The master half of a window session, backed by a plugin."""
+
+    obs = NULL_RECORDER
+
+    def __init__(self, plugin: Any, endpoint, config: CosimConfig) -> None:
+        check_surface(plugin)
+        self.plugin = plugin
+        self.endpoint = endpoint
+        self.config = config
+        self.protocol = MasterProtocol()
+        self.fsm = WindowFsm("master", MASTER_WINDOW_TABLE, MASTER_INITIAL)
+        self.clock = _PluginClock()
+        self.sim = _PluginHost()
+        self.interrupts_sent = 0
+        self.data_reads_served = 0
+        self.data_writes_served = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "protocol": self.protocol.snapshot(),
+            "interrupts_sent": self.interrupts_sent,
+            "data_reads_served": self.data_reads_served,
+            "data_writes_served": self.data_writes_served,
+            "cycles": self.clock.cycles,
+            "plugin": self.plugin.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        for key in ("protocol", "interrupts_sent", "data_reads_served",
+                    "data_writes_served", "cycles", "plugin"):
+            if key not in state:
+                raise FmiError(f"adapter snapshot missing {key!r}")
+        self.protocol.restore(state["protocol"])
+        self.fsm.reset()
+        self.interrupts_sent = state["interrupts_sent"]
+        self.data_reads_served = state["data_reads_served"]
+        self.data_writes_served = state["data_writes_served"]
+        self.clock.cycles = state["cycles"]
+        self.plugin.restore(state["plugin"])
+
+    # ------------------------------------------------------------------
+    # DATA servicing
+    # ------------------------------------------------------------------
+    def serve_data(self, op: str, address: int, value=None):
+        """Synchronous DATA server (installed on in-process links)."""
+        if op == "read":
+            self.data_reads_served += 1
+            if self.obs.enabled:
+                self.obs.event("master", "data.read",
+                               sim=self.clock.cycles, address=address)
+            return self._transact({DATA_OP_KEY: "read",
+                                   DATA_ADDR_KEY: address})
+        if op == "write":
+            self.data_writes_served += 1
+            if self.obs.enabled:
+                self.obs.event("master", "data.write",
+                               sim=self.clock.cycles, address=address)
+            self._transact({DATA_OP_KEY: "write", DATA_ADDR_KEY: address,
+                            DATA_VALUE_KEY: value})
+            return None
+        raise SimulationError(f"bad DATA operation {op!r}")
+
+    def _transact(self, values: dict):
+        """Apply one DATA transaction without advancing plugin time."""
+        self.plugin.set_inputs(values)
+        self.plugin.step(0)
+        outputs = self.plugin.get_outputs()
+        if outputs.get("cycles") != self.clock.cycles:
+            raise FmiError(
+                f"plugin advanced during step(0): at "
+                f"{outputs.get('cycles')}, master holds "
+                f"{self.clock.cycles}")
+        self._forward_irqs(outputs)
+        return outputs.get("data_value")
+
+    def _forward_irqs(self, outputs: dict) -> None:
+        for event in outputs.get("irq_events") or []:
+            cycle, vector = event
+            self.interrupts_sent += 1
+            if self.obs.enabled:
+                self.obs.event("master", "irq.send", sim=cycle,
+                               vector=vector)
+            self.endpoint.send_interrupt(
+                Interrupt(vector=vector, master_cycle=cycle))
+
+    # ------------------------------------------------------------------
+    # Window execution
+    # ------------------------------------------------------------------
+    def run_window_inproc(self, ticks: int) -> None:
+        """Deterministic sessions: grant, then step the plugin."""
+        self.fsm.step("send_grant")
+        grant = self.protocol.make_grant(ticks)
+        if self.obs.enabled:
+            self.obs.event("transport", "grant.send",
+                           sim=self.clock.cycles, seq=grant.seq,
+                           ticks=ticks)
+        self.endpoint.send_grant(grant)
+        self._step_window(ticks)
+        self.fsm.step("window_simulated")
+
+    def finish_window_inproc(self, report) -> None:
+        if self.obs.enabled:
+            self.obs.event("transport", "report.recv",
+                           sim=self.clock.cycles, seq=report.seq,
+                           board_ticks=report.board_ticks)
+        self.protocol.check_report(report, self.clock.cycles)
+        self.fsm.step("recv_report")
+
+    def _step_window(self, ticks: int) -> None:
+        expected = self.clock.cycles + ticks
+        if self.obs.enabled:
+            token = self.obs.begin("master", "simulate",
+                                   sim=self.clock.cycles, ticks=ticks)
+        self.plugin.step(ticks)
+        outputs = self.plugin.get_outputs()
+        if self.obs.enabled:
+            self.obs.end(token, sim=outputs.get("cycles"))
+        if outputs.get("cycles") != expected:
+            raise FmiError(
+                f"plugin clock drift: stepped to {outputs.get('cycles')}"
+                f", grant requires {expected}")
+        self.clock.cycles = expected
+        self._forward_irqs(outputs)
+
+
+class _RemoteStats:
+    """Read-only view of an out-of-process plugin's workload stats.
+
+    Caches the last observed snapshot so counters stay readable after
+    the plugin is terminated (the subprocess is gone by then)."""
+
+    _TERMINAL = ("generated", "forwarded", "dropped_overflow",
+                 "dropped_checksum", "dropped_unroutable",
+                 "checked_by_sw")
+
+    def __init__(self, plugin: Any) -> None:
+        self._plugin = plugin
+        self._cached: dict = {}
+
+    def refresh(self) -> dict:
+        stats = self._plugin.get_outputs().get("stats")
+        if stats is not None:
+            self._cached = dict(stats)
+        return self._cached
+
+    def snapshot(self) -> dict:
+        try:
+            return dict(self.refresh())
+        except FmiError:
+            return dict(self._cached)
+
+    def __getattr__(self, name):
+        if name in self._TERMINAL:
+            return self.snapshot().get(name, 0)
+        raise AttributeError(name)
+
+
+class FmuRouterCosim(RouterCosim):
+    """A :class:`RouterCosim` whose hardware lives behind the plugin
+    boundary; drain detection goes through ``get_outputs()``."""
+
+    def drained(self) -> bool:
+        outputs = self.master.plugin.get_outputs()
+        if not outputs.get("done"):
+            return False
+        stats = outputs.get("stats") or {}
+        terminal = (stats.get("forwarded", 0)
+                    + stats.get("dropped_overflow", 0)
+                    + stats.get("dropped_checksum", 0)
+                    + stats.get("dropped_unroutable", 0))
+        return terminal >= stats.get("generated", 0)
+
+
+def router_plugin_config(config: CosimConfig,
+                         workload: RouterWorkload) -> dict:
+    """The plain-data ``init`` config for router-family plugins."""
+    return {
+        "num_ports": workload.num_ports,
+        "buffer_capacity": workload.buffer_capacity,
+        "packets_per_producer": workload.packets_per_producer,
+        "interval_cycles": workload.interval_cycles,
+        "payload_size": workload.payload_size,
+        "corrupt_rate": workload.corrupt_rate,
+        "burst_size": workload.burst_size,
+        "burst_gap_cycles": workload.burst_gap_cycles,
+        "irq_vector": config.remote_vector,
+        "clock_period_ps": config.clock_period_ps,
+    }
+
+
+def build_fmu_router_cosim(
+    config: Optional[CosimConfig] = None,
+    workload: Optional[RouterWorkload] = None,
+    board_config: Optional[BoardConfig] = None,
+    plugin: Any = None,
+    fault_plan: Optional[FaultPlan] = None,
+    recorder=None,
+) -> FmuRouterCosim:
+    """Assemble the router case study with a plugin on the HW side.
+
+    *plugin* defaults to a fresh
+    :class:`~repro.fmi.behavioral.BehavioralRouterModel`; any
+    conforming plugin works (``init`` is called here with the router
+    config and the workload seed).  The board side, the in-process
+    link, fault injection and recording are all shared with
+    :func:`~repro.router.testbench.build_router_cosim`.
+    """
+    config = config or CosimConfig()
+    workload = workload or RouterWorkload()
+    board_config = board_config or BoardConfig()
+
+    link = InprocLink()
+    master_ep, board_ep, stats_src = link.master, link.board, link.stats
+
+    if fault_plan is not None:
+        board_ep = FaultyBoardEndpoint(board_ep, fault_plan)
+
+    if recorder is not None:
+        from repro.replay import RecordingBoardEndpoint
+
+        recorder.meta.update(
+            router_run_meta(config, workload, mode="fmu"))
+        board_ep = RecordingBoardEndpoint(board_ep, recorder)
+
+    if plugin is None:
+        from repro.fmi.behavioral import BehavioralRouterModel
+
+        plugin = BehavioralRouterModel()
+    check_surface(plugin)
+    plugin.init(router_plugin_config(config, workload), workload.seed)
+    adapter = FmuMasterAdapter(plugin, master_ep, config)
+
+    board, driver, app = build_router_board_side(board_ep, config,
+                                                 board_config)
+    runtime = CosimBoardRuntime(board, board_ep, config)
+
+    link.install_data_server(adapter.serve_data)
+    session = InprocSession(adapter, runtime, stats_src, config)
+
+    local_stats = getattr(plugin, "stats", None)
+    if is_snapshotable(local_stats):
+        stats = local_stats
+    else:
+        stats = _RemoteStats(plugin)
+    session.register_snapshotable("checksum_app", app, side="board")
+
+    def cleanup() -> None:
+        if isinstance(stats, _RemoteStats):
+            try:
+                stats.refresh()
+            except FmiError:
+                pass
+        plugin.terminate()
+
+    return FmuRouterCosim(session, adapter, runtime, None, [], [],
+                          app, driver, stats, workload, cleanup=cleanup)

@@ -1,0 +1,84 @@
+"""Child-process servo for :class:`repro.fmi.subproc.SubprocessPlugin`.
+
+Run as ``python -m repro.fmi.child <module:Class>``: instantiates the
+named plugin class and services CALL frames from stdin, answering each
+with exactly one RESULT or ERROR frame on stdout.  Exceptions cross the
+boundary as ERROR frames; the servo itself only exits on ``terminate``,
+stdin EOF, or a wire-level decode failure (at which point the parent
+sees EOF and raises :class:`repro.errors.FmiPluginCrashed`).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.fmi import wire
+from repro.fmi.registry import load_class
+
+
+def _read_exact(stream, count: int) -> bytes:
+    chunks = b""
+    while len(chunks) < count:
+        chunk = stream.read(count - len(chunks))
+        if not chunk:
+            return b""  # EOF mid-frame or between frames
+        chunks += chunk
+    return chunks
+
+
+def _dispatch(plugin, method: str, args: dict):
+    if method == "init":
+        return plugin.init(args.get("config"), args.get("seed"))
+    if method == "set_inputs":
+        return plugin.set_inputs(args.get("values") or {})
+    if method == "step":
+        return plugin.step(args.get("delta_ticks"))
+    if method == "get_outputs":
+        return plugin.get_outputs()
+    if method == "snapshot":
+        return plugin.snapshot()
+    if method == "restore":
+        return plugin.restore(args.get("state"))
+    if method == "terminate":
+        return plugin.terminate()
+    raise wire.FmiWireError(f"unknown plugin method {method!r}")
+
+
+def serve(plugin, stdin, stdout) -> None:
+    """The request loop; exits cleanly after ``terminate``."""
+    while True:
+        header = _read_exact(stdin, wire.HEADER_SIZE)
+        if not header:
+            return
+        length, kind = wire.decode_header(header)
+        body = _read_exact(stdin, length) if length else b""
+        if length and not body:
+            return
+        kind, payload = wire.decode_frame(header + body)
+        if kind != wire.KIND_CALL:
+            raise wire.FmiWireError(
+                f"child expected a CALL frame, got kind {kind}")
+        method = payload.get("method")
+        try:
+            value = _dispatch(plugin, method, payload.get("args") or {})
+            reply = wire.result_frame(value)
+        except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+            reply = wire.error_frame(exc)
+        stdout.write(reply)
+        stdout.flush()
+        if method == "terminate":
+            return
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print("usage: python -m repro.fmi.child <module:Class>",
+              file=sys.stderr)
+        return 2
+    plugin = load_class(argv[1])()
+    serve(plugin, sys.stdin.buffer, sys.stdout.buffer)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

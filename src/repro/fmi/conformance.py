@@ -1,0 +1,422 @@
+"""The conformance test kit: the plugin contract, executable.
+
+Every future plugin is third-party code; this kit is what makes
+mounting one safe.  :func:`check_plugin` runs seven rules against a
+plugin factory and returns a :class:`ConformanceReport` with stable
+rule IDs (surfaced by ``repro fmi check <plugin>`` and asserted by the
+CI ``fmi-conformance`` job):
+
+========  =============================================================
+FMI001    contract surface: all seven methods present and callable
+FMI002    step additivity: chunked stepping ``step(a); step(b)`` is
+          bit-equivalent to ``step(a+b)`` over an idle horizon
+FMI003    determinism: identical runs from a ``derive_seed``-derived
+          seed produce identical digests
+FMI004    snapshot/restore: restoring a mid-run snapshot replays the
+          remainder bit-exactly (replay digests)
+FMI005    clean terminate: idempotent, and stepping afterwards raises
+          a typed :class:`~repro.errors.FmiError`
+FMI006    freeze invariant: ``get_outputs`` is pure — repeated reads
+          return identical values and never perturb the run
+FMI007    snapshot portability: the snapshot tree is plain data and
+          survives the JSON codec round trip into ``restore``
+========  =============================================================
+
+Rules run the plugin through a deterministic scripted session — fixed
+windows plus a register-level interrupt service mirroring the router
+driver — so router-family plugins are exercised under realistic load.
+Plugins that do not speak the router register file simply skip the
+service half (the first failed status read turns it off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.determinism import derive_seed
+from repro.errors import FmiError
+from repro.fmi.protocol import missing_methods, plugin_read, plugin_write
+from repro.replay.snapshot import (
+    canonical_json,
+    decode_tree,
+    state_digest,
+)
+from repro.router.packet import Packet
+from repro.router.router import (
+    REG_PACKET,
+    REG_STATUS,
+    REG_VERDICT,
+    VERDICT_BAD,
+    VERDICT_OK,
+)
+
+SCHEMA = "repro-fmi-conformance/1"
+
+#: Scripted-session defaults: a busy little router workload (3 packets
+#: per port every 40 cycles, 25% corruption) over 8 windows of 25.
+DEFAULT_CONFIG = {
+    "num_ports": 4,
+    "buffer_capacity": 8,
+    "packets_per_producer": 3,
+    "interval_cycles": 40,
+    "payload_size": 8,
+    "corrupt_rate": 0.25,
+    "irq_vector": 1,
+}
+DEFAULT_WINDOW = 25
+DEFAULT_WINDOWS = 8
+DEFAULT_SEED = 2005
+
+#: FMI002 chunkings of one DEFAULT_WINDOW-tick window.
+_CHUNKINGS = ([1] * DEFAULT_WINDOW, [7, 13, 5], [24, 1], [25])
+
+
+@dataclass
+class RuleResult:
+    rule: str
+    title: str
+    ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "title": self.title, "ok": self.ok,
+                "detail": self.detail}
+
+
+@dataclass
+class ConformanceReport:
+    plugin: str
+    seed: int
+    results: List[RuleResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> List[RuleResult]:
+        return [r for r in self.results if not r.ok]
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "plugin": self.plugin,
+            "seed": self.seed,
+            "passed": self.passed,
+            "rules": [r.as_dict() for r in self.results],
+        }
+
+
+class _Violation(FmiError):
+    """Internal: a rule's assertion failed (message becomes detail)."""
+
+
+# ----------------------------------------------------------------------
+# The scripted session
+# ----------------------------------------------------------------------
+def service_router_registers(plugin: Any) -> Optional[int]:
+    """Service the router register protocol like the board driver:
+    while STATUS says a packet is loaded, read it, verdict it, repeat
+    (draining chain-loaded packets).  Returns packets serviced, or
+    None if the plugin does not expose the router register file."""
+    try:
+        status = plugin_read(plugin, REG_STATUS)
+    except FmiError:
+        return None
+    served = 0
+    while isinstance(status, int) and status & 1:
+        raw = plugin_read(plugin, REG_PACKET)
+        try:
+            verdict = (VERDICT_OK if Packet.from_bytes(raw).is_valid()
+                       else VERDICT_BAD)
+        except Exception:
+            verdict = VERDICT_BAD
+        plugin_write(plugin, REG_VERDICT, verdict)
+        served += 1
+        if served > 10_000:
+            raise _Violation("runaway register service loop: STATUS "
+                             "never cleared")
+        status = plugin_read(plugin, REG_STATUS)
+    return served
+
+
+class _Script:
+    """One deterministic drive of a plugin; logs every observable."""
+
+    def __init__(self, ctx: "_Context", plugin: Any) -> None:
+        self.ctx = ctx
+        self.plugin = plugin
+        self.log: List[Any] = []
+        self.irq_events: List[Any] = []
+        self._service_enabled = ctx.service
+
+    def window(self, ticks: int, chunks: Optional[List[int]] = None,
+               service: bool = True) -> None:
+        for chunk in (chunks if chunks is not None else [ticks]):
+            self.plugin.step(chunk)
+            outputs = self.plugin.get_outputs()
+            self.irq_events.extend(outputs.get("irq_events") or [])
+        outputs = self.plugin.get_outputs()
+        self.log.append([outputs.get("cycles"),
+                         bool(outputs.get("done"))])
+        if service and self._service_enabled:
+            served = service_router_registers(self.plugin)
+            if served is None:
+                self._service_enabled = False
+            else:
+                self.log.append(["served", served])
+
+    def run(self, windows: Optional[int] = None) -> None:
+        for _ in range(windows if windows is not None
+                       else self.ctx.windows):
+            self.window(self.ctx.window)
+
+    def digest(self) -> str:
+        return state_digest({
+            "log": self.log,
+            "irq_events": self.irq_events,
+            "snapshot": self.plugin.snapshot(),
+        })
+
+
+@dataclass
+class _Context:
+    factory: Callable[[], Any]
+    seed: int
+    config: dict
+    window: int
+    windows: int
+    service: bool
+
+    def fresh(self, seed: Optional[int] = None) -> Any:
+        plugin = self.factory()
+        plugin.init(dict(self.config),
+                    self.seed if seed is None else seed)
+        return plugin
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def _rule_surface(ctx: _Context) -> str:
+    plugin = ctx.factory()
+    try:
+        missing = missing_methods(plugin)
+        if missing:
+            raise _Violation(f"missing methods: {', '.join(missing)}")
+        plugin.init(dict(ctx.config), ctx.seed)
+    finally:
+        _quiet_terminate(plugin)
+    return "all seven contract methods present and callable"
+
+
+def _rule_step_additivity(ctx: _Context) -> str:
+    reference = None
+    for chunks in _CHUNKINGS:
+        plugin = ctx.fresh()
+        try:
+            script = _Script(ctx, plugin)
+            for _ in range(ctx.windows):
+                script.window(ctx.window, chunks=list(chunks))
+            digest = script.digest()
+        finally:
+            _quiet_terminate(plugin)
+        if reference is None:
+            reference = digest
+        elif digest != reference:
+            raise _Violation(
+                f"step(a); step(b) != step(a+b): chunking "
+                f"{list(chunks)} of a {ctx.window}-tick window changed "
+                f"the replay digest")
+    return (f"{len(_CHUNKINGS)} chunkings of {ctx.windows} windows "
+            f"are bit-equivalent")
+
+
+def _rule_determinism(ctx: _Context) -> str:
+    seed = derive_seed(ctx.seed, "fmi", "determinism")
+    digests = []
+    for _ in range(2):
+        plugin = ctx.fresh(seed=seed)
+        try:
+            script = _Script(ctx, plugin)
+            script.run()
+            digests.append(script.digest())
+        finally:
+            _quiet_terminate(plugin)
+    if digests[0] != digests[1]:
+        raise _Violation(
+            f"two runs from derive_seed(..)={seed} diverged")
+    return f"identical digests across runs from derived seed {seed}"
+
+
+def _rule_snapshot_restore(ctx: _Context) -> str:
+    half = max(1, ctx.windows // 2)
+    plugin = ctx.fresh()
+    try:
+        script = _Script(ctx, plugin)
+        script.run(windows=half)
+        mid = plugin.snapshot()
+        tail = _Script(ctx, plugin)
+        tail.run(windows=ctx.windows - half)
+        end_digest = tail.digest()
+
+        plugin.restore(mid)
+        replay = _Script(ctx, plugin)
+        replay.run(windows=ctx.windows - half)
+        if replay.digest() != end_digest:
+            raise _Violation(
+                "restore(snapshot()) did not replay the remaining "
+                f"{ctx.windows - half} windows bit-exactly")
+    finally:
+        _quiet_terminate(plugin)
+    return (f"mid-run snapshot at window {half} replayed "
+            f"{ctx.windows - half} windows bit-exactly")
+
+
+def _rule_terminate(ctx: _Context) -> str:
+    plugin = ctx.fresh()
+    script = _Script(ctx, plugin)
+    script.run(windows=1)
+    plugin.terminate()
+    plugin.terminate()  # idempotent
+    try:
+        plugin.step(1)
+    except FmiError:
+        return "terminate is idempotent; step afterwards raises FmiError"
+    raise _Violation("step after terminate() did not raise FmiError")
+
+
+def _rule_freeze_invariant(ctx: _Context) -> str:
+    plugin = ctx.fresh()
+    twin = ctx.fresh()
+    try:
+        script = _Script(ctx, plugin)
+        twin_script = _Script(ctx, twin)
+        for _ in range(ctx.windows):
+            script.window(ctx.window)
+            first = plugin.get_outputs()
+            for _ in range(3):
+                again = plugin.get_outputs()
+                if canonical_json(_plain_outputs(again)) \
+                        != canonical_json(_plain_outputs(first)):
+                    raise _Violation(
+                        "repeated get_outputs() between steps "
+                        "returned different values")
+            twin_script.window(ctx.window)
+        if script.digest() != twin_script.digest():
+            raise _Violation(
+                "extra get_outputs() calls perturbed the run (the "
+                "model advanced while the master held time)")
+    finally:
+        _quiet_terminate(plugin)
+        _quiet_terminate(twin)
+    return "get_outputs is pure; repeated reads perturb nothing"
+
+
+def _rule_snapshot_portability(ctx: _Context) -> str:
+    import json
+
+    plugin = ctx.fresh()
+    try:
+        script = _Script(ctx, plugin)
+        script.run(windows=max(1, ctx.windows // 2))
+        snap = plugin.snapshot()
+        try:
+            text = canonical_json(snap)
+        except Exception as exc:
+            raise _Violation(
+                f"snapshot is not plain data: {exc}")
+        decoded = decode_tree(json.loads(text))
+        plugin.restore(decoded)
+        after = plugin.snapshot()
+        if state_digest(after) != state_digest(snap):
+            raise _Violation(
+                "restore(json-round-tripped snapshot) changed the "
+                "snapshot digest")
+    finally:
+        _quiet_terminate(plugin)
+    return "snapshot survives the JSON codec round trip into restore"
+
+
+RULES = (
+    ("FMI001", "contract surface", _rule_surface),
+    ("FMI002", "step additivity", _rule_step_additivity),
+    ("FMI003", "determinism under derive_seed", _rule_determinism),
+    ("FMI004", "snapshot/restore bit-exactness", _rule_snapshot_restore),
+    ("FMI005", "clean terminate", _rule_terminate),
+    ("FMI006", "freeze invariant / output purity", _rule_freeze_invariant),
+    ("FMI007", "snapshot portability", _rule_snapshot_portability),
+)
+
+
+def _plain_outputs(outputs: dict) -> dict:
+    return {key: outputs.get(key)
+            for key in ("cycles", "irq_events", "data_value", "done",
+                        "stats")}
+
+
+def _quiet_terminate(plugin: Any) -> None:
+    try:
+        plugin.terminate()
+    except Exception:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def check_plugin(factory: Callable[[], Any], name: str = "<plugin>",
+                 seed: int = DEFAULT_SEED,
+                 config: Optional[dict] = None,
+                 window: int = DEFAULT_WINDOW,
+                 windows: int = DEFAULT_WINDOWS,
+                 service: bool = True,
+                 rules: Optional[List[str]] = None) -> ConformanceReport:
+    """Run the conformance rules against fresh instances from
+    *factory*.  Any exception a rule raises — contract violations,
+    crashes, wire errors — fails that rule with the exception text as
+    detail; later rules still run on fresh instances."""
+    ctx = _Context(factory=factory, seed=seed,
+                   config=dict(config or DEFAULT_CONFIG),
+                   window=window, windows=windows, service=service)
+    report = ConformanceReport(plugin=name, seed=seed)
+    for rule_id, title, fn in RULES:
+        if rules is not None and rule_id not in rules:
+            continue
+        try:
+            detail = fn(ctx)
+            report.results.append(RuleResult(rule_id, title, True,
+                                             detail))
+        except _Violation as exc:
+            report.results.append(RuleResult(rule_id, title, False,
+                                             str(exc)))
+        except Exception as exc:  # crash, wire error, bad contract
+            report.results.append(RuleResult(
+                rule_id, title, False,
+                f"{type(exc).__name__}: {exc}"))
+    return report
+
+
+def check_spec(spec: str, seed: int = DEFAULT_SEED,
+               step_timeout_s: float = 10.0,
+               **kwargs) -> ConformanceReport:
+    """:func:`check_plugin` for a registry spec string."""
+    from repro.fmi.registry import resolve
+
+    return check_plugin(
+        lambda: resolve(spec, step_timeout_s=step_timeout_s),
+        name=spec, seed=seed, **kwargs)
+
+
+def format_report(report: ConformanceReport) -> str:
+    lines = [f"plugin: {report.plugin}  (seed {report.seed})"]
+    for result in report.results:
+        mark = "PASS" if result.ok else "FAIL"
+        lines.append(f"  {result.rule}  {mark}  {result.title}")
+        if result.detail:
+            lines.append(f"          {result.detail}")
+    lines.append(f"result: {'PASS' if report.passed else 'FAIL'} "
+                 f"({len(report.results)} rules, "
+                 f"{len(report.failures)} failed)")
+    return "\n".join(lines)

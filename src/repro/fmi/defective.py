@@ -1,0 +1,87 @@
+"""Deliberately defective plugins — conformance-kit test fixtures.
+
+Each class violates exactly one clause of the contract so the kit's
+conviction (a stable rule ID, see :mod:`repro.fmi.conformance`) can be
+asserted.  ``CrashingModel`` and ``HangingModel`` misbehave at the
+*process* level and exercise the subprocess adapter's kill/no-orphan
+lifecycle instead of the conformance rules.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.determinism import rng_state_snapshot, seeded_rng
+from repro.fmi.behavioral import BehavioralRouterModel
+
+
+class BrokenAdditivityModel(BehavioralRouterModel):
+    """Violates step additivity: observable state depends on how a
+    window was chunked into ``step`` calls (convicted by FMI002)."""
+
+    def init(self, config, seed) -> None:
+        super().init(config, seed)
+        self.step_calls = 0
+
+    def step(self, delta_ticks: int) -> None:
+        super().step(delta_ticks)
+        self.step_calls += 1
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["step_calls"] = self.step_calls
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.step_calls = state.get("step_calls", 0)
+
+
+class LossySnapshotModel(BehavioralRouterModel):
+    """Drops the producer RNG streams from its snapshot; a restored
+    run diverges at the next packet draw (convicted by FMI004)."""
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        for sub in state["producers"]:
+            sub["rng"] = None
+        return state
+
+    def restore(self, state: dict) -> None:
+        patched = dict(state)
+        patched["producers"] = [
+            dict(sub, rng=rng_state_snapshot(seeded_rng(0xBAD5EED + i)))
+            for i, sub in enumerate(state["producers"])
+        ]
+        super().restore(patched)
+
+
+class CrashingModel(BehavioralRouterModel):
+    """Dies without warning once the clock passes
+    ``crash_after_cycles`` (config key, default 50)."""
+
+    def init(self, config, seed) -> None:
+        config = dict(config or {})
+        self._crash_after = int(config.pop("crash_after_cycles", 50))
+        super().init(config, seed)
+
+    def step(self, delta_ticks: int) -> None:
+        super().step(delta_ticks)
+        if self.cycle >= self._crash_after:
+            os._exit(3)
+
+
+class HangingModel(BehavioralRouterModel):
+    """Stops responding once the clock passes ``hang_after_cycles``
+    (config key, default 50)."""
+
+    def init(self, config, seed) -> None:
+        config = dict(config or {})
+        self._hang_after = int(config.pop("hang_after_cycles", 50))
+        super().init(config, seed)
+
+    def step(self, delta_ticks: int) -> None:
+        super().step(delta_ticks)
+        if self.cycle >= self._hang_after:
+            time.sleep(3600)

@@ -1,0 +1,61 @@
+"""Resolve plugin specs to instances.
+
+A *spec* is either a registered short name (``behavioral-router``), a
+dotted path (``package.module:ClassName``), or a subprocess mount of
+either (``subprocess:<spec>``).  The registry is what ``repro fmi
+check <plugin>`` and the child servo use to find code to run.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Dict
+
+from repro.errors import FmiError
+
+#: Short names for the bundled plugins (and the defective fixtures the
+#: conformance kit demonstrates its convictions on).
+NAMED_PLUGINS: Dict[str, str] = {
+    "behavioral-router": "repro.fmi.behavioral:BehavioralRouterModel",
+    "netlist-router": "repro.fmi.netlist:NetlistRouterModel",
+    "broken-additivity": "repro.fmi.defective:BrokenAdditivityModel",
+    "lossy-snapshot": "repro.fmi.defective:LossySnapshotModel",
+}
+
+SUBPROCESS_PREFIX = "subprocess:"
+
+
+def available() -> Dict[str, str]:
+    """Registered short names and the specs they resolve to."""
+    return dict(NAMED_PLUGINS)
+
+
+def load_class(spec: str) -> Any:
+    """A plugin class from a ``module:Class`` dotted spec."""
+    name = NAMED_PLUGINS.get(spec, spec)
+    module_name, sep, class_name = name.partition(":")
+    if not sep or not module_name or not class_name:
+        raise FmiError(
+            f"bad plugin spec {spec!r}: expected 'module:Class' or one "
+            f"of {sorted(NAMED_PLUGINS)}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise FmiError(f"cannot import plugin module "
+                       f"{module_name!r}: {exc}") from exc
+    cls = getattr(module, class_name, None)
+    if cls is None:
+        raise FmiError(
+            f"module {module_name!r} has no attribute {class_name!r}")
+    return cls
+
+
+def resolve(spec: str, step_timeout_s: float = 10.0) -> Any:
+    """A fresh plugin instance for *spec* (see module docstring)."""
+    if spec.startswith(SUBPROCESS_PREFIX):
+        from repro.fmi.subproc import SubprocessPlugin
+
+        inner = spec[len(SUBPROCESS_PREFIX):]
+        inner = NAMED_PLUGINS.get(inner, inner)
+        return SubprocessPlugin(inner, step_timeout_s=step_timeout_s)
+    return load_class(spec)()

@@ -1,0 +1,182 @@
+"""Run a plugin in its own process, speaking the framed wire protocol.
+
+:class:`SubprocessPlugin` is itself a conforming plugin: it proxies
+every contract call to a child process (``python -m repro.fmi.child``)
+over length-prefixed frames on stdin/stdout.  Lifecycle discipline is
+borrowed from the farm worker pool: every call carries a deadline, a
+hung child is killed at the step timeout
+(:class:`~repro.errors.FmiTimeoutError`), a dead child surfaces as
+:class:`~repro.errors.FmiPluginCrashed` on that session only, and
+``terminate`` always reaps the child — no orphans, ever.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import FmiError, FmiPluginCrashed, FmiTimeoutError
+from repro.fmi import wire
+
+#: Floor for lifecycle calls (init/terminate include interpreter spawn).
+STARTUP_TIMEOUT_S = 30.0
+
+
+class SubprocessPlugin:
+    """A conforming plugin hosted in a child Python process."""
+
+    def __init__(self, spec: str, step_timeout_s: float = 10.0,
+                 python: Optional[str] = None) -> None:
+        self.spec = spec
+        self.step_timeout_s = step_timeout_s
+        self._python = python or sys.executable
+        self._proc: Optional[subprocess.Popen] = None
+        # Transient wire state, not simulation state (the child
+        # carries the model; snapshot() round-trips through it).
+        self._buffer = b""  # lint: disable=SNAP001
+        self._failed: Optional[FmiError] = None
+        self._terminated = False  # lint: disable=SNAP001
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    # ------------------------------------------------------------------
+    # Contract
+    # ------------------------------------------------------------------
+    def init(self, config: Optional[dict], seed: int) -> None:
+        if self._proc is not None:
+            raise FmiError("plugin already initialized")
+        self._proc = subprocess.Popen(
+            [self._python, "-m", "repro.fmi.child", self.spec],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=self._child_env())
+        self._call("init", timeout=self._lifecycle_timeout(),
+                   config=config, seed=seed)
+
+    def set_inputs(self, values: dict) -> None:
+        self._call("set_inputs", values=values)
+
+    def step(self, delta_ticks: int) -> None:
+        self._call("step", delta_ticks=delta_ticks)
+
+    def get_outputs(self) -> dict:
+        return self._call("get_outputs")
+
+    def snapshot(self) -> dict:
+        return self._call("snapshot")
+
+    def restore(self, state: dict) -> None:
+        self._call("restore", state=state)
+
+    def terminate(self) -> None:
+        """Idempotent; reaps the child no matter what state it is in."""
+        self._terminated = True
+        proc = self._proc
+        if proc is None:
+            return
+        if proc.poll() is None and self._failed is None:
+            try:
+                self._call("terminate",
+                           timeout=self._lifecycle_timeout(),
+                           _force=True)
+            except FmiError:
+                pass  # a hung or dead child is reaped below regardless
+        self._reap(proc)
+        self._proc = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _child_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        path = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + path if path else "")
+        return env
+
+    def _lifecycle_timeout(self) -> float:
+        return max(self.step_timeout_s, STARTUP_TIMEOUT_S)
+
+    def _call(self, method: str, timeout: Optional[float] = None,
+              _force: bool = False, **args: Any):
+        if self._failed is not None:
+            raise type(self._failed)(str(self._failed))
+        if self._terminated and not _force:
+            raise FmiError("plugin used after terminate()")
+        if self._proc is None:
+            raise FmiError("plugin used before init()")
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.step_timeout_s)
+        try:
+            self._proc.stdin.write(wire.call_frame(method, args))
+            self._proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise self._fail(FmiPluginCrashed(
+                f"plugin {self.spec} died before {method!r}: {exc}"))
+        kind, payload = self._read_reply(method, deadline)
+        if kind == wire.KIND_ERROR:
+            raise FmiError(
+                f"plugin {self.spec} raised {payload.get('type')} in "
+                f"{method!r}: {payload.get('message')}")
+        return payload.get("value")
+
+    def _read_reply(self, method: str, deadline: float):
+        header = self._read_exact(wire.HEADER_SIZE, method, deadline)
+        length, _kind = wire.decode_header(header)
+        body = self._read_exact(length, method, deadline) if length \
+            else b""
+        return wire.decode_frame(header + body)
+
+    def _read_exact(self, count: int, method: str,
+                    deadline: float) -> bytes:
+        fd = self._proc.stdout.fileno()
+        while len(self._buffer) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise self._fail(FmiTimeoutError(
+                    f"plugin {self.spec} exceeded its "
+                    f"{self.step_timeout_s:.1f}s timeout in {method!r} "
+                    f"and was killed"))
+            ready, _, _ = select.select([fd], [], [],
+                                        min(remaining, 0.25))
+            if not ready:
+                continue
+            chunk = os.read(fd, 65536)
+            if not chunk:
+                code = self._proc.poll()
+                raise self._fail(FmiPluginCrashed(
+                    f"plugin {self.spec} died mid-{method!r} "
+                    f"(exit status {code})"))
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def _fail(self, error: FmiError) -> FmiError:
+        """Kill and reap the child, remember the failure, return it."""
+        self._failed = error
+        proc = self._proc
+        if proc is not None:
+            self._reap(proc)
+            self._proc = None
+        return error
+
+    def _reap(self, proc: subprocess.Popen) -> None:
+        """terminate -> kill escalation; always ends in a wait()."""
+        for stream in (proc.stdin, proc.stdout):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        proc.wait()

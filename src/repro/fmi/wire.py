@@ -1,0 +1,110 @@
+"""Framed wire codec for out-of-process plugins.
+
+Same shape as the cosim transport framing
+(:mod:`repro.transport.framing`): a big-endian ``u32`` payload length,
+one ``u8`` frame kind, then a JSON object as UTF-8.  Binary leaves
+(packet bytes, register contents) ride inside the JSON via the replay
+codec's ``encode_tree``/``decode_tree``, so any plain-data snapshot
+crosses the process boundary losslessly.
+
+Three kinds: ``CALL`` (parent -> child: ``{"method", "args"}``),
+``RESULT`` (child -> parent: ``{"value"}``) and ``ERROR`` (child ->
+parent: ``{"type", "message"}``).  Every malformed input raises
+:class:`repro.errors.FmiWireError` — never ``IndexError``, never a
+hang — which the property tests in ``tests/fmi`` enforce.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+from repro.errors import FmiWireError
+from repro.replay.snapshot import SnapshotError, decode_tree, encode_tree
+
+#: ``u32`` payload length + ``u8`` frame kind, big-endian.
+HEADER = struct.Struct(">IB")
+HEADER_SIZE = HEADER.size
+
+#: Hard cap on one frame's payload (snapshots are the largest frames).
+MAX_FRAME_SIZE = 4 << 20
+
+KIND_CALL = 1
+KIND_RESULT = 2
+KIND_ERROR = 3
+KINDS = (KIND_CALL, KIND_RESULT, KIND_ERROR)
+
+
+def encode_frame(kind: int, payload: Dict[str, Any]) -> bytes:
+    """One complete frame for *payload* (a plain-data dict)."""
+    if kind not in KINDS:
+        raise FmiWireError(f"unknown frame kind {kind!r}")
+    if not isinstance(payload, dict):
+        raise FmiWireError(
+            f"frame payload must be a dict, got {type(payload).__name__}")
+    try:
+        body = json.dumps(encode_tree(payload), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    except (SnapshotError, TypeError, ValueError) as exc:
+        raise FmiWireError(f"unencodable frame payload: {exc}") from exc
+    if len(body) > MAX_FRAME_SIZE:
+        raise FmiWireError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_SIZE}-byte cap")
+    return HEADER.pack(len(body), kind) + body
+
+
+def decode_header(header: bytes) -> Tuple[int, int]:
+    """``(payload_length, kind)`` from the 5 header bytes."""
+    if len(header) != HEADER_SIZE:
+        raise FmiWireError(
+            f"truncated frame header: {len(header)} of "
+            f"{HEADER_SIZE} bytes")
+    length, kind = HEADER.unpack(header)
+    if kind not in KINDS:
+        raise FmiWireError(f"unknown frame kind {kind!r}")
+    if length > MAX_FRAME_SIZE:
+        raise FmiWireError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_SIZE}-byte cap")
+    return length, kind
+
+
+def decode_frame(data: bytes) -> Tuple[int, Dict[str, Any]]:
+    """Decode one complete frame; rejects trailing or missing bytes."""
+    if len(data) < HEADER_SIZE:
+        raise FmiWireError(
+            f"truncated frame: {len(data)} bytes is shorter than the "
+            f"{HEADER_SIZE}-byte header")
+    length, kind = decode_header(data[:HEADER_SIZE])
+    body = data[HEADER_SIZE:]
+    if len(body) != length:
+        raise FmiWireError(
+            f"frame length mismatch: header says {length} payload "
+            f"bytes, got {len(body)}")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FmiWireError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FmiWireError(
+            f"frame payload must be a JSON object, got "
+            f"{type(payload).__name__}")
+    try:
+        return kind, decode_tree(payload)
+    except (SnapshotError, TypeError, ValueError) as exc:
+        raise FmiWireError(f"undecodable frame payload: {exc}") from exc
+
+
+def call_frame(method: str, args: Dict[str, Any]) -> bytes:
+    return encode_frame(KIND_CALL, {"method": method, "args": args})
+
+
+def result_frame(value: Any) -> bytes:
+    return encode_frame(KIND_RESULT, {"value": value})
+
+
+def error_frame(exc: BaseException) -> bytes:
+    return encode_frame(KIND_ERROR, {"type": type(exc).__name__,
+                                     "message": str(exc)})

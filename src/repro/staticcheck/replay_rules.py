@@ -133,12 +133,20 @@ def check_snapshotability(
             severity="error",
         )
 
-    sim = session.master.sim
-    for index, module in enumerate(sim.modules):
+    sim = getattr(session.master, "sim", None)
+    for index, module in enumerate(getattr(sim, "modules", ()) or ()):
         name = (getattr(module, "full_name", "")
                 or getattr(module, "name", "")
                 or f"module#{index}")
         _check_object(report, target, "netlist module", name, module,
+                      enabled)
+
+    # FMI sessions: the hardware lives behind the plugin boundary
+    # (repro.fmi) — the mounted plugin must itself be snapshotable.
+    plugin = getattr(session.master, "plugin", None)
+    if plugin is not None:
+        name = type(plugin).__name__
+        _check_object(report, target, "mounted plugin", name, plugin,
                       enabled)
 
     kernel = session.runtime.board.kernel

@@ -1,0 +1,48 @@
+"""The ``repro fmi`` command: list, check, exit codes, JSON report."""
+
+import json
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_registered_plugins(self, capsys):
+        assert main(["fmi", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "behavioral-router" in out
+        assert "netlist-router" in out
+        assert "subprocess:" in out
+
+
+class TestCheck:
+    def test_passing_plugin_exits_zero(self, capsys):
+        assert main(["fmi", "check", "behavioral-router"]) == 0
+        out = capsys.readouterr().out
+        assert "FMI001" in out
+        assert "result: PASS" in out
+
+    def test_failing_plugin_exits_one(self, capsys):
+        assert main(["fmi", "check", "broken-additivity"]) == 1
+        out = capsys.readouterr().out
+        assert "FMI002" in out
+        assert "result: FAIL" in out
+
+    def test_unknown_plugin_exits_two(self, capsys):
+        assert main(["fmi", "check", "no-such-plugin"]) == 2
+
+    def test_json_report_written(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["fmi", "check", "behavioral-router",
+                     "--out", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro-fmi-conformance/1"
+        assert data["plugin"] == "behavioral-router"
+        assert data["passed"] is True
+        assert {r["rule"] for r in data["rules"]} == {
+            f"FMI00{i}" for i in range(1, 8)}
+
+    def test_json_format_on_stdout(self, capsys):
+        assert main(["fmi", "check", "behavioral-router",
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is True

@@ -1,0 +1,110 @@
+"""The conformance kit: reference plugins pass, defects are convicted.
+
+The kit is the executable form of the plugin contract; this module
+pins down both directions — the shipped reference plugins pass all
+seven rules, and each deliberately defective fixture is convicted by
+exactly the rule its defect violates, under a stable rule ID.
+"""
+
+import pytest
+
+from repro.fmi.behavioral import BehavioralRouterModel
+from repro.fmi.conformance import (
+    RULES,
+    check_plugin,
+    check_spec,
+    format_report,
+)
+from repro.fmi.netlist import NetlistRouterModel
+from repro.replay.snapshot import state_digest
+
+RULE_IDS = [rule_id for rule_id, _, _ in RULES]
+
+
+def _failed_rules(report):
+    return [result.rule for result in report.results if not result.ok]
+
+
+class TestReferencePlugins:
+    def test_behavioral_router_passes_all_rules(self):
+        report = check_plugin(BehavioralRouterModel, "behavioral-router")
+        assert report.passed, format_report(report)
+        assert [r.rule for r in report.results] == RULE_IDS
+
+    def test_netlist_router_passes_all_rules(self):
+        report = check_plugin(NetlistRouterModel, "netlist-router")
+        assert report.passed, format_report(report)
+
+    def test_subprocess_hosted_behavioral_passes(self):
+        report = check_spec("subprocess:behavioral-router")
+        assert report.passed, format_report(report)
+
+    def test_report_schema(self):
+        report = check_plugin(BehavioralRouterModel, "behavioral-router",
+                              rules=["FMI001"])
+        data = report.as_dict()
+        assert data["schema"] == "repro-fmi-conformance/1"
+        assert data["plugin"] == "behavioral-router"
+        assert data["passed"] is True
+        assert data["rules"][0]["rule"] == "FMI001"
+
+
+class TestConvictions:
+    def test_broken_additivity_convicted_by_fmi002(self):
+        report = check_spec("broken-additivity")
+        assert not report.passed
+        assert _failed_rules(report) == ["FMI002"]
+
+    def test_lossy_snapshot_convicted_by_fmi004(self):
+        report = check_spec("lossy-snapshot")
+        assert not report.passed
+        assert _failed_rules(report) == ["FMI004"]
+
+    def test_missing_surface_convicted_by_fmi001(self):
+        class Husk:
+            def init(self, config, seed):
+                pass
+
+        report = check_plugin(Husk, "husk", rules=["FMI001"])
+        assert _failed_rules(report) == ["FMI001"]
+        assert "missing" in report.results[0].detail
+
+    def test_crash_fails_the_rule_not_the_kit(self):
+        # A plugin that dies mid-rule yields a failed rule with the
+        # exception as detail; the kit itself never raises.
+        report = check_spec("subprocess:repro.fmi.defective:CrashingModel")
+        assert not report.passed
+        assert any("FmiPluginCrashed" in (r.detail or "")
+                   for r in report.results if not r.ok)
+
+
+class TestChunkingProperty:
+    """Hypothesis form of FMI002: any chunking of a window is
+    bit-equivalent to stepping it whole."""
+
+    CONFIG = {"num_ports": 2, "buffer_capacity": 4,
+              "packets_per_producer": 3, "interval_cycles": 20,
+              "payload_size": 4, "corrupt_rate": 0.25}
+
+    def _digest_after(self, chunks):
+        plugin = BehavioralRouterModel()
+        plugin.init(self.CONFIG, seed=11)
+        for ticks in chunks:
+            plugin.step(ticks)
+        digest = state_digest(plugin.snapshot())
+        plugin.terminate()
+        return digest
+
+    def test_chunked_window_is_bit_equivalent(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        given = hypothesis.given
+        st = hypothesis.strategies
+
+        @hypothesis.settings(max_examples=30, deadline=None)
+        @given(chunks=st.lists(st.integers(min_value=0, max_value=40),
+                               min_size=1, max_size=8))
+        def run(chunks):
+            whole = self._digest_after([sum(chunks)])
+            assert self._digest_after(chunks) == whole
+
+        run()

@@ -1,0 +1,110 @@
+"""Subprocess plugin lifecycle: crash, hang, terminate, no orphans.
+
+These use the process-level misbehaviour fixtures from
+:mod:`repro.fmi.defective` hosted in real child processes — the adapter
+must convert every failure mode into a typed :class:`FmiError` on the
+owning session and never leave a child running.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import FmiError, FmiPluginCrashed, FmiTimeoutError
+from repro.fmi.subproc import SubprocessPlugin
+
+CONFIG = {"num_ports": 2, "packets_per_producer": 2,
+          "interval_cycles": 30, "payload_size": 4}
+
+
+def _gone(pid: int, wait_s: float = 5.0) -> bool:
+    """True once *pid* no longer exists (it is reaped on kill, so a
+    live entry means a leak, not a zombie)."""
+    deadline = time.monotonic() + wait_s
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestCleanLifecycle:
+    def test_terminate_leaves_no_orphan(self):
+        plugin = SubprocessPlugin(
+            "repro.fmi.behavioral:BehavioralRouterModel")
+        plugin.init(CONFIG, seed=7)
+        pid = plugin.pid
+        assert pid is not None and not _gone(pid, wait_s=0)
+        plugin.step(40)
+        assert plugin.get_outputs()["cycles"] == 40
+        plugin.terminate()
+        assert plugin.pid is None
+        assert _gone(pid)
+
+    def test_terminate_is_idempotent(self):
+        plugin = SubprocessPlugin(
+            "repro.fmi.behavioral:BehavioralRouterModel")
+        plugin.init(CONFIG, seed=7)
+        plugin.terminate()
+        plugin.terminate()
+        with pytest.raises(FmiError):
+            plugin.step(1)
+
+    def test_bad_spec_is_a_typed_error(self):
+        plugin = SubprocessPlugin("repro.fmi.no_such_module:Nope")
+        with pytest.raises(FmiError):
+            plugin.init(CONFIG, seed=7)
+        assert plugin.pid is None or _gone(plugin.pid)
+
+
+class TestCrash:
+    def test_crash_mid_window_is_a_typed_error(self):
+        plugin = SubprocessPlugin("repro.fmi.defective:CrashingModel")
+        plugin.init(dict(CONFIG, crash_after_cycles=50), seed=7)
+        pid = plugin.pid
+        with pytest.raises(FmiPluginCrashed) as excinfo:
+            # Step far enough to cross the crash point; the EOF on the
+            # reply pipe must surface as the crash error, not a hang.
+            for _ in range(10):
+                plugin.step(25)
+        assert "exit" in str(excinfo.value)
+        assert _gone(pid)
+
+    def test_crash_poisons_only_that_session(self):
+        crashing = SubprocessPlugin("repro.fmi.defective:CrashingModel")
+        healthy = SubprocessPlugin(
+            "repro.fmi.behavioral:BehavioralRouterModel")
+        crashing.init(dict(CONFIG, crash_after_cycles=10), seed=7)
+        healthy.init(CONFIG, seed=7)
+        try:
+            with pytest.raises(FmiPluginCrashed):
+                crashing.step(50)
+            # Subsequent calls re-raise the remembered typed error...
+            with pytest.raises(FmiPluginCrashed):
+                crashing.get_outputs()
+            # ...while the sibling session is untouched.
+            healthy.step(50)
+            assert healthy.get_outputs()["cycles"] == 50
+        finally:
+            healthy.terminate()
+            crashing.terminate()
+
+
+class TestHang:
+    def test_hung_plugin_killed_at_step_timeout(self):
+        plugin = SubprocessPlugin("repro.fmi.defective:HangingModel",
+                                  step_timeout_s=1.0)
+        plugin.init(dict(CONFIG, hang_after_cycles=10), seed=7)
+        pid = plugin.pid
+        started = time.monotonic()
+        with pytest.raises(FmiTimeoutError):
+            plugin.step(50)
+        # Killed promptly at the deadline, not after the full sleep.
+        assert time.monotonic() - started < 30
+        assert _gone(pid)
+        with pytest.raises(FmiTimeoutError):
+            plugin.step(1)
+        plugin.terminate()

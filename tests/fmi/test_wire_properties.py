@@ -1,0 +1,143 @@
+"""Property-based tests for the plugin wire codec (needs hypothesis).
+
+Mirrors ``tests/transport/test_framing_properties.py``: round trips,
+then adversarial input — truncation, oversize, garbage — all of which
+must surface as :class:`~repro.errors.FmiWireError`, never a raw
+``struct.error``/``KeyError`` and never a hang.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.errors import FmiWireError, TransportError  # noqa: E402
+from repro.fmi.wire import (  # noqa: E402
+    HEADER,
+    HEADER_SIZE,
+    KIND_CALL,
+    KIND_ERROR,
+    KIND_RESULT,
+    KINDS,
+    MAX_FRAME_SIZE,
+    call_frame,
+    decode_frame,
+    decode_header,
+    encode_frame,
+    error_frame,
+    result_frame,
+)
+
+# JSON-safe scalar leaves, plus bytes (carried via the replay codec).
+leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(1 << 62), max_value=1 << 62),
+    st.text(max_size=32),
+    st.binary(max_size=128),
+)
+trees = st.recursive(
+    leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+payloads = st.dictionaries(st.text(max_size=8), trees, max_size=4)
+kinds = st.sampled_from(KINDS)
+
+
+class TestRoundTrip:
+    @given(kind=kinds, payload=payloads)
+    def test_encode_decode_round_trips(self, kind, payload):
+        decoded_kind, decoded = decode_frame(encode_frame(kind, payload))
+        assert decoded_kind == kind
+        assert decoded == payload
+
+    @given(kind=kinds, payload=payloads)
+    def test_header_matches_body(self, kind, payload):
+        frame = encode_frame(kind, payload)
+        length, decoded_kind = decode_header(frame[:HEADER_SIZE])
+        assert decoded_kind == kind
+        assert length == len(frame) - HEADER_SIZE
+        assert length <= MAX_FRAME_SIZE
+
+    @given(kind=kinds, payload=payloads)
+    def test_encoding_is_deterministic(self, kind, payload):
+        assert encode_frame(kind, payload) == encode_frame(kind, payload)
+
+    @given(payload=payloads)
+    def test_call_result_error_helpers(self, payload):
+        kind, body = decode_frame(call_frame("step", payload))
+        assert kind == KIND_CALL
+        assert body == {"method": "step", "args": payload}
+        kind, body = decode_frame(result_frame(payload))
+        assert kind == KIND_RESULT
+        assert body == {"value": payload}
+        kind, body = decode_frame(error_frame(ValueError("boom")))
+        assert kind == KIND_ERROR
+        assert body == {"type": "ValueError", "message": "boom"}
+
+
+class TestAdversarialInput:
+    def test_wire_error_is_a_transport_error(self):
+        # The typed-error contract: callers catching the transport
+        # family catch wire failures too.
+        assert issubclass(FmiWireError, TransportError)
+
+    @given(kind=kinds, payload=payloads,
+           drop=st.integers(min_value=1, max_value=8))
+    def test_truncated_frames_rejected(self, kind, payload, drop):
+        frame = encode_frame(kind, payload)
+        drop = min(drop, len(frame))
+        with pytest.raises(FmiWireError):
+            decode_frame(frame[:-drop])
+
+    @given(blob=st.binary(max_size=64))
+    def test_garbage_never_raises_anything_else(self, blob):
+        try:
+            kind, payload = decode_frame(blob)
+        except FmiWireError:
+            return
+        assert kind in KINDS
+        assert isinstance(payload, dict)
+
+    @given(kind=st.integers(min_value=4, max_value=255))
+    def test_unknown_kind_rejected(self, kind):
+        with pytest.raises(FmiWireError):
+            decode_frame(HEADER.pack(2, kind) + b"{}")
+
+    def test_oversized_header_rejected(self):
+        with pytest.raises(FmiWireError):
+            decode_header(HEADER.pack(MAX_FRAME_SIZE + 1, KIND_CALL))
+
+    def test_oversized_payload_rejected_on_encode(self):
+        # Bytes leaves are zlib-compressed on the wire, so the blob
+        # must be incompressible to overflow the frame cap.
+        import random
+
+        blob = random.Random(0).randbytes(MAX_FRAME_SIZE)
+        with pytest.raises(FmiWireError):
+            encode_frame(KIND_RESULT, {"value": blob})
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(FmiWireError):
+            encode_frame(KIND_RESULT, {"value": object()})
+
+    def test_non_dict_payload_rejected(self):
+        body = json.dumps([1, 2, 3]).encode("utf-8")
+        with pytest.raises(FmiWireError):
+            decode_frame(HEADER.pack(len(body), KIND_CALL) + body)
+
+    @settings(max_examples=50)
+    @given(kind=kinds, payload=payloads,
+           extra=st.binary(min_size=1, max_size=16))
+    def test_trailing_garbage_rejected(self, kind, payload, extra):
+        # decode_frame consumes exactly one frame; a child that glued
+        # two replies together must be caught, not half-parsed.
+        with pytest.raises(FmiWireError):
+            decode_frame(encode_frame(kind, payload) + extra)

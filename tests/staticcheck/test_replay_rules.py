@@ -158,3 +158,34 @@ class TestMemoPlusSpeculation:
 
         session.attach_memo(WindowMemo())
         assert check_snapshotability(session, assume_enabled=True) == []
+
+
+class TestMountedPlugin:
+    """FMI sessions carry the hardware behind the plugin boundary; the
+    mounted plugin itself must be Snapshotable (COSIM005)."""
+
+    def _fmu_session(self):
+        from repro.fmi import build_fmu_router_cosim
+
+        cosim = build_fmu_router_cosim(
+            CosimConfig(t_sync=300),
+            RouterWorkload(packets_per_producer=2, interval_cycles=300,
+                           corrupt_rate=0.0, seed=3))
+        return cosim.session
+
+    def test_conforming_plugin_is_clean(self):
+        session = self._fmu_session()
+        assert check_snapshotability(session, assume_enabled=True) == []
+
+    def test_unsnapshotable_plugin_reported(self):
+        session = self._fmu_session()
+        plugin = session.master.plugin
+        session.master.plugin = NotSnapshotable()
+        try:
+            diagnostics = check_snapshotability(session,
+                                                assume_enabled=True)
+        finally:
+            session.master.plugin = plugin
+        assert len(diagnostics) == 1
+        assert diagnostics[0].rule == "COSIM005"
+        assert "mounted plugin" in diagnostics[0].message

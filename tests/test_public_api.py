@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.obs",
     "repro.difftest",
     "repro.farm",
+    "repro.fmi",
 ]
 
 
